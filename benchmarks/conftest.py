@@ -1,0 +1,58 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures, prints the
+rows and writes them to ``bench_artifacts/`` for inspection.  Heavy
+artifacts (simulation, features, trained models) are cached in
+``REPRO_CACHE_DIR`` so re-runs are fast.
+
+Environment knobs:
+
+- ``REPRO_SCALE`` — ``bench`` (default), ``tiny`` (smoke) or ``paper``
+  (full protocol; hours of CPU);
+- ``REPRO_CACHE_DIR`` — cache location (default ``.repro_cache``);
+- ``REPRO_ARTIFACTS`` — where the rendered tables go
+  (default ``bench_artifacts``).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import get_context
+
+
+def scale_name() -> str:
+    return os.environ.get("REPRO_SCALE", "bench")
+
+
+@pytest.fixture(scope="session")
+def context():
+    return get_context(scale_name())
+
+
+@pytest.fixture(scope="session")
+def artifacts_dir() -> Path:
+    path = Path(os.environ.get("REPRO_ARTIFACTS", "bench_artifacts"))
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+@pytest.fixture(scope="session")
+def record_table(artifacts_dir):
+    """Print a rendered table and persist it under bench_artifacts/."""
+
+    def _record(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (artifacts_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Experiments train models on first run (minutes); repeated timing
+    rounds would be pointless, so ``pedantic`` with one round is used.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

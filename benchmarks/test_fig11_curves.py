@@ -1,0 +1,39 @@
+"""Fig. 11 — prediction curves: GBDT vs Advanced DeepSD under rapid variation.
+
+Shape assertion: on the rapid-variation subset of test items, Advanced
+DeepSD's RMSE is lower than GBDT's (the paper's circled regions).
+"""
+
+from repro.eval import format_table
+from repro.experiments import fig11
+
+from conftest import run_once
+
+
+def test_fig11_prediction_curves(benchmark, context, record_table):
+    result = run_once(benchmark, lambda: fig11.run(context))
+
+    sample = result.curve_deepsd[:12]
+    gbdt_by_key = {(d, t): p for d, t, _, p in result.curve_gbdt}
+    record_table(
+        "fig11",
+        format_table(
+            ["day", "slot", "truth", "DeepSD", "GBDT"],
+            [
+                [d, t, y, p, gbdt_by_key[(d, t)]]
+                for d, t, y, p in sample
+            ],
+            title=(
+                f"Fig. 11: prediction curve for area {result.area_id} "
+                f"(rapid-subset RMSE: DeepSD {result.rmse_deepsd_rapid:.2f} "
+                f"vs GBDT {result.rmse_gbdt_rapid:.2f})"
+            ),
+        ),
+    )
+
+    # DeepSD handles rapid variations better than GBDT (paper's circles).
+    assert result.rmse_deepsd_rapid < result.rmse_gbdt_rapid
+    # And overall too (consistent with Table II).
+    assert result.rmse_deepsd_all < result.rmse_gbdt_all
+    # Rapid-variation items are genuinely harder than average for GBDT.
+    assert result.rmse_gbdt_rapid > result.rmse_gbdt_all

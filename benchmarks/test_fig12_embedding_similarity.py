@@ -1,0 +1,44 @@
+"""Fig. 12 — demand curves of areas close/far in the embedding space.
+
+Shape assertions: the closest embedding pair has highly correlated demand
+curves, the farthest pair correlates less, and the scale-free pair (close
+in embedding, different in volume) still correlates well.
+"""
+
+from repro.eval import format_table
+from repro.experiments import fig12
+
+from conftest import run_once
+
+
+def test_fig12_embedding_similarity(benchmark, context, record_table):
+    result = run_once(benchmark, lambda: fig12.run(context))
+
+    record_table(
+        "fig12",
+        format_table(
+            ["Pair", "Embedding dist", "Demand corr", "Scale ratio"],
+            [
+                [
+                    f"A{pair.area_a}-A{pair.area_b} ({label})",
+                    pair.embedding_distance,
+                    pair.correlation,
+                    pair.scale_ratio,
+                ]
+                for label, pair in (
+                    ("close", result.close_pair),
+                    ("far", result.far_pair),
+                    ("scale-free", result.scale_free_pair),
+                )
+            ],
+            title="Fig. 12: embedding distance vs demand similarity",
+        ),
+    )
+
+    # Close-in-embedding areas share demand patterns better than far ones.
+    assert result.close_pair.correlation > result.far_pair.correlation
+    assert result.close_pair.embedding_distance < result.far_pair.embedding_distance
+    # The scale-free pair: meaningful volume difference, but still similar
+    # trends (paper Fig. 12c/d: Area 4 vs Area 46).
+    assert result.scale_free_pair.scale_ratio > 1.1
+    assert result.scale_free_pair.correlation > result.far_pair.correlation

@@ -1,0 +1,30 @@
+"""Fig. 13 — effects of the environment part (cases A/B/C).
+
+Shape assertions: adding the weather block (B) and then the traffic block
+(C) does not hurt, and the full model (C) improves on order-only (A) for
+both the basic and advanced networks.
+"""
+
+from repro.eval import format_table
+from repro.experiments import fig13
+
+from conftest import run_once
+
+
+def test_fig13_environment_part(benchmark, context, record_table):
+    rows = run_once(benchmark, lambda: fig13.run(context))
+    record_table(
+        "fig13",
+        format_table(
+            ["Model", "Case", "MAE", "RMSE"],
+            [[row.model, row.case, row.mae, row.rmse] for row in rows],
+            title="Fig. 13: effects of the environment part",
+        ),
+    )
+
+    for model in ("basic", "advanced"):
+        errors = fig13.case_errors(rows, model, "rmse")
+        # Full model (C) beats order-only (A).
+        assert errors["C"] < errors["A"]
+        # The weather block alone already helps (allowing noise tolerance).
+        assert errors["B"] <= errors["A"] * 1.02

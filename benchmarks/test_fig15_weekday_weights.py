@@ -1,0 +1,54 @@
+"""Fig. 15 — learned weekday combining weights.
+
+Shape assertions: on Sundays the learned weights put more mass on weekend
+history than they do on Tuesdays, and the weights are valid distributions
+that differ across areas.
+"""
+
+import numpy as np
+
+from repro.eval import format_table
+from repro.experiments import fig15
+
+from conftest import run_once
+
+WEEKDAYS = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"]
+
+
+def test_fig15_weekday_weights(benchmark, context, record_table):
+    result = run_once(benchmark, lambda: fig15.run(context))
+
+    rows = []
+    for profile in result.profiles:
+        for current, label in ((1, "Tue"), (6, "Sun")):
+            rows.append(
+                [f"A{profile.area_id}", label]
+                + [float(w) for w in profile.weights[current]]
+            )
+    record_table(
+        "fig15",
+        format_table(
+            ["Area", "Current"] + WEEKDAYS,
+            rows,
+            title="Fig. 15: weekday combining weights",
+            float_format="{:.3f}",
+        ),
+    )
+
+    # All weight vectors are distributions.
+    for profile in result.profiles:
+        np.testing.assert_allclose(profile.weights.sum(axis=1), np.ones(7), atol=1e-6)
+        assert (profile.weights > 0).all()
+
+    # Sundays lean on weekend history more than Tuesdays do (paper Fig. 15:
+    # "If the current day is Sunday, the weight is only concentrated on the
+    # weekends").
+    sunday = fig15.mean_weekend_mass_on_sunday(result)
+    tuesday = fig15.mean_weekend_mass_on_tuesday(result)
+    assert sunday > tuesday
+
+    # Weights differ across areas for the same weekday (paper: "even for
+    # the same day of week, the weights in different areas can be
+    # different").
+    tuesday_rows = np.stack([p.weights[1] for p in result.profiles])
+    assert np.abs(tuesday_rows - tuesday_rows[0]).max() > 1e-3

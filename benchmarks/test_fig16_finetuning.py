@@ -1,0 +1,45 @@
+"""Fig. 16 — convergence of re-training vs fine-tuning.
+
+Shape assertion: when environment blocks are added to a trained model,
+fine-tuning (keeping the shared weights) starts from a much lower loss and
+stays ahead of re-training over the early epochs.
+"""
+
+from repro.eval import format_table
+from repro.experiments import fig16
+
+from conftest import run_once
+
+
+def test_fig16_finetuning_convergence(benchmark, context, record_table):
+    result = run_once(benchmark, lambda: fig16.run(context))
+
+    epochs = range(1, len(result.finetune_loss) + 1)
+    record_table(
+        "fig16",
+        format_table(
+            ["epoch", "finetune loss", "retrain loss", "finetune RMSE", "retrain RMSE"],
+            [
+                [
+                    e,
+                    result.finetune_loss[e - 1],
+                    result.retrain_loss[e - 1],
+                    result.finetune_rmse[e - 1],
+                    result.retrain_rmse[e - 1],
+                ]
+                for e in epochs
+            ],
+            title="Fig. 16: fine-tuning vs re-training",
+        ),
+    )
+
+    # Fine-tuning starts far ahead (epoch 1 loss much lower)...
+    assert result.finetune_loss[0] < result.retrain_loss[0]
+    # ...and holds an average advantage over the early epochs.
+    assert fig16.early_epoch_advantage(result, k=3) > 0.0
+    # Fine-tuning reaches the retrain curve's best RMSE at least as fast.
+    target = min(result.retrain_rmse)
+    finetune_epochs = result.epochs_to_reach(target, "finetune")
+    retrain_epochs = result.epochs_to_reach(target, "retrain")
+    assert finetune_epochs != -1
+    assert finetune_epochs <= retrain_epochs

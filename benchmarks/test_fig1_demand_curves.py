@@ -1,0 +1,33 @@
+"""Fig. 1 — demand curves under four situations (the motivating example)."""
+
+from repro.eval import format_table
+from repro.experiments import fig1
+
+from conftest import run_once
+
+
+def test_fig1_demand_curves(benchmark, context, record_table):
+    result = run_once(benchmark, lambda: fig1.run(context))
+
+    lines = []
+    for curve in result.curves:
+        lines.append(
+            format_table(
+                ["hour"] + [str(h) for h in range(0, 24, 3)],
+                [
+                    [f"A{curve.area_id} {curve.archetype} {curve.weekday_name}"]
+                    + [int(curve.hourly_demand[h]) for h in range(0, 24, 3)]
+                ],
+            )
+        )
+    record_table("fig1", "Fig. 1: demand curves\n" + "\n".join(lines))
+
+    # Entertainment area: Sunday demand well above Wednesday (paper Fig 1a).
+    assert fig1.entertainment_weekend_ratio(result) > 1.5
+    # Business area: weekday rush hours dominate midday (paper Fig 1b)...
+    assert fig1.business_commute_peak_ratio(result) > 1.2
+    # ...and its Sunday total drops below the Wednesday total.
+    business = [c for c in result.curves if c.archetype == "business"]
+    wednesday = next(c for c in business if c.weekday_name == "Wednesday")
+    sunday = next(c for c in business if c.weekday_name == "Sunday")
+    assert sunday.hourly_demand.sum() < wednesday.hourly_demand.sum()

@@ -1,0 +1,114 @@
+"""Performance microbenchmarks of the hot paths.
+
+Unlike the table/figure benches (one-shot experiment reproductions), these
+use pytest-benchmark's repeated timing to track the throughput of the
+library's hot paths: model forward/backward, feature extraction and the
+order simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.city import CityGrid, MINUTES_PER_DAY, OrderGenerator
+from repro.config import EmbeddingConfig
+from repro.core import AdvancedDeepSD, BasicDeepSD, make_batch
+from repro.features import AreaDayProfile
+from repro.nn import Adam, Tensor, mse_loss
+
+BATCH = 64
+L = 20
+N_AREAS = 20
+
+
+@pytest.fixture(scope="module")
+def batch(context):
+    train = context.train_set
+    rng = np.random.default_rng(0)
+    rows = rng.choice(train.n_items, size=BATCH, replace=False)
+    return make_batch(train, rows), train.gaps[rows]
+
+
+@pytest.fixture(scope="module")
+def basic_model(context):
+    return BasicDeepSD(
+        context.dataset.n_areas, L, EmbeddingConfig(), dropout=0.0, seed=0
+    )
+
+
+@pytest.fixture(scope="module")
+def advanced_model(context):
+    return AdvancedDeepSD(
+        context.dataset.n_areas, L, EmbeddingConfig(), dropout=0.0, seed=0
+    )
+
+
+def test_perf_basic_forward(benchmark, basic_model, batch):
+    inputs, _ = batch
+    basic_model.eval()
+    result = benchmark(lambda: basic_model(inputs))
+    assert result.shape == (BATCH,)
+
+
+def test_perf_advanced_forward(benchmark, advanced_model, batch):
+    inputs, _ = batch
+    advanced_model.eval()
+    result = benchmark(lambda: advanced_model(inputs))
+    assert result.shape == (BATCH,)
+
+
+def test_perf_advanced_training_step(benchmark, advanced_model, batch):
+    inputs, targets = batch
+    advanced_model.train()
+    optimizer = Adam(advanced_model.parameters(), lr=1e-3)
+
+    def step():
+        optimizer.zero_grad()
+        loss = mse_loss(advanced_model(inputs), Tensor(targets))
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    loss_value = benchmark(step)
+    assert np.isfinite(loss_value)
+
+
+def test_perf_profile_construction(benchmark, context):
+    dataset = context.dataset
+
+    def build():
+        return AreaDayProfile(dataset, 0, 0, L)
+
+    profile = benchmark(build)
+    assert profile.window == L
+
+
+def test_perf_vector_extraction(benchmark, context):
+    profile = AreaDayProfile(context.dataset, 0, 0, L)
+    timeslots = np.arange(30, 1430, 30)
+
+    def extract():
+        return (
+            profile.supply_demand_vectors(timeslots),
+            profile.last_call_vectors(timeslots),
+            profile.waiting_time_vectors(timeslots),
+        )
+
+    sd, lc, wt = benchmark(extract)
+    assert sd.shape == (len(timeslots), 2 * L)
+
+
+def test_perf_order_generation(benchmark):
+    rng = np.random.default_rng(0)
+    grid = CityGrid.generate(3, rng)
+    arrivals = rng.poisson(1.0, size=MINUTES_PER_DAY)
+    capacity = np.full(MINUTES_PER_DAY, 2)
+    generator = OrderGenerator()
+
+    def generate():
+        return generator.generate_area_day(
+            grid[0], 0, arrivals, capacity, np.full(3, 1 / 3),
+            np.random.default_rng(1), pid_start=0,
+        )
+
+    result = benchmark(generate)
+    assert result.n_orders > 0

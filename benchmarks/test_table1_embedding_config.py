@@ -1,0 +1,36 @@
+"""Table I — embedding layer settings."""
+
+from repro.eval import format_table
+from repro.experiments import table1
+
+from conftest import run_once
+
+
+def test_table1_embedding_config(benchmark, context, record_table):
+    rows = run_once(benchmark, lambda: table1.run(context))
+    record_table(
+        "table1",
+        format_table(
+            ["Embedding Layer", "Setting", "Occurred Parts"],
+            [
+                [row.layer, f"R^{row.input_vocab} -> R^{row.output_dim}", row.occurred_parts]
+                for row in rows
+            ],
+            title="Table I: embedding settings",
+        ),
+    )
+
+    by_layer = {row.layer: row for row in rows}
+    # Table I of the paper: output widths 8 / 6 / 3 / 3.
+    assert by_layer["AreaID"].output_dim == 8
+    assert by_layer["TimeID"].output_dim == 6
+    assert by_layer["TimeID"].input_vocab == 1440
+    assert by_layer["WeekID"].output_dim == 3
+    assert by_layer["WeekID"].input_vocab == 7
+    assert by_layer["wc.type"].output_dim == 3
+    assert by_layer["wc.type"].input_vocab == 10
+
+    # The instantiated model must match the configured table.
+    actual = dict(table1.verify_against_model(context))
+    for layer, row in by_layer.items():
+        assert actual[layer] == row.output_dim

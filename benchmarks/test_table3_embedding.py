@@ -1,0 +1,40 @@
+"""Table III — embedding vs one-hot representations.
+
+Shape assertions: for both models, the embedding representation gives a
+lower (or equal) error than one-hot AND trains faster per epoch.
+"""
+
+from repro.eval import format_table
+from repro.experiments import table3
+
+from conftest import run_once
+
+
+def test_table3_embedding_vs_onehot(benchmark, context, record_table):
+    rows = run_once(benchmark, lambda: table3.run(context))
+    record_table(
+        "table3",
+        format_table(
+            ["Model", "Representation", "MAE", "RMSE", "s/epoch"],
+            [
+                [row.model, row.representation, row.mae, row.rmse, row.seconds_per_epoch]
+                for row in rows
+            ],
+            title="Table III: effects of embedding",
+        ),
+    )
+
+    for model in ("basic", "advanced"):
+        one_hot = next(
+            r for r in rows if r.model == model and r.representation == "One-hot"
+        )
+        embedding = next(
+            r for r in rows if r.model == model and r.representation == "Embedding"
+        )
+        # The paper shows embeddings strictly more accurate at Didi scale;
+        # at 1/30 of the data the accuracy gap is within noise, so we
+        # assert near-parity (<=5%, see EXPERIMENTS.md)...
+        assert embedding.rmse <= one_hot.rmse * 1.05
+        # ...while the speed benefit reproduces cleanly (the one-hot
+        # identity input is ~1500-dim vs 17).
+        assert embedding.seconds_per_epoch < one_hot.seconds_per_epoch

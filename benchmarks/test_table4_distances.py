@@ -1,0 +1,52 @@
+"""Table IV — pairwise embedding distances of selected areas.
+
+Shape assertions: areas adjacent in embedding space have more similar
+demand curves (higher correlation) than areas far apart.
+"""
+
+import numpy as np
+
+from repro.eval import format_table
+from repro.experiments import table4
+
+from conftest import run_once
+
+
+def test_table4_embedding_distances(benchmark, context, record_table):
+    result = run_once(benchmark, lambda: table4.run(context))
+
+    header = ["Area"] + [f"A{area}" for area in result.areas]
+    rows = [
+        [f"A{area}"] + [float(d) for d in result.distances[i]]
+        for i, area in enumerate(result.areas)
+    ]
+    pair_lines = [
+        format_table(
+            ["Pair", "Embedding dist", "Demand corr"],
+            [
+                [f"A{p.area_a}-A{p.area_b}", p.embedding_distance, p.demand_correlation]
+                for p in result.close_pairs + result.far_pairs
+            ],
+            title=(
+                "Closest / farthest embedding pairs "
+                f"(quartile mean corr: close {result.close_quartile_corr:.2f} "
+                f"vs far {result.far_quartile_corr:.2f})"
+            ),
+        )
+    ]
+    record_table(
+        "table4",
+        format_table(header, rows, title="Table IV: pairwise embedding distances")
+        + "\n\n"
+        + "\n".join(pair_lines),
+    )
+
+    # The distance matrix is a valid metric-ish table.
+    assert np.allclose(result.distances, result.distances.T, atol=1e-6)
+    assert np.allclose(np.diag(result.distances), 0.0, atol=1e-6)
+    # Close pairs are closer than far pairs by construction...
+    for close, far in zip(result.close_pairs, result.far_pairs):
+        assert close.embedding_distance < far.embedding_distance
+    # ...and their demand curves are more correlated on average
+    # (the paper's Fig. 12 observation).
+    assert table4.mean_correlation_gap(result) > 0.0

@@ -1,0 +1,36 @@
+"""Table V — effects of residual learning.
+
+Shape assertions: for both models, removing the block-level residual
+connections (Fig. 14's concatenation network) does not improve RMSE, and
+for at least one model it clearly hurts (the paper shows it hurting both).
+"""
+
+from repro.eval import format_table
+from repro.experiments import table5
+
+from conftest import run_once
+
+
+def test_table5_residual_learning(benchmark, context, record_table):
+    rows = run_once(benchmark, lambda: table5.run(context))
+    record_table(
+        "table5",
+        format_table(
+            ["Model", "Residual", "MAE", "RMSE"],
+            [
+                [row.model, "with" if row.residual else "without", row.mae, row.rmse]
+                for row in rows
+            ],
+            title="Table V: effects of residual learning",
+        ),
+    )
+
+    degradations = []
+    for model in ("basic", "advanced"):
+        with_res = next(r for r in rows if r.model == model and r.residual)
+        without = next(r for r in rows if r.model == model and not r.residual)
+        degradations.append(without.rmse - with_res.rmse)
+        # Residual learning never hurts beyond noise.
+        assert with_res.rmse <= without.rmse * 1.03
+    # And it strictly helps at least one model (paper: helps both).
+    assert max(degradations) > 0.0

@@ -1,0 +1,92 @@
+"""Fleet rebalancing: use gap predictions to dispatch drivers in advance.
+
+The paper's motivation (Section I): "Based on the prediction, we can
+balance the supply-demands by scheduling the drivers in advance."  This
+example trains an advanced DeepSD model, predicts the next-interval gap for
+every area at a rush-hour timeslot, and greedily proposes driver moves from
+surplus areas to the areas with the largest predicted gaps.
+
+    python examples/fleet_rebalancing.py
+"""
+
+import numpy as np
+
+from repro.city import format_timeslot, simulate_city
+from repro.config import tiny_scale
+from repro.core import AdvancedDeepSD, Trainer, TrainingConfig
+from repro.eval import format_table
+from repro.features import FeatureBuilder
+
+
+def propose_moves(predicted_gaps: np.ndarray, n_drivers: int = 20) -> list:
+    """Greedy dispatch: send idle drivers to the largest predicted gaps.
+
+    Each move covers one predicted unserved request, sourced from the areas
+    with the smallest predicted gaps (the relative surplus).
+    """
+    gaps = np.maximum(predicted_gaps, 0.0).copy()
+    sources = [int(a) for a in np.argsort(gaps)[: max(1, len(gaps) // 2)]]
+    targets_pool = np.array([a for a in range(len(gaps)) if a not in sources])
+    moves = []
+    for _ in range(n_drivers):
+        target = int(targets_pool[np.argmax(gaps[targets_pool])])
+        if gaps[target] < 1.0:
+            break
+        source = sources[len(moves) % len(sources)]
+        moves.append((source, target))
+        gaps[target] -= 1.0
+    return moves
+
+
+def main() -> None:
+    scale = tiny_scale()
+    dataset = simulate_city(scale.simulation)
+    train_set, test_set = FeatureBuilder(dataset, scale.features).build()
+
+    model = AdvancedDeepSD(
+        dataset.n_areas, scale.features.window_minutes, scale.embeddings,
+        dropout=0.1, seed=0,
+    )
+    trainer = Trainer(model, TrainingConfig(epochs=6, best_k=3, seed=0))
+    trainer.fit(train_set, eval_set=test_set)
+    predictions = trainer.predict(test_set)
+
+    # Pick the busiest evening timeslot on the first test day.
+    day = int(test_set.day_ids.min())
+    slots = np.unique(test_set.time_ids)
+    evening = slots[np.argmin(np.abs(slots - 19 * 60))]
+    mask = (test_set.day_ids == day) & (test_set.time_ids == evening)
+
+    area_ids = test_set.area_ids[mask]
+    predicted = predictions[mask]
+    actual = test_set.gaps[mask]
+
+    order = np.argsort(predicted)[::-1]
+    print(
+        format_table(
+            ["Area", "Predicted gap", "Actual gap"],
+            [
+                [f"A{int(area_ids[i])}", float(predicted[i]), float(actual[i])]
+                for i in order
+            ],
+            title=(
+                f"Predicted supply-demand gaps, day {day}, "
+                f"{format_timeslot(int(evening))}-{format_timeslot(int(evening) + 10)}"
+            ),
+        )
+    )
+
+    moves = propose_moves(predicted, n_drivers=15)
+    print(f"\nProposed {len(moves)} pre-emptive driver moves:")
+    for source, target in moves:
+        print(f"  move one idle driver: A{area_ids[source]} -> A{area_ids[target]}")
+
+    covered = min(len(moves), float(np.maximum(actual, 0).sum()))
+    print(
+        f"\nIf predictions hold, up to {covered:.0f} otherwise-unserved "
+        "requests get a driver."
+    )
+
+
+if __name__ == "__main__":
+    main()

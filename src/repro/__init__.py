@@ -1,0 +1,28 @@
+"""DeepSD reproduction: supply-demand gap prediction for car-hailing services.
+
+Reimplementation of *DeepSD: Supply-Demand Prediction for Online Car-hailing
+Services using Deep Neural Networks* (Wang, Cao, Li, Ye — ICDE 2017) as a
+self-contained Python library:
+
+- :mod:`repro.nn` — from-scratch numpy autograd / layers / optimisers;
+- :mod:`repro.city` — synthetic city simulator standing in for the
+  proprietary Didi order data;
+- :mod:`repro.features` — the paper's supply-demand / last-call /
+  waiting-time / environment feature vectors;
+- :mod:`repro.core` — Basic and Advanced DeepSD models plus trainer;
+- :mod:`repro.baselines` — empirical average, LASSO, GBDT, random forest;
+- :mod:`repro.eval` — MAE/RMSE metrics and the paper's analyses;
+- :mod:`repro.experiments` — one runner per table/figure in Section VI.
+"""
+
+from .exceptions import ConfigError, DataError, NotFittedError, ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ConfigError",
+    "DataError",
+    "NotFittedError",
+]

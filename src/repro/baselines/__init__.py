@@ -1,0 +1,25 @@
+"""Baseline models the paper compares DeepSD against (Section VI-C).
+
+All implemented from scratch on numpy: the empirical average, LASSO
+(coordinate descent), gradient-boosted trees and a random forest (both on
+histogram-binned CART trees).
+"""
+
+from .average import EmpiricalAverage
+from .base import Regressor
+from .binning import Binner
+from .forest import RandomForestRegressor
+from .gbdt import GradientBoostingRegressor
+from .linear import LassoRegressor, soft_threshold
+from .tree import DecisionTreeRegressor
+
+__all__ = [
+    "Regressor",
+    "EmpiricalAverage",
+    "LassoRegressor",
+    "soft_threshold",
+    "Binner",
+    "DecisionTreeRegressor",
+    "GradientBoostingRegressor",
+    "RandomForestRegressor",
+]

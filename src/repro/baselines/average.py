@@ -1,0 +1,65 @@
+"""Empirical average baseline (Section VI-C).
+
+"For a specific t in area a, we simply use the empirical average gap
+``(1/|D_train|) Σ_d gap^{d,t}_a`` as the prediction" — the classic
+historical-mean predictor every learned model must beat.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..exceptions import NotFittedError
+from ..features.builder import ExampleSet
+
+
+class EmpiricalAverage:
+    """Per-(area, timeslot) mean gap over the training days.
+
+    Unseen (area, timeslot) pairs fall back to the area mean, then to the
+    global mean.
+    """
+
+    def __init__(self) -> None:
+        self._pair_means: Dict[Tuple[int, int], float] = {}
+        self._area_means: Dict[int, float] = {}
+        self._global_mean = 0.0
+        self._fitted = False
+
+    def fit(self, train_set: ExampleSet) -> "EmpiricalAverage":
+        areas = train_set.area_ids
+        times = train_set.time_ids
+        gaps = train_set.gaps.astype(np.float64)
+
+        keys = areas * 10_000 + times
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        sorted_gaps = gaps[order]
+        boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+        for chunk_keys, chunk_gaps in zip(
+            np.split(sorted_keys, boundaries), np.split(sorted_gaps, boundaries)
+        ):
+            key = int(chunk_keys[0])
+            self._pair_means[(key // 10_000, key % 10_000)] = float(chunk_gaps.mean())
+
+        for area in np.unique(areas):
+            self._area_means[int(area)] = float(gaps[areas == area].mean())
+        self._global_mean = float(gaps.mean())
+        self._fitted = True
+        return self
+
+    def predict(self, example_set: ExampleSet) -> np.ndarray:
+        if not self._fitted:
+            raise NotFittedError("EmpiricalAverage is not fitted yet")
+        out = np.empty(example_set.n_items)
+        for i, (area, time) in enumerate(
+            zip(example_set.area_ids, example_set.time_ids)
+        ):
+            key = (int(area), int(time))
+            if key in self._pair_means:
+                out[i] = self._pair_means[key]
+            else:
+                out[i] = self._area_means.get(int(area), self._global_mean)
+        return out

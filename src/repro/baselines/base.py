@@ -1,0 +1,37 @@
+"""Common regressor interface for the baseline models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import NotFittedError
+
+
+class Regressor:
+    """fit/predict interface shared by all baselines."""
+
+    _fitted = False
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "Regressor":
+        raise NotImplementedError
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} is not fitted yet")
+
+    @staticmethod
+    def _validate_xy(features: np.ndarray, targets: np.ndarray):
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {features.shape}")
+        if targets.shape != (features.shape[0],):
+            raise ValueError(
+                f"targets must be ({features.shape[0]},), got {targets.shape}"
+            )
+        if features.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        return features, targets

@@ -1,0 +1,73 @@
+"""Quantile feature binning for the histogram-based tree learners.
+
+Exact split search over continuous features is O(n log n) per feature per
+node; binning features once to a small number of quantile buckets turns the
+per-node cost into a vectorised histogram accumulation — the technique
+behind LightGBM-style GBDT implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import NotFittedError
+
+
+class Binner:
+    """Maps continuous features to integer bin codes via quantile edges.
+
+    Parameters
+    ----------
+    n_bins:
+        Maximum bins per feature (features with few distinct values get
+        fewer).  Bin codes are in ``[0, n_bins)``.
+    """
+
+    def __init__(self, n_bins: int = 32) -> None:
+        if not 2 <= n_bins <= 256:
+            raise ValueError(f"n_bins must be in [2, 256], got {n_bins}")
+        self.n_bins = n_bins
+        self._edges: list[np.ndarray] | None = None
+
+    def fit(self, features: np.ndarray) -> "Binner":
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("features must be 2-D")
+        quantiles = np.linspace(0.0, 1.0, self.n_bins + 1)[1:-1]
+        self._edges = []
+        for j in range(features.shape[1]):
+            edges = np.unique(np.quantile(features[:, j], quantiles))
+            self._edges.append(edges)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Bin codes, shape ``(n, F)``, dtype uint8."""
+        if self._edges is None:
+            raise NotFittedError("Binner is not fitted yet")
+        features = np.asarray(features, dtype=np.float64)
+        if features.shape[1] != len(self._edges):
+            raise ValueError(
+                f"expected {len(self._edges)} features, got {features.shape[1]}"
+            )
+        codes = np.empty(features.shape, dtype=np.uint8)
+        for j, edges in enumerate(self._edges):
+            codes[:, j] = np.searchsorted(edges, features[:, j], side="right")
+        return codes
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)
+
+    def bin_upper_value(self, feature: int, bin_code: int) -> float:
+        """Feature-space threshold corresponding to "code <= bin_code"."""
+        if self._edges is None:
+            raise NotFittedError("Binner is not fitted yet")
+        edges = self._edges[feature]
+        if bin_code >= len(edges):
+            return np.inf
+        return float(edges[bin_code])
+
+    @property
+    def n_features(self) -> int:
+        if self._edges is None:
+            raise NotFittedError("Binner is not fitted yet")
+        return len(self._edges)

@@ -1,0 +1,99 @@
+"""Random forest regressor.
+
+Bagged histogram trees with per-node feature subsampling (the classic
+Breiman recipe): each tree sees a bootstrap sample of the rows and
+considers a random subset of features at every split.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .base import Regressor
+from .binning import Binner
+from .tree import DecisionTreeRegressor
+
+
+class RandomForestRegressor(Regressor):
+    """Bootstrap-aggregated regression trees.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    max_depth, min_samples_leaf, n_bins:
+        Base-tree knobs (forest trees are typically grown deep).
+    max_features:
+        Features considered per split; ``"sqrt"`` (default), ``"all"``, or
+        an integer.
+    bootstrap:
+        Sample rows with replacement per tree.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: int = 12,
+        min_samples_leaf: int = 2,
+        max_features: str | int = "sqrt",
+        bootstrap: bool = True,
+        n_bins: int = 32,
+        seed: int = 0,
+    ) -> None:
+        if n_estimators <= 0:
+            raise ValueError(f"n_estimators must be positive, got {n_estimators}")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.n_bins = n_bins
+        self.seed = seed
+        self._trees: List[DecisionTreeRegressor] = []
+        self._binner: Optional[Binner] = None
+
+    def _resolve_max_features(self, n_features: int) -> Optional[int]:
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if self.max_features == "all":
+            return None
+        if isinstance(self.max_features, int) and self.max_features > 0:
+            return min(self.max_features, n_features)
+        raise ValueError(f"invalid max_features: {self.max_features!r}")
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RandomForestRegressor":
+        x, y = self._validate_xy(features, targets)
+        rng = np.random.default_rng(self.seed)
+        self._binner = Binner(self.n_bins)
+        codes = self._binner.fit_transform(x)
+        max_features = self._resolve_max_features(x.shape[1])
+
+        n = len(y)
+        self._trees = []
+        for _ in range(self.n_estimators):
+            rows = rng.choice(n, size=n, replace=True) if self.bootstrap else np.arange(n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                rng=rng,
+            )
+            tree.fit_binned(codes[rows], y[rows])
+            self._trees.append(tree)
+
+        self._fitted = True
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        codes = self._binner.transform(np.asarray(features, dtype=np.float64))
+        total = np.zeros(len(codes))
+        for tree in self._trees:
+            total += tree.predict_binned(codes)
+        return total / len(self._trees)
+
+    @property
+    def n_trees(self) -> int:
+        return len(self._trees)

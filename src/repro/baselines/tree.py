@@ -1,0 +1,233 @@
+"""Histogram-based CART regression tree.
+
+Splits minimise squared error (equivalently maximise
+``sum_L²/n_L + sum_R²/n_R``) over binned features.  Per node, target sums
+and counts are accumulated into one flat (feature × bin) histogram with a
+single ``bincount`` pass, then cumulative sums give every candidate split's
+statistics at once.
+
+The tree is the base learner for both the GBDT and the random forest; both
+pass pre-binned codes so the (one-off) binning cost is shared across trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .base import Regressor
+from .binning import Binner
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves have ``feature == -1``."""
+
+    feature: int = -1
+    bin_threshold: int = 0       # go left when code <= bin_threshold
+    left: int = -1
+    right: int = -1
+    value: float = 0.0
+
+
+class DecisionTreeRegressor(Regressor):
+    """CART regression tree on quantile-binned features.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root = depth 0).
+    min_samples_split / min_samples_leaf:
+        Pre-pruning thresholds.
+    n_bins:
+        Histogram resolution when the tree bins its own input.
+    max_features:
+        If set, the number of candidate features drawn (without
+        replacement) at every node — random-forest style.
+    rng:
+        Random generator used only when ``max_features`` is set.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        n_bins: int = 32,
+        max_features: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_leaf < 1 or min_samples_split < 2:
+            raise ValueError("min_samples_leaf >= 1 and min_samples_split >= 2 required")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.n_bins = n_bins
+        self.max_features = max_features
+        self._rng = rng or np.random.default_rng()
+        self._nodes: List[_Node] = []
+        self._binner: Optional[Binner] = None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "DecisionTreeRegressor":
+        features, targets = self._validate_xy(features, targets)
+        self._binner = Binner(self.n_bins)
+        codes = self._binner.fit_transform(features)
+        self.fit_binned(codes, targets)
+        return self
+
+    def fit_binned(self, codes: np.ndarray, targets: np.ndarray) -> "DecisionTreeRegressor":
+        """Fit on pre-binned uint8 codes (used by GBDT / forest)."""
+        codes = np.ascontiguousarray(codes)
+        targets = np.asarray(targets, dtype=np.float64)
+        if codes.ndim != 2 or len(codes) != len(targets):
+            raise ValueError("codes must be (n, F) aligned with targets")
+        self._n_features = codes.shape[1]
+        self._nodes = []
+        self._grow(codes, targets, np.arange(len(targets)), depth=0)
+        self._fitted = True
+        return self
+
+    def _grow(
+        self,
+        codes: np.ndarray,
+        targets: np.ndarray,
+        indices: np.ndarray,
+        depth: int,
+    ) -> int:
+        node_id = len(self._nodes)
+        node = _Node(value=float(targets[indices].mean()))
+        self._nodes.append(node)
+
+        if depth >= self.max_depth or len(indices) < self.min_samples_split:
+            return node_id
+
+        split = self._best_split(codes, targets, indices)
+        if split is None:
+            return node_id
+        feature, bin_threshold = split
+
+        go_left = codes[indices, feature] <= bin_threshold
+        left_idx = indices[go_left]
+        right_idx = indices[~go_left]
+        if len(left_idx) < self.min_samples_leaf or len(right_idx) < self.min_samples_leaf:
+            return node_id
+
+        node.feature = feature
+        node.bin_threshold = bin_threshold
+        node.left = self._grow(codes, targets, left_idx, depth + 1)
+        node.right = self._grow(codes, targets, right_idx, depth + 1)
+        return node_id
+
+    def _best_split(
+        self, codes: np.ndarray, targets: np.ndarray, indices: np.ndarray
+    ) -> Optional[tuple[int, int]]:
+        """Best (feature, bin) split by SSE reduction, or None."""
+        n_bins = 256  # uint8 codes; histograms sized by the dtype bound
+        if self.max_features is not None and self.max_features < self._n_features:
+            candidates = self._rng.choice(
+                self._n_features, size=self.max_features, replace=False
+            )
+        else:
+            candidates = np.arange(self._n_features)
+
+        node_codes = codes[indices][:, candidates].astype(np.int64)
+        node_targets = targets[indices]
+        n, f = node_codes.shape
+
+        flat = node_codes + np.arange(f)[None, :] * n_bins
+        flat = flat.ravel()
+        sums = np.bincount(
+            flat, weights=np.repeat(node_targets, f), minlength=f * n_bins
+        ).reshape(f, n_bins)
+        counts = np.bincount(flat, minlength=f * n_bins).reshape(f, n_bins)
+
+        left_sum = sums.cumsum(axis=1)
+        left_count = counts.cumsum(axis=1)
+        total_sum = left_sum[:, -1:]
+        total_count = left_count[:, -1:]
+        right_sum = total_sum - left_sum
+        right_count = total_count - left_count
+
+        valid = (left_count >= self.min_samples_leaf) & (
+            right_count >= self.min_samples_leaf
+        )
+        if not valid.any():
+            return None
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            score = np.where(
+                valid,
+                left_sum ** 2 / np.maximum(left_count, 1)
+                + right_sum ** 2 / np.maximum(right_count, 1),
+                -np.inf,
+            )
+        base_score = float(total_sum[0, 0] ** 2 / total_count[0, 0])
+        best_flat = int(np.argmax(score))
+        best_feature, best_bin = divmod(best_flat, n_bins)
+        if score[best_feature, best_bin] <= base_score + 1e-12:
+            return None
+        return int(candidates[best_feature]), int(best_bin)
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        if self._binner is None:
+            raise ValueError(
+                "tree was fitted on pre-binned codes; use predict_binned()"
+            )
+        return self.predict_binned(self._binner.transform(features))
+
+    def predict_binned(self, codes: np.ndarray) -> np.ndarray:
+        """Predict from pre-binned codes."""
+        self._check_fitted()
+        codes = np.asarray(codes)
+        out = np.empty(len(codes))
+        # Route all rows level by level: vectorised double-pointer descent.
+        node_of_row = np.zeros(len(codes), dtype=np.int64)
+        active = np.arange(len(codes))
+        while len(active):
+            nodes = node_of_row[active]
+            features = np.array([self._nodes[k].feature for k in nodes])
+            is_leaf = features == -1
+            leaf_rows = active[is_leaf]
+            if len(leaf_rows):
+                out[leaf_rows] = [self._nodes[k].value for k in node_of_row[leaf_rows]]
+            active = active[~is_leaf]
+            if not len(active):
+                break
+            nodes = node_of_row[active]
+            features = features[~is_leaf]
+            thresholds = np.array([self._nodes[k].bin_threshold for k in nodes])
+            lefts = np.array([self._nodes[k].left for k in nodes])
+            rights = np.array([self._nodes[k].right for k in nodes])
+            go_left = codes[active, features] <= thresholds
+            node_of_row[active] = np.where(go_left, lefts, rights)
+        return out
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        self._check_fitted()
+
+        def node_depth(node_id: int) -> int:
+            node = self._nodes[node_id]
+            if node.feature == -1:
+                return 0
+            return 1 + max(node_depth(node.left), node_depth(node.right))
+
+        return node_depth(0)

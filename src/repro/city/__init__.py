@@ -1,0 +1,69 @@
+"""Synthetic city simulator — the data substrate of the reproduction.
+
+The paper's evaluation uses proprietary Didi car-hailing orders from
+Hangzhou.  This package generates a city with the same observable schema and
+the same stylised statistics (see DESIGN.md §2 for the substitution
+rationale): areas with demand archetypes, Markov weather, demand-coupled
+traffic, a lagging driver supply, and passenger sessions that retry after
+failed calls.
+"""
+
+from .calendar import (
+    DAYS_PER_WEEK,
+    MINUTES_PER_DAY,
+    WEEKDAY_NAMES,
+    SimulationCalendar,
+    format_timeslot,
+    parse_timeslot,
+)
+from .dataset import CityDataset
+from .demand import DemandModel
+from .events import Event, EventGenerator, EventSchedule
+from .io import export_csv, import_csv
+from .validation import validate_dataset
+from .grid import Archetype, Area, CityGrid
+from .orders import ORDER_DTYPE, SESSION_DTYPE, AreaDayOrders, OrderGenerator, RetryPolicy
+from .simulator import CitySimulator, simulate_city
+from .supply import SupplyModel
+from .traffic import N_CONGESTION_LEVELS, TrafficSeries, TrafficSimulator
+from .weather import (
+    N_WEATHER_TYPES,
+    WEATHER_TYPES,
+    WeatherSeries,
+    WeatherSimulator,
+)
+
+__all__ = [
+    "MINUTES_PER_DAY",
+    "DAYS_PER_WEEK",
+    "WEEKDAY_NAMES",
+    "SimulationCalendar",
+    "format_timeslot",
+    "parse_timeslot",
+    "Archetype",
+    "Area",
+    "CityGrid",
+    "WeatherSeries",
+    "WeatherSimulator",
+    "WEATHER_TYPES",
+    "N_WEATHER_TYPES",
+    "TrafficSeries",
+    "TrafficSimulator",
+    "N_CONGESTION_LEVELS",
+    "DemandModel",
+    "Event",
+    "EventGenerator",
+    "EventSchedule",
+    "SupplyModel",
+    "OrderGenerator",
+    "RetryPolicy",
+    "AreaDayOrders",
+    "ORDER_DTYPE",
+    "SESSION_DTYPE",
+    "CityDataset",
+    "CitySimulator",
+    "simulate_city",
+    "export_csv",
+    "import_csv",
+    "validate_dataset",
+]

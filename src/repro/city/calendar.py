@@ -1,0 +1,88 @@
+"""Simulation calendar: days, weekdays and minute-resolution timeslots.
+
+The paper divides each day into 1440 one-minute timeslots and identifies a
+day by its index ``d`` and its day of week (Monday = 0, …, Sunday = 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MINUTES_PER_DAY = 1440
+DAYS_PER_WEEK = 7
+
+WEEKDAY_NAMES = (
+    "Monday",
+    "Tuesday",
+    "Wednesday",
+    "Thursday",
+    "Friday",
+    "Saturday",
+    "Sunday",
+)
+
+
+@dataclass(frozen=True)
+class SimulationCalendar:
+    """Maps simulated day indices to days of the week.
+
+    Parameters
+    ----------
+    n_days:
+        Total number of simulated days.
+    start_weekday:
+        Day of week of day 0 (0 = Monday … 6 = Sunday).
+    """
+
+    n_days: int
+    start_weekday: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_days <= 0:
+            raise ValueError(f"n_days must be positive, got {self.n_days}")
+        if not 0 <= self.start_weekday < DAYS_PER_WEEK:
+            raise ValueError(
+                f"start_weekday must be in [0, 7), got {self.start_weekday}"
+            )
+
+    def day_of_week(self, day: int) -> int:
+        """WeekID of the given day (0 = Monday … 6 = Sunday)."""
+        self._check_day(day)
+        return (self.start_weekday + day) % DAYS_PER_WEEK
+
+    def weekday_name(self, day: int) -> str:
+        return WEEKDAY_NAMES[self.day_of_week(day)]
+
+    def is_weekend(self, day: int) -> bool:
+        return self.day_of_week(day) >= 5
+
+    def days_with_weekday(self, weekday: int, *, before: int | None = None) -> list[int]:
+        """All day indices that fall on ``weekday``, optionally before a day.
+
+        Used to collect "all the Mondays prior to the d-th day" when building
+        the historical supply-demand averages (Section V-A).
+        """
+        if not 0 <= weekday < DAYS_PER_WEEK:
+            raise ValueError(f"weekday must be in [0, 7), got {weekday}")
+        limit = self.n_days if before is None else min(before, self.n_days)
+        return [d for d in range(limit) if self.day_of_week(d) == weekday]
+
+    def _check_day(self, day: int) -> None:
+        if not 0 <= day < self.n_days:
+            raise ValueError(f"day {day} outside [0, {self.n_days})")
+
+
+def format_timeslot(timeslot: int) -> str:
+    """Render a minute-of-day timeslot as ``HH:MM``."""
+    if not 0 <= timeslot < MINUTES_PER_DAY:
+        raise ValueError(f"timeslot {timeslot} outside [0, {MINUTES_PER_DAY})")
+    return f"{timeslot // 60:02d}:{timeslot % 60:02d}"
+
+
+def parse_timeslot(text: str) -> int:
+    """Parse ``HH:MM`` into a minute-of-day timeslot."""
+    hours, _, minutes = text.partition(":")
+    timeslot = int(hours) * 60 + int(minutes)
+    if not 0 <= timeslot < MINUTES_PER_DAY:
+        raise ValueError(f"time {text!r} outside the day")
+    return timeslot

@@ -1,0 +1,246 @@
+"""CityDataset: the assembled output of a simulation run.
+
+Bundles the order stream, passenger sessions, weather, traffic, the grid and
+the calendar, with fast per-(area, day) access and the gap labels defined in
+the paper (Definition 2: the gap over ``[t, t+C)`` is the number of invalid
+orders in that interval).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DataError
+from .calendar import MINUTES_PER_DAY, SimulationCalendar
+from .grid import Archetype, Area, CityGrid
+from .orders import ORDER_DTYPE, SESSION_DTYPE
+from .traffic import TrafficSeries
+from .weather import WeatherSeries
+
+
+@dataclass
+class CityDataset:
+    """All simulated data for one city.
+
+    Attributes
+    ----------
+    grid, calendar:
+        The city layout and day-of-week mapping.
+    orders:
+        Structured array (:data:`ORDER_DTYPE`) sorted by
+        ``(origin, day, ts)``.
+    sessions:
+        Structured array (:data:`SESSION_DTYPE`) sorted by
+        ``(area, day, first_ts)``.
+    weather, traffic:
+        Environment series.
+    valid_counts, invalid_counts:
+        ``(n_areas, n_days, 1440)`` int32 per-minute order counts — the raw
+        material of the supply-demand vectors and the gap labels.
+    """
+
+    grid: CityGrid
+    calendar: SimulationCalendar
+    orders: np.ndarray
+    sessions: np.ndarray
+    weather: WeatherSeries
+    traffic: TrafficSeries
+    valid_counts: np.ndarray
+    invalid_counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        n_areas, n_days = self.grid.n_areas, self.calendar.n_days
+        expected = (n_areas, n_days, MINUTES_PER_DAY)
+        if self.valid_counts.shape != expected or self.invalid_counts.shape != expected:
+            raise DataError(
+                f"count arrays must have shape {expected}, got "
+                f"{self.valid_counts.shape} / {self.invalid_counts.shape}"
+            )
+        self._order_bounds = _bounds(self.orders, "origin", "day", n_areas, n_days)
+        self._session_bounds = _bounds(self.sessions, "area", "day", n_areas, n_days)
+        # Cumulative invalid counts give O(1) gap queries.
+        self._invalid_cumsum = np.concatenate(
+            [
+                np.zeros((n_areas, n_days, 1), dtype=np.int64),
+                self.invalid_counts.cumsum(axis=2, dtype=np.int64),
+            ],
+            axis=2,
+        )
+
+    # ------------------------------------------------------------------
+    # Basic shape info
+    # ------------------------------------------------------------------
+
+    @property
+    def n_areas(self) -> int:
+        return self.grid.n_areas
+
+    @property
+    def n_days(self) -> int:
+        return self.calendar.n_days
+
+    @property
+    def n_orders(self) -> int:
+        return len(self.orders)
+
+    # ------------------------------------------------------------------
+    # Per-(area, day) access
+    # ------------------------------------------------------------------
+
+    def area_day_orders(self, area_id: int, day: int) -> np.ndarray:
+        """All orders originating in ``area_id`` on ``day`` (a view)."""
+        start, stop = self._order_bounds[area_id, day]
+        return self.orders[start:stop]
+
+    def area_day_sessions(self, area_id: int, day: int) -> np.ndarray:
+        """All passenger sessions in ``area_id`` on ``day`` (a view)."""
+        start, stop = self._session_bounds[area_id, day]
+        return self.sessions[start:stop]
+
+    # ------------------------------------------------------------------
+    # Labels and series
+    # ------------------------------------------------------------------
+
+    def gap(self, area_id: int, day: int, timeslot: int, horizon: int = 10) -> int:
+        """Supply-demand gap over ``[timeslot, timeslot + horizon)``.
+
+        Definition 2 of the paper: the number of invalid orders in the
+        interval.
+        """
+        stop = min(timeslot + horizon, MINUTES_PER_DAY)
+        cumsum = self._invalid_cumsum[area_id, day]
+        return int(cumsum[stop] - cumsum[timeslot])
+
+    def gaps(
+        self,
+        area_ids: np.ndarray,
+        days: np.ndarray,
+        timeslots: np.ndarray,
+        horizon: int = 10,
+    ) -> np.ndarray:
+        """Vectorised gap labels for many (area, day, timeslot) items."""
+        area_ids = np.asarray(area_ids, dtype=np.int64)
+        days = np.asarray(days, dtype=np.int64)
+        timeslots = np.asarray(timeslots, dtype=np.int64)
+        stops = np.minimum(timeslots + horizon, MINUTES_PER_DAY)
+        cumsum = self._invalid_cumsum
+        return (
+            cumsum[area_ids, days, stops] - cumsum[area_ids, days, timeslots]
+        ).astype(np.int64)
+
+    def gap_series(self, area_id: int, day: int, horizon: int = 10) -> np.ndarray:
+        """Gap at every start minute of ``day`` (length 1440)."""
+        cumsum = self._invalid_cumsum[area_id, day]
+        stops = np.minimum(np.arange(MINUTES_PER_DAY) + horizon, MINUTES_PER_DAY)
+        return (cumsum[stops] - cumsum[:MINUTES_PER_DAY]).astype(np.int64)
+
+    def demand_series(self, area_id: int, day: int) -> np.ndarray:
+        """Total requests (valid + invalid) per minute of ``day``."""
+        return (
+            self.valid_counts[area_id, day] + self.invalid_counts[area_id, day]
+        ).astype(np.int64)
+
+    def total_gap(self) -> int:
+        """Total invalid orders in the dataset."""
+        return int(self.invalid_counts.sum())
+
+    def summary(self) -> dict:
+        """Descriptive statistics of the simulated dataset."""
+        gaps = self.invalid_counts.reshape(self.n_areas, -1)
+        return {
+            "n_areas": self.n_areas,
+            "n_days": self.n_days,
+            "n_orders": self.n_orders,
+            "n_sessions": len(self.sessions),
+            "valid_fraction": float(self.orders["valid"].mean()) if self.n_orders else 0.0,
+            "total_gap": self.total_gap(),
+            "max_minute_gap": int(gaps.max()) if gaps.size else 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Serialize the dataset to a compressed npz archive."""
+        areas = self.grid.areas
+        np.savez_compressed(
+            os.fspath(path),
+            orders=self.orders,
+            sessions=self.sessions,
+            weather_types=self.weather.types,
+            weather_temperature=self.weather.temperature,
+            weather_pm25=self.weather.pm25,
+            traffic_level_counts=self.traffic.level_counts,
+            valid_counts=self.valid_counts,
+            invalid_counts=self.invalid_counts,
+            area_archetypes=np.array([a.archetype.value for a in areas]),
+            area_popularity=np.array([a.popularity for a in areas]),
+            area_road_segments=np.array([a.n_road_segments for a in areas]),
+            area_rows=np.array([a.row for a in areas]),
+            area_cols=np.array([a.col for a in areas]),
+            n_days=np.array([self.calendar.n_days]),
+            start_weekday=np.array([self.calendar.start_weekday]),
+        )
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "CityDataset":
+        """Load a dataset written by :meth:`save`."""
+        with np.load(os.fspath(path), allow_pickle=False) as archive:
+            areas = [
+                Area(
+                    area_id=i,
+                    archetype=Archetype(str(arch)),
+                    popularity=float(pop),
+                    n_road_segments=int(seg),
+                    row=int(row),
+                    col=int(col),
+                )
+                for i, (arch, pop, seg, row, col) in enumerate(
+                    zip(
+                        archive["area_archetypes"],
+                        archive["area_popularity"],
+                        archive["area_road_segments"],
+                        archive["area_rows"],
+                        archive["area_cols"],
+                    )
+                )
+            ]
+            return cls(
+                grid=CityGrid(areas),
+                calendar=SimulationCalendar(
+                    n_days=int(archive["n_days"][0]),
+                    start_weekday=int(archive["start_weekday"][0]),
+                ),
+                orders=archive["orders"].astype(ORDER_DTYPE),
+                sessions=archive["sessions"].astype(SESSION_DTYPE),
+                weather=WeatherSeries(
+                    types=archive["weather_types"],
+                    temperature=archive["weather_temperature"],
+                    pm25=archive["weather_pm25"],
+                ),
+                traffic=TrafficSeries(level_counts=archive["traffic_level_counts"]),
+                valid_counts=archive["valid_counts"],
+                invalid_counts=archive["invalid_counts"],
+            )
+
+
+def _bounds(
+    records: np.ndarray, area_field: str, day_field: str, n_areas: int, n_days: int
+) -> np.ndarray:
+    """Start/stop indices per (area, day) into a sorted structured array."""
+    keys = records[area_field].astype(np.int64) * n_days + records[day_field]
+    if len(keys) > 1 and (np.diff(keys) < 0).any():
+        raise DataError(f"records must be sorted by ({area_field}, {day_field})")
+    bounds = np.empty((n_areas, n_days, 2), dtype=np.int64)
+    grid_keys = np.arange(n_areas * n_days)
+    bounds[..., 0] = np.searchsorted(keys, grid_keys, side="left").reshape(
+        n_areas, n_days
+    )
+    bounds[..., 1] = np.searchsorted(keys, grid_keys, side="right").reshape(
+        n_areas, n_days
+    )
+    return bounds

@@ -1,0 +1,165 @@
+"""Passenger demand intensity model.
+
+Produces, for each (area, day), a per-minute Poisson intensity of *new*
+ride requests.  The shapes encode the stylised facts the paper builds on:
+
+- strong weekly periodicity with weekday/weekend contrast (Section V-A);
+- archetype-specific shapes — commuter peaks around 8:00 and 19:00 in
+  residential/business areas on weekdays, entertainment areas surging on
+  weekends (the paper's Fig. 1 example);
+- bad weather boosts demand (Section IV-C motivates the weather block).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .calendar import MINUTES_PER_DAY, SimulationCalendar
+from .grid import Archetype, Area, CityGrid
+from .weather import WeatherSeries
+
+
+def _gaussian_bump(minutes: np.ndarray, centre: float, width: float) -> np.ndarray:
+    """Smooth bump centred at ``centre`` minutes with the given width."""
+    return np.exp(-0.5 * ((minutes - centre) / width) ** 2)
+
+
+def _base_night_profile(minutes: np.ndarray) -> np.ndarray:
+    """Low overnight floor, near zero around 4:00, recovering by morning."""
+    return 0.06 + 0.05 * _gaussian_bump(minutes, 1380, 180) + 0.04 * _gaussian_bump(
+        minutes, 0, 120
+    )
+
+
+def _weekday_shape(archetype: Archetype, minutes: np.ndarray) -> np.ndarray:
+    """Relative demand over a weekday for one archetype (unit mean scale)."""
+    base = _base_night_profile(minutes)
+    if archetype is Archetype.RESIDENTIAL:
+        # Big morning outflow, moderate evening return.
+        return base + 1.5 * _gaussian_bump(minutes, 8 * 60, 55) + 0.7 * _gaussian_bump(
+            minutes, 19 * 60, 80
+        ) + 0.25 * _gaussian_bump(minutes, 13 * 60, 150)
+    if archetype is Archetype.BUSINESS:
+        # Commute peaks both ways plus lunchtime activity.
+        return base + 0.9 * _gaussian_bump(minutes, 8.5 * 60, 50) + 1.5 * _gaussian_bump(
+            minutes, 19 * 60, 65
+        ) + 0.5 * _gaussian_bump(minutes, 12.5 * 60, 70)
+    if archetype is Archetype.ENTERTAINMENT:
+        # Quiet weekdays with a mild evening bump.
+        return base + 0.35 * _gaussian_bump(minutes, 21 * 60, 110)
+    if archetype is Archetype.TRANSPORT_HUB:
+        # Sustained daytime demand with shoulders at travel times.
+        return base + 0.8 * _gaussian_bump(minutes, 9 * 60, 150) + 0.9 * _gaussian_bump(
+            minutes, 17.5 * 60, 170
+        ) + 0.4 * _gaussian_bump(minutes, 13 * 60, 200)
+    if archetype is Archetype.SUBURBAN:
+        return base + 0.45 * _gaussian_bump(minutes, 7.5 * 60, 60) + 0.35 * _gaussian_bump(
+            minutes, 18.5 * 60, 90
+        )
+    # MIXED: a blend of residential and business.
+    return base + 0.8 * _gaussian_bump(minutes, 8 * 60, 60) + 0.9 * _gaussian_bump(
+        minutes, 19 * 60, 80
+    ) + 0.35 * _gaussian_bump(minutes, 12.5 * 60, 90)
+
+
+def _weekend_shape(archetype: Archetype, minutes: np.ndarray) -> np.ndarray:
+    """Relative demand over a weekend day for one archetype."""
+    base = _base_night_profile(minutes)
+    if archetype is Archetype.RESIDENTIAL:
+        # Late start, broad afternoon activity, no commute spikes.
+        return base + 0.55 * _gaussian_bump(minutes, 11 * 60, 140) + 0.5 * _gaussian_bump(
+            minutes, 16 * 60, 160
+        )
+    if archetype is Archetype.BUSINESS:
+        # Offices are closed; weak daytime demand only.
+        return base + 0.25 * _gaussian_bump(minutes, 13 * 60, 200)
+    if archetype is Archetype.ENTERTAINMENT:
+        # The paper's Fig. 1(a): demand surges on weekends.
+        return base + 1.2 * _gaussian_bump(minutes, 14 * 60, 150) + 1.6 * _gaussian_bump(
+            minutes, 21 * 60, 120
+        )
+    if archetype is Archetype.TRANSPORT_HUB:
+        return base + 0.9 * _gaussian_bump(minutes, 10.5 * 60, 180) + 0.8 * _gaussian_bump(
+            minutes, 16.5 * 60, 200
+        )
+    if archetype is Archetype.SUBURBAN:
+        return base + 0.35 * _gaussian_bump(minutes, 11.5 * 60, 170) + 0.3 * _gaussian_bump(
+            minutes, 17 * 60, 160
+        )
+    return base + 0.55 * _gaussian_bump(minutes, 12 * 60, 160) + 0.6 * _gaussian_bump(
+        minutes, 20 * 60, 130
+    )
+
+
+#: Relative weight of Saturday vs Sunday and of individual weekdays; Friday
+#: evenings are busier, Sundays differ from Saturdays.
+_DAY_OF_WEEK_SCALE = np.array([1.00, 0.98, 0.99, 1.01, 1.08, 1.05, 0.95])
+
+
+@dataclass
+class DemandModel:
+    """Per-minute Poisson intensity of new ride requests for each area-day.
+
+    Parameters
+    ----------
+    base_rate:
+        Citywide average new-request rate per minute for an area with
+        popularity 1.0 at the busiest time of day.
+    weather_coupling:
+        0 disables the weather effect; 1 applies the full
+        :data:`repro.city.weather.DEMAND_BOOST` multipliers.
+    """
+
+    base_rate: float = 3.0
+    weather_coupling: float = 1.0
+    day_noise_sigma: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0:
+            raise ValueError(f"base_rate must be positive, got {self.base_rate}")
+        if not 0.0 <= self.weather_coupling <= 1.0:
+            raise ValueError("weather_coupling must be in [0, 1]")
+        self._minutes = np.arange(MINUTES_PER_DAY, dtype=float)
+        self._weekday_shapes = {
+            arch: _weekday_shape(arch, self._minutes) for arch in Archetype
+        }
+        self._weekend_shapes = {
+            arch: _weekend_shape(arch, self._minutes) for arch in Archetype
+        }
+
+    def intensity(
+        self,
+        area: Area,
+        day: int,
+        calendar: SimulationCalendar,
+        weather: WeatherSeries,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Expected new requests per minute for ``area`` on ``day`` (len 1440)."""
+        weekday = calendar.day_of_week(day)
+        shapes = self._weekend_shapes if weekday >= 5 else self._weekday_shapes
+        shape = shapes[area.archetype]
+
+        multiplier = weather.demand_multiplier(day)
+        if self.weather_coupling != 1.0:
+            multiplier = 1.0 + self.weather_coupling * (multiplier - 1.0)
+
+        day_level = rng.lognormal(mean=0.0, sigma=self.day_noise_sigma)
+        return (
+            self.base_rate
+            * area.popularity
+            * _DAY_OF_WEEK_SCALE[weekday]
+            * day_level
+            * shape
+            * multiplier
+        )
+
+    def demand_curve(
+        self, grid: CityGrid, area_id: int, weekend: bool
+    ) -> np.ndarray:
+        """Noise-free demand shape of an area (for plots like the paper's Fig. 1)."""
+        area = grid[area_id]
+        shapes = self._weekend_shapes if weekend else self._weekday_shapes
+        return self.base_rate * area.popularity * shapes[area.archetype]

@@ -1,0 +1,133 @@
+"""Localised demand surges — concerts, matches, conventions.
+
+The paper's introduction notes that "there are many other complicated
+factors that can affect the pattern, and it is impossible to list them
+exhaustively" — one-off events are the canonical example, and they create
+exactly the rapid supply-demand swings that separate real-time models from
+historical averages (Fig. 11).
+
+Events are opt-in (``SimulationConfig.events_per_week`` defaults to 0) so
+the default city remains purely pattern-driven.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .calendar import MINUTES_PER_DAY
+from .grid import Archetype, CityGrid
+
+#: Relative chance of hosting an event per archetype.
+_HOST_WEIGHT = {
+    Archetype.ENTERTAINMENT: 5.0,
+    Archetype.TRANSPORT_HUB: 2.0,
+    Archetype.BUSINESS: 1.0,
+    Archetype.MIXED: 1.0,
+    Archetype.RESIDENTIAL: 0.3,
+    Archetype.SUBURBAN: 0.2,
+}
+
+
+@dataclass(frozen=True)
+class Event:
+    """One demand surge.
+
+    The multiplier applies to the hosting area's demand intensity over
+    ``[start_minute, start_minute + duration_minutes)``; the sharp
+    *end-of-event* spike (everyone leaves at once) is modelled by a burst
+    factor over the final 30 minutes.
+    """
+
+    area_id: int
+    day: int
+    start_minute: int
+    duration_minutes: int
+    multiplier: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start_minute < MINUTES_PER_DAY:
+            raise ValueError("start_minute outside the day")
+        if self.duration_minutes <= 0:
+            raise ValueError("duration_minutes must be positive")
+        if self.multiplier <= 1.0:
+            raise ValueError("an event must raise demand (multiplier > 1)")
+
+    @property
+    def end_minute(self) -> int:
+        return min(self.start_minute + self.duration_minutes, MINUTES_PER_DAY)
+
+    def intensity_profile(self) -> np.ndarray:
+        """Per-minute demand multiplier over the whole day (length 1440)."""
+        profile = np.ones(MINUTES_PER_DAY)
+        profile[self.start_minute : self.end_minute] = self.multiplier
+        burst_start = max(self.end_minute - 30, self.start_minute)
+        profile[burst_start : self.end_minute] = self.multiplier * 1.5
+        return profile
+
+
+@dataclass
+class EventSchedule:
+    """All events of one simulation, with fast per-(area, day) lookup."""
+
+    events: List[Event]
+
+    def for_area_day(self, area_id: int, day: int) -> List[Event]:
+        return [
+            e for e in self.events if e.area_id == area_id and e.day == day
+        ]
+
+    def demand_multiplier(self, area_id: int, day: int) -> np.ndarray:
+        """Combined per-minute multiplier of all matching events."""
+        profile = np.ones(MINUTES_PER_DAY)
+        for event in self.for_area_day(area_id, day):
+            profile *= event.intensity_profile()
+        return profile
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class EventGenerator:
+    """Samples an :class:`EventSchedule` for a city.
+
+    Parameters
+    ----------
+    events_per_week:
+        Expected number of events per week across the whole city.
+    """
+
+    def __init__(self, events_per_week: float = 2.0):
+        if events_per_week < 0:
+            raise ValueError("events_per_week must be non-negative")
+        self.events_per_week = events_per_week
+
+    def generate(
+        self, grid: CityGrid, n_days: int, rng: np.random.Generator
+    ) -> EventSchedule:
+        expected = self.events_per_week * n_days / 7.0
+        n_events = int(rng.poisson(expected)) if expected > 0 else 0
+
+        weights = np.array([_HOST_WEIGHT[a.archetype] for a in grid], dtype=float)
+        weights /= weights.sum()
+
+        events = []
+        for _ in range(n_events):
+            area_id = int(rng.choice(grid.n_areas, p=weights))
+            day = int(rng.integers(0, n_days))
+            # Events start in the afternoon/evening (14:00-21:00).
+            start = int(rng.integers(14 * 60, 21 * 60))
+            duration = int(rng.integers(90, 240))
+            multiplier = float(rng.uniform(2.0, 4.0))
+            events.append(
+                Event(
+                    area_id=area_id,
+                    day=day,
+                    start_minute=start,
+                    duration_minutes=duration,
+                    multiplier=multiplier,
+                )
+            )
+        return EventSchedule(events=events)

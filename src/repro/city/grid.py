@@ -1,0 +1,172 @@
+"""City grid: square areas with demand archetypes.
+
+The paper divides the city into ``N`` non-overlapping square areas (58 areas
+of 3km × 3km in the Didi dataset).  Each synthetic area gets an *archetype*
+that drives its demand shape — the intro's motivating example contrasts an
+entertainment area (quiet weekdays, busy Sundays) with a commuter area (twin
+weekday rush-hour peaks).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+
+class Archetype(enum.Enum):
+    """Demand-pattern family of an area."""
+
+    RESIDENTIAL = "residential"
+    BUSINESS = "business"
+    ENTERTAINMENT = "entertainment"
+    TRANSPORT_HUB = "transport_hub"
+    SUBURBAN = "suburban"
+    MIXED = "mixed"
+
+
+#: Default mix of archetypes for a generated city (probabilities).
+DEFAULT_ARCHETYPE_MIX: dict[Archetype, float] = {
+    Archetype.RESIDENTIAL: 0.28,
+    Archetype.BUSINESS: 0.22,
+    Archetype.ENTERTAINMENT: 0.12,
+    Archetype.TRANSPORT_HUB: 0.08,
+    Archetype.SUBURBAN: 0.18,
+    Archetype.MIXED: 0.12,
+}
+
+
+@dataclass(frozen=True)
+class Area:
+    """One square area of the city.
+
+    Attributes
+    ----------
+    area_id:
+        Dense integer id in ``[0, n_areas)`` — the paper's AreaID.
+    archetype:
+        Demand-pattern family.
+    popularity:
+        Multiplicative scale on the area's base demand (log-normal across
+        the city; the paper's areas differ wildly in volume).
+    n_road_segments:
+        Number of road segments, used by the traffic condition quadruple.
+    row, col:
+        Position in the rectangular grid (for distance computations).
+    """
+
+    area_id: int
+    archetype: Archetype
+    popularity: float
+    n_road_segments: int
+    row: int
+    col: int
+
+    def distance_to(self, other: "Area") -> float:
+        """Euclidean grid distance between area centres."""
+        return float(np.hypot(self.row - other.row, self.col - other.col))
+
+
+@dataclass
+class CityGrid:
+    """The full set of areas making up the city."""
+
+    areas: List[Area] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for index, area in enumerate(self.areas):
+            if area.area_id != index:
+                raise ValueError(
+                    f"area ids must be dense and ordered: "
+                    f"position {index} holds id {area.area_id}"
+                )
+
+    @property
+    def n_areas(self) -> int:
+        return len(self.areas)
+
+    def __len__(self) -> int:
+        return len(self.areas)
+
+    def __iter__(self) -> Iterator[Area]:
+        return iter(self.areas)
+
+    def __getitem__(self, area_id: int) -> Area:
+        return self.areas[area_id]
+
+    def by_archetype(self, archetype: Archetype) -> List[Area]:
+        return [a for a in self.areas if a.archetype == archetype]
+
+    def archetype_ids(self) -> np.ndarray:
+        """Integer archetype code per area (ordered as ``list(Archetype)``)."""
+        order = {arch: i for i, arch in enumerate(Archetype)}
+        return np.array([order[a.archetype] for a in self.areas], dtype=np.int64)
+
+    @classmethod
+    def generate(
+        cls,
+        n_areas: int,
+        rng: np.random.Generator,
+        *,
+        archetype_mix: Optional[dict[Archetype, float]] = None,
+    ) -> "CityGrid":
+        """Generate a city of ``n_areas`` areas on a near-square grid.
+
+        Archetypes are drawn from ``archetype_mix`` but the generator
+        guarantees at least one residential, one business and one
+        entertainment area whenever ``n_areas >= 3``, since the paper's
+        analyses (Fig. 1, Fig. 12, Fig. 15) rely on contrasting them.
+        """
+        if n_areas <= 0:
+            raise ValueError(f"n_areas must be positive, got {n_areas}")
+        mix = archetype_mix or DEFAULT_ARCHETYPE_MIX
+        archetypes = list(mix)
+        probs = np.array([mix[a] for a in archetypes], dtype=float)
+        if (probs < 0).any() or probs.sum() <= 0:
+            raise ValueError("archetype mix must have non-negative weights")
+        probs = probs / probs.sum()
+
+        draws = rng.choice(len(archetypes), size=n_areas, p=probs)
+        assigned = [archetypes[i] for i in draws]
+        _ensure_core_archetypes(assigned, rng)
+
+        n_cols = int(np.ceil(np.sqrt(n_areas)))
+        areas = []
+        for area_id in range(n_areas):
+            popularity = float(rng.lognormal(mean=0.0, sigma=0.55))
+            areas.append(
+                Area(
+                    area_id=area_id,
+                    archetype=assigned[area_id],
+                    popularity=popularity,
+                    n_road_segments=int(rng.integers(60, 180)),
+                    row=area_id // n_cols,
+                    col=area_id % n_cols,
+                )
+            )
+        return cls(areas)
+
+
+def _ensure_core_archetypes(assigned: List[Archetype], rng: np.random.Generator) -> None:
+    """Overwrite random slots so the core archetypes are all present."""
+    required: Sequence[Archetype] = (
+        Archetype.RESIDENTIAL,
+        Archetype.BUSINESS,
+        Archetype.ENTERTAINMENT,
+    )
+    if len(assigned) < len(required):
+        return
+    for arch in required:
+        if arch in assigned:
+            continue
+        # Only overwrite a slot that is not the sole holder of another
+        # required archetype.
+        candidates = [
+            i
+            for i, current in enumerate(assigned)
+            if current not in required or assigned.count(current) > 1
+        ]
+        slot = int(rng.choice(candidates))
+        assigned[slot] = arch

@@ -1,0 +1,294 @@
+"""CSV import/export — bring your own order data.
+
+The simulator stands in for the proprietary Didi dataset, but the rest of
+the library (features, models, evaluation) only needs a
+:class:`CityDataset`.  This module lets users build one from plain CSV
+files of *real* car-hailing records:
+
+- ``orders.csv`` — ``day,ts,pid,origin,dest,valid`` (one row per request);
+- ``weather.csv`` — ``day,ts,type,temperature,pm25`` (citywide);
+- ``traffic.csv`` — ``area,day,ts,level1,level2,level3,level4``;
+- ``areas.csv`` (optional) — ``area_id,archetype,popularity,
+  n_road_segments,row,col``; defaults are synthesised when absent.
+
+Sessions (the last-call / waiting-time signals) are derived from the order
+stream by grouping per passenger, so only orders are mandatory beyond the
+environment files.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import DataError
+from .calendar import MINUTES_PER_DAY, SimulationCalendar
+from .dataset import CityDataset
+from .grid import Archetype, Area, CityGrid
+from .orders import ORDER_DTYPE, SESSION_DTYPE
+from .traffic import N_CONGESTION_LEVELS, TrafficSeries
+from .weather import WeatherSeries
+
+
+def export_csv(dataset: CityDataset, directory: str | os.PathLike) -> None:
+    """Write a dataset as the CSV bundle described in the module docstring.
+
+    Note: ``traffic.csv`` has one row per (area, day, minute) and grows
+    large for big cities.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    with open(directory / "orders.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["day", "ts", "pid", "origin", "dest", "valid"])
+        for order in dataset.orders:
+            writer.writerow(
+                [
+                    int(order["day"]), int(order["ts"]), int(order["pid"]),
+                    int(order["origin"]), int(order["dest"]), int(order["valid"]),
+                ]
+            )
+
+    with open(directory / "weather.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["day", "ts", "type", "temperature", "pm25"])
+        weather = dataset.weather
+        for day in range(dataset.n_days):
+            for ts in range(MINUTES_PER_DAY):
+                writer.writerow(
+                    [
+                        day, ts, int(weather.types[day, ts]),
+                        f"{float(weather.temperature[day, ts]):.3f}",
+                        f"{float(weather.pm25[day, ts]):.3f}",
+                    ]
+                )
+
+    with open(directory / "traffic.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["area", "day", "ts", "level1", "level2", "level3", "level4"])
+        counts = dataset.traffic.level_counts
+        for area in range(dataset.n_areas):
+            for day in range(dataset.n_days):
+                for ts in range(MINUTES_PER_DAY):
+                    quad = counts[area, day, ts]
+                    writer.writerow([area, day, ts] + [int(v) for v in quad])
+
+    with open(directory / "areas.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["area_id", "archetype", "popularity", "n_road_segments", "row", "col"]
+        )
+        for area in dataset.grid:
+            writer.writerow(
+                [
+                    area.area_id, area.archetype.value,
+                    f"{area.popularity:.6f}", area.n_road_segments,
+                    area.row, area.col,
+                ]
+            )
+
+    with open(directory / "meta.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["n_days", "start_weekday", "n_areas"])
+        writer.writerow(
+            [dataset.n_days, dataset.calendar.start_weekday, dataset.n_areas]
+        )
+
+
+def import_csv(
+    directory: str | os.PathLike,
+    *,
+    n_days: Optional[int] = None,
+    start_weekday: Optional[int] = None,
+    n_areas: Optional[int] = None,
+) -> CityDataset:
+    """Build a :class:`CityDataset` from the CSV bundle.
+
+    Dimension arguments override (or replace a missing) ``meta.csv``.
+    """
+    directory = Path(directory)
+    n_days, start_weekday, n_areas = _resolve_meta(
+        directory, n_days, start_weekday, n_areas
+    )
+
+    orders = _read_orders(directory / "orders.csv", n_days, n_areas)
+    sessions = _derive_sessions(orders)
+    weather = _read_weather(directory / "weather.csv", n_days)
+    traffic = _read_traffic(directory / "traffic.csv", n_areas, n_days)
+    grid = _read_areas(directory / "areas.csv", n_areas)
+
+    valid_counts = np.zeros((n_areas, n_days, MINUTES_PER_DAY), dtype=np.int32)
+    invalid_counts = np.zeros_like(valid_counts)
+    for validity, target in ((True, valid_counts), (False, invalid_counts)):
+        subset = orders[orders["valid"] == validity]
+        np.add.at(
+            target,
+            (
+                subset["origin"].astype(np.int64),
+                subset["day"].astype(np.int64),
+                subset["ts"].astype(np.int64),
+            ),
+            1,
+        )
+
+    return CityDataset(
+        grid=grid,
+        calendar=SimulationCalendar(n_days=n_days, start_weekday=start_weekday),
+        orders=orders,
+        sessions=sessions,
+        weather=weather,
+        traffic=traffic,
+        valid_counts=valid_counts,
+        invalid_counts=invalid_counts,
+    )
+
+
+# ----------------------------------------------------------------------
+# Readers
+# ----------------------------------------------------------------------
+
+
+def _resolve_meta(directory: Path, n_days, start_weekday, n_areas):
+    meta_path = directory / "meta.csv"
+    if meta_path.exists():
+        with open(meta_path, newline="") as handle:
+            row = list(csv.DictReader(handle))[0]
+        n_days = n_days if n_days is not None else int(row["n_days"])
+        start_weekday = (
+            start_weekday if start_weekday is not None else int(row["start_weekday"])
+        )
+        n_areas = n_areas if n_areas is not None else int(row["n_areas"])
+    if n_days is None or start_weekday is None or n_areas is None:
+        raise DataError(
+            "meta.csv missing: pass n_days, start_weekday and n_areas explicitly"
+        )
+    return n_days, start_weekday, n_areas
+
+
+def _read_orders(path: Path, n_days: int, n_areas: int) -> np.ndarray:
+    if not path.exists():
+        raise DataError(f"orders file not found: {path}")
+    rows = []
+    with open(path, newline="") as handle:
+        for record in csv.DictReader(handle):
+            rows.append(
+                (
+                    int(record["day"]), int(record["ts"]), int(record["pid"]),
+                    int(record["origin"]), int(record["dest"]),
+                    bool(int(record["valid"])),
+                )
+            )
+    orders = np.array(rows, dtype=ORDER_DTYPE)
+    if len(orders):
+        if orders["day"].min() < 0 or orders["day"].max() >= n_days:
+            raise DataError("order day outside [0, n_days)")
+        if orders["origin"].min() < 0 or orders["origin"].max() >= n_areas:
+            raise DataError("order origin outside [0, n_areas)")
+        if orders["ts"].min() < 0 or orders["ts"].max() >= MINUTES_PER_DAY:
+            raise DataError("order ts outside the day")
+    # CityDataset requires (origin, day, ts) ordering.
+    orders = orders[np.lexsort((orders["ts"], orders["day"], orders["origin"]))]
+    return orders
+
+
+def _derive_sessions(orders: np.ndarray) -> np.ndarray:
+    """Group orders per (pid, area, day) into session summaries."""
+    if not len(orders):
+        return np.empty(0, dtype=SESSION_DTYPE)
+    keys = np.stack(
+        [
+            orders["origin"].astype(np.int64),
+            orders["day"].astype(np.int64),
+            orders["pid"].astype(np.int64),
+        ]
+    )
+    sorter = np.lexsort((orders["ts"], keys[2], keys[1], keys[0]))
+    ordered = orders[sorter]
+    group_key = (
+        ordered["origin"].astype(np.int64) * 10**12
+        + ordered["day"].astype(np.int64) * 10**9
+        + ordered["pid"].astype(np.int64)
+    )
+    boundaries = np.flatnonzero(np.diff(group_key)) + 1
+    starts = np.concatenate([[0], boundaries])
+    stops = np.concatenate([boundaries, [len(ordered)]])
+
+    sessions = np.empty(len(starts), dtype=SESSION_DTYPE)
+    for i, (start, stop) in enumerate(zip(starts, stops)):
+        chunk = ordered[start:stop]
+        sessions[i] = (
+            chunk["pid"][0],
+            chunk["origin"][0],
+            chunk["day"][0],
+            chunk["ts"].min(),
+            chunk["ts"].max(),
+            len(chunk),
+            bool(chunk["valid"].any()),
+        )
+    sorter = np.lexsort(
+        (sessions["first_ts"], sessions["day"], sessions["area"])
+    )
+    return sessions[sorter]
+
+
+def _read_weather(path: Path, n_days: int) -> WeatherSeries:
+    if not path.exists():
+        raise DataError(f"weather file not found: {path}")
+    types = np.zeros((n_days, MINUTES_PER_DAY), dtype=np.int8)
+    temperature = np.zeros((n_days, MINUTES_PER_DAY), dtype=np.float32)
+    pm25 = np.zeros((n_days, MINUTES_PER_DAY), dtype=np.float32)
+    with open(path, newline="") as handle:
+        for record in csv.DictReader(handle):
+            day, ts = int(record["day"]), int(record["ts"])
+            types[day, ts] = int(record["type"])
+            temperature[day, ts] = float(record["temperature"])
+            pm25[day, ts] = float(record["pm25"])
+    return WeatherSeries(types=types, temperature=temperature, pm25=pm25)
+
+
+def _read_traffic(path: Path, n_areas: int, n_days: int) -> TrafficSeries:
+    if not path.exists():
+        raise DataError(f"traffic file not found: {path}")
+    counts = np.zeros(
+        (n_areas, n_days, MINUTES_PER_DAY, N_CONGESTION_LEVELS), dtype=np.int16
+    )
+    with open(path, newline="") as handle:
+        for record in csv.DictReader(handle):
+            area, day, ts = int(record["area"]), int(record["day"]), int(record["ts"])
+            for level in range(N_CONGESTION_LEVELS):
+                counts[area, day, ts, level] = int(record[f"level{level + 1}"])
+    return TrafficSeries(level_counts=counts)
+
+
+def _read_areas(path: Path, n_areas: int) -> CityGrid:
+    if not path.exists():
+        # Synthesize neutral metadata: real deployments often lack it.
+        n_cols = int(np.ceil(np.sqrt(n_areas)))
+        return CityGrid(
+            [
+                Area(i, Archetype.MIXED, 1.0, 100, i // n_cols, i % n_cols)
+                for i in range(n_areas)
+            ]
+        )
+    areas = []
+    with open(path, newline="") as handle:
+        for record in csv.DictReader(handle):
+            areas.append(
+                Area(
+                    area_id=int(record["area_id"]),
+                    archetype=Archetype(record["archetype"]),
+                    popularity=float(record["popularity"]),
+                    n_road_segments=int(record["n_road_segments"]),
+                    row=int(record["row"]),
+                    col=int(record["col"]),
+                )
+            )
+    areas.sort(key=lambda a: a.area_id)
+    if len(areas) != n_areas:
+        raise DataError(f"areas.csv has {len(areas)} areas, meta says {n_areas}")
+    return CityGrid(areas)

@@ -1,0 +1,249 @@
+"""Order-stream generation with passenger retry behaviour.
+
+Definition 1 of the paper: an order is a tuple
+``(o.d, o.ts, o.pid, o.loc_s, o.loc_d)`` — date, timeslot, passenger id,
+start area and destination area.  An order answered by a driver is *valid*;
+an unanswered one is *invalid*.
+
+The generator also models the behaviour the paper's last-call and
+waiting-time blocks exploit (Section V-B): "if a passenger failed on calling
+a ride, she/he is likely to send the car-hailing request again in the next
+few minutes".  A passenger whose request goes unanswered retries with some
+probability after a short delay, up to a maximum number of attempts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from .calendar import MINUTES_PER_DAY
+from .grid import Area
+
+#: Structured dtype for order records.
+ORDER_DTYPE = np.dtype(
+    [
+        ("day", np.int16),
+        ("ts", np.int16),
+        ("pid", np.int64),
+        ("origin", np.int16),
+        ("dest", np.int16),
+        ("valid", np.bool_),
+    ]
+)
+
+#: Structured dtype for passenger-session summaries.  A session covers all
+#: calls of one passenger (first call through final retry) and records
+#: whether the passenger was eventually served.
+SESSION_DTYPE = np.dtype(
+    [
+        ("pid", np.int64),
+        ("area", np.int16),
+        ("day", np.int16),
+        ("first_ts", np.int16),
+        ("last_ts", np.int16),
+        ("n_calls", np.int16),
+        ("served", np.bool_),
+    ]
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How unserved passengers retry.
+
+    Parameters
+    ----------
+    retry_probability:
+        Chance an unserved passenger sends another request.
+    min_delay, max_delay:
+        Uniform bounds (minutes) on the wait before the retry.
+    max_attempts:
+        Total calls a passenger will make before giving up.
+    """
+
+    retry_probability: float = 0.72
+    min_delay: int = 1
+    max_delay: int = 4
+    max_attempts: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.retry_probability <= 1.0:
+            raise ValueError("retry_probability must be in [0, 1]")
+        if not 1 <= self.min_delay <= self.max_delay:
+            raise ValueError("need 1 <= min_delay <= max_delay")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+
+    @property
+    def max_session_minutes(self) -> int:
+        """Upper bound on first-to-last-call span of any session."""
+        return (self.max_attempts - 1) * self.max_delay
+
+
+@dataclass
+class AreaDayOrders:
+    """Orders and sessions generated for one (area, day)."""
+
+    area_id: int
+    day: int
+    orders: np.ndarray
+    sessions: np.ndarray
+
+    @property
+    def n_orders(self) -> int:
+        return len(self.orders)
+
+    @property
+    def n_invalid(self) -> int:
+        return int((~self.orders["valid"]).sum())
+
+
+class OrderGenerator:
+    """Turns demand arrivals + driver availability into an order stream.
+
+    Drivers form a pool: fresh drivers arrive each minute (the ``capacity``
+    series), serve at most one request each, and idle drivers stay around
+    with probability ``idle_persistence`` per minute (capped at
+    ``max_idle_pool``).  Pooling is what keeps quiet periods balanced — a
+    memoryless per-minute capacity would mark orders invalid even when
+    supply exceeds demand on average.
+    """
+
+    def __init__(
+        self,
+        retry_policy: RetryPolicy | None = None,
+        *,
+        idle_persistence: float = 0.8,
+        max_idle_pool: int = 50,
+    ):
+        if not 0.0 <= idle_persistence <= 1.0:
+            raise ValueError("idle_persistence must be in [0, 1]")
+        if max_idle_pool < 0:
+            raise ValueError("max_idle_pool must be non-negative")
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.idle_persistence = idle_persistence
+        self.max_idle_pool = max_idle_pool
+
+    def generate_area_day(
+        self,
+        area: Area,
+        day: int,
+        arrivals: np.ndarray,
+        capacity: np.ndarray,
+        dest_weights: np.ndarray,
+        rng: np.random.Generator,
+        pid_start: int,
+    ) -> AreaDayOrders:
+        """Simulate one area-day minute by minute.
+
+        Parameters
+        ----------
+        arrivals:
+            Number of *new* passengers first calling at each minute
+            (length 1440).
+        capacity:
+            Fresh drivers becoming available per minute (length 1440); they
+            join the idle pool and each can answer one request.
+        dest_weights:
+            Probability distribution over destination areas.
+        pid_start:
+            First passenger id to assign (ids are globally unique).
+        """
+        if arrivals.shape != (MINUTES_PER_DAY,) or capacity.shape != (MINUTES_PER_DAY,):
+            raise ValueError("arrivals and capacity must have shape (1440,)")
+        policy = self.retry_policy
+
+        ts_list: List[int] = []
+        pid_list: List[int] = []
+        valid_list: List[bool] = []
+
+        # Per-session state, keyed by local session index.
+        first_ts: List[int] = []
+        last_ts: List[int] = []
+        n_calls: List[int] = []
+        served: List[bool] = []
+
+        # retries[minute] -> list of session indices retrying then.
+        retries: List[List[int]] = [[] for _ in range(MINUTES_PER_DAY)]
+        attempts: List[int] = []
+
+        next_session = 0
+        pool = 0
+        for minute in range(MINUTES_PER_DAY):
+            # Idle drivers linger with some persistence, then fresh ones join.
+            if pool:
+                pool = int(rng.binomial(pool, self.idle_persistence))
+            pool = min(pool + int(capacity[minute]), self.max_idle_pool + int(capacity[minute]))
+
+            requesters = retries[minute]
+            n_new = int(arrivals[minute])
+            for _ in range(n_new):
+                first_ts.append(minute)
+                last_ts.append(minute)
+                n_calls.append(0)
+                served.append(False)
+                attempts.append(0)
+                requesters.append(next_session)
+                next_session += 1
+            if not requesters:
+                continue
+
+            cap = pool
+            n_req = len(requesters)
+            if 0 < cap < n_req:
+                # Drivers pick requests effectively at random.
+                order = rng.permutation(n_req)
+                answered = set(order[:cap].tolist())
+            elif cap >= n_req:
+                answered = set(range(n_req))
+            else:
+                answered = set()
+
+            pool -= min(cap, n_req)
+            for position, session in enumerate(requesters):
+                is_valid = position in answered
+                ts_list.append(minute)
+                pid_list.append(session)
+                valid_list.append(is_valid)
+                last_ts[session] = minute
+                n_calls[session] += 1
+                attempts[session] += 1
+                if is_valid:
+                    served[session] = True
+                    continue
+                if attempts[session] >= policy.max_attempts:
+                    continue
+                if rng.random() >= policy.retry_probability:
+                    continue
+                delay = int(rng.integers(policy.min_delay, policy.max_delay + 1))
+                retry_at = minute + delay
+                if retry_at < MINUTES_PER_DAY:
+                    retries[retry_at].append(session)
+
+        n_orders = len(ts_list)
+        orders = np.empty(n_orders, dtype=ORDER_DTYPE)
+        orders["day"] = day
+        orders["ts"] = ts_list
+        orders["pid"] = np.asarray(pid_list, dtype=np.int64) + pid_start
+        orders["origin"] = area.area_id
+        orders["dest"] = (
+            rng.choice(len(dest_weights), size=n_orders, p=dest_weights)
+            if n_orders
+            else np.empty(0, dtype=np.int16)
+        )
+        orders["valid"] = valid_list
+
+        n_sessions = next_session
+        sessions = np.empty(n_sessions, dtype=SESSION_DTYPE)
+        sessions["pid"] = np.arange(n_sessions, dtype=np.int64) + pid_start
+        sessions["area"] = area.area_id
+        sessions["day"] = day
+        sessions["first_ts"] = first_ts
+        sessions["last_ts"] = last_ts
+        sessions["n_calls"] = n_calls
+        sessions["served"] = served
+
+        return AreaDayOrders(area_id=area.area_id, day=day, orders=orders, sessions=sessions)

@@ -1,0 +1,153 @@
+"""End-to-end city simulation: config in, :class:`CityDataset` out.
+
+This is the substitute for the proprietary Didi order data (see DESIGN.md).
+Given a :class:`repro.config.SimulationConfig`, the simulator generates the
+city grid, the weather, per-area traffic, demand arrivals, driver capacity
+and the resulting order stream with valid/invalid outcomes and passenger
+retry sessions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import SimulationConfig
+from .calendar import MINUTES_PER_DAY, SimulationCalendar
+from .dataset import CityDataset
+from .demand import DemandModel
+from .events import EventGenerator, EventSchedule
+from .grid import CityGrid
+from .orders import OrderGenerator, RetryPolicy
+from .supply import SupplyModel
+from .traffic import N_CONGESTION_LEVELS, TrafficSeries, TrafficSimulator
+from .weather import WeatherSimulator
+
+
+def simulate_city(config: SimulationConfig | None = None) -> CityDataset:
+    """Run a full simulation (convenience wrapper around :class:`CitySimulator`)."""
+    return CitySimulator(config or SimulationConfig()).simulate()
+
+
+class CitySimulator:
+    """Orchestrates all sub-simulators into one deterministic run.
+
+    A single seeded :class:`numpy.random.Generator` drives everything, so
+    two simulators with equal configs produce identical datasets.
+    """
+
+    def __init__(self, config: SimulationConfig):
+        self.config = config
+        self.demand_model = DemandModel(
+            base_rate=config.base_demand_rate,
+            weather_coupling=config.weather_coupling,
+        )
+        self.supply_model = SupplyModel(
+            headroom=config.supply_headroom,
+            lag_minutes=config.supply_lag_minutes,
+            weather_coupling=config.weather_coupling,
+            congestion_coupling=config.traffic_coupling,
+        )
+        self.traffic_simulator = TrafficSimulator()
+        self.order_generator = OrderGenerator(
+            RetryPolicy(
+                retry_probability=config.retry_probability,
+                min_delay=config.retry_min_delay,
+                max_delay=config.retry_max_delay,
+                max_attempts=config.retry_max_attempts,
+            ),
+            idle_persistence=config.idle_persistence,
+            max_idle_pool=config.max_idle_pool,
+        )
+
+    def simulate(self) -> CityDataset:
+        """Generate the complete dataset for this configuration."""
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+
+        grid = CityGrid.generate(config.n_areas, rng)
+        calendar = SimulationCalendar(config.n_days, config.start_weekday)
+        weather = WeatherSimulator().simulate(config.n_days, rng)
+        if config.events_per_week > 0:
+            events = EventGenerator(config.events_per_week).generate(
+                grid, config.n_days, rng
+            )
+        else:
+            events = EventSchedule(events=[])
+        self.last_events = events
+
+        popularity = np.array([a.popularity for a in grid])
+        dest_weights = popularity / popularity.sum()
+
+        traffic_counts = np.empty(
+            (config.n_areas, config.n_days, MINUTES_PER_DAY, N_CONGESTION_LEVELS),
+            dtype=np.int16,
+        )
+        valid_counts = np.zeros(
+            (config.n_areas, config.n_days, MINUTES_PER_DAY), dtype=np.int32
+        )
+        invalid_counts = np.zeros_like(valid_counts)
+
+        order_chunks = []
+        session_chunks = []
+        pid_start = 0
+        for area in grid:
+            for day in range(config.n_days):
+                intensity = self.demand_model.intensity(
+                    area, day, calendar, weather, rng
+                )
+                if len(events):
+                    intensity = intensity * events.demand_multiplier(
+                        area.area_id, day
+                    )
+                traffic_counts[area.area_id, day] = (
+                    self.traffic_simulator.simulate_area_day(
+                        area, day, intensity, weather, rng
+                    )
+                )
+                congestion = _congestion_index(traffic_counts[area.area_id, day])
+                capacity = self.supply_model.capacity(
+                    area, day, intensity, weather, congestion, rng
+                )
+                arrivals = rng.poisson(intensity)
+                result = self.order_generator.generate_area_day(
+                    area,
+                    day,
+                    arrivals,
+                    capacity,
+                    dest_weights,
+                    rng,
+                    pid_start=pid_start,
+                )
+                pid_start += len(result.sessions)
+                order_chunks.append(result.orders)
+                session_chunks.append(result.sessions)
+                ts = result.orders["ts"]
+                valid = result.orders["valid"]
+                if len(ts):
+                    valid_counts[area.area_id, day] = np.bincount(
+                        ts[valid], minlength=MINUTES_PER_DAY
+                    )
+                    invalid_counts[area.area_id, day] = np.bincount(
+                        ts[~valid], minlength=MINUTES_PER_DAY
+                    )
+
+        orders = np.concatenate(order_chunks)
+        sessions = np.concatenate(session_chunks)
+        return CityDataset(
+            grid=grid,
+            calendar=calendar,
+            orders=orders,
+            sessions=sessions,
+            weather=weather,
+            traffic=TrafficSeries(level_counts=traffic_counts),
+            valid_counts=valid_counts,
+            invalid_counts=invalid_counts,
+        )
+
+
+def _congestion_index(level_counts: np.ndarray) -> np.ndarray:
+    """Scalar congestion in [0, 1] per minute from a (1440, 4) count array."""
+    counts = level_counts.astype(np.float64)
+    weights = np.array([1.0, 0.6, 0.25, 0.0])
+    total = counts.sum(axis=1)
+    return (counts @ weights) / np.maximum(total, 1.0)

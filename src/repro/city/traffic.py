@@ -1,0 +1,124 @@
+"""Per-area traffic condition simulation.
+
+Definition 4 of the paper: the traffic condition of an area at a timeslot is
+a quadruple — the number of road segments at each of four congestion levels,
+Level 1 (most congested) … Level 4 (least congested).
+
+Congestion follows the area's demand pressure (rush hours congest roads) and
+worsens in bad weather, which is exactly the correlation that makes the
+traffic block informative for gap prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .calendar import MINUTES_PER_DAY
+from .grid import Area
+from .weather import WeatherSeries
+
+N_CONGESTION_LEVELS = 4
+
+#: Additional congestion pressure per weather type (aligned with
+#: :data:`repro.city.weather.WEATHER_TYPES`).
+_WEATHER_PRESSURE = np.array(
+    [0.0, 0.02, 0.05, 0.25, 0.35, 0.55, 0.75, 0.30, 0.10, 0.65]
+)
+
+
+@dataclass(frozen=True)
+class TrafficSeries:
+    """Traffic condition quadruples for every (area, day, minute).
+
+    Attributes
+    ----------
+    level_counts:
+        ``(n_areas, n_days, 1440, 4)`` int16 array; ``level_counts[a, d, t]``
+        sums to the area's road-segment count.
+    """
+
+    level_counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.level_counts.ndim != 4 or self.level_counts.shape[3] != N_CONGESTION_LEVELS:
+            raise ValueError(
+                "level_counts must be (n_areas, n_days, 1440, 4), "
+                f"got {self.level_counts.shape}"
+            )
+
+    @property
+    def n_areas(self) -> int:
+        return self.level_counts.shape[0]
+
+    @property
+    def n_days(self) -> int:
+        return self.level_counts.shape[1]
+
+    def at(self, area_id: int, day: int, timeslot: int) -> np.ndarray:
+        """The four-level quadruple at one (area, day, timeslot)."""
+        return self.level_counts[area_id, day, timeslot]
+
+    def congestion_index(self, area_id: int, day: int) -> np.ndarray:
+        """Scalar congestion per minute in [0, 1]; 1 = everything at Level 1.
+
+        Weighted fraction of segments at the more congested levels; used by
+        the supply model (congestion slows drivers down).
+        """
+        counts = self.level_counts[area_id, day].astype(np.float64)
+        weights = np.array([1.0, 0.6, 0.25, 0.0])
+        total = counts.sum(axis=1)
+        return (counts @ weights) / np.maximum(total, 1.0)
+
+
+class TrafficSimulator:
+    """Generates a :class:`TrafficSeries` coupled to demand and weather."""
+
+    def __init__(self, *, demand_coupling: float = 0.9, noise_sigma: float = 0.15):
+        if demand_coupling < 0:
+            raise ValueError("demand_coupling must be non-negative")
+        self.demand_coupling = demand_coupling
+        self.noise_sigma = noise_sigma
+
+    def simulate_area_day(
+        self,
+        area: Area,
+        day: int,
+        demand_intensity: np.ndarray,
+        weather: WeatherSeries,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Level counts ``(1440, 4)`` for one area-day.
+
+        ``demand_intensity`` is the same per-minute intensity the demand
+        model produced, so traffic congestion peaks with demand.
+        """
+        if demand_intensity.shape != (MINUTES_PER_DAY,):
+            raise ValueError(
+                f"demand_intensity must have shape ({MINUTES_PER_DAY},), "
+                f"got {demand_intensity.shape}"
+            )
+        peak = max(float(demand_intensity.max()), 1e-9)
+        pressure = (
+            self.demand_coupling * (demand_intensity / peak)
+            + _WEATHER_PRESSURE[weather.types[day]]
+            + rng.normal(0.0, self.noise_sigma, size=MINUTES_PER_DAY)
+        )
+        pressure = np.clip(pressure, 0.0, 1.6)
+
+        # Map scalar pressure to a distribution over the four levels:
+        # no pressure -> almost everything at Level 4 (free flow);
+        # high pressure -> mass shifts towards Level 1.
+        level_positions = np.array([1.35, 0.9, 0.45, 0.0])
+        sharp = 4.0
+        logits = -sharp * np.abs(pressure[:, None] - level_positions[None, :])
+        exp = np.exp(logits - logits.max(axis=1, keepdims=True))
+        proportions = exp / exp.sum(axis=1, keepdims=True)
+
+        counts = np.floor(proportions * area.n_road_segments).astype(np.int16)
+        deficit = area.n_road_segments - counts.sum(axis=1)
+        # Assign leftover segments to each minute's dominant level.
+        dominant = proportions.argmax(axis=1)
+        counts[np.arange(MINUTES_PER_DAY), dominant] += deficit.astype(np.int16)
+        return counts

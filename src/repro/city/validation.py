@@ -1,0 +1,108 @@
+"""Dataset integrity validation.
+
+Most useful right after :func:`repro.city.io.import_csv`: real order
+exports routinely violate the invariants the featurizer relies on.  Each
+check returns human-readable problem strings; an empty list means the
+dataset is internally consistent.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .calendar import MINUTES_PER_DAY
+from .dataset import CityDataset
+
+
+def validate_dataset(dataset: CityDataset, *, max_problems: int = 20) -> List[str]:
+    """Run every integrity check; returns at most ``max_problems`` findings."""
+    problems: List[str] = []
+    for check in (
+        _check_order_ranges,
+        _check_count_consistency,
+        _check_session_consistency,
+        _check_environment_shapes,
+        _check_served_uniqueness,
+    ):
+        problems.extend(check(dataset))
+        if len(problems) >= max_problems:
+            return problems[:max_problems]
+    return problems
+
+
+def _check_order_ranges(dataset: CityDataset) -> List[str]:
+    problems = []
+    orders = dataset.orders
+    if not len(orders):
+        return ["dataset contains no orders"]
+    if orders["ts"].min() < 0 or orders["ts"].max() >= MINUTES_PER_DAY:
+        problems.append("order timeslots outside [0, 1440)")
+    if orders["day"].min() < 0 or orders["day"].max() >= dataset.n_days:
+        problems.append("order days outside the calendar")
+    for field in ("origin", "dest"):
+        if orders[field].min() < 0 or orders[field].max() >= dataset.n_areas:
+            problems.append(f"order {field} outside [0, n_areas)")
+    return problems
+
+
+def _check_count_consistency(dataset: CityDataset) -> List[str]:
+    """valid_counts/invalid_counts must re-aggregate the order stream."""
+    problems = []
+    total_valid = int(dataset.orders["valid"].sum())
+    total_invalid = len(dataset.orders) - total_valid
+    if int(dataset.valid_counts.sum()) != total_valid:
+        problems.append(
+            f"valid_counts sums to {int(dataset.valid_counts.sum())}, "
+            f"orders contain {total_valid} valid orders"
+        )
+    if int(dataset.invalid_counts.sum()) != total_invalid:
+        problems.append(
+            f"invalid_counts sums to {int(dataset.invalid_counts.sum())}, "
+            f"orders contain {total_invalid} invalid orders"
+        )
+    return problems
+
+
+def _check_session_consistency(dataset: CityDataset) -> List[str]:
+    problems = []
+    sessions = dataset.sessions
+    if not len(sessions):
+        return ["dataset contains no sessions"]
+    if int(sessions["n_calls"].sum()) != len(dataset.orders):
+        problems.append(
+            "session call counts do not sum to the number of orders"
+        )
+    if (sessions["last_ts"] < sessions["first_ts"]).any():
+        problems.append("session with last_ts before first_ts")
+    pids, counts = np.unique(sessions["pid"], return_counts=True)
+    if (counts > 1).any():
+        problems.append(f"{int((counts > 1).sum())} duplicate session pids")
+    return problems
+
+
+def _check_environment_shapes(dataset: CityDataset) -> List[str]:
+    problems = []
+    if dataset.weather.n_days != dataset.n_days:
+        problems.append(
+            f"weather covers {dataset.weather.n_days} days, calendar has "
+            f"{dataset.n_days}"
+        )
+    traffic = dataset.traffic
+    if traffic.n_areas != dataset.n_areas or traffic.n_days != dataset.n_days:
+        problems.append("traffic dimensions do not match the city")
+    if (traffic.level_counts < 0).any():
+        problems.append("negative traffic level counts")
+    return problems
+
+
+def _check_served_uniqueness(dataset: CityDataset) -> List[str]:
+    """A passenger stops calling once served: at most one valid order per pid."""
+    valid_pids = dataset.orders["pid"][dataset.orders["valid"]]
+    unique = len(np.unique(valid_pids))
+    if unique != len(valid_pids):
+        return [
+            f"{len(valid_pids) - unique} passengers have multiple valid orders"
+        ]
+    return []

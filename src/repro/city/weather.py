@@ -1,0 +1,185 @@
+"""Citywide weather simulation.
+
+Definition 3 of the paper: the weather condition at a timeslot is a tuple
+``(wc.type, wc.temp, wc.pm)`` — a categorical weather type (vocabulary size
+10 per Table I), the temperature and the PM2.5 reading.  All areas share the
+same weather at the same timeslot.
+
+We simulate the type with a first-order Markov chain stepped every 30
+minutes, temperature as seasonal base + diurnal sinusoid + type offset +
+AR(1) noise, and PM2.5 as a mean-reverting positive AR(1) process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .calendar import MINUTES_PER_DAY
+
+#: Weather type vocabulary (10 types, matching the paper's Table I).
+WEATHER_TYPES = (
+    "sunny",
+    "cloudy",
+    "overcast",
+    "light_rain",
+    "moderate_rain",
+    "heavy_rain",
+    "storm",
+    "fog",
+    "haze",
+    "snow",
+)
+
+N_WEATHER_TYPES = len(WEATHER_TYPES)
+
+#: How strongly each weather type raises car-hailing demand (people avoid
+#: walking / cycling in bad weather) and lowers effective driver supply.
+DEMAND_BOOST = np.array(
+    [1.00, 1.02, 1.05, 1.20, 1.30, 1.45, 1.55, 1.15, 1.08, 1.50]
+)
+SUPPLY_PENALTY = np.array(
+    [1.00, 1.00, 0.99, 0.93, 0.89, 0.82, 0.75, 0.90, 0.96, 0.78]
+)
+
+#: Mean temperature offset (°C) of each weather type.
+_TYPE_TEMP_OFFSET = np.array(
+    [2.0, 0.5, -0.5, -1.5, -2.0, -2.5, -3.0, -1.0, 0.0, -8.0]
+)
+
+_STEP_MINUTES = 30
+_STEPS_PER_DAY = MINUTES_PER_DAY // _STEP_MINUTES
+
+
+def _transition_matrix() -> np.ndarray:
+    """Sticky Markov transition matrix over the 10 weather types.
+
+    Each type strongly prefers to persist; transitions favour
+    meteorologically adjacent states (sunny↔cloudy↔overcast↔rain grades).
+    """
+    base = np.full((N_WEATHER_TYPES, N_WEATHER_TYPES), 0.002)
+    neighbours = {
+        0: [1],             # sunny -> cloudy
+        1: [0, 2, 8],       # cloudy
+        2: [1, 3, 7],       # overcast
+        3: [2, 4],          # light rain
+        4: [3, 5],          # moderate rain
+        5: [4, 6],          # heavy rain
+        6: [5],             # storm
+        7: [2, 8],          # fog
+        8: [1, 7],          # haze
+        9: [2],             # snow
+    }
+    for state, nexts in neighbours.items():
+        base[state, state] = 0.86
+        for nxt in nexts:
+            base[state, nxt] += 0.10 / len(nexts)
+    return base / base.sum(axis=1, keepdims=True)
+
+
+@dataclass(frozen=True)
+class WeatherSeries:
+    """Minute-resolution weather for the whole simulation.
+
+    Attributes
+    ----------
+    types:
+        ``(n_days, 1440)`` int8 array of weather-type codes.
+    temperature:
+        ``(n_days, 1440)`` float32 array (°C).
+    pm25:
+        ``(n_days, 1440)`` float32 array (µg/m³, non-negative).
+    """
+
+    types: np.ndarray
+    temperature: np.ndarray
+    pm25: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (self.types.shape == self.temperature.shape == self.pm25.shape):
+            raise ValueError("weather arrays must share one (n_days, 1440) shape")
+        if self.types.ndim != 2 or self.types.shape[1] != MINUTES_PER_DAY:
+            raise ValueError(
+                f"weather arrays must be (n_days, {MINUTES_PER_DAY}), "
+                f"got {self.types.shape}"
+            )
+
+    @property
+    def n_days(self) -> int:
+        return self.types.shape[0]
+
+    def at(self, day: int, timeslot: int) -> tuple[int, float, float]:
+        """The ``(type, temperature, pm2.5)`` tuple at one timeslot."""
+        return (
+            int(self.types[day, timeslot]),
+            float(self.temperature[day, timeslot]),
+            float(self.pm25[day, timeslot]),
+        )
+
+    def demand_multiplier(self, day: int) -> np.ndarray:
+        """Per-minute demand boost implied by the day's weather."""
+        return DEMAND_BOOST[self.types[day]]
+
+    def supply_multiplier(self, day: int) -> np.ndarray:
+        """Per-minute effective-supply multiplier implied by the weather."""
+        return SUPPLY_PENALTY[self.types[day]]
+
+
+class WeatherSimulator:
+    """Generates a :class:`WeatherSeries` with a Markov type chain."""
+
+    def __init__(
+        self,
+        *,
+        base_temperature: float = 16.0,
+        diurnal_amplitude: float = 5.0,
+        pm25_mean: float = 60.0,
+    ) -> None:
+        self.base_temperature = base_temperature
+        self.diurnal_amplitude = diurnal_amplitude
+        self.pm25_mean = pm25_mean
+        self._transitions = _transition_matrix()
+
+    def simulate(self, n_days: int, rng: np.random.Generator) -> WeatherSeries:
+        if n_days <= 0:
+            raise ValueError(f"n_days must be positive, got {n_days}")
+        n_steps = n_days * _STEPS_PER_DAY
+        states = np.empty(n_steps, dtype=np.int8)
+        states[0] = rng.integers(0, 3)  # start in fair weather
+        cumulative = self._transitions.cumsum(axis=1)
+        uniforms = rng.random(n_steps)
+        for step in range(1, n_steps):
+            row = cumulative[states[step - 1]]
+            states[step] = np.searchsorted(row, uniforms[step])
+        types = np.repeat(states, _STEP_MINUTES).reshape(n_days, MINUTES_PER_DAY)
+
+        minutes = np.arange(MINUTES_PER_DAY)
+        diurnal = -np.cos(2.0 * np.pi * (minutes - 240) / MINUTES_PER_DAY)
+        season = rng.normal(0.0, 1.5, size=n_days).cumsum() * 0.2
+        noise = _ar1(n_days * MINUTES_PER_DAY, rho=0.999, sigma=0.02, rng=rng)
+        temperature = (
+            self.base_temperature
+            + season[:, None]
+            + self.diurnal_amplitude * diurnal[None, :]
+            + _TYPE_TEMP_OFFSET[types]
+            + noise.reshape(n_days, MINUTES_PER_DAY)
+        ).astype(np.float32)
+
+        pm_noise = _ar1(n_days * MINUTES_PER_DAY, rho=0.9995, sigma=0.3, rng=rng)
+        pm25 = np.maximum(
+            self.pm25_mean * np.exp(pm_noise.reshape(n_days, MINUTES_PER_DAY) * 0.08),
+            1.0,
+        ).astype(np.float32)
+
+        return WeatherSeries(types=types, temperature=temperature, pm25=pm25)
+
+
+def _ar1(n: int, *, rho: float, sigma: float, rng: np.random.Generator) -> np.ndarray:
+    """Mean-zero AR(1) series of length ``n``."""
+    shocks = rng.normal(0.0, sigma, size=n)
+    out = np.empty(n)
+    out[0] = shocks[0]
+    for i in range(1, n):
+        out[i] = rho * out[i - 1] + shocks[i]
+    return out

@@ -1,0 +1,244 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands cover the full pipeline a downstream user needs:
+
+- ``simulate``   — generate a synthetic city and save it;
+- ``featurize``  — build train/test ExampleSets from a saved city;
+- ``train``      — train a DeepSD variant and save its weights;
+- ``evaluate``   — score saved model weights on a saved ExampleSet;
+- ``experiment`` — run one of the paper's table/figure experiments;
+- ``info``       — describe a saved city or ExampleSet.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from . import __version__
+from .config import get_scale
+from .eval import evaluate as evaluate_metrics
+from .eval import format_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DeepSD (ICDE 2017) reproduction pipeline",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="generate a synthetic city")
+    simulate.add_argument("--scale", default="bench", help="paper | bench | tiny")
+    simulate.add_argument("--seed", type=int, default=None)
+    simulate.add_argument("--out", required=True, help="output .npz path")
+
+    featurize = sub.add_parser("featurize", help="build train/test ExampleSets")
+    featurize.add_argument("--scale", default="bench")
+    featurize.add_argument("--city", required=True, help="city .npz from `simulate`")
+    featurize.add_argument("--train-out", required=True)
+    featurize.add_argument("--test-out", required=True)
+
+    train = sub.add_parser("train", help="train a DeepSD model")
+    train.add_argument("--model", default="advanced", choices=["basic", "advanced"])
+    train.add_argument("--scale", default="bench")
+    train.add_argument("--train", dest="train_set", required=True)
+    train.add_argument("--test", dest="test_set", default=None)
+    train.add_argument("--epochs", type=int, default=None)
+    train.add_argument("--dropout", type=float, default=0.1)
+    train.add_argument("--seed", type=int, default=1)
+    train.add_argument("--save", default=None, help="save trained weights (.npz)")
+
+    evaluate = sub.add_parser("evaluate", help="score saved weights on an ExampleSet")
+    evaluate.add_argument("--model", default="advanced", choices=["basic", "advanced"])
+    evaluate.add_argument("--scale", default="bench")
+    evaluate.add_argument("--weights", required=True)
+    evaluate.add_argument("--test", dest="test_set", required=True)
+    evaluate.add_argument("--train", dest="train_set", required=True,
+                          help="training set (for the input scales)")
+    evaluate.add_argument("--dropout", type=float, default=0.1)
+
+    experiment = sub.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument(
+        "name",
+        choices=[
+            "table1", "table2", "table3", "table4", "table5",
+            "fig1", "fig10", "fig11", "fig12", "fig13", "fig15", "fig16",
+        ],
+    )
+    experiment.add_argument("--scale", default="bench")
+    experiment.add_argument("--seed", type=int, default=None)
+
+    info = sub.add_parser("info", help="describe a saved artifact")
+    info.add_argument("path")
+    info.add_argument("--kind", choices=["city", "examples"], default="city")
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+
+
+def cmd_simulate(args) -> int:
+    from .city import simulate_city
+    from .config import with_seed
+
+    scale = get_scale(args.scale)
+    if args.seed is not None:
+        scale = with_seed(scale, args.seed)
+    dataset = simulate_city(scale.simulation)
+    dataset.save(args.out)
+    summary = dataset.summary()
+    print(f"wrote {args.out}")
+    for key, value in summary.items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def cmd_featurize(args) -> int:
+    from .city import CityDataset
+    from .features import FeatureBuilder
+
+    scale = get_scale(args.scale)
+    dataset = CityDataset.load(args.city)
+    train_set, test_set = FeatureBuilder(dataset, scale.features).build()
+    train_set.save(args.train_out)
+    test_set.save(args.test_out)
+    print(f"wrote {args.train_out} ({train_set.n_items} items)")
+    print(f"wrote {args.test_out} ({test_set.n_items} items)")
+    return 0
+
+
+def _build_model(name: str, scale, n_areas: int, dropout: float, seed: int):
+    from .core import AdvancedDeepSD, BasicDeepSD
+
+    cls = AdvancedDeepSD if name == "advanced" else BasicDeepSD
+    return cls(
+        n_areas,
+        scale.features.window_minutes,
+        scale.embeddings,
+        dropout=dropout,
+        seed=seed,
+    )
+
+
+def cmd_train(args) -> int:
+    from .core import Trainer, TrainingConfig
+    from .features import ExampleSet
+    from .nn import save_weights
+
+    scale = get_scale(args.scale)
+    train_set = ExampleSet.load(args.train_set)
+    test_set = ExampleSet.load(args.test_set) if args.test_set else None
+    epochs = args.epochs or (50 if scale.name != "tiny" else 6)
+
+    model = _build_model(args.model, scale, train_set.n_areas, args.dropout, args.seed)
+    trainer = Trainer(
+        model, TrainingConfig(epochs=epochs, best_k=min(10, epochs), seed=args.seed)
+    )
+    history = trainer.fit(train_set, eval_set=test_set)
+    print(f"trained {args.model} for {epochs} epochs")
+    if history.eval_rmse:
+        print(f"  best epoch RMSE: {min(history.eval_rmse):.3f}")
+    if test_set is not None:
+        report = evaluate_metrics(
+            trainer.predict(test_set), test_set.gaps.astype(np.float64)
+        )
+        print(f"  ensembled test MAE {report.mae:.3f}  RMSE {report.rmse:.3f}")
+    if args.save:
+        save_weights(model, args.save)
+        print(f"wrote {args.save}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    from .core import InputScales, Trainer
+    from .features import ExampleSet
+    from .nn import load_weights
+
+    scale = get_scale(args.scale)
+    train_set = ExampleSet.load(args.train_set)
+    test_set = ExampleSet.load(args.test_set)
+    model = _build_model(args.model, scale, test_set.n_areas, args.dropout, seed=0)
+    load_weights(model, args.weights)
+    model.input_scales = InputScales.from_example_set(train_set)
+    report = evaluate_metrics(
+        Trainer(model).predict(test_set), test_set.gaps.astype(np.float64)
+    )
+    print(
+        format_table(
+            ["Model", "MAE", "RMSE", "items"],
+            [[args.model, report.mae, report.rmse, report.n_items]],
+            title=f"Evaluation of {args.weights}",
+        )
+    )
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from . import experiments
+    from .experiments import get_context
+
+    context = get_context(args.scale, args.seed)
+    runner = getattr(experiments, args.name)
+    result = runner.run(context)
+    print(_render_experiment(args.name, result))
+    return 0
+
+
+def _render_experiment(name: str, result) -> str:
+    """Minimal textual rendering per experiment family."""
+    if name.startswith("table") and isinstance(result, list):
+        fields = [f for f in vars(result[0])]
+        rows = [[getattr(row, f) for f in fields] for row in result]
+        return format_table(fields, rows, title=name)
+    if isinstance(result, dict):
+        lines = [name]
+        for key, value in result.items():
+            lines.append(f"  {key}: {value}")
+        return "\n".join(lines)
+    return f"{name}:\n{result}"
+
+
+def cmd_info(args) -> int:
+    if args.kind == "city":
+        from .city import CityDataset
+
+        dataset = CityDataset.load(args.path)
+        for key, value in dataset.summary().items():
+            print(f"{key}: {value}")
+    else:
+        from .features import ExampleSet
+
+        example_set = ExampleSet.load(args.path)
+        print(f"items: {example_set.n_items}")
+        print(f"window: {example_set.window}")
+        print(f"areas: {example_set.n_areas}")
+        print(f"gap mean: {example_set.gaps.mean():.3f}")
+        print(f"gap zero fraction: {(example_set.gaps == 0).mean():.3f}")
+    return 0
+
+
+_COMMANDS = {
+    "simulate": cmd_simulate,
+    "featurize": cmd_featurize,
+    "train": cmd_train,
+    "evaluate": cmd_evaluate,
+    "experiment": cmd_experiment,
+    "info": cmd_info,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""DeepSD models: the paper's primary contribution.
+
+- :class:`BasicDeepSD` — Section IV: identity + supply-demand + environment
+  blocks chained with block-level residual learning;
+- :class:`AdvancedDeepSD` — Section V: extended order part with per-weekday
+  history combination, projection-space estimation, last-call and
+  waiting-time blocks;
+- :class:`Trainer` — the paper's training protocol (Adam, batch 64,
+  50 epochs, best-10-epoch parameter averaging);
+- constructor flags expose every ablation the evaluation section needs
+  (one-hot identity, no-residual, environment on/off).
+"""
+
+from .advanced import AdvancedDeepSD
+from .basic import BasicDeepSD
+from .batching import INPUT_FIELDS, batch_targets, make_batch
+from .blocks import (
+    BLOCK_WIDTH,
+    HIDDEN_WIDTH,
+    IdentityBlock,
+    OneHotIdentityBlock,
+    OutputHead,
+    SupplyDemandBlock,
+    TrafficBlock,
+    WeatherBlock,
+    WeekdayCombiner,
+)
+from .extended import ExtendedBlock, combine_history
+from .normalization import InputScales
+from .predictor import GapPredictor, GapQuery
+from .trainer import (
+    Trainer,
+    TrainingConfig,
+    TrainingHistory,
+    predict_gaps,
+)
+
+__all__ = [
+    "BasicDeepSD",
+    "AdvancedDeepSD",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingHistory",
+    "predict_gaps",
+    "IdentityBlock",
+    "OneHotIdentityBlock",
+    "SupplyDemandBlock",
+    "WeatherBlock",
+    "TrafficBlock",
+    "OutputHead",
+    "WeekdayCombiner",
+    "ExtendedBlock",
+    "combine_history",
+    "InputScales",
+    "GapPredictor",
+    "GapQuery",
+    "BLOCK_WIDTH",
+    "HIDDEN_WIDTH",
+    "INPUT_FIELDS",
+    "make_batch",
+    "batch_targets",
+]

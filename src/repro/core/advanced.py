@@ -1,0 +1,142 @@
+"""Advanced DeepSD (Section V, Fig. 7).
+
+Replaces the basic model's order part with the extended order part: three
+extended blocks (supply-demand, last-call, waiting-time), each combining
+per-weekday history through learned softmax weights and estimating the
+next-interval vector in projection space.  The environment part and output
+head are unchanged, so a model trained without environment blocks can grow
+them later and fine-tune (Section V-C, Fig. 16).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..config import EmbeddingConfig
+from ..nn import Dropout, Module, Tensor, concat
+from .normalization import InputScales
+from .blocks import (
+    BLOCK_WIDTH,
+    IdentityBlock,
+    OneHotIdentityBlock,
+    OutputHead,
+    TrafficBlock,
+    WeatherBlock,
+)
+from .extended import ExtendedBlock
+
+
+class AdvancedDeepSD(Module):
+    """The advanced DeepSD network.
+
+    Shares all constructor flags with :class:`~repro.core.basic.BasicDeepSD`
+    plus ``projection_dim`` (paper: 16).
+    """
+
+    def __init__(
+        self,
+        n_areas: int,
+        window: int,
+        embeddings: Optional[EmbeddingConfig] = None,
+        *,
+        projection_dim: int = 16,
+        identity_encoding: str = "embedding",
+        residual: bool = True,
+        use_weather: bool = True,
+        use_traffic: bool = True,
+        uniform_weekday_weights: bool = False,
+        dropout: float = 0.5,
+        seed: int = 0,
+        input_scales: "InputScales | None" = None,
+    ) -> None:
+        super().__init__()
+        embeddings = embeddings or EmbeddingConfig()
+        rng = np.random.default_rng(seed)
+        self.window = window
+        self.input_scales = input_scales
+        self.residual = residual
+        self.use_weather = use_weather
+        self.use_traffic = use_traffic
+
+        if identity_encoding == "embedding":
+            self.identity = IdentityBlock(n_areas, embeddings, rng)
+        elif identity_encoding == "onehot":
+            self.identity = OneHotIdentityBlock(n_areas, embeddings)
+        else:
+            raise ValueError(
+                f"identity_encoding must be 'embedding' or 'onehot', "
+                f"got {identity_encoding!r}"
+            )
+
+        def extended(signal: str, residual_input: bool) -> ExtendedBlock:
+            return ExtendedBlock(
+                signal,
+                window,
+                n_areas,
+                embeddings,
+                projection_dim,
+                rng,
+                residual_input=residual_input and residual,
+                uniform_weights=uniform_weekday_weights,
+            )
+
+        self.sd_block = extended("sd", residual_input=False)
+        self.lc_block = extended("lc", residual_input=True)
+        self.wt_block = extended("wt", residual_input=True)
+        self.weather_block = (
+            WeatherBlock(window, embeddings, rng, residual=residual)
+            if use_weather
+            else None
+        )
+        self.traffic_block = (
+            TrafficBlock(window, rng, residual=residual) if use_traffic else None
+        )
+
+        n_blocks = 3 + int(use_weather) + int(use_traffic)
+        blocks_dim = BLOCK_WIDTH if residual else BLOCK_WIDTH * n_blocks
+        self.head = OutputHead(self.identity.output_dim + blocks_dim, rng)
+
+        self.dropouts = [
+            Dropout(dropout, rng=np.random.default_rng(seed + 1 + i)) for i in range(5)
+        ]
+
+    def forward(self, batch: Dict[str, np.ndarray]) -> Tensor:
+        """Predict the gap for each item in the batch — a (n,) tensor."""
+        if self.input_scales is not None:
+            batch = self.input_scales.apply(batch)
+        x_id = self.identity(batch)
+        drop_sd, drop_lc, drop_wt, drop_wc, drop_tc = self.dropouts
+
+        if self.residual:
+            x = drop_sd(self.sd_block(batch))
+            x = drop_lc(self.lc_block(batch, x))
+            x = drop_wt(self.wt_block(batch, x))
+            if self.weather_block is not None:
+                x = drop_wc(self.weather_block(batch, x))
+            if self.traffic_block is not None:
+                x = drop_tc(self.traffic_block(batch, x))
+            features = concat([x_id, x], axis=1)
+        else:
+            outputs: List[Tensor] = [
+                drop_sd(self.sd_block(batch)),
+                drop_lc(self.lc_block(batch)),
+                drop_wt(self.wt_block(batch)),
+            ]
+            if self.weather_block is not None:
+                outputs.append(drop_wc(self.weather_block(batch, None)))
+            if self.traffic_block is not None:
+                outputs.append(drop_tc(self.traffic_block(batch, None)))
+            features = concat([x_id] + outputs, axis=1)
+        return self.head(features)
+
+    def area_embedding_matrix(self) -> np.ndarray:
+        """The learned AreaID embedding table (Table IV / Fig. 12 analyses)."""
+        if not isinstance(self.identity, IdentityBlock):
+            raise AttributeError("one-hot identity has no embedding matrix")
+        return self.identity.area_embedding.weight.data
+
+    def weekday_weights(self, area_id: int, week_id: int) -> np.ndarray:
+        """The supply-demand block's learned combining weights (Fig. 15)."""
+        return self.sd_block.weekday_weights(area_id, week_id)

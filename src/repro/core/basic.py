@@ -1,0 +1,138 @@
+"""Basic DeepSD (Section IV, Fig. 3).
+
+Identity part (embedded AreaID/TimeID/WeekID) + order part (supply-demand
+block) + environment part (weather and traffic blocks chained through
+block-level residual learning), a concatenation and an FC32 + linear output
+neuron.  Dropout (p = 0.5) follows every block except the identity block.
+
+Constructor flags expose the paper's ablations:
+
+- ``identity_encoding='onehot'`` — Table III (embedding vs one-hot);
+- ``residual=False`` — Table V / Fig. 14 (concatenate block outputs instead
+  of residual chaining);
+- ``use_weather`` / ``use_traffic`` — Fig. 13's cases A/B/C and the Fig. 16
+  fine-tuning experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..config import EmbeddingConfig
+from ..nn import Dropout, Module, Tensor, concat
+from .normalization import InputScales
+from .blocks import (
+    BLOCK_WIDTH,
+    IdentityBlock,
+    OneHotIdentityBlock,
+    OutputHead,
+    SupplyDemandBlock,
+    TrafficBlock,
+    WeatherBlock,
+)
+
+
+class BasicDeepSD(Module):
+    """The basic DeepSD network.
+
+    Parameters
+    ----------
+    n_areas:
+        Vocabulary size of AreaID.
+    window:
+        The paper's L (lookback minutes); input vectors are 2L wide.
+    embeddings:
+        Embedding widths (Table I).
+    identity_encoding:
+        ``"embedding"`` (paper default) or ``"onehot"`` (Table III ablation).
+    residual:
+        Block-level residual learning on (default) or the concatenation
+        ablation (Table V).
+    use_weather, use_traffic:
+        Include the environment blocks (Fig. 13 cases).
+    dropout:
+        Dropout probability after each non-identity block.
+    seed:
+        Seed for weight init and dropout noise.
+    """
+
+    def __init__(
+        self,
+        n_areas: int,
+        window: int,
+        embeddings: Optional[EmbeddingConfig] = None,
+        *,
+        identity_encoding: str = "embedding",
+        residual: bool = True,
+        use_weather: bool = True,
+        use_traffic: bool = True,
+        dropout: float = 0.5,
+        seed: int = 0,
+        input_scales: "InputScales | None" = None,
+    ) -> None:
+        super().__init__()
+        embeddings = embeddings or EmbeddingConfig()
+        rng = np.random.default_rng(seed)
+        self.window = window
+        self.input_scales = input_scales
+        self.residual = residual
+        self.use_weather = use_weather
+        self.use_traffic = use_traffic
+
+        if identity_encoding == "embedding":
+            self.identity = IdentityBlock(n_areas, embeddings, rng)
+        elif identity_encoding == "onehot":
+            self.identity = OneHotIdentityBlock(n_areas, embeddings)
+        else:
+            raise ValueError(
+                f"identity_encoding must be 'embedding' or 'onehot', "
+                f"got {identity_encoding!r}"
+            )
+
+        self.sd_block = SupplyDemandBlock(window, rng)
+        self.weather_block = (
+            WeatherBlock(window, embeddings, rng, residual=residual)
+            if use_weather
+            else None
+        )
+        self.traffic_block = (
+            TrafficBlock(window, rng, residual=residual) if use_traffic else None
+        )
+
+        n_blocks = 1 + int(use_weather) + int(use_traffic)
+        blocks_dim = BLOCK_WIDTH if residual else BLOCK_WIDTH * n_blocks
+        self.head = OutputHead(self.identity.output_dim + blocks_dim, rng)
+
+        self.sd_dropout = Dropout(dropout, rng=np.random.default_rng(seed + 1))
+        self.weather_dropout = Dropout(dropout, rng=np.random.default_rng(seed + 2))
+        self.traffic_dropout = Dropout(dropout, rng=np.random.default_rng(seed + 3))
+
+    def forward(self, batch: Dict[str, np.ndarray]) -> Tensor:
+        """Predict the gap for each item in the batch — a (n,) tensor."""
+        if self.input_scales is not None:
+            batch = self.input_scales.apply(batch)
+        x_id = self.identity(batch)
+        x = self.sd_dropout(self.sd_block(batch))
+
+        if self.residual:
+            if self.weather_block is not None:
+                x = self.weather_dropout(self.weather_block(batch, x))
+            if self.traffic_block is not None:
+                x = self.traffic_dropout(self.traffic_block(batch, x))
+            features = concat([x_id, x], axis=1)
+        else:
+            outputs: List[Tensor] = [x]
+            if self.weather_block is not None:
+                outputs.append(self.weather_dropout(self.weather_block(batch, None)))
+            if self.traffic_block is not None:
+                outputs.append(self.traffic_dropout(self.traffic_block(batch, None)))
+            features = concat([x_id] + outputs, axis=1)
+        return self.head(features)
+
+    def area_embedding_matrix(self) -> np.ndarray:
+        """The learned AreaID embedding table (Table IV / Fig. 12 analyses)."""
+        if not isinstance(self.identity, IdentityBlock):
+            raise AttributeError("one-hot identity has no embedding matrix")
+        return self.identity.area_embedding.weight.data

@@ -1,0 +1,52 @@
+"""Batch extraction from an :class:`~repro.features.ExampleSet`.
+
+Models consume plain dicts of numpy arrays keyed by the ExampleSet field
+names; this keeps the training loop agnostic to which blocks a given model
+variant actually uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..features.builder import ExampleSet
+
+#: Every array field a model might consume (labels excluded).
+INPUT_FIELDS = (
+    "area_ids",
+    "time_ids",
+    "week_ids",
+    "sd_now",
+    "sd_hist",
+    "sd_hist_next",
+    "lc_now",
+    "lc_hist",
+    "lc_hist_next",
+    "wt_now",
+    "wt_hist",
+    "wt_hist_next",
+    "weather_types",
+    "temperature",
+    "pm25",
+    "traffic",
+)
+
+
+def make_batch(
+    example_set: ExampleSet,
+    indices: np.ndarray | None = None,
+    fields: Sequence[str] = INPUT_FIELDS,
+) -> Dict[str, np.ndarray]:
+    """Extract the requested input fields (optionally a row subset)."""
+    batch = {}
+    for name in fields:
+        value = getattr(example_set, name)
+        batch[name] = value if indices is None else value[indices]
+    return batch
+
+
+def batch_targets(example_set: ExampleSet, indices: np.ndarray | None = None) -> np.ndarray:
+    """Gap labels for the same rows."""
+    return example_set.gaps if indices is None else example_set.gaps[indices]

@@ -1,0 +1,225 @@
+"""DeepSD building blocks (Sections IV-A to IV-C of the paper).
+
+Blocks are the unit of the architecture.  Each block consumes a fresh slice
+of the input data, and — except for the identity block — participates in the
+block-level residual chain: block ``k`` receives the running representation
+``X`` through a direct connection, computes a residual correction ``R`` from
+``(X, its own data)``, and emits ``X ⊕ R``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..config import EmbeddingConfig
+from ..nn import Dense, Embedding, Module, Tensor, concat
+from ..nn import functional as F
+
+#: Width of every block's output representation (the paper's FC32).
+BLOCK_WIDTH = 32
+#: Width of every block's hidden layer (the paper's FC64).
+HIDDEN_WIDTH = 64
+
+
+class IdentityBlock(Module):
+    """Embeds AreaID, TimeID and WeekID and concatenates them (Fig. 4)."""
+
+    def __init__(
+        self,
+        n_areas: int,
+        embeddings: EmbeddingConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.area_embedding = Embedding(n_areas, embeddings.area_dim, rng=rng)
+        self.time_embedding = Embedding(embeddings.time_vocab, embeddings.time_dim, rng=rng)
+        self.week_embedding = Embedding(embeddings.week_vocab, embeddings.week_dim, rng=rng)
+        self.output_dim = embeddings.area_dim + embeddings.time_dim + embeddings.week_dim
+
+    def forward(self, batch: Dict[str, np.ndarray]) -> Tensor:
+        return concat(
+            [
+                self.area_embedding(batch["area_ids"]),
+                self.time_embedding(batch["time_ids"]),
+                self.week_embedding(batch["week_ids"]),
+            ],
+            axis=1,
+        )
+
+
+class OneHotIdentityBlock(Module):
+    """Ablation variant: one-hot identity features (Table III baseline).
+
+    No trainable parameters — the categorical values are expanded to
+    one-hot vectors and concatenated, exactly the encoding the paper
+    compares embeddings against.
+    """
+
+    def __init__(self, n_areas: int, embeddings: EmbeddingConfig) -> None:
+        super().__init__()
+        self.n_areas = n_areas
+        self.time_vocab = embeddings.time_vocab
+        self.week_vocab = embeddings.week_vocab
+        self.output_dim = n_areas + self.time_vocab + self.week_vocab
+
+    def forward(self, batch: Dict[str, np.ndarray]) -> Tensor:
+        pieces = []
+        for ids, vocab in (
+            (batch["area_ids"], self.n_areas),
+            (batch["time_ids"], self.time_vocab),
+            (batch["week_ids"], self.week_vocab),
+        ):
+            one_hot = np.zeros((len(ids), vocab))
+            one_hot[np.arange(len(ids)), ids] = 1.0
+            pieces.append(Tensor(one_hot))
+        return concat(pieces, axis=1)
+
+
+class SupplyDemandBlock(Module):
+    """The basic model's order block (Fig. 5): ``V_sd → FC64 → FC32``."""
+
+    def __init__(self, window: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.window = window
+        self.hidden = Dense(2 * window, HIDDEN_WIDTH, rng=rng)
+        self.output = Dense(HIDDEN_WIDTH, BLOCK_WIDTH, rng=rng)
+        self.output_dim = BLOCK_WIDTH
+
+    def forward(self, batch: Dict[str, np.ndarray]) -> Tensor:
+        return self.output(self.hidden(Tensor(batch["sd_now"])))
+
+
+class _ResidualEnvBlock(Module):
+    """Shared machinery of the weather and traffic blocks (Fig. 6).
+
+    Concatenates the previous block's output with this block's environment
+    vector, passes it through FC64 → FC32 to get the residual ``R``, and
+    returns ``X_prev ⊕ R`` (⊕ = elementwise add via the shortcut).
+
+    When ``residual=False`` (the Table V / Fig. 14 ablation) the block sees
+    only its own environment vector and returns just its FC32 output — the
+    model then concatenates block outputs instead of summing them.
+    """
+
+    def __init__(
+        self, env_dim: int, rng: np.random.Generator, residual: bool = True
+    ) -> None:
+        super().__init__()
+        self.residual = residual
+        in_dim = env_dim + (BLOCK_WIDTH if residual else 0)
+        self.hidden = Dense(in_dim, HIDDEN_WIDTH, rng=rng)
+        self.output = Dense(HIDDEN_WIDTH, BLOCK_WIDTH, rng=rng)
+        self.output_dim = BLOCK_WIDTH
+
+    def _env_vector(self, batch: Dict[str, np.ndarray]) -> Tensor:
+        raise NotImplementedError
+
+    def forward(self, batch: Dict[str, np.ndarray], x_prev: Optional[Tensor]) -> Tensor:
+        env = self._env_vector(batch)
+        if self.residual:
+            if x_prev is None:
+                raise ValueError("residual block requires the previous block output")
+            r = self.output(self.hidden(concat([x_prev, env], axis=1)))
+            return x_prev + r
+        return self.output(self.hidden(env))
+
+
+class WeatherBlock(_ResidualEnvBlock):
+    """Weather block: embedded type + temperature + PM2.5 per lookback minute."""
+
+    def __init__(
+        self,
+        window: int,
+        embeddings: EmbeddingConfig,
+        rng: np.random.Generator,
+        residual: bool = True,
+    ) -> None:
+        env_dim = window * (embeddings.weather_type_dim + 2)
+        super().__init__(env_dim, rng, residual)
+        self.window = window
+        self.type_embedding = Embedding(
+            embeddings.weather_type_vocab, embeddings.weather_type_dim, rng=rng
+        )
+
+    def _env_vector(self, batch: Dict[str, np.ndarray]) -> Tensor:
+        types = batch["weather_types"]          # (n, L) int
+        n, L = types.shape
+        embedded = self.type_embedding(types.reshape(-1)).reshape(
+            n, L * self.type_embedding.embedding_dim
+        )
+        return concat(
+            [embedded, Tensor(batch["temperature"]), Tensor(batch["pm25"])], axis=1
+        )
+
+
+class TrafficBlock(_ResidualEnvBlock):
+    """Traffic block: four congestion-level counts per lookback minute."""
+
+    def __init__(
+        self, window: int, rng: np.random.Generator, residual: bool = True
+    ) -> None:
+        super().__init__(window * 4, rng, residual)
+        self.window = window
+
+    def _env_vector(self, batch: Dict[str, np.ndarray]) -> Tensor:
+        traffic = batch["traffic"]              # (n, L, 4)
+        n = traffic.shape[0]
+        return Tensor(traffic.reshape(n, -1))
+
+
+class OutputHead(Module):
+    """Final layers (Fig. 3): concat(identity, blocks) → FC32 → linear neuron."""
+
+    def __init__(self, in_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.hidden = Dense(in_dim, BLOCK_WIDTH, rng=rng)
+        self.neuron = Dense(BLOCK_WIDTH, 1, activation="linear", rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.neuron(self.hidden(x)).reshape(-1)
+
+
+class WeekdayCombiner(Module):
+    """Learned weekday combining weights ``p`` (Fig. 8, Equation 1).
+
+    Embeds the current AreaID and WeekID, concatenates, and applies a
+    softmax layer to produce a 7-way weight vector over the historical
+    day-of-week averages.
+    """
+
+    def __init__(
+        self,
+        n_areas: int,
+        embeddings: EmbeddingConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.area_embedding = Embedding(n_areas, embeddings.area_dim, rng=rng)
+        self.week_embedding = Embedding(embeddings.week_vocab, embeddings.week_dim, rng=rng)
+        self.softmax_layer = Dense(
+            embeddings.area_dim + embeddings.week_dim,
+            7,
+            activation="linear",
+            rng=rng,
+        )
+
+    def forward(self, batch: Dict[str, np.ndarray]) -> Tensor:
+        embedded = concat(
+            [
+                self.area_embedding(batch["area_ids"]),
+                self.week_embedding(batch["week_ids"]),
+            ],
+            axis=1,
+        )
+        return F.softmax(self.softmax_layer(embedded), axis=1)
+
+    def weights_for(self, area_id: int, week_id: int) -> np.ndarray:
+        """The learned weight vector for one (area, weekday) — Fig. 15."""
+        batch = {
+            "area_ids": np.array([area_id]),
+            "week_ids": np.array([week_id]),
+        }
+        self.eval()
+        return self.forward(batch).data[0]

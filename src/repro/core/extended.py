@@ -1,0 +1,123 @@
+"""The advanced model's extended order blocks (Section V).
+
+Each extended block handles one signal (supply-demand, last-call or
+waiting-time) and implements the two-stage construction of Section V-A:
+
+1. combine the per-weekday historical vectors ``H^(Mon..Sun)`` into the
+   empirical estimates ``E^{d,t}`` and ``E^{d,t+C}`` using softmax weights
+   learned from (AreaID, WeekID);
+2. project ``V^{d,t}``, ``E^{d,t}`` and ``E^{d,t+C}`` into a shared
+   low-dimensional space, estimate
+   ``Proj(V^{d,t+C}) = Proj(E^{d,t+C}) + Proj(V^{d,t}) − Proj(E^{d,t})``
+   (the real-time deviation from the empirical pattern is carried forward),
+   and feed the four projections through FC64 → FC32.
+
+Blocks are chained with the same block-level residual connections as the
+environment blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..config import EmbeddingConfig
+from ..nn import Dense, Module, Tensor, concat
+from .blocks import BLOCK_WIDTH, HIDDEN_WIDTH, WeekdayCombiner
+
+
+def combine_history(weights: Tensor, history: np.ndarray) -> Tensor:
+    """Weighted sum over the weekday axis: ``E = Σ_w p_w · H^(w)``.
+
+    ``weights`` is a differentiable (n, 7) tensor, ``history`` a constant
+    (n, 7, dim) array; the result is a (n, dim) tensor through which
+    gradients flow into the weights.
+    """
+    if weights.shape[1] != 7 or history.ndim != 3 or history.shape[1] != 7:
+        raise ValueError(
+            f"expected (n, 7) weights and (n, 7, dim) history, got "
+            f"{weights.shape} and {history.shape}"
+        )
+    total = None
+    for weekday in range(7):
+        term = weights.slice_cols(weekday, weekday + 1) * Tensor(history[:, weekday, :])
+        total = term if total is None else total + term
+    return total
+
+
+class ExtendedBlock(Module):
+    """Extended supply-demand / last-call / waiting-time block (Fig. 9).
+
+    Parameters
+    ----------
+    signal:
+        ``"sd"``, ``"lc"`` or ``"wt"`` — selects the batch fields
+        ``{signal}_now``, ``{signal}_hist`` and ``{signal}_hist_next``.
+    residual_input:
+        Whether the block receives the previous block's output through a
+        direct connection and adds its FC32 output as a residual.  The
+        first block in the chain sets this to False.
+    uniform_weights:
+        Ablation switch: replace the learned softmax combiner with fixed
+        uniform weights p = (1/7, …, 1/7) — i.e. pool all history equally,
+        the naive strategy Section V-A argues against.
+    """
+
+    def __init__(
+        self,
+        signal: str,
+        window: int,
+        n_areas: int,
+        embeddings: EmbeddingConfig,
+        projection_dim: int,
+        rng: np.random.Generator,
+        *,
+        residual_input: bool = True,
+        uniform_weights: bool = False,
+    ) -> None:
+        super().__init__()
+        if signal not in ("sd", "lc", "wt"):
+            raise ValueError(f"unknown signal {signal!r}")
+        if projection_dim <= 0:
+            raise ValueError("projection_dim must be positive")
+        self.signal = signal
+        self.residual_input = residual_input
+        self.uniform_weights = uniform_weights
+        self.combiner = WeekdayCombiner(n_areas, embeddings, rng)
+        # One shared projection makes Proj(V) - Proj(E) a deviation in a
+        # common space, which is the point of the construction.
+        self.projection = Dense(2 * window, projection_dim, rng=rng)
+        in_dim = 4 * projection_dim + (BLOCK_WIDTH if residual_input else 0)
+        self.hidden = Dense(in_dim, HIDDEN_WIDTH, rng=rng)
+        self.output = Dense(HIDDEN_WIDTH, BLOCK_WIDTH, rng=rng)
+        self.output_dim = BLOCK_WIDTH
+
+    def forward(
+        self, batch: Dict[str, np.ndarray], x_prev: Optional[Tensor] = None
+    ) -> Tensor:
+        if self.uniform_weights:
+            n = len(batch["area_ids"])
+            weights = Tensor(np.full((n, 7), 1.0 / 7.0))
+        else:
+            weights = self.combiner(batch)
+        v_now = Tensor(batch[f"{self.signal}_now"])
+        e_now = combine_history(weights, batch[f"{self.signal}_hist"])
+        e_next = combine_history(weights, batch[f"{self.signal}_hist_next"])
+
+        proj_v = self.projection(v_now)
+        proj_e = self.projection(e_now)
+        proj_e_next = self.projection(e_next)
+        estimated_next = proj_e_next + proj_v - proj_e
+
+        parts = [proj_v, proj_e, proj_e_next, estimated_next]
+        if self.residual_input:
+            if x_prev is None:
+                raise ValueError("block was built with residual_input=True")
+            features = concat([x_prev] + parts, axis=1)
+            return x_prev + self.output(self.hidden(features))
+        return self.output(self.hidden(concat(parts, axis=1)))
+
+    def weekday_weights(self, area_id: int, week_id: int) -> np.ndarray:
+        """Learned combining weights for one (area, weekday) — Fig. 15."""
+        return self.combiner.weights_for(area_id, week_id)

@@ -1,0 +1,69 @@
+"""Input scaling for the DeepSD networks.
+
+The paper feeds raw order counts into the network (weather scalars are the
+only obviously re-scaled inputs).  At our synthetic scale the count vectors
+and the traffic level counts live on very different ranges, which slows Adam
+down noticeably, so the trainer standardises each signal family by a single
+scalar (its training-set standard deviation).  One scalar per family keeps
+the advanced block's algebra intact: ``Proj(E^{t+C}) + Proj(V) − Proj(E)``
+is equivariant to a common rescaling of V and the H vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..features.builder import ExampleSet
+
+#: Batch keys scaled by each family's factor.
+_SCALED_KEYS = {
+    "sd": ("sd_now", "sd_hist", "sd_hist_next"),
+    "lc": ("lc_now", "lc_hist", "lc_hist_next"),
+    "wt": ("wt_now", "wt_hist", "wt_hist_next"),
+    "traffic": ("traffic",),
+}
+
+
+@dataclass(frozen=True)
+class InputScales:
+    """Per-signal divisors applied to network inputs."""
+
+    sd: float = 1.0
+    lc: float = 1.0
+    wt: float = 1.0
+    traffic: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("sd", "lc", "wt", "traffic"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"scale {name} must be positive")
+
+    @classmethod
+    def from_example_set(cls, example_set: ExampleSet) -> "InputScales":
+        """Standard deviations of the real-time vectors on the training set."""
+
+        def std(values: np.ndarray) -> float:
+            value = float(values.std())
+            return value if value > 1e-9 else 1.0
+
+        return cls(
+            sd=std(example_set.sd_now),
+            lc=std(example_set.lc_now),
+            wt=std(example_set.wt_now),
+            traffic=std(example_set.traffic),
+        )
+
+    def apply(self, batch: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """A shallow copy of ``batch`` with the count inputs divided."""
+        scaled = dict(batch)
+        for family, keys in _SCALED_KEYS.items():
+            factor = getattr(self, family)
+            if factor == 1.0:
+                continue
+            for key in keys:
+                if key in scaled:
+                    scaled[key] = scaled[key] / factor
+        return scaled

@@ -1,0 +1,219 @@
+"""Online gap prediction for arbitrary (area, day, timeslot) queries.
+
+The :class:`~repro.core.trainer.Trainer` predicts over pre-built
+ExampleSets; a deployed scheduler instead asks "what is the gap going to be
+in area a over the next ten minutes, *now*?".  :class:`GapPredictor` serves
+that query shape: it featurizes on demand from a :class:`CityDataset`
+(profiles and per-weekday histories are built lazily per area and cached)
+and runs the trained model.
+
+This is the component the paper's conclusion describes deploying inside
+Didi's scheduling system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..config import FeatureConfig
+from ..exceptions import DataError
+from ..features.builder import SIGNALS, ExampleSet
+from ..features.environment import extract_environment
+from ..features.vectors import AreaDayProfile
+from .batching import make_batch
+from .trainer import Trainer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..city.dataset import CityDataset
+    from ..nn import Module
+
+
+@dataclass(frozen=True)
+class GapQuery:
+    """One prediction request."""
+
+    area_id: int
+    day: int
+    timeslot: int
+
+
+class GapPredictor:
+    """Featurize-and-predict service around a trained DeepSD model.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`BasicDeepSD` / :class:`AdvancedDeepSD` (or a
+        :class:`Trainer`, whose best-k ensemble is then used).
+    dataset:
+        The city whose order/weather/traffic streams feed the features.
+    config:
+        Featurization constants — must match what the model was trained on.
+    scalers:
+        The training ExampleSet's environment scalers
+        (``{"temperature": (mean, std), "pm25": (mean, std)}``); pass the
+        training set's ``scalers`` attribute.
+    """
+
+    def __init__(
+        self,
+        model: "Module | Trainer",
+        dataset: "CityDataset",
+        config: FeatureConfig,
+        scalers: Dict[str, Tuple[float, float]],
+    ) -> None:
+        if isinstance(model, Trainer):
+            self._trainer = model
+        else:
+            self._trainer = Trainer(model)
+        self.dataset = dataset
+        self.config = config
+        for required in ("temperature", "pm25"):
+            if required not in scalers:
+                raise DataError(f"scalers must contain {required!r}")
+        self.scalers = dict(scalers)
+        self._profiles: Dict[Tuple[int, int], AreaDayProfile] = {}
+
+    @classmethod
+    def from_training(
+        cls,
+        model: "Module | Trainer",
+        dataset: "CityDataset",
+        config: FeatureConfig,
+        train_set: ExampleSet,
+    ) -> "GapPredictor":
+        """Build a predictor reusing the training set's scalers."""
+        return cls(model, dataset, config, train_set.scalers)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def predict(self, area_id: int, day: int, timeslot: int) -> float:
+        """Predicted gap for ``[timeslot, timeslot + C)`` in one area."""
+        return float(self.predict_many([GapQuery(area_id, day, timeslot)])[0])
+
+    def predict_many(self, queries: Sequence[GapQuery]) -> np.ndarray:
+        """Predicted gaps for a batch of queries (one pass per call)."""
+        if not queries:
+            return np.empty(0)
+        example_set = self._featurize(queries)
+        return self._trainer.predict(example_set)
+
+    def actual_gap(self, area_id: int, day: int, timeslot: int) -> int:
+        """Ground truth for the same interval (for backtesting)."""
+        return self.dataset.gap(
+            area_id, day, timeslot, horizon=self.config.gap_minutes
+        )
+
+    # ------------------------------------------------------------------
+    # Featurization
+    # ------------------------------------------------------------------
+
+    def _profile(self, area_id: int, day: int) -> AreaDayProfile:
+        key = (area_id, day)
+        if key not in self._profiles:
+            self._profiles[key] = AreaDayProfile(
+                self.dataset, area_id, day, self.config.window_minutes
+            )
+        return self._profiles[key]
+
+    def _validate(self, query: GapQuery) -> None:
+        L = self.config.window_minutes
+        if not 0 <= query.area_id < self.dataset.n_areas:
+            raise DataError(f"area {query.area_id} outside the city")
+        if not 0 <= query.day < self.dataset.n_days:
+            raise DataError(f"day {query.day} outside the simulation")
+        if not L <= query.timeslot <= 1440 - self.config.gap_minutes:
+            raise DataError(
+                f"timeslot {query.timeslot} must be in "
+                f"[{L}, {1440 - self.config.gap_minutes}] so the lookback "
+                "window and the prediction interval fit inside the day"
+            )
+
+    def _history(
+        self, area_id: int, day: int, timeslot: int, signal: str
+    ) -> np.ndarray:
+        """Per-weekday mean of a signal's vectors over prior days — (7, 2L)."""
+        calendar = self.dataset.calendar
+        L = self.config.window_minutes
+        history = np.zeros((7, 2 * L))
+        for weekday in range(7):
+            prior = calendar.days_with_weekday(weekday, before=day)
+            if not prior:
+                continue
+            vectors = [
+                self._signal_vector(self._profile(area_id, m), timeslot, signal)
+                for m in prior
+            ]
+            history[weekday] = np.mean(vectors, axis=0)
+        return history
+
+    @staticmethod
+    def _signal_vector(profile: AreaDayProfile, timeslot: int, signal: str) -> np.ndarray:
+        if signal == "sd":
+            return profile.supply_demand_vector(timeslot)
+        if signal == "lc":
+            return profile.last_call_vector(timeslot)
+        return profile.waiting_time_vector(timeslot)
+
+    def _featurize(self, queries: Sequence[GapQuery]) -> ExampleSet:
+        for query in queries:
+            self._validate(query)
+        config = self.config
+        L = config.window_minutes
+        n = len(queries)
+        area_ids = np.array([q.area_id for q in queries], dtype=np.int64)
+        day_ids = np.array([q.day for q in queries], dtype=np.int64)
+        time_ids = np.array([q.timeslot for q in queries], dtype=np.int64)
+        week_ids = np.array(
+            [self.dataset.calendar.day_of_week(q.day) for q in queries],
+            dtype=np.int64,
+        )
+
+        now = {name: np.empty((n, 2 * L), dtype=np.float32) for name in SIGNALS}
+        hist = {name: np.empty((n, 7, 2 * L), dtype=np.float32) for name in SIGNALS}
+        hist_next = {name: np.empty((n, 7, 2 * L), dtype=np.float32) for name in SIGNALS}
+        for i, query in enumerate(queries):
+            profile = self._profile(query.area_id, query.day)
+            shifted = query.timeslot + config.gap_minutes
+            for name in SIGNALS:
+                now[name][i] = self._signal_vector(profile, query.timeslot, name)
+                hist[name][i] = self._history(
+                    query.area_id, query.day, query.timeslot, name
+                )
+                hist_next[name][i] = self._history(
+                    query.area_id, query.day, shifted, name
+                )
+
+        environment = extract_environment(
+            self.dataset, area_ids, day_ids, time_ids, L
+        )
+        temp_mean, temp_std = self.scalers["temperature"]
+        pm_mean, pm_std = self.scalers["pm25"]
+
+        gaps = self.dataset.gaps(
+            area_ids, day_ids, time_ids, horizon=config.gap_minutes
+        )
+        return ExampleSet(
+            area_ids=area_ids,
+            time_ids=time_ids,
+            week_ids=week_ids,
+            day_ids=day_ids,
+            sd_now=now["sd"], sd_hist=hist["sd"], sd_hist_next=hist_next["sd"],
+            lc_now=now["lc"], lc_hist=hist["lc"], lc_hist_next=hist_next["lc"],
+            wt_now=now["wt"], wt_hist=hist["wt"], wt_hist_next=hist_next["wt"],
+            weather_types=environment.weather_types,
+            temperature=((environment.temperature - temp_mean) / temp_std).astype(
+                np.float32
+            ),
+            pm25=((environment.pm25 - pm_mean) / pm_std).astype(np.float32),
+            traffic=environment.traffic.astype(np.float32),
+            gaps=gaps.astype(np.float32),
+            window=L,
+            n_areas=self.dataset.n_areas,
+            scalers=dict(self.scalers),
+        )

@@ -1,0 +1,229 @@
+"""Training loop for DeepSD models (Section VI-B/C of the paper).
+
+Replicates the paper's protocol: Adam with batch size 64, 50 epochs, the
+model evaluated after every epoch, and the final model being the *average of
+the models from the best 10 epochs* ("To make our model more robust, our
+final model is the average of the models in the best 10 epochs").  Averaging
+is implemented as a prediction ensemble over the best-k epoch snapshots —
+averaging raw weights across distant epochs of a non-convex model destroys
+them, whereas averaging predictions gives the robustness the paper reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..exceptions import ConfigError
+from ..features.builder import ExampleSet
+from ..nn import (
+    Adam,
+    ConstantSchedule,
+    CosineDecay,
+    Module,
+    StepDecay,
+    Tensor,
+    clip_gradients,
+    iterate_minibatches,
+    losses,
+)
+from .batching import batch_targets, make_batch
+from .normalization import InputScales
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters of one training run (paper defaults).
+
+    ``loss`` is a name ("mse" / "mae" / "huber") or any callable
+    ``(pred, target) -> Tensor`` — e.g. ``repro.nn.quantile_loss(0.8)``
+    for risk-aware dispatch targets.  ``lr_schedule`` is ``"constant"``
+    (the paper's setting), ``"step"`` (halve every ``epochs // 3``) or
+    ``"cosine"``.  ``grad_clip`` bounds the global gradient norm per step
+    (0 disables clipping).
+    """
+
+    epochs: int = 50
+    batch_size: int = 64
+    learning_rate: float = 1e-3
+    loss: object = "mse"
+    best_k: int = 10
+    seed: int = 0
+    shuffle: bool = True
+    lr_schedule: str = "constant"
+    grad_clip: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ConfigError(f"epochs must be positive, got {self.epochs}")
+        if self.batch_size <= 0:
+            raise ConfigError(f"batch_size must be positive, got {self.batch_size}")
+        if self.learning_rate <= 0:
+            raise ConfigError("learning_rate must be positive")
+        if self.best_k <= 0:
+            raise ConfigError("best_k must be positive")
+        if self.lr_schedule not in ("constant", "step", "cosine"):
+            raise ConfigError(
+                f"lr_schedule must be constant/step/cosine, got {self.lr_schedule!r}"
+            )
+        if self.grad_clip < 0:
+            raise ConfigError("grad_clip must be non-negative (0 disables)")
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of one training run."""
+
+    train_loss: List[float] = field(default_factory=list)
+    eval_mae: List[float] = field(default_factory=list)
+    eval_rmse: List[float] = field(default_factory=list)
+    epoch_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.train_loss)
+
+    def best_epochs(self, k: int) -> List[int]:
+        """Indices of the k best epochs by eval RMSE (train loss fallback)."""
+        scores = self.eval_rmse if self.eval_rmse else self.train_loss
+        order = np.argsort(scores)
+        return [int(i) for i in order[:k]]
+
+
+class Trainer:
+    """Trains a DeepSD model on an :class:`ExampleSet`."""
+
+    def __init__(self, model: Module, config: Optional[TrainingConfig] = None):
+        self.model = model
+        self.config = config or TrainingConfig()
+        self._loss_fn = losses.get(self.config.loss)
+        self._ensemble_states: List[Dict[str, np.ndarray]] = []
+
+    def fit(
+        self,
+        train_set: ExampleSet,
+        eval_set: Optional[ExampleSet] = None,
+        *,
+        callback: Optional[Callable[[int, TrainingHistory], None]] = None,
+    ) -> TrainingHistory:
+        """Run the full training protocol and load the averaged best weights.
+
+        ``callback(epoch, history)`` fires after each epoch — used by the
+        convergence experiments (Fig. 16) to record learning curves.
+        """
+        config = self.config
+        # DeepSD models normalise their count inputs; fit the per-signal
+        # scales from the training set unless the caller provided them.
+        if getattr(self.model, "input_scales", "absent") is None:
+            self.model.input_scales = InputScales.from_example_set(train_set)
+        optimizer = Adam(self.model.parameters(), lr=config.learning_rate)
+        scheduler = self._build_scheduler(optimizer)
+        rng = np.random.default_rng(config.seed)
+        history = TrainingHistory()
+        snapshots: List[Dict[str, np.ndarray]] = []
+
+        for epoch in range(config.epochs):
+            started = time.perf_counter()
+            epoch_loss = self._run_epoch(train_set, optimizer, rng)
+            scheduler.step()
+            history.train_loss.append(epoch_loss)
+            history.epoch_seconds.append(time.perf_counter() - started)
+
+            if eval_set is not None:
+                predictions = self._predict_current(eval_set)
+                errors = predictions - eval_set.gaps
+                history.eval_mae.append(float(np.abs(errors).mean()))
+                history.eval_rmse.append(float(np.sqrt((errors ** 2).mean())))
+
+            snapshots.append(self.model.state_dict())
+            if callback is not None:
+                callback(epoch, history)
+
+        best = history.best_epochs(min(config.best_k, len(snapshots)))
+        self._ensemble_states = [snapshots[i] for i in best]
+        # Leave the live weights at the single best epoch; predict() then
+        # ensembles over the best-k snapshots.
+        self.model.load_state_dict(self._ensemble_states[0])
+        return history
+
+    def _run_epoch(
+        self,
+        train_set: ExampleSet,
+        optimizer: Adam,
+        rng: np.random.Generator,
+    ) -> float:
+        config = self.config
+        self.model.train()
+        total_loss = 0.0
+        n_batches = 0
+        for indices in iterate_minibatches(
+            train_set.n_items, config.batch_size, shuffle=config.shuffle, rng=rng
+        ):
+            batch = make_batch(train_set, indices)
+            targets = batch_targets(train_set, indices)
+            optimizer.zero_grad()
+            predictions = self.model(batch)
+            loss = self._loss_fn(predictions, Tensor(targets))
+            loss.backward()
+            if config.grad_clip:
+                clip_gradients(self.model.parameters(), config.grad_clip)
+            optimizer.step()
+            total_loss += loss.item()
+            n_batches += 1
+        return total_loss / max(n_batches, 1)
+
+    def _build_scheduler(self, optimizer: Adam):
+        config = self.config
+        if config.lr_schedule == "step":
+            return StepDecay(optimizer, step_size=max(config.epochs // 3, 1))
+        if config.lr_schedule == "cosine":
+            return CosineDecay(optimizer, total_epochs=config.epochs)
+        return ConstantSchedule(optimizer)
+
+    def predict(self, example_set: ExampleSet, batch_size: int = 1024) -> np.ndarray:
+        """Gap predictions, ensembled over the best-k epoch snapshots.
+
+        Before :meth:`fit` completes (or when it ran without snapshots) the
+        live weights are used directly.
+        """
+        if not self._ensemble_states:
+            return self._predict_current(example_set, batch_size)
+        current = self.model.state_dict()
+        total = np.zeros(example_set.n_items)
+        for state in self._ensemble_states:
+            self.model.load_state_dict(state)
+            total += self._predict_current(example_set, batch_size)
+        self.model.load_state_dict(current)
+        return total / len(self._ensemble_states)
+
+    def _predict_current(
+        self, example_set: ExampleSet, batch_size: int = 1024
+    ) -> np.ndarray:
+        """Predictions from the live weights (inference mode, no dropout)."""
+        self.model.eval()
+        outputs = np.empty(example_set.n_items)
+        for indices in iterate_minibatches(
+            example_set.n_items, batch_size, shuffle=False
+        ):
+            batch = make_batch(example_set, indices)
+            outputs[indices] = self.model(batch).data
+        self.model.train()
+        return outputs
+
+
+def _average_states(states: List[Dict[str, np.ndarray]]) -> Dict[str, np.ndarray]:
+    """Elementwise mean of several state dicts (the best-k averaging)."""
+    if not states:
+        raise ValueError("no states to average")
+    averaged = {}
+    for key in states[0]:
+        averaged[key] = np.mean([state[key] for state in states], axis=0)
+    return averaged
+
+
+def predict_gaps(model: Module, example_set: ExampleSet, batch_size: int = 1024) -> np.ndarray:
+    """Standalone inference helper for a trained model."""
+    return Trainer(model).predict(example_set, batch_size=batch_size)

@@ -1,0 +1,55 @@
+"""Evaluation: error metrics and the paper's qualitative analyses."""
+
+from .analysis import (
+    WeekdayWeightProfile,
+    closest_and_farthest,
+    demand_curve_correlation,
+    embedding_distances,
+    mean_demand_correlation,
+    prediction_curve,
+    rapid_variation_score,
+    weekday_weight_profile,
+)
+from .backtest import BacktestMoment, BacktestReport, run_backtest
+from .breakdown import (
+    BreakdownRow,
+    by_area,
+    by_archetype,
+    by_hour,
+    by_weekday,
+    worst_slices,
+)
+from .metrics import (
+    ErrorReport,
+    evaluate,
+    evaluate_under_thresholds,
+    mae,
+    rmse,
+)
+from .report import format_table
+
+__all__ = [
+    "mae",
+    "rmse",
+    "evaluate",
+    "evaluate_under_thresholds",
+    "ErrorReport",
+    "embedding_distances",
+    "closest_and_farthest",
+    "demand_curve_correlation",
+    "mean_demand_correlation",
+    "weekday_weight_profile",
+    "WeekdayWeightProfile",
+    "prediction_curve",
+    "rapid_variation_score",
+    "format_table",
+    "BacktestMoment",
+    "BacktestReport",
+    "run_backtest",
+    "BreakdownRow",
+    "by_weekday",
+    "by_hour",
+    "by_area",
+    "by_archetype",
+    "worst_slices",
+]

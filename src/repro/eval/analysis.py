@@ -1,0 +1,141 @@
+"""Qualitative analyses from Section VI: embeddings, weekday weights, curves.
+
+- Table IV / Fig. 12: pairwise distances between learned area embeddings and
+  the demand-curve similarity they imply;
+- Fig. 15: learned weekday combining weights per (area, weekday);
+- Fig. 1 / Fig. 11: demand and prediction curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Sequence, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..city.dataset import CityDataset
+
+
+def embedding_distances(embedding_matrix: np.ndarray) -> np.ndarray:
+    """Pairwise Euclidean distances between embedded area vectors."""
+    w = np.asarray(embedding_matrix, dtype=np.float64)
+    if w.ndim != 2:
+        raise ValueError(f"embedding matrix must be 2-D, got shape {w.shape}")
+    squares = (w ** 2).sum(axis=1)
+    d2 = squares[:, None] + squares[None, :] - 2.0 * (w @ w.T)
+    np.maximum(d2, 0.0, out=d2)
+    return np.sqrt(d2)
+
+
+def closest_and_farthest(
+    distances: np.ndarray, area_id: int
+) -> Tuple[int, int]:
+    """The nearest and farthest other area in embedding space."""
+    row = distances[area_id].copy()
+    row[area_id] = np.inf
+    nearest = int(np.argmin(row))
+    row[area_id] = -np.inf
+    farthest = int(np.argmax(row))
+    return nearest, farthest
+
+
+def mean_demand_correlation(
+    dataset: "CityDataset",
+    area_a: int,
+    area_b: int,
+    days: Sequence[int],
+    *,
+    smooth: int = 30,
+) -> float:
+    """Average demand-curve correlation over several days (noise-robust)."""
+    if not len(days):
+        raise ValueError("days must be non-empty")
+    return float(
+        np.mean(
+            [
+                demand_curve_correlation(dataset, area_a, area_b, day, smooth=smooth)
+                for day in days
+            ]
+        )
+    )
+
+
+def demand_curve_correlation(
+    dataset: "CityDataset", area_a: int, area_b: int, day: int, *, smooth: int = 30
+) -> float:
+    """Correlation of two areas' (smoothed) demand curves on one day.
+
+    The paper's Fig. 12 claim: areas close in embedding space have similar
+    demand *trends* even when their scales differ — correlation is the
+    scale-free similarity.
+    """
+    series_a = _smoothed(dataset.demand_series(area_a, day), smooth)
+    series_b = _smoothed(dataset.demand_series(area_b, day), smooth)
+    if series_a.std() < 1e-12 or series_b.std() < 1e-12:
+        return 0.0
+    return float(np.corrcoef(series_a, series_b)[0, 1])
+
+
+def _smoothed(series: np.ndarray, window: int) -> np.ndarray:
+    if window <= 1:
+        return series.astype(np.float64)
+    kernel = np.ones(window) / window
+    return np.convolve(series.astype(np.float64), kernel, mode="valid")
+
+
+@dataclass(frozen=True)
+class WeekdayWeightProfile:
+    """Learned combining weights for one area across all weekdays (Fig. 15)."""
+
+    area_id: int
+    weights: np.ndarray  # (7 current weekdays, 7 historical weekdays)
+
+    def concentration(self, week_id: int) -> float:
+        """Max weight for a given current weekday — 1/7 means uniform."""
+        return float(self.weights[week_id].max())
+
+    def weekend_mass(self, week_id: int) -> float:
+        """Probability mass placed on Saturday+Sunday history."""
+        return float(self.weights[week_id, 5:].sum())
+
+
+def weekday_weight_profile(model, area_id: int) -> WeekdayWeightProfile:
+    """Extract the full 7×7 weight table of one area from a trained model.
+
+    ``model`` is an :class:`~repro.core.AdvancedDeepSD` (anything exposing
+    ``weekday_weights(area_id, week_id)``).
+    """
+    weights = np.stack(
+        [model.weekday_weights(area_id, week_id) for week_id in range(7)]
+    )
+    return WeekdayWeightProfile(area_id=area_id, weights=weights)
+
+
+def prediction_curve(
+    predictions: np.ndarray,
+    targets: np.ndarray,
+    area_ids: np.ndarray,
+    day_ids: np.ndarray,
+    time_ids: np.ndarray,
+    area_id: int,
+) -> List[Tuple[int, int, float, float]]:
+    """Per-timeslot (day, t, truth, prediction) series for one area (Fig. 11)."""
+    mask = area_ids == area_id
+    rows = sorted(
+        zip(
+            day_ids[mask].tolist(),
+            time_ids[mask].tolist(),
+            targets[mask].tolist(),
+            predictions[mask].tolist(),
+        )
+    )
+    return [(int(d), int(t), float(y), float(p)) for d, t, y, p in rows]
+
+
+def rapid_variation_score(curve: Sequence[Tuple[int, int, float, float]]) -> float:
+    """Mean absolute step of the ground truth — picks Fig. 11's areas."""
+    truth = np.array([point[2] for point in curve])
+    if len(truth) < 2:
+        return 0.0
+    return float(np.abs(np.diff(truth)).mean())

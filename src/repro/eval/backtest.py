@@ -1,0 +1,135 @@
+"""Rolling backtest of a gap predictor over the test days.
+
+The paper's motivation is dispatching: a scheduler repeatedly asks, at a
+wall-clock moment, for the gap of *every* area over the next interval and
+sends drivers to the worst ones.  This module replays that loop over the
+simulated test days and reports, besides MAE/RMSE:
+
+- **top-k hit rate** — how often the truly worst-k areas appear in the
+  predicted worst-k (the quantity a dispatcher actually consumes);
+- **rank correlation** (Spearman) between predicted and true area rankings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Sequence
+
+import numpy as np
+
+from .metrics import evaluate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.predictor import GapPredictor
+
+
+@dataclass(frozen=True)
+class BacktestMoment:
+    """Predictions for all areas at one (day, timeslot)."""
+
+    day: int
+    timeslot: int
+    predicted: np.ndarray   # (n_areas,)
+    actual: np.ndarray      # (n_areas,)
+
+    def top_k_hit_rate(self, k: int) -> float:
+        """|predicted top-k ∩ true top-k| / k (ties broken by area id)."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        k = min(k, len(self.predicted))
+        predicted_top = set(np.argsort(-self.predicted, kind="stable")[:k].tolist())
+        actual_top = set(np.argsort(-self.actual, kind="stable")[:k].tolist())
+        return len(predicted_top & actual_top) / k
+
+    def rank_correlation(self) -> float:
+        """Spearman correlation between predicted and true area rankings."""
+        if len(self.predicted) < 2:
+            return 0.0
+        predicted_ranks = _ranks(self.predicted)
+        actual_ranks = _ranks(self.actual)
+        if predicted_ranks.std() < 1e-12 or actual_ranks.std() < 1e-12:
+            return 0.0
+        return float(np.corrcoef(predicted_ranks, actual_ranks)[0, 1])
+
+
+@dataclass
+class BacktestReport:
+    """Aggregated results of one backtest run."""
+
+    moments: List[BacktestMoment] = field(default_factory=list)
+
+    @property
+    def n_moments(self) -> int:
+        return len(self.moments)
+
+    def _flat(self) -> tuple:
+        predicted = np.concatenate([m.predicted for m in self.moments])
+        actual = np.concatenate([m.actual for m in self.moments])
+        return predicted, actual
+
+    def overall_mae(self) -> float:
+        predicted, actual = self._flat()
+        return evaluate(predicted, actual).mae
+
+    def overall_rmse(self) -> float:
+        predicted, actual = self._flat()
+        return evaluate(predicted, actual).rmse
+
+    def mean_top_k_hit_rate(self, k: int = 3) -> float:
+        return float(np.mean([m.top_k_hit_rate(k) for m in self.moments]))
+
+    def mean_rank_correlation(self) -> float:
+        return float(np.mean([m.rank_correlation() for m in self.moments]))
+
+    def per_day_rmse(self) -> dict:
+        """RMSE keyed by day index."""
+        days = sorted({m.day for m in self.moments})
+        out = {}
+        for day in days:
+            moments = [m for m in self.moments if m.day == day]
+            predicted = np.concatenate([m.predicted for m in moments])
+            actual = np.concatenate([m.actual for m in moments])
+            out[day] = evaluate(predicted, actual).rmse
+        return out
+
+
+def run_backtest(
+    predictor: "GapPredictor",
+    days: Sequence[int],
+    timeslots: Sequence[int],
+    areas: Sequence[int] | None = None,
+) -> BacktestReport:
+    """Replay the dispatcher loop: predict all areas at each (day, slot)."""
+    from ..core.predictor import GapQuery
+
+    dataset = predictor.dataset
+    if areas is None:
+        areas = range(dataset.n_areas)
+    areas = list(areas)
+    report = BacktestReport()
+    for day in days:
+        for timeslot in timeslots:
+            queries = [GapQuery(area, day, timeslot) for area in areas]
+            predicted = predictor.predict_many(queries)
+            actual = np.array(
+                [predictor.actual_gap(area, day, timeslot) for area in areas],
+                dtype=np.float64,
+            )
+            report.moments.append(
+                BacktestMoment(
+                    day=day, timeslot=timeslot, predicted=predicted, actual=actual
+                )
+            )
+    return report
+
+
+def _ranks(values: np.ndarray) -> np.ndarray:
+    """Average ranks (ties get the mean of their positions)."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(len(values), dtype=np.float64)
+    ranks[order] = np.arange(len(values), dtype=np.float64)
+    # Average ranks over ties.
+    unique, inverse = np.unique(values, return_inverse=True)
+    sums = np.bincount(inverse, weights=ranks)
+    counts = np.bincount(inverse)
+    return (sums / counts)[inverse]

@@ -1,0 +1,105 @@
+"""Error breakdowns: where does a model do well or badly?
+
+Slices test-set errors by weekday, hour of day, area and area archetype —
+the practical follow-up questions to any Table II-style aggregate, and the
+first thing an operations team asks ("are we bad exactly at rush hour?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List
+
+import numpy as np
+
+from .metrics import ErrorReport, evaluate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..city.dataset import CityDataset
+    from ..features.builder import ExampleSet
+
+WEEKDAY_NAMES = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    """One slice of the error breakdown."""
+
+    key: str
+    report: ErrorReport
+
+    @property
+    def mae(self) -> float:
+        return self.report.mae
+
+    @property
+    def rmse(self) -> float:
+        return self.report.rmse
+
+    @property
+    def n_items(self) -> int:
+        return self.report.n_items
+
+
+def _group(
+    predictions: np.ndarray,
+    targets: np.ndarray,
+    labels: np.ndarray,
+    names: Dict[int, str] | None = None,
+) -> List[BreakdownRow]:
+    rows = []
+    for value in np.unique(labels):
+        mask = labels == value
+        name = names[int(value)] if names else str(int(value))
+        rows.append(BreakdownRow(key=name, report=evaluate(predictions[mask], targets[mask])))
+    return rows
+
+
+def by_weekday(
+    predictions: np.ndarray, example_set: "ExampleSet"
+) -> List[BreakdownRow]:
+    """MAE/RMSE per day of week."""
+    targets = example_set.gaps.astype(np.float64)
+    names = dict(enumerate(WEEKDAY_NAMES))
+    return _group(predictions, targets, example_set.week_ids, names)
+
+
+def by_hour(
+    predictions: np.ndarray, example_set: "ExampleSet"
+) -> List[BreakdownRow]:
+    """MAE/RMSE per hour of day (of the prediction start)."""
+    targets = example_set.gaps.astype(np.float64)
+    hours = (example_set.time_ids // 60).astype(np.int64)
+    return _group(predictions, targets, hours)
+
+
+def by_area(
+    predictions: np.ndarray, example_set: "ExampleSet"
+) -> List[BreakdownRow]:
+    """MAE/RMSE per area."""
+    targets = example_set.gaps.astype(np.float64)
+    return _group(predictions, targets, example_set.area_ids)
+
+
+def by_archetype(
+    predictions: np.ndarray,
+    example_set: "ExampleSet",
+    dataset: "CityDataset",
+) -> List[BreakdownRow]:
+    """MAE/RMSE per area archetype (uses the simulator's ground truth)."""
+    targets = example_set.gaps.astype(np.float64)
+    archetypes = np.array(
+        [dataset.grid[int(a)].archetype.value for a in example_set.area_ids]
+    )
+    rows = []
+    for value in np.unique(archetypes):
+        mask = archetypes == value
+        rows.append(
+            BreakdownRow(key=str(value), report=evaluate(predictions[mask], targets[mask]))
+        )
+    return rows
+
+
+def worst_slices(rows: List[BreakdownRow], k: int = 3) -> List[BreakdownRow]:
+    """The k slices with the highest RMSE."""
+    return sorted(rows, key=lambda row: row.rmse, reverse=True)[:k]

@@ -1,0 +1,81 @@
+"""Error metrics — Section VI-A1 of the paper.
+
+MAE and RMSE over the test items, plus the threshold-restricted variants
+behind Fig. 10 ("for a specific threshold, we evaluate the models on a
+subset of test data which has the gaps smaller than the threshold").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """MAE/RMSE pair for one model on one item set."""
+
+    mae: float
+    rmse: float
+    n_items: int
+
+    def as_row(self) -> tuple:
+        return (self.mae, self.rmse)
+
+
+def mae(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Mean absolute error."""
+    predictions, targets = _validate(predictions, targets)
+    return float(np.abs(predictions - targets).mean())
+
+
+def rmse(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Root mean squared error."""
+    predictions, targets = _validate(predictions, targets)
+    return float(np.sqrt(((predictions - targets) ** 2).mean()))
+
+
+def evaluate(predictions: np.ndarray, targets: np.ndarray) -> ErrorReport:
+    """Both metrics at once."""
+    predictions, targets = _validate(predictions, targets)
+    return ErrorReport(
+        mae=mae(predictions, targets),
+        rmse=rmse(predictions, targets),
+        n_items=len(targets),
+    )
+
+
+def evaluate_under_thresholds(
+    predictions: np.ndarray,
+    targets: np.ndarray,
+    thresholds: Sequence[float],
+) -> Dict[float, ErrorReport]:
+    """Fig. 10: metrics on the subsets with gap ≤ threshold.
+
+    Items whose *true* gap exceeds the threshold are dropped before
+    computing the metrics.
+    """
+    predictions, targets = _validate(predictions, targets)
+    reports = {}
+    for threshold in thresholds:
+        mask = targets <= threshold
+        if not mask.any():
+            reports[float(threshold)] = ErrorReport(np.nan, np.nan, 0)
+            continue
+        reports[float(threshold)] = evaluate(predictions[mask], targets[mask])
+    return reports
+
+
+def _validate(predictions: np.ndarray, targets: np.ndarray):
+    predictions = np.asarray(predictions, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if predictions.shape != targets.shape or predictions.ndim != 1:
+        raise ValueError(
+            f"predictions and targets must be equal-length 1-D arrays, got "
+            f"{predictions.shape} and {targets.shape}"
+        )
+    if len(predictions) == 0:
+        raise ValueError("cannot evaluate zero items")
+    return predictions, targets

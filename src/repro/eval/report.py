@@ -1,0 +1,47 @@
+"""Plain-text table rendering for experiment output.
+
+Benchmarks print the same rows the paper's tables report; this module
+formats them consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str = "",
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered_rows = [
+        [_render(cell, float_format) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def _render(cell: object, float_format: str) -> str:
+    if isinstance(cell, float):
+        return float_format.format(cell)
+    return str(cell)

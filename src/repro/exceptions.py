@@ -1,0 +1,19 @@
+"""Exception hierarchy for the DeepSD reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An experiment or model configuration is invalid."""
+
+
+class DataError(ReproError):
+    """A dataset or feature set is malformed or inconsistent."""
+
+
+class NotFittedError(ReproError):
+    """A model was asked to predict before being trained."""

@@ -1,0 +1,56 @@
+"""Experiment runners — one module per table/figure of Section VI.
+
+All runners share an :class:`ExperimentContext` (simulation + featurization
++ cached trained models), so running the full suite trains each model
+variant exactly once per scale.
+"""
+
+from . import (
+    ablations,
+    fig1,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig15,
+    fig16,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from .context import (
+    BASELINE_SPECS,
+    MODEL_SPECS,
+    TRAINING_DEFAULTS,
+    BaselineResult,
+    ExperimentContext,
+    TrainedModel,
+    cache_dir,
+    get_context,
+)
+
+__all__ = [
+    "ExperimentContext",
+    "TrainedModel",
+    "BaselineResult",
+    "get_context",
+    "cache_dir",
+    "MODEL_SPECS",
+    "BASELINE_SPECS",
+    "TRAINING_DEFAULTS",
+    "ablations",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig1",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig15",
+    "fig16",
+]

@@ -1,0 +1,214 @@
+"""Ablations over the design constants the paper fixes by fiat.
+
+The paper pins C = 10 minutes ("due to the business requirement; it can be
+replaced by any other constant"), L = 20 minutes, and trains with squared
+error.  These sweeps quantify how sensitive the system is to each choice:
+
+- :func:`horizon_sweep` — the prediction horizon C;
+- :func:`window_sweep` — the lookback window L;
+- :func:`loss_ablation` — MSE vs Huber vs MAE training loss;
+- :func:`seed_stability` — run-to-run variance of the advanced model.
+
+Results are cached on disk like the main experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence
+
+import numpy as np
+
+from ..config import FeatureConfig
+from ..core import AdvancedDeepSD, BasicDeepSD, Trainer, TrainingConfig
+from ..eval import evaluate
+from ..features import FeatureBuilder
+from .context import ExperimentContext, cache_dir
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One setting of a swept parameter and its test errors."""
+
+    parameter: str
+    value: float
+    mae: float
+    rmse: float
+    mean_gap: float
+
+
+def _train_basic_on(context: ExperimentContext, features: FeatureConfig, seed: int = 1):
+    """Featurize with a modified config and train a basic model."""
+    train_set, test_set = FeatureBuilder(context.dataset, features).build()
+    defaults = context.training_defaults()
+    model = BasicDeepSD(
+        context.dataset.n_areas,
+        features.window_minutes,
+        context.scale.embeddings,
+        dropout=defaults["dropout"],
+        seed=seed,
+    )
+    trainer = Trainer(
+        model, TrainingConfig(epochs=defaults["epochs"], best_k=10, seed=seed)
+    )
+    trainer.fit(train_set, eval_set=test_set)
+    predictions = trainer.predict(test_set)
+    targets = test_set.gaps.astype(np.float64)
+    report = evaluate(predictions, targets)
+    return report, float(targets.mean())
+
+
+def _cached_rows(context: ExperimentContext, name: str, factory) -> List[SweepRow]:
+    path = cache_dir() / f"ablation_{name}_{context._tag()}.npz"
+    if path.exists():
+        with np.load(path, allow_pickle=False) as archive:
+            return [
+                SweepRow(
+                    parameter=str(archive["parameter"][i]),
+                    value=float(archive["value"][i]),
+                    mae=float(archive["mae"][i]),
+                    rmse=float(archive["rmse"][i]),
+                    mean_gap=float(archive["mean_gap"][i]),
+                )
+                for i in range(len(archive["value"]))
+            ]
+    rows = factory()
+    np.savez_compressed(
+        path,
+        parameter=np.array([row.parameter for row in rows]),
+        value=np.array([row.value for row in rows]),
+        mae=np.array([row.mae for row in rows]),
+        rmse=np.array([row.rmse for row in rows]),
+        mean_gap=np.array([row.mean_gap for row in rows]),
+    )
+    return rows
+
+
+def horizon_sweep(
+    context: ExperimentContext, horizons: Sequence[int] = (5, 10, 20)
+) -> List[SweepRow]:
+    """Vary the prediction horizon C (paper fixes 10 minutes).
+
+    Longer horizons accumulate more invalid orders per item, so both the
+    target scale and the error grow with C.
+    """
+
+    def build() -> List[SweepRow]:
+        rows = []
+        for horizon in horizons:
+            features = replace(context.scale.features, gap_minutes=horizon)
+            report, mean_gap = _train_basic_on(context, features)
+            rows.append(
+                SweepRow("gap_minutes", float(horizon), report.mae, report.rmse, mean_gap)
+            )
+        return rows
+
+    return _cached_rows(context, "horizon", build)
+
+
+def window_sweep(
+    context: ExperimentContext, windows: Sequence[int] = (10, 20, 30)
+) -> List[SweepRow]:
+    """Vary the lookback window L (paper fixes 20 minutes)."""
+
+    def build() -> List[SweepRow]:
+        rows = []
+        for window in windows:
+            features = replace(context.scale.features, window_minutes=window)
+            report, mean_gap = _train_basic_on(context, features)
+            rows.append(
+                SweepRow("window_minutes", float(window), report.mae, report.rmse, mean_gap)
+            )
+        return rows
+
+    return _cached_rows(context, "window", build)
+
+
+def loss_ablation(
+    context: ExperimentContext, losses: Sequence[str] = ("mse", "huber", "mae")
+) -> List[SweepRow]:
+    """Train the advanced model under different losses.
+
+    MSE targets the RMSE metric directly; MAE/Huber trade RMSE for MAE on
+    the heavy-tailed gap distribution.
+    """
+
+    def build() -> List[SweepRow]:
+        defaults = context.training_defaults()
+        targets = context.test_set.gaps.astype(np.float64)
+        rows = []
+        for loss_name in losses:
+            model = AdvancedDeepSD(
+                context.dataset.n_areas,
+                context.scale.features.window_minutes,
+                context.scale.embeddings,
+                dropout=defaults["dropout"],
+                seed=1,
+            )
+            trainer = Trainer(
+                model,
+                TrainingConfig(
+                    epochs=defaults["epochs"], best_k=10, seed=1, loss=loss_name
+                ),
+            )
+            trainer.fit(context.train_set, eval_set=context.test_set)
+            report = evaluate(trainer.predict(context.test_set), targets)
+            rows.append(
+                SweepRow(f"loss={loss_name}", 0.0, report.mae, report.rmse,
+                         float(targets.mean()))
+            )
+        return rows
+
+    return _cached_rows(context, "loss", build)
+
+
+def seed_stability(
+    context: ExperimentContext, seeds: Sequence[int] = (1, 2, 3)
+) -> List[SweepRow]:
+    """Advanced-model errors across training seeds (run-to-run variance)."""
+
+    def build() -> List[SweepRow]:
+        targets = context.test_set.gaps.astype(np.float64)
+        rows = []
+        for seed in seeds:
+            trained = context.trained("advanced", seed=seed)
+            report = evaluate(trained.test_predictions, targets)
+            rows.append(
+                SweepRow("seed", float(seed), report.mae, report.rmse,
+                         float(targets.mean()))
+            )
+        return rows
+
+    return _cached_rows(context, "seeds", build)
+
+
+def weekday_weighting_ablation(context: ExperimentContext) -> List[SweepRow]:
+    """Learned softmax weekday weights vs fixed uniform pooling.
+
+    Section V-A argues that the right combination of day-of-week history is
+    area- and weekday-dependent; the uniform variant pools all history
+    equally (a stronger version of the weekday/weekend split prior work
+    uses).
+    """
+
+    def build() -> List[SweepRow]:
+        targets = context.test_set.gaps.astype(np.float64)
+        rows = []
+        for label, key in (
+            ("weekday_weights=learned", "advanced"),
+            ("weekday_weights=uniform", "advanced_uniform_weekdays"),
+        ):
+            trained = context.trained(key)
+            report = evaluate(trained.test_predictions, targets)
+            rows.append(
+                SweepRow(label, 0.0, report.mae, report.rmse, float(targets.mean()))
+            )
+        return rows
+
+    return _cached_rows(context, "weekday_weighting", build)
+
+
+def rmse_spread(rows: List[SweepRow]) -> float:
+    """Max minus min RMSE over a sweep — the stability measure."""
+    values = [row.rmse for row in rows]
+    return max(values) - min(values)

@@ -1,0 +1,93 @@
+"""Fig. 1 — car-hailing demand under four different situations.
+
+The paper's motivating figure: an entertainment-type area is quiet on a
+Wednesday but surges on Sunday, while a commuter area shows twin weekday
+rush-hour peaks that vanish on Sunday.  The runner extracts the same four
+curves (two areas × weekday/Sunday) from the simulated city.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..city import Archetype
+from .context import ExperimentContext
+
+
+@dataclass(frozen=True)
+class DemandCurve:
+    area_id: int
+    archetype: str
+    day: int
+    weekday_name: str
+    hourly_demand: np.ndarray  # (24,) orders per hour
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    curves: List[DemandCurve]
+
+    def curve(self, area_id: int, weekday_name: str) -> DemandCurve:
+        for curve in self.curves:
+            if curve.area_id == area_id and curve.weekday_name == weekday_name:
+                return curve
+        raise KeyError((area_id, weekday_name))
+
+
+def _pick_day(context: ExperimentContext, weekday: int) -> int:
+    days = context.dataset.calendar.days_with_weekday(weekday)
+    if not days:
+        raise ValueError(f"no simulated day falls on weekday {weekday}")
+    # Use the latest instance inside the simulation for mature history.
+    return days[-1]
+
+
+def run(context: ExperimentContext) -> Fig1Result:
+    """Hourly demand curves for an entertainment and a business area."""
+    dataset = context.dataset
+    entertainment = dataset.grid.by_archetype(Archetype.ENTERTAINMENT)
+    business = dataset.grid.by_archetype(Archetype.BUSINESS)
+    if not entertainment or not business:
+        raise ValueError("simulation lacks the archetypes Fig. 1 contrasts")
+
+    def busiest(areas):
+        volumes = dataset.valid_counts.sum(axis=(1, 2))
+        return max(areas, key=lambda a: volumes[a.area_id])
+
+    wednesday = _pick_day(context, 2)
+    sunday = _pick_day(context, 6)
+
+    curves = []
+    for area in (busiest(entertainment), busiest(business)):
+        for day, name in ((wednesday, "Wednesday"), (sunday, "Sunday")):
+            hourly = dataset.demand_series(area.area_id, day).reshape(24, 60).sum(axis=1)
+            curves.append(
+                DemandCurve(
+                    area_id=area.area_id,
+                    archetype=area.archetype.value,
+                    day=day,
+                    weekday_name=name,
+                    hourly_demand=hourly,
+                )
+            )
+    return Fig1Result(curves=curves)
+
+
+def entertainment_weekend_ratio(result: Fig1Result) -> float:
+    """Sunday/Wednesday demand ratio of the entertainment area (paper: ≫1)."""
+    ent = [c for c in result.curves if c.archetype == "entertainment"]
+    wednesday = next(c for c in ent if c.weekday_name == "Wednesday")
+    sunday = next(c for c in ent if c.weekday_name == "Sunday")
+    return float(sunday.hourly_demand.sum() / max(wednesday.hourly_demand.sum(), 1))
+
+
+def business_commute_peak_ratio(result: Fig1Result) -> float:
+    """Weekday rush-hour vs midday demand in the business area (paper: >1)."""
+    biz = [c for c in result.curves if c.archetype == "business"]
+    wednesday = next(c for c in biz if c.weekday_name == "Wednesday")
+    rush = wednesday.hourly_demand[[8, 19]].mean()
+    midday = wednesday.hourly_demand[14:16].mean()
+    return float(rush / max(midday, 1e-9))

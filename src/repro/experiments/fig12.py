@@ -1,0 +1,82 @@
+"""Fig. 12 — demand curves of areas close/far in embedding space.
+
+Builds on the Table IV machinery: for the closest embedding pair the demand
+curves should track each other (high correlation), for the farthest pair
+they should not.  Fig. 12(c/d)'s scale-free claim is checked by comparing
+raw-scale differences against normalised-curve correlation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..eval import embedding_distances, mean_demand_correlation
+from .context import ExperimentContext
+
+
+@dataclass(frozen=True)
+class CurvePair:
+    area_a: int
+    area_b: int
+    embedding_distance: float
+    correlation: float
+    scale_ratio: float           # mean demand ratio (≥ 1)
+    hourly_a: np.ndarray
+    hourly_b: np.ndarray
+
+
+@dataclass(frozen=True)
+class Fig12Result:
+    close_pair: CurvePair
+    far_pair: CurvePair
+    scale_free_pair: CurvePair   # close in embedding, different in volume
+
+
+def _pair(context: ExperimentContext, a: int, b: int, distance: float, day: int) -> CurvePair:
+    dataset = context.dataset
+    series_a = dataset.demand_series(a, day)
+    series_b = dataset.demand_series(b, day)
+    mean_a, mean_b = max(series_a.mean(), 1e-9), max(series_b.mean(), 1e-9)
+    days = list(range(context.scale.features.train_days))
+    return CurvePair(
+        area_a=a,
+        area_b=b,
+        embedding_distance=distance,
+        correlation=mean_demand_correlation(dataset, a, b, days),
+        scale_ratio=float(max(mean_a, mean_b) / min(mean_a, mean_b)),
+        hourly_a=series_a.reshape(24, 60).sum(axis=1),
+        hourly_b=series_b.reshape(24, 60).sum(axis=1),
+    )
+
+
+def run(context: ExperimentContext, *, day: int = 1) -> Fig12Result:
+    """Extract the closest, farthest and most scale-contrasting close pairs."""
+    trained = context.trained("basic")
+    distances = embedding_distances(trained.model.area_embedding_matrix())
+    n = distances.shape[0]
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+
+    closest = min(pairs, key=lambda p: distances[p])
+    farthest = max(pairs, key=lambda p: distances[p])
+
+    # Scale-free similarity: among the closest quartile of pairs, the one
+    # with the largest volume ratio.
+    cutoff = np.quantile([distances[p] for p in pairs], 0.25)
+    close_pairs = [p for p in pairs if distances[p] <= cutoff]
+    volumes = context.dataset.valid_counts.sum(axis=(1, 2)).astype(np.float64)
+
+    def volume_ratio(pair):
+        a, b = pair
+        va, vb = max(volumes[a], 1.0), max(volumes[b], 1.0)
+        return max(va, vb) / min(va, vb)
+
+    scale_free = max(close_pairs, key=volume_ratio)
+
+    return Fig12Result(
+        close_pair=_pair(context, *closest, float(distances[closest]), day),
+        far_pair=_pair(context, *farthest, float(distances[farthest]), day),
+        scale_free_pair=_pair(context, *scale_free, float(distances[scale_free]), day),
+    )

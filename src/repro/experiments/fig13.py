@@ -1,0 +1,51 @@
+"""Fig. 13 — effects of the environment part.
+
+Case A: order part only.  Case B: + weather block.  Case C: + weather and
+traffic blocks (the full model).  The paper shows error decreasing from A
+to C for both the basic and advanced models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..eval import evaluate
+from .context import ExperimentContext
+
+CASES = {
+    "A (order only)": "{model}_order_only",
+    "B (+weather)": "{model}_weather",
+    "C (full)": "{model}",
+}
+
+
+@dataclass(frozen=True)
+class Fig13Row:
+    model: str
+    case: str
+    mae: float
+    rmse: float
+
+
+def run(context: ExperimentContext) -> List[Fig13Row]:
+    """Train A/B/C variants of both models."""
+    targets = context.test_set.gaps.astype(np.float64)
+    rows = []
+    for model in ("basic", "advanced"):
+        for case, template in CASES.items():
+            trained = context.trained(template.format(model=model))
+            report = evaluate(trained.test_predictions, targets)
+            rows.append(
+                Fig13Row(model=model, case=case, mae=report.mae, rmse=report.rmse)
+            )
+    return rows
+
+
+def case_errors(rows: List[Fig13Row], model: str, metric: str = "rmse") -> Dict[str, float]:
+    """Metric per case for one model, keyed 'A'/'B'/'C'."""
+    return {
+        row.case[0]: getattr(row, metric) for row in rows if row.model == model
+    }

@@ -1,0 +1,52 @@
+"""Fig. 15 — learned weekday combining weights.
+
+The advanced model's softmax weights over the seven historical day-of-week
+averages, visualised for two areas on Tuesday vs Sunday.  The paper's
+observations to reproduce:
+
+- on Sundays, the weight concentrates on the weekend days;
+- the same weekday's weights differ across areas (one area leans on its own
+  weekday, another spreads nearly uniformly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..eval import WeekdayWeightProfile, weekday_weight_profile
+from .context import ExperimentContext
+
+
+@dataclass(frozen=True)
+class Fig15Result:
+    profiles: List[WeekdayWeightProfile]
+
+    def profile(self, area_id: int) -> WeekdayWeightProfile:
+        for profile in self.profiles:
+            if profile.area_id == area_id:
+                return profile
+        raise KeyError(area_id)
+
+
+def run(context: ExperimentContext, *, n_areas: int = 4) -> Fig15Result:
+    """Weight profiles of the busiest areas from the trained advanced model."""
+    trained = context.trained("advanced")
+    volumes = context.dataset.valid_counts.sum(axis=(1, 2))
+    areas = np.argsort(volumes)[::-1][:n_areas]
+    profiles = [
+        weekday_weight_profile(trained.model, int(area)) for area in areas
+    ]
+    return Fig15Result(profiles=profiles)
+
+
+def mean_weekend_mass_on_sunday(result: Fig15Result) -> float:
+    """Average Sat+Sun weight when the current day is Sunday (week_id 6)."""
+    return float(np.mean([p.weekend_mass(6) for p in result.profiles]))
+
+
+def mean_weekend_mass_on_tuesday(result: Fig15Result) -> float:
+    """Average Sat+Sun weight when the current day is Tuesday (week_id 1)."""
+    return float(np.mean([p.weekend_mass(1) for p in result.profiles]))

@@ -1,0 +1,80 @@
+"""Fig. 16 — convergence of re-training vs fine-tuning.
+
+Section V-C's extendability experiment: first train an advanced model with
+only the order part.  Then add the weather and traffic blocks and either
+(a) fine-tune — initialise the shared blocks from the trained model — or
+(b) re-train everything from scratch.  Fine-tuning converges much faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..core import AdvancedDeepSD, Trainer, TrainingConfig
+from .context import ExperimentContext
+
+
+@dataclass(frozen=True)
+class Fig16Result:
+    finetune_loss: List[float]     # per-epoch training loss
+    retrain_loss: List[float]
+    finetune_rmse: List[float]     # per-epoch test RMSE
+    retrain_rmse: List[float]
+
+    def epochs_to_reach(self, rmse_level: float, curve: str) -> int:
+        """First epoch (1-based) at which a curve dips below a level; -1 if never."""
+        values = self.finetune_rmse if curve == "finetune" else self.retrain_rmse
+        for epoch, value in enumerate(values, start=1):
+            if value <= rmse_level:
+                return epoch
+        return -1
+
+
+def run(context: ExperimentContext, *, epochs: int | None = None, seed: int = 21) -> Fig16Result:
+    """Train the grown model from a fine-tuned vs fresh initialisation."""
+    defaults = context.training_defaults()
+    epochs = epochs or max(defaults["epochs"] // 2, 3)
+    window = context.scale.features.window_minutes
+    n_areas = context.dataset.n_areas
+
+    base = context.trained("advanced_order_only")
+
+    def grown_model(model_seed: int) -> AdvancedDeepSD:
+        return AdvancedDeepSD(
+            n_areas,
+            window,
+            context.scale.embeddings,
+            dropout=defaults["dropout"],
+            seed=model_seed,
+        )
+
+    finetuned = grown_model(seed)
+    finetuned.load_state_dict(base.model.state_dict(), strict=False)
+    fresh = grown_model(seed)
+
+    histories = {}
+    for name, model in (("finetune", finetuned), ("retrain", fresh)):
+        trainer = Trainer(
+            model, TrainingConfig(epochs=epochs, best_k=1, seed=seed)
+        )
+        histories[name] = trainer.fit(
+            context.train_set, eval_set=context.test_set
+        )
+
+    return Fig16Result(
+        finetune_loss=histories["finetune"].train_loss,
+        retrain_loss=histories["retrain"].train_loss,
+        finetune_rmse=histories["finetune"].eval_rmse,
+        retrain_rmse=histories["retrain"].eval_rmse,
+    )
+
+
+def early_epoch_advantage(result: Fig16Result, k: int = 3) -> float:
+    """Mean loss gap (retrain − finetune) over the first k epochs (> 0 = faster)."""
+    k = min(k, len(result.finetune_loss))
+    return float(
+        np.mean(result.retrain_loss[:k]) - np.mean(result.finetune_loss[:k])
+    )

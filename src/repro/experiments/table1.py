@@ -1,0 +1,56 @@
+"""Table I — embedding layer settings.
+
+Not a measurement: the table documents the embedding configuration.  The
+runner reports the widths actually instantiated by the models so the bench
+can assert they match the paper (AreaID→8, TimeID 1440→6, WeekID 7→3,
+weather type 10→3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .context import ExperimentContext
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    layer: str
+    input_vocab: int
+    output_dim: int
+    occurred_parts: str
+
+
+def run(context: ExperimentContext) -> List[Table1Row]:
+    """Rows mirroring the paper's Table I for the context's configuration."""
+    embeddings = context.scale.embeddings
+    n_areas = context.scale.simulation.n_areas
+    return [
+        Table1Row("AreaID", n_areas, embeddings.area_dim,
+                  "Identity Part, Extended Order Part"),
+        Table1Row("TimeID", embeddings.time_vocab, embeddings.time_dim,
+                  "Identity Part"),
+        Table1Row("WeekID", embeddings.week_vocab, embeddings.week_dim,
+                  "Identity Part, Extended Order Part"),
+        Table1Row("wc.type", embeddings.weather_type_vocab,
+                  embeddings.weather_type_dim, "Environment Part"),
+    ]
+
+
+def verify_against_model(context: ExperimentContext) -> List[Tuple[str, int]]:
+    """Instantiate a model and read back each embedding's actual width."""
+    from ..core import AdvancedDeepSD
+
+    model = AdvancedDeepSD(
+        context.scale.simulation.n_areas,
+        context.scale.features.window_minutes,
+        context.scale.embeddings,
+        seed=0,
+    )
+    return [
+        ("AreaID", model.identity.area_embedding.embedding_dim),
+        ("TimeID", model.identity.time_embedding.embedding_dim),
+        ("WeekID", model.identity.week_embedding.embedding_dim),
+        ("wc.type", model.weather_block.type_embedding.embedding_dim),
+    ]

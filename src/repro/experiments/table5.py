@@ -1,0 +1,53 @@
+"""Table V — effects of block-level residual learning.
+
+Paper's reference numbers: removing the residual connections (Fig. 14's
+concatenation network) worsens both models:
+
+=================  ==========  ==========
+Model              With (RMSE) Without
+=================  ==========  ==========
+Basic DeepSD       15.57       16.40
+Advanced DeepSD    13.99       15.06
+=================  ==========  ==========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..eval import evaluate
+from .context import ExperimentContext
+
+PAPER_RESULTS = {
+    ("basic", True): (3.56, 15.57),
+    ("basic", False): (3.63, 16.40),
+    ("advanced", True): (3.30, 13.99),
+    ("advanced", False): (3.46, 15.06),
+}
+
+
+@dataclass(frozen=True)
+class Table5Row:
+    model: str
+    residual: bool
+    mae: float
+    rmse: float
+
+
+def run(context: ExperimentContext) -> List[Table5Row]:
+    """Train each model with and without residual connections."""
+    targets = context.test_set.gaps.astype(np.float64)
+    rows = []
+    for model in ("basic", "advanced"):
+        for residual, key in ((True, model), (False, f"{model}_noresidual")):
+            trained = context.trained(key)
+            report = evaluate(trained.test_predictions, targets)
+            rows.append(
+                Table5Row(
+                    model=model, residual=residual, mae=report.mae, rmse=report.rmse
+                )
+            )
+    return rows

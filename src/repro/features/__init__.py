@@ -1,0 +1,21 @@
+"""Feature extraction: the paper's vectors, histories and item protocol."""
+
+from .builder import SIGNALS, ExampleSet, FeatureBuilder
+from .environment import EnvironmentWindows, Standardizer, extract_environment
+from .history import HistoryAccumulator, empirical_combination
+from .matrix import linear_design_matrix, tree_design_matrix
+from .vectors import AreaDayProfile
+
+__all__ = [
+    "AreaDayProfile",
+    "HistoryAccumulator",
+    "empirical_combination",
+    "EnvironmentWindows",
+    "extract_environment",
+    "Standardizer",
+    "ExampleSet",
+    "FeatureBuilder",
+    "SIGNALS",
+    "tree_design_matrix",
+    "linear_design_matrix",
+]

@@ -1,0 +1,297 @@
+"""ExampleSet construction — the paper's train/test item protocol.
+
+Section VI-A: for each area on each training day, one item is generated
+every ``train_stride_minutes`` from ``train_start_minute`` to the end of the
+day; test items are generated every two hours between 7:30 and 23:30 on the
+test days.  Each item carries:
+
+- identity features (AreaID, TimeID, WeekID);
+- the three real-time vectors ``V_sd``, ``V_lc``, ``V_wt`` at ``t``;
+- the per-weekday historical vectors at ``t`` *and* at ``t + C`` (the
+  ingredients of the empirical estimates ``E^{d,t}`` and ``E^{d,t+10}``);
+- the weather and traffic windows;
+- the gap label over ``[t, t+C)``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Dict, Tuple
+
+import numpy as np
+
+from ..city.calendar import SimulationCalendar
+from ..config import FeatureConfig
+from ..exceptions import DataError
+from .environment import Standardizer, extract_environment
+from .history import HistoryAccumulator
+from .vectors import AreaDayProfile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..city.dataset import CityDataset
+
+SIGNALS = ("sd", "lc", "wt")
+
+
+@dataclass
+class ExampleSet:
+    """A featurized set of prediction items.
+
+    Array shapes (``n`` items, window ``L``):
+
+    ==================  =================  =========================================
+    field               shape              content
+    ==================  =================  =========================================
+    area_ids            (n,)               AreaID
+    time_ids            (n,)               TimeID — minute of day ``t``
+    week_ids            (n,)               WeekID — 0 = Monday … 6 = Sunday
+    day_ids             (n,)               absolute simulated day index
+    sd_now/lc_now/...   (n, 2L)            real-time vectors at ``t``
+    sd_hist/...         (n, 7, 2L)         per-weekday history at ``t``
+    sd_hist_next/...    (n, 7, 2L)         per-weekday history at ``t + C``
+    weather_types       (n, L)             weather type codes over the window
+    temperature/pm25    (n, L)             standardized weather scalars
+    traffic             (n, L, 4)          congestion level counts
+    gaps                (n,)               label: invalid orders in [t, t+C)
+    ==================  =================  =========================================
+    """
+
+    area_ids: np.ndarray
+    time_ids: np.ndarray
+    week_ids: np.ndarray
+    day_ids: np.ndarray
+    sd_now: np.ndarray
+    sd_hist: np.ndarray
+    sd_hist_next: np.ndarray
+    lc_now: np.ndarray
+    lc_hist: np.ndarray
+    lc_hist_next: np.ndarray
+    wt_now: np.ndarray
+    wt_hist: np.ndarray
+    wt_hist_next: np.ndarray
+    weather_types: np.ndarray
+    temperature: np.ndarray
+    pm25: np.ndarray
+    traffic: np.ndarray
+    gaps: np.ndarray
+    window: int
+    n_areas: int
+    scalers: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        n = len(self.area_ids)
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, np.ndarray) and len(value) != n:
+                raise DataError(
+                    f"field {f.name} has {len(value)} rows, expected {n}"
+                )
+
+    @property
+    def n_items(self) -> int:
+        return len(self.area_ids)
+
+    def __len__(self) -> int:
+        return self.n_items
+
+    def subset(self, indices: np.ndarray) -> "ExampleSet":
+        """A new ExampleSet with only the selected items."""
+        kwargs = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            kwargs[f.name] = value[indices] if isinstance(value, np.ndarray) else value
+        return ExampleSet(**kwargs)
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Serialize to a compressed npz archive."""
+        arrays = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if isinstance(getattr(self, f.name), np.ndarray)
+        }
+        scaler_names = sorted(self.scalers)
+        np.savez_compressed(
+            os.fspath(path),
+            window=np.array([self.window]),
+            n_areas=np.array([self.n_areas]),
+            scaler_names=np.array(scaler_names),
+            scaler_values=np.array(
+                [self.scalers[name] for name in scaler_names]
+            ).reshape(-1, 2),
+            **arrays,
+        )
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "ExampleSet":
+        """Load an ExampleSet written by :meth:`save`."""
+        with np.load(os.fspath(path), allow_pickle=False) as archive:
+            scalers = {
+                str(name): (float(mean), float(std))
+                for name, (mean, std) in zip(
+                    archive["scaler_names"], archive["scaler_values"]
+                )
+            }
+            kwargs = {
+                f.name: archive[f.name]
+                for f in fields(cls)
+                if f.name in archive.files
+                and f.name not in ("window", "n_areas", "scalers")
+            }
+            return cls(
+                window=int(archive["window"][0]),
+                n_areas=int(archive["n_areas"][0]),
+                scalers=scalers,
+                **kwargs,
+            )
+
+
+class FeatureBuilder:
+    """Builds train and test :class:`ExampleSet` objects from a city.
+
+    One pass computes the real-time vectors of all three signals for every
+    (area, day) at every timeslot any item needs — including the ``t + C``
+    slots the historical estimates require — then accumulates per-weekday
+    histories and assembles items.
+    """
+
+    def __init__(self, dataset: "CityDataset", config: FeatureConfig | None = None):
+        self.dataset = dataset
+        self.config = config or FeatureConfig()
+        if dataset.n_days < self.config.n_days:
+            raise DataError(
+                f"dataset has {dataset.n_days} days, split needs {self.config.n_days}"
+            )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def build(self) -> Tuple[ExampleSet, ExampleSet]:
+        """Build (train, test) with environment scalers fit on train."""
+        train = self._build_items(self._train_items())
+        test = self._build_items(self._test_items())
+        for name in ("temperature", "pm25"):
+            scaler = Standardizer.fit(getattr(train, name))
+            for example_set in (train, test):
+                setattr(
+                    example_set,
+                    name,
+                    scaler.transform(getattr(example_set, name)).astype(np.float32),
+                )
+                example_set.scalers[name] = (scaler.mean, scaler.std)
+        return train, test
+
+    def _train_items(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        days = np.arange(self.config.train_days)
+        slots = np.array(list(self.config.train_timeslots()))
+        return self._cross(days, slots)
+
+    def _test_items(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        days = np.arange(
+            self.config.train_days, self.config.train_days + self.config.test_days
+        )
+        slots = np.array(list(self.config.test_timeslots()))
+        return self._cross(days, slots)
+
+    def _cross(
+        self, days: np.ndarray, slots: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(area, day, slot) triples in lexicographic item order."""
+        n_areas = self.dataset.n_areas
+        area_ids = np.repeat(np.arange(n_areas), len(days) * len(slots))
+        day_ids = np.tile(np.repeat(days, len(slots)), n_areas)
+        time_ids = np.tile(slots, n_areas * len(days))
+        return area_ids, day_ids, time_ids
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+
+    def _all_slots(self) -> np.ndarray:
+        """Union of item slots and their ``t + C`` shifts, sorted."""
+        config = self.config
+        slots = set(config.train_timeslots()) | set(config.test_timeslots())
+        slots |= {s + config.gap_minutes for s in slots}
+        return np.array(sorted(slots))
+
+    def _area_signal_tables(
+        self, area_id: int, all_slots: np.ndarray
+    ) -> Dict[str, Tuple[np.ndarray, HistoryAccumulator]]:
+        """Real-time vectors + history accumulator per signal for one area."""
+        dataset, config = self.dataset, self.config
+        calendar: SimulationCalendar = dataset.calendar
+        n_days = config.n_days
+        L = config.window_minutes
+        tables: Dict[str, Tuple[np.ndarray, HistoryAccumulator]] = {}
+        per_signal = {name: [] for name in SIGNALS}
+        for day in range(n_days):
+            profile = AreaDayProfile(dataset, area_id, day, L)
+            per_signal["sd"].append(profile.supply_demand_vectors(all_slots))
+            per_signal["lc"].append(profile.last_call_vectors(all_slots))
+            per_signal["wt"].append(profile.waiting_time_vectors(all_slots))
+        for name in SIGNALS:
+            vectors = np.stack(per_signal[name])  # (n_days, n_slots, 2L)
+            tables[name] = (vectors, HistoryAccumulator(calendar, vectors))
+        return tables
+
+    def _build_items(
+        self, items: Tuple[np.ndarray, np.ndarray, np.ndarray]
+    ) -> ExampleSet:
+        dataset, config = self.dataset, self.config
+        area_ids, day_ids, time_ids = items
+        n = len(area_ids)
+        L = config.window_minutes
+        all_slots = self._all_slots()
+        slot_index = {int(s): i for i, s in enumerate(all_slots)}
+
+        now = {name: np.empty((n, 2 * L), dtype=np.float32) for name in SIGNALS}
+        hist = {name: np.empty((n, 7, 2 * L), dtype=np.float32) for name in SIGNALS}
+        hist_next = {
+            name: np.empty((n, 7, 2 * L), dtype=np.float32) for name in SIGNALS
+        }
+
+        for area in np.unique(area_ids):
+            tables = self._area_signal_tables(int(area), all_slots)
+            rows = np.flatnonzero(area_ids == area)
+            slot_now = np.array([slot_index[int(t)] for t in time_ids[rows]])
+            slot_next = np.array(
+                [slot_index[int(t) + config.gap_minutes] for t in time_ids[rows]]
+            )
+            days = day_ids[rows]
+            for name in SIGNALS:
+                vectors, accumulator = tables[name]
+                now[name][rows] = vectors[days, slot_now]
+                hist[name][rows] = accumulator.history_before_batch(days, slot_now)
+                hist_next[name][rows] = accumulator.history_before_batch(
+                    days, slot_next
+                )
+
+        environment = extract_environment(dataset, area_ids, day_ids, time_ids, L)
+        week_ids = np.array(
+            [dataset.calendar.day_of_week(int(d)) for d in day_ids], dtype=np.int64
+        )
+        gaps = dataset.gaps(area_ids, day_ids, time_ids, horizon=config.gap_minutes)
+
+        return ExampleSet(
+            area_ids=area_ids.astype(np.int64),
+            time_ids=time_ids.astype(np.int64),
+            week_ids=week_ids,
+            day_ids=day_ids.astype(np.int64),
+            sd_now=now["sd"],
+            sd_hist=hist["sd"],
+            sd_hist_next=hist_next["sd"],
+            lc_now=now["lc"],
+            lc_hist=hist["lc"],
+            lc_hist_next=hist_next["lc"],
+            wt_now=now["wt"],
+            wt_hist=hist["wt"],
+            wt_hist_next=hist_next["wt"],
+            weather_types=environment.weather_types,
+            temperature=environment.temperature.astype(np.float32),
+            pm25=environment.pm25.astype(np.float32),
+            traffic=environment.traffic.astype(np.float32),
+            gaps=gaps.astype(np.float32),
+            window=L,
+            n_areas=dataset.n_areas,
+        )

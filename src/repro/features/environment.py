@@ -1,0 +1,112 @@
+"""Environment condition vectors — the weather and traffic block inputs.
+
+Section IV-C of the paper: the weather condition vector ``V_wc`` has L
+parts, one per lookback minute, each the concatenation of the *embedded*
+weather type, the temperature and the PM2.5; the traffic condition vector
+``V_tc`` has L parts of four congestion-level counts.
+
+The type embedding lives inside the network, so the featurizer emits the
+raw ingredients: integer type codes ``(T, L)`` plus float arrays for
+temperature, PM2.5 and the level counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..city.dataset import CityDataset
+
+
+@dataclass(frozen=True)
+class EnvironmentWindows:
+    """Raw environment inputs for a batch of items.
+
+    Attributes
+    ----------
+    weather_types:
+        ``(n, L)`` int64 — weather-type code at each lookback minute
+        (index ℓ-1 is minute ``t-ℓ``).
+    temperature, pm25:
+        ``(n, L)`` float64.
+    traffic:
+        ``(n, L, 4)`` float64 congestion-level counts.
+    """
+
+    weather_types: np.ndarray
+    temperature: np.ndarray
+    pm25: np.ndarray
+    traffic: np.ndarray
+
+    def __post_init__(self) -> None:
+        n, L = self.weather_types.shape
+        if self.temperature.shape != (n, L) or self.pm25.shape != (n, L):
+            raise ValueError("temperature/pm25 must match weather_types' shape")
+        if self.traffic.shape != (n, L, 4):
+            raise ValueError(f"traffic must be (n, L, 4), got {self.traffic.shape}")
+
+
+def extract_environment(
+    dataset: "CityDataset",
+    area_ids: np.ndarray,
+    days: np.ndarray,
+    timeslots: np.ndarray,
+    window: int,
+) -> EnvironmentWindows:
+    """Environment windows for each (area, day, timeslot) item.
+
+    The ℓ-th slot of each window (ℓ = 1…L) is the condition at ``t-ℓ`` —
+    the same indexing as the real-time order vectors.
+    """
+    area_ids = np.asarray(area_ids, dtype=np.int64)
+    days = np.asarray(days, dtype=np.int64)
+    timeslots = np.asarray(timeslots, dtype=np.int64)
+    if not (area_ids.shape == days.shape == timeslots.shape) or area_ids.ndim != 1:
+        raise ValueError("area_ids, days and timeslots must be equal-length 1-D arrays")
+    if timeslots.size and timeslots.min() < window:
+        raise ValueError("timeslots must be >= window")
+
+    lags = np.arange(1, window + 1)
+    minutes = timeslots[:, None] - lags[None, :]          # (n, L)
+    day_idx = np.broadcast_to(days[:, None], minutes.shape)
+
+    weather_types = dataset.weather.types[day_idx, minutes].astype(np.int64)
+    temperature = dataset.weather.temperature[day_idx, minutes].astype(np.float64)
+    pm25 = dataset.weather.pm25[day_idx, minutes].astype(np.float64)
+
+    area_idx = np.broadcast_to(area_ids[:, None], minutes.shape)
+    traffic = dataset.traffic.level_counts[area_idx, day_idx, minutes].astype(np.float64)
+
+    return EnvironmentWindows(
+        weather_types=weather_types,
+        temperature=temperature,
+        pm25=pm25,
+        traffic=traffic,
+    )
+
+
+@dataclass(frozen=True)
+class Standardizer:
+    """Per-channel affine normalisation fit on training data.
+
+    Temperature and PM2.5 live on very different scales from order counts;
+    standardising them (train-set mean/std) keeps the first dense layers
+    well conditioned.  Count-valued features are left raw, as in the paper.
+    """
+
+    mean: float
+    std: float
+
+    @classmethod
+    def fit(cls, values: np.ndarray) -> "Standardizer":
+        std = float(values.std())
+        return cls(mean=float(values.mean()), std=std if std > 1e-9 else 1.0)
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        return (values - self.mean) / self.std
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        return values * self.std + self.mean

@@ -1,0 +1,102 @@
+"""Per-weekday historical averages — Section V-A, first stage.
+
+For each signal (supply-demand, last-call, waiting-time) the advanced model
+consumes the seven *historical vectors* ``H^(Mon),d,t … H^(Sun),d,t``: the
+average of the real-time vectors ``V^{m,t}`` over all prior days ``m < d``
+that fall on each day of week.  The network then combines them with learned
+softmax weights into the empirical estimate ``E^{d,t}``.
+
+:class:`HistoryAccumulator` computes these averages incrementally over days
+for a fixed grid of timeslots, so building features for every day of a
+simulation costs one pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..city.calendar import DAYS_PER_WEEK, SimulationCalendar
+
+
+class HistoryAccumulator:
+    """Running per-weekday means of real-time vectors.
+
+    Parameters
+    ----------
+    calendar:
+        Maps day indices to weekdays.
+    vectors:
+        ``(n_days, n_slots, dim)`` array — the real-time vector of one
+        signal for every day at every timeslot of interest.
+
+    After construction, :meth:`history_before` returns the
+    ``(7, n_slots, dim)`` array of per-weekday means over days strictly
+    before a given day, with zeros for weekdays not yet seen (a day with no
+    history contributes an all-zero historical vector, which the network
+    learns to down-weight).
+    """
+
+    def __init__(self, calendar: SimulationCalendar, vectors: np.ndarray):
+        if vectors.ndim != 3:
+            raise ValueError(f"vectors must be (n_days, n_slots, dim), got {vectors.shape}")
+        if vectors.shape[0] > calendar.n_days:
+            raise ValueError("more vector days than calendar days")
+        self._calendar = calendar
+        self._vectors = vectors
+        n_days, n_slots, dim = vectors.shape
+        # hist[d] = per-weekday mean over days < d; built incrementally.
+        self._history = np.zeros((n_days + 1, DAYS_PER_WEEK, n_slots, dim), dtype=np.float64)
+        sums = np.zeros((DAYS_PER_WEEK, n_slots, dim), dtype=np.float64)
+        counts = np.zeros(DAYS_PER_WEEK, dtype=np.int64)
+        for day in range(n_days):
+            safe = np.maximum(counts, 1)[:, None, None]
+            self._history[day] = sums / safe
+            weekday = calendar.day_of_week(day)
+            sums[weekday] += vectors[day]
+            counts[weekday] += 1
+        self._history[n_days] = sums / np.maximum(counts, 1)[:, None, None]
+
+    @property
+    def n_days(self) -> int:
+        return self._vectors.shape[0]
+
+    def history_before(self, day: int) -> np.ndarray:
+        """``(7, n_slots, dim)`` per-weekday means over days ``< day``."""
+        if not 0 <= day <= self.n_days:
+            raise ValueError(f"day {day} outside [0, {self.n_days}]")
+        return self._history[day]
+
+    def history_before_batch(
+        self, days: np.ndarray, slot_indices: np.ndarray
+    ) -> np.ndarray:
+        """``(n, 7, dim)`` histories for paired (day, slot) queries.
+
+        ``history_before_batch(days, slots)[i] == history_before(days[i])[:, slots[i], :]``
+        """
+        days = np.asarray(days, dtype=np.int64)
+        slot_indices = np.asarray(slot_indices, dtype=np.int64)
+        if days.shape != slot_indices.shape or days.ndim != 1:
+            raise ValueError("days and slot_indices must be equal-length 1-D arrays")
+        if days.size and (days.min() < 0 or days.max() > self.n_days):
+            raise ValueError("day index out of range")
+        return self._history[days, :, slot_indices, :]
+
+    def vector(self, day: int, slot_index: int) -> np.ndarray:
+        """The underlying real-time vector for one (day, slot)."""
+        return self._vectors[day, slot_index]
+
+
+def empirical_combination(history: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Combine per-weekday history with a weight vector (Equation 1).
+
+    ``history`` is ``(7, dim)`` (or broadcastable), ``weights`` a
+    7-dimensional probability vector; the result is
+    ``E = Σ_w p_w · H^(w)``.  The network learns ``p`` end-to-end; this
+    helper exists for analysis and for baselines that use a fixed ``p``.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (DAYS_PER_WEEK,):
+        raise ValueError(f"weights must have shape (7,), got {weights.shape}")
+    if not np.isclose(weights.sum(), 1.0):
+        raise ValueError("weights must sum to 1")
+    return np.tensordot(weights, history, axes=(0, 0))

@@ -1,0 +1,147 @@
+"""Flat design matrices for the classical baselines.
+
+Section VI-C: "For fair comparisons, we use the same input features for the
+above methods as those used in DeepSD" — identity features, the three
+real-time vectors, per-weekday historical vectors and the environment data.
+
+Trees and LASSO consume a flat numeric matrix, so this module flattens the
+structured ExampleSet.  Full per-weekday history would be ~1700 columns
+(unmanageable for exact tree induction in pure numpy), so the history is
+summarised losslessly for the quantities that matter to the gap: window
+sub-sums of the current weekday's history, the across-weekday mean, and
+per-weekday invalid-half totals.  DESIGN.md documents this flattening as
+part of the baseline protocol.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .builder import ExampleSet
+
+#: Lag sub-windows (inclusive bounds in minutes-before-t) used to summarise
+#: history vectors: the last 5 minutes matter most, then 6-10, then the rest.
+_SUBWINDOWS = ((1, 5), (6, 10), (11, None))
+
+
+def _subwindow_sums(vectors: np.ndarray, window: int) -> np.ndarray:
+    """Sum each half of (n, 2L) vectors over the lag sub-windows -> (n, 6)."""
+    parts = []
+    for half in (vectors[:, :window], vectors[:, window:]):
+        for low, high in _SUBWINDOWS:
+            stop = window if high is None else high
+            parts.append(half[:, low - 1 : stop].sum(axis=1))
+    return np.stack(parts, axis=1)
+
+
+def _history_features(
+    now_name: str, hist: np.ndarray, week_ids: np.ndarray, window: int
+) -> Tuple[np.ndarray, List[str]]:
+    """Summaries of a (n, 7, 2L) history block."""
+    n = len(hist)
+    current = hist[np.arange(n), week_ids]           # (n, 2L) current weekday
+    mean_all = hist.mean(axis=1)                      # (n, 2L) across weekdays
+    current_sums = _subwindow_sums(current, window)   # (n, 6)
+    mean_sums = _subwindow_sums(mean_all, window)     # (n, 6)
+    invalid_by_dow = hist[:, :, window:].sum(axis=2)  # (n, 7)
+    columns = np.concatenate([current_sums, mean_sums, invalid_by_dow], axis=1)
+    names = []
+    for half in ("valid", "invalid"):
+        for low, high in _SUBWINDOWS:
+            names.append(f"{now_name}_hist_dow_{half}_{low}_{high or 'L'}")
+    for half in ("valid", "invalid"):
+        for low, high in _SUBWINDOWS:
+            names.append(f"{now_name}_hist_mean_{half}_{low}_{high or 'L'}")
+    names += [f"{now_name}_hist_invalid_dow{w}" for w in range(7)]
+    return columns, names
+
+
+def tree_design_matrix(example_set: ExampleSet) -> Tuple[np.ndarray, List[str]]:
+    """Numeric matrix for tree models (raw categorical ids are fine).
+
+    Returns ``(X, feature_names)`` with ``X`` of shape (n, ~170).
+    """
+    es = example_set
+    L = es.window
+    blocks: List[np.ndarray] = []
+    names: List[str] = []
+
+    blocks.append(
+        np.stack([es.area_ids, es.time_ids, es.week_ids], axis=1).astype(np.float64)
+    )
+    names += ["area_id", "time_id", "week_id"]
+
+    for signal, now in (("sd", es.sd_now), ("lc", es.lc_now), ("wt", es.wt_now)):
+        blocks.append(now.astype(np.float64))
+        names += [f"{signal}_now_{i}" for i in range(now.shape[1])]
+
+    for signal, hist in (
+        ("sd", es.sd_hist),
+        ("lc", es.lc_hist),
+        ("wt", es.wt_hist),
+    ):
+        columns, hist_names = _history_features(signal, hist, es.week_ids, L)
+        blocks.append(columns)
+        names += hist_names
+
+    # Environment summary: current weather type, window means, level totals.
+    blocks.append(es.weather_types[:, :1].astype(np.float64))
+    names.append("weather_type")
+    blocks.append(
+        np.stack([es.temperature.mean(axis=1), es.pm25.mean(axis=1)], axis=1)
+    )
+    names += ["temperature_mean", "pm25_mean"]
+    blocks.append(es.traffic.mean(axis=1).astype(np.float64))  # (n, 4)
+    names += [f"traffic_level{level}" for level in range(1, 5)]
+
+    matrix = np.concatenate(blocks, axis=1)
+    if matrix.shape[1] != len(names):
+        raise AssertionError("feature-name bookkeeping out of sync")
+    return matrix.astype(np.float64), names
+
+
+def linear_design_matrix(
+    train: ExampleSet, test: ExampleSet
+) -> Tuple[np.ndarray, np.ndarray, List[str]]:
+    """One-hot + standardized matrices for linear models (LASSO).
+
+    Categorical identity features become one-hot columns (as the paper does
+    for LASSO, which "can not handle the categorical variables"); numeric
+    features are standardized with training statistics.
+    """
+    x_train, names = tree_design_matrix(train)
+    x_test, _ = tree_design_matrix(test)
+
+    # Split off the raw categorical columns (first three + weather type).
+    categorical = {"area_id": 0, "time_id": 1, "week_id": 2}
+    weather_col = names.index("weather_type")
+    numeric_cols = [
+        i for i in range(x_train.shape[1])
+        if i not in categorical.values() and i != weather_col
+    ]
+
+    def one_hot(column: np.ndarray, values: np.ndarray) -> np.ndarray:
+        return (column[:, None] == values[None, :]).astype(np.float64)
+
+    blocks_train, blocks_test, out_names = [], [], []
+    for name, col in (("area", 0), ("time", 1), ("week", 2), ("wtype", weather_col)):
+        values = np.unique(x_train[:, col])
+        blocks_train.append(one_hot(x_train[:, col], values))
+        blocks_test.append(one_hot(x_test[:, col], values))
+        out_names += [f"{name}={int(v)}" for v in values]
+
+    numeric_train = x_train[:, numeric_cols]
+    mean = numeric_train.mean(axis=0)
+    std = numeric_train.std(axis=0)
+    std[std < 1e-9] = 1.0
+    blocks_train.append((numeric_train - mean) / std)
+    blocks_test.append((x_test[:, numeric_cols] - mean) / std)
+    out_names += [names[i] for i in numeric_cols]
+
+    return (
+        np.concatenate(blocks_train, axis=1),
+        np.concatenate(blocks_test, axis=1),
+        out_names,
+    )

@@ -1,0 +1,214 @@
+"""Real-time feature vectors — Definitions 5, 6 and 7 of the paper.
+
+For an area ``a`` at timeslot ``t`` on day ``d`` with window size ``L``:
+
+- **supply-demand vector** ``V_sd`` (2L dims): the first L dims count the
+  *valid* orders at each past minute ``t-ℓ`` (ℓ = 1…L), the last L dims the
+  *invalid* orders;
+- **last-call vector** ``V_lc``: counts passengers whose *last* call in
+  ``[t-L, t)`` happened at ``t-ℓ``, split by whether that call was answered;
+- **waiting-time vector** ``V_wt``: counts passengers by how long they
+  waited between their first and last call inside the window, split by
+  whether they were eventually served.  Waits are indexed 0…L-1 minutes
+  (index 0 = served/gave up at the first call).
+
+:class:`AreaDayProfile` precomputes per-minute structures for one
+(area, day) so that extracting vectors for many timeslots is vectorised:
+
+- the last-call vector needs, for each minute ``m`` and lag ``ℓ``, the
+  number of orders at ``m`` whose passenger did not call again before
+  ``m + ℓ``.  We bucket orders by their *next-call gap* and store suffix
+  sums over the gap axis;
+- the waiting-time vector needs counts of sessions by (first minute, wait,
+  served); we store cumulative sums over the first-minute axis.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..exceptions import DataError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..city.dataset import CityDataset
+
+from ..city.calendar import MINUTES_PER_DAY
+
+
+class AreaDayProfile:
+    """Precomputed per-minute signals for one (area, day).
+
+    Parameters
+    ----------
+    dataset:
+        The simulated city.
+    area_id, day:
+        Which area-day to profile.
+    window:
+        The paper's L — maximum lookback of any vector (paper: 20 minutes).
+    """
+
+    def __init__(self, dataset: "CityDataset", area_id: int, day: int, window: int):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.area_id = area_id
+        self.day = day
+        self.window = window
+
+        self.valid_counts = dataset.valid_counts[area_id, day].astype(np.float64)
+        self.invalid_counts = dataset.invalid_counts[area_id, day].astype(np.float64)
+
+        orders = dataset.area_day_orders(area_id, day)
+        sessions = dataset.area_day_sessions(area_id, day)
+        self._build_last_call_tables(orders)
+        self._build_waiting_time_tables(sessions)
+
+    # ------------------------------------------------------------------
+    # Precomputation
+    # ------------------------------------------------------------------
+
+    def _build_last_call_tables(self, orders: np.ndarray) -> None:
+        """Suffix tables for the last-call vector.
+
+        ``suffix[v][m, k]`` = number of orders (validity ``v``) at minute
+        ``m`` whose passenger's next call is at least ``k`` minutes later
+        (no next call counts as infinitely later).  ``k`` is clamped to the
+        table's last column, which holds the "no further call before any
+        horizon ≤ L" count.
+        """
+        L = self.window
+        n = len(orders)
+        ts = orders["ts"].astype(np.int64)
+        valid = orders["valid"]
+
+        # Next call minute of the same passenger: orders of one passenger
+        # are contiguous once sorted by (pid, ts).
+        if n:
+            sorter = np.lexsort((ts, orders["pid"]))
+            sorted_ts = ts[sorter]
+            sorted_pid = orders["pid"][sorter]
+            next_gap_sorted = np.full(n, L + 1, dtype=np.int64)  # "infinite"
+            same_pid = sorted_pid[1:] == sorted_pid[:-1]
+            gaps = sorted_ts[1:] - sorted_ts[:-1]
+            next_gap_sorted[:-1][same_pid] = np.minimum(gaps[same_pid], L + 1)
+            next_gap = np.empty(n, dtype=np.int64)
+            next_gap[sorter] = next_gap_sorted
+        else:
+            next_gap = np.empty(0, dtype=np.int64)
+
+        self._lc_suffix = []
+        for validity in (True, False):
+            mask = valid == validity
+            table = np.zeros((MINUTES_PER_DAY, L + 2), dtype=np.int64)
+            if mask.any():
+                np.add.at(table, (ts[mask], next_gap[mask]), 1)
+            # suffix over gap axis: column k = count(gap >= k)
+            suffix = table[:, ::-1].cumsum(axis=1)[:, ::-1]
+            self._lc_suffix.append(suffix.astype(np.float64))
+
+    def _build_waiting_time_tables(self, sessions: np.ndarray) -> None:
+        """Cumulative tables for the waiting-time vector.
+
+        ``cumsum[served][w, m]`` = number of sessions with wait exactly
+        ``w`` minutes and first call strictly before minute ``m``.
+        """
+        L = self.window
+        first = sessions["first_ts"].astype(np.int64)
+        wait = (sessions["last_ts"] - sessions["first_ts"]).astype(np.int64)
+        served = sessions["served"]
+        in_range = wait < L  # longer waits cannot fit inside any window
+
+        self._wt_cumsum = []
+        for served_flag in (True, False):
+            mask = (served == served_flag) & in_range
+            table = np.zeros((L, MINUTES_PER_DAY), dtype=np.int64)
+            if mask.any():
+                np.add.at(table, (wait[mask], first[mask]), 1)
+            cumsum = np.concatenate(
+                [np.zeros((L, 1), dtype=np.int64), table.cumsum(axis=1)], axis=1
+            )
+            self._wt_cumsum.append(cumsum.astype(np.float64))
+
+    # ------------------------------------------------------------------
+    # Vector extraction (batched over timeslots)
+    # ------------------------------------------------------------------
+
+    def _check_timeslots(self, timeslots: np.ndarray) -> np.ndarray:
+        timeslots = np.asarray(timeslots, dtype=np.int64)
+        if timeslots.ndim != 1:
+            raise ValueError("timeslots must be a 1-D array")
+        if timeslots.size and (
+            timeslots.min() < self.window or timeslots.max() > MINUTES_PER_DAY
+        ):
+            raise DataError(
+                f"timeslots must lie in [{self.window}, {MINUTES_PER_DAY}] so "
+                "the lookback window fits in the day"
+            )
+        return timeslots
+
+    def supply_demand_vectors(self, timeslots: np.ndarray) -> np.ndarray:
+        """``V_sd`` (Definition 5) for each timeslot — shape ``(T, 2L)``.
+
+        Dimension ℓ-1 counts valid orders at ``t-ℓ``; dimension L+ℓ-1
+        counts invalid orders at ``t-ℓ``.
+        """
+        timeslots = self._check_timeslots(timeslots)
+        lags = np.arange(1, self.window + 1)
+        minutes = timeslots[:, None] - lags[None, :]
+        return np.concatenate(
+            [self.valid_counts[minutes], self.invalid_counts[minutes]], axis=1
+        )
+
+    def last_call_vectors(self, timeslots: np.ndarray) -> np.ndarray:
+        """``V_lc`` (Definition 6) for each timeslot — shape ``(T, 2L)``.
+
+        Dimension ℓ-1 counts passengers whose last call in the window was a
+        *valid* order at ``t-ℓ``; dimension L+ℓ-1 the invalid ones.  "Last
+        call" means no further call by the same passenger before ``t``,
+        i.e. the order's next-call gap is at least ℓ.
+        """
+        timeslots = self._check_timeslots(timeslots)
+        lags = np.arange(1, self.window + 1)
+        minutes = timeslots[:, None] - lags[None, :]
+        gather = (minutes, np.broadcast_to(lags[None, :], minutes.shape))
+        return np.concatenate(
+            [self._lc_suffix[0][gather], self._lc_suffix[1][gather]], axis=1
+        )
+
+    def waiting_time_vectors(self, timeslots: np.ndarray) -> np.ndarray:
+        """``V_wt`` (Definition 7) for each timeslot — shape ``(T, 2L)``.
+
+        Dimension w counts passengers whose whole session (first to last
+        call) fit inside ``[t-L, t)`` with a wait of exactly w minutes and
+        who were eventually served; dimension L+w the unserved ones.
+        """
+        timeslots = self._check_timeslots(timeslots)
+        L = self.window
+        waits = np.arange(L)
+        # Sessions with first call in [t-L, t-w) have their last call
+        # (first + w) inside the window.
+        upper = np.maximum(timeslots[:, None] - waits[None, :], 0)
+        lower = np.maximum(timeslots - L, 0)
+        lower = np.broadcast_to(lower[:, None], upper.shape)
+        upper = np.maximum(upper, lower)
+        cols = np.broadcast_to(waits[None, :], upper.shape)
+        parts = []
+        for table in self._wt_cumsum:
+            parts.append(table[cols, upper] - table[cols, lower])
+        return np.concatenate(parts, axis=1)
+
+    # Single-timeslot conveniences -------------------------------------
+
+    def supply_demand_vector(self, timeslot: int) -> np.ndarray:
+        """``V_sd`` at one timeslot (length 2L)."""
+        return self.supply_demand_vectors(np.array([timeslot]))[0]
+
+    def last_call_vector(self, timeslot: int) -> np.ndarray:
+        """``V_lc`` at one timeslot (length 2L)."""
+        return self.last_call_vectors(np.array([timeslot]))[0]
+
+    def waiting_time_vector(self, timeslot: int) -> np.ndarray:
+        """``V_wt`` at one timeslot (length 2L)."""
+        return self.waiting_time_vectors(np.array([timeslot]))[0]

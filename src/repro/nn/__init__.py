@@ -1,0 +1,77 @@
+"""From-scratch neural-network substrate used by the DeepSD reproduction.
+
+The original paper implemented DeepSD in Theano 0.8.2 on a GPU; this package
+provides the (much smaller) subset of a deep-learning framework the model
+actually needs, built on numpy:
+
+- :class:`~repro.nn.tensor.Tensor` — reverse-mode autograd;
+- layers — :class:`Dense`, :class:`Embedding`, :class:`Dropout`,
+  :class:`Sequential`;
+- :mod:`~repro.nn.functional` — leaky ReLU, softmax, dropout, concat;
+- losses — MSE / MAE / Huber;
+- optimisers — :class:`SGD`, :class:`Adam`;
+- serialization — npz state dicts with non-strict loading for fine-tuning.
+"""
+
+from . import functional, initializers, losses, optim
+from .functional import concat, dropout, leaky_relu, softmax
+from .layers import Dense, Dropout, Embedding, Module, ModuleList, Parameter, Sequential
+from .losses import huber_loss, mae_loss, mse_loss, pinball_loss, quantile_loss
+from .optim import (
+    SGD,
+    Adam,
+    ConstantSchedule,
+    CosineDecay,
+    Optimizer,
+    Scheduler,
+    StepDecay,
+)
+from .serialization import load_state, load_weights, save_state, save_weights
+from .tensor import Tensor, get_default_dtype, set_default_dtype
+from .utils import (
+    check_gradient,
+    clip_gradients,
+    iterate_minibatches,
+    numeric_gradient,
+)
+
+__all__ = [
+    "Tensor",
+    "Module",
+    "Parameter",
+    "Dense",
+    "Embedding",
+    "Dropout",
+    "Sequential",
+    "ModuleList",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "Scheduler",
+    "ConstantSchedule",
+    "StepDecay",
+    "CosineDecay",
+    "clip_gradients",
+    "functional",
+    "initializers",
+    "losses",
+    "optim",
+    "concat",
+    "leaky_relu",
+    "softmax",
+    "dropout",
+    "mse_loss",
+    "mae_loss",
+    "huber_loss",
+    "pinball_loss",
+    "quantile_loss",
+    "save_weights",
+    "load_weights",
+    "save_state",
+    "load_state",
+    "iterate_minibatches",
+    "check_gradient",
+    "numeric_gradient",
+    "set_default_dtype",
+    "get_default_dtype",
+]

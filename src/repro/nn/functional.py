@@ -1,0 +1,88 @@
+"""Differentiable neural-network operations used by DeepSD.
+
+The paper's architecture needs exactly three nonlinearity-style ops beyond
+basic arithmetic: the leaky rectifier used in every fully-connected layer,
+the softmax that turns the (AreaID, WeekID) embedding into the 7-dimensional
+weekday combining weights, and inverted dropout applied after each block.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor, concat  # re-exported: concat is a functional op
+
+__all__ = [
+    "leaky_relu",
+    "linear_activation",
+    "softmax",
+    "dropout",
+    "concat",
+]
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.001) -> Tensor:
+    """The paper's LReL activation: ``max(negative_slope * x, x)``.
+
+    Section VI-B fixes ``negative_slope`` to 0.001 for every
+    fully-connected layer.
+    """
+    data = np.where(x.data > 0, x.data, negative_slope * x.data)
+    slope = np.where(x.data > 0, 1.0, negative_slope)
+
+    def backward(grad):
+        return ((x, grad * slope),)
+
+    return Tensor._from_op(data, (x,), backward, "leaky_relu")
+
+
+def linear_activation(x: Tensor) -> Tensor:
+    """Identity activation (the paper's final output neuron is linear)."""
+    return x
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``.
+
+    Used by the weekday-combining layer (Section V-A, Equation 1) to produce
+    the weight vector ``p`` over the seven historical day-of-week averages.
+    """
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad):
+        # dL/dx = s * (g - sum(g * s))
+        dot = (grad * out).sum(axis=axis, keepdims=True)
+        return ((x, out * (grad - dot)),)
+
+    return Tensor._from_op(out, (x,), backward, "softmax")
+
+
+def dropout(
+    x: Tensor,
+    p: float = 0.5,
+    *,
+    training: bool,
+    rng: Optional[np.random.Generator] = None,
+) -> Tensor:
+    """Inverted dropout: zero activations with probability ``p`` in training.
+
+    Surviving activations are scaled by ``1/(1-p)`` so that inference needs no
+    rescaling.  The paper applies dropout with p = 0.5 after every block
+    except the identity block (Section VI-B3).
+    """
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x
+    rng = rng or np.random.default_rng()
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(x.dtype) / keep
+
+    def backward(grad):
+        return ((x, grad * mask),)
+
+    return Tensor._from_op(x.data * mask, (x,), backward, "dropout")

@@ -1,0 +1,101 @@
+"""Weight initialisation schemes for :mod:`repro.nn` layers.
+
+All initialisers are plain functions ``(shape, rng) -> ndarray`` so layers can
+accept them as keyword arguments.  The defaults mirror common practice for the
+paper's era: Glorot-uniform for dense weights, small uniform noise for
+embedding tables, zeros for biases.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+Initializer = Callable[[Tuple[int, ...], np.random.Generator], np.ndarray]
+
+__all__ = [
+    "Initializer",
+    "zeros",
+    "ones",
+    "uniform",
+    "normal",
+    "glorot_uniform",
+    "he_normal",
+    "embedding_uniform",
+    "get",
+]
+
+
+def zeros(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    return np.ones(shape)
+
+
+def uniform(scale: float = 0.05) -> Initializer:
+    """Uniform noise in ``[-scale, scale]``."""
+
+    def init(shape, rng):
+        return rng.uniform(-scale, scale, size=shape)
+
+    return init
+
+
+def normal(stddev: float = 0.05) -> Initializer:
+    """Gaussian noise with the given standard deviation."""
+
+    def init(shape, rng):
+        return rng.normal(0.0, stddev, size=shape)
+
+    return init
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot & Bengio (2010) uniform initialisation for dense layers."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He et al. (2015) normal initialisation, suited to rectifier nets."""
+    fan_in, _ = _fans(shape)
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def embedding_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Small uniform noise, the customary initialisation for embedding tables."""
+    return rng.uniform(-0.05, 0.05, size=shape)
+
+
+_NAMED: dict[str, Initializer] = {
+    "zeros": zeros,
+    "ones": ones,
+    "glorot_uniform": glorot_uniform,
+    "he_normal": he_normal,
+    "embedding_uniform": embedding_uniform,
+}
+
+
+def get(name_or_fn) -> Initializer:
+    """Resolve an initialiser by name or pass a callable through."""
+    if callable(name_or_fn):
+        return name_or_fn
+    try:
+        return _NAMED[name_or_fn]
+    except KeyError:
+        raise ValueError(
+            f"unknown initializer {name_or_fn!r}; known: {sorted(_NAMED)}"
+        ) from None
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive

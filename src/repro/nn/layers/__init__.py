@@ -1,0 +1,17 @@
+"""Layer library for the :mod:`repro.nn` substrate."""
+
+from .base import Module, Parameter
+from .container import ModuleList, Sequential
+from .dense import Dense
+from .dropout import Dropout
+from .embedding import Embedding
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Dense",
+    "Embedding",
+    "Dropout",
+    "Sequential",
+    "ModuleList",
+]

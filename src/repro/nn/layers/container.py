@@ -1,0 +1,58 @@
+"""Composite modules: Sequential chains and explicit module lists."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from ..tensor import Tensor
+from .base import Module
+
+
+class Sequential(Module):
+    """Apply child modules in order: ``y = f_n(...f_2(f_1(x)))``."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers: List[Module] = list(layers)
+
+    def append(self, layer: Module) -> "Sequential":
+        self.layers.append(layer)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+class ModuleList(Module):
+    """A plain list of modules that participates in parameter discovery."""
+
+    def __init__(self, modules: Iterable[Module] = ()) -> None:
+        super().__init__()
+        self.items: List[Module] = list(modules)
+
+    def append(self, module: Module) -> "ModuleList":
+        self.items.append(module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.items[index]
+
+    def forward(self, *args, **kwargs):
+        raise RuntimeError("ModuleList is a container; call its children directly")

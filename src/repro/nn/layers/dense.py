@@ -1,0 +1,66 @@
+"""Fully-connected layer — the paper's ``FC_sz`` building block."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .. import functional as F
+from .. import initializers
+from ..tensor import Tensor
+from .base import Module, Parameter
+
+
+class Dense(Module):
+    """Fully-connected layer ``f(x W + b)``.
+
+    The paper writes this as ``FC_sz(x) = f(x·W + b)`` with ``f`` the leaky
+    rectifier for hidden layers and identity for the final output neuron
+    (Section IV-B, Section VI-B2).
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output widths.
+    activation:
+        ``"lrelu"`` (default, slope 0.001), ``"linear"``, or any callable
+        mapping a tensor to a tensor.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        activation: str | Callable[[Tensor], Tensor] = "lrelu",
+        *,
+        weight_init=initializers.glorot_uniform,
+        bias_init=initializers.zeros,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("layer widths must be positive")
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(initializers.get(weight_init)((in_features, out_features), rng))
+        self.bias = Parameter(initializers.get(bias_init)((out_features,), rng))
+        self.activation = _resolve_activation(activation)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"Dense expected input width {self.in_features}, got {x.shape[-1]}"
+            )
+        return self.activation(x @ self.weight + self.bias)
+
+
+def _resolve_activation(activation) -> Callable[[Tensor], Tensor]:
+    if callable(activation):
+        return activation
+    if activation == "lrelu":
+        return F.leaky_relu
+    if activation == "linear":
+        return F.linear_activation
+    raise ValueError(f"unknown activation {activation!r} (use 'lrelu' or 'linear')")

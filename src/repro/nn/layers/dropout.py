@@ -1,0 +1,34 @@
+"""Dropout layer wrapping :func:`repro.nn.functional.dropout`."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import functional as F
+from ..tensor import Tensor
+from .base import Module
+
+
+class Dropout(Module):
+    """Inverted dropout with a module-owned random stream.
+
+    The paper applies dropout with probability 0.5 after each block except
+    the identity block (Section VI-B3).  Dropout is only active in training
+    mode; :meth:`Module.eval` disables it.
+    """
+
+    def __init__(self, p: float = 0.5, *, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng or np.random.default_rng()
+
+    def reseed(self, seed: int) -> None:
+        """Reset the dropout noise stream (for reproducible training runs)."""
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training, rng=self._rng)

@@ -1,0 +1,72 @@
+"""Embedding layer mapping categorical ids into a dense low-dimensional space.
+
+Section III-A of the paper: a parameter matrix ``W ∈ R^{I×O}`` where ``I`` is
+the vocabulary size and ``O ≪ I`` the embedding width; looking up id ``i``
+returns row ``i`` of ``W`` (equivalently ``onehot(i) · W``).  The matrix is
+trained jointly with the rest of the network through backpropagation — there
+is no separate pre-training step.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import initializers
+from ..tensor import Tensor
+from .base import Module, Parameter
+
+
+class Embedding(Module):
+    """Trainable lookup table for one categorical feature.
+
+    Parameters
+    ----------
+    vocab_size:
+        Number of distinct category values (``I`` in the paper).
+    embedding_dim:
+        Width of the embedded vectors (``O`` in the paper).
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        embedding_dim: int,
+        *,
+        weight_init=initializers.embedding_uniform,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if vocab_size <= 0 or embedding_dim <= 0:
+            raise ValueError("vocab_size and embedding_dim must be positive")
+        rng = rng or np.random.default_rng()
+        self.vocab_size = vocab_size
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(
+            initializers.get(weight_init)((vocab_size, embedding_dim), rng)
+        )
+
+    def forward(self, ids) -> Tensor:
+        """Embed a batch of integer ids -> ``(batch, embedding_dim)`` tensor."""
+        ids = np.asarray(ids)
+        if ids.ndim != 1:
+            raise ValueError(f"Embedding expects a 1-D id array, got shape {ids.shape}")
+        if ids.size and (ids.min() < 0 or ids.max() >= self.vocab_size):
+            raise IndexError(
+                f"id out of range [0, {self.vocab_size}): "
+                f"min={ids.min()}, max={ids.max()}"
+            )
+        return self.weight.gather_rows(ids)
+
+    def distances(self) -> np.ndarray:
+        """Pairwise Euclidean distances between all embedded category vectors.
+
+        Used by the paper's Table IV analysis: areas whose supply-demand
+        patterns are similar end up close in the embedding space.
+        """
+        w = self.weight.data
+        sq = (w ** 2).sum(axis=1)
+        d2 = sq[:, None] + sq[None, :] - 2.0 * (w @ w.T)
+        np.maximum(d2, 0.0, out=d2)
+        return np.sqrt(d2)

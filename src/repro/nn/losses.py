@@ -1,0 +1,79 @@
+"""Regression losses for training DeepSD and measuring its error.
+
+The paper evaluates with MAE and RMSE (Section VI-A1) and trains the network
+end-to-end against the scalar gap target.  We provide MSE (the natural
+training loss for RMSE), MAE, and Huber as a robust alternative.
+"""
+
+from __future__ import annotations
+
+from .tensor import Tensor
+
+__all__ = ["mse_loss", "mae_loss", "huber_loss", "pinball_loss", "quantile_loss", "get"]
+
+
+def mse_loss(pred: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error ``mean((pred - target)^2)``."""
+    diff = pred - Tensor.ensure(target)
+    return (diff * diff).mean()
+
+
+def mae_loss(pred: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error ``mean(|pred - target|)``."""
+    diff = pred - Tensor.ensure(target)
+    return diff.abs().mean()
+
+
+def huber_loss(pred: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    """Huber loss: quadratic near zero, linear in the tails.
+
+    Useful for the gap target, whose distribution is approximately power-law
+    with occasional very large values (Section VI-A).
+    """
+    if delta <= 0:
+        raise ValueError(f"delta must be positive, got {delta}")
+    diff = (pred - Tensor.ensure(target)).abs()
+    # min(diff, delta) implemented via clip: quad = diff - max(diff - delta, 0)
+    excess = (diff - delta).clip_min(0.0)
+    quadratic = diff - excess
+    return (quadratic * quadratic * 0.5 + excess * delta).mean()
+
+
+def pinball_loss(pred: Tensor, target: Tensor, quantile: float = 0.5) -> Tensor:
+    """Pinball (quantile) loss: train a model to predict a target quantile.
+
+    For a dispatcher, the conditional *median or mean* gap understates risk:
+    sending drivers for the P80 gap hedges against surges.  Minimising
+    ``mean(max(q·e, (q−1)·e))`` with ``e = target − pred`` makes the model
+    estimate the q-th conditional quantile.
+    """
+    if not 0.0 < quantile < 1.0:
+        raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+    error = Tensor.ensure(target) - pred
+    # max(q·e, (q−1)·e) = (q−1)·e + max(e, 0)
+    return ((quantile - 1.0) * error + error.clip_min(0.0)).mean()
+
+
+def quantile_loss(quantile: float):
+    """Factory: a loss function pinned to one quantile (for TrainingConfig)."""
+    if not 0.0 < quantile < 1.0:
+        raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+
+    def loss(pred: Tensor, target: Tensor) -> Tensor:
+        return pinball_loss(pred, target, quantile)
+
+    loss.__name__ = f"pinball_q{quantile:g}"
+    return loss
+
+
+_NAMED = {"mse": mse_loss, "mae": mae_loss, "huber": huber_loss}
+
+
+def get(name_or_fn):
+    """Resolve a loss by name ('mse', 'mae', 'huber') or pass callables through."""
+    if callable(name_or_fn):
+        return name_or_fn
+    try:
+        return _NAMED[name_or_fn]
+    except KeyError:
+        raise ValueError(f"unknown loss {name_or_fn!r}; known: {sorted(_NAMED)}") from None

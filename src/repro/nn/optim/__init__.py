@@ -1,0 +1,16 @@
+"""Optimisers and learning-rate schedules for :mod:`repro.nn`."""
+
+from .adam import Adam
+from .base import Optimizer
+from .schedulers import ConstantSchedule, CosineDecay, Scheduler, StepDecay
+from .sgd import SGD
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "Scheduler",
+    "ConstantSchedule",
+    "StepDecay",
+    "CosineDecay",
+]

@@ -1,0 +1,33 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..layers.base import Parameter
+
+
+class Optimizer:
+    """Base class holding a fixed list of parameters to update.
+
+    Subclasses implement :meth:`step`, reading each parameter's ``.grad``
+    (populated by ``loss.backward()``) and updating ``.data`` in place.
+    """
+
+    def __init__(self, params: Iterable[Parameter]) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        seen = set()
+        for param in self.params:
+            if id(param) in seen:
+                raise ValueError("optimizer received a duplicate parameter")
+            seen.add(id(param))
+
+    def zero_grad(self) -> None:
+        """Clear gradients on all managed parameters."""
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError

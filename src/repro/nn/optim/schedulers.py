@@ -1,0 +1,75 @@
+"""Learning-rate schedules.
+
+The paper trains with a fixed Adam learning rate; schedules are provided as
+infrastructure for the longer paper-scale runs, where a gentle decay
+stabilises the last epochs.  A scheduler wraps an optimizer and mutates its
+``lr`` when :meth:`step` is called (once per epoch).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .base import Optimizer
+
+__all__ = ["Scheduler", "StepDecay", "CosineDecay", "ConstantSchedule"]
+
+
+class Scheduler:
+    """Base class: tracks the epoch count and the initial learning rate."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.initial_lr = float(optimizer.lr)
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new learning rate; returns it."""
+        self.epoch += 1
+        new_lr = self.learning_rate(self.epoch)
+        self.optimizer.lr = new_lr
+        return new_lr
+
+    def learning_rate(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantSchedule(Scheduler):
+    """No-op schedule (the paper's setting)."""
+
+    def learning_rate(self, epoch: int) -> float:
+        return self.initial_lr
+
+
+class StepDecay(Scheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int = 10, gamma: float = 0.5):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def learning_rate(self, epoch: int) -> float:
+        return self.initial_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineDecay(Scheduler):
+    """Cosine annealing from the initial rate down to ``min_lr``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0):
+        super().__init__(optimizer)
+        if total_epochs <= 0:
+            raise ValueError(f"total_epochs must be positive, got {total_epochs}")
+        if min_lr < 0:
+            raise ValueError(f"min_lr must be non-negative, got {min_lr}")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def learning_rate(self, epoch: int) -> float:
+        progress = min(epoch / self.total_epochs, 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.initial_lr - self.min_lr) * cosine

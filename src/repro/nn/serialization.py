@@ -1,0 +1,48 @@
+"""Saving and loading model weights as ``.npz`` archives.
+
+DeepSD's extendability story (Section V-C) depends on partially reusing a
+trained model's parameters: blocks shared between the old and new network
+load their weights, new blocks start fresh.  ``load_weights`` therefore
+supports non-strict loading.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .layers.base import Module
+
+__all__ = ["save_weights", "load_weights", "save_state", "load_state"]
+
+
+def save_state(state: Dict[str, np.ndarray], path: str | os.PathLike) -> None:
+    """Write a raw state dict to ``path`` as a compressed npz archive."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **state)
+
+
+def load_state(path: str | os.PathLike) -> Dict[str, np.ndarray]:
+    """Read a state dict written by :func:`save_state`."""
+    with np.load(os.fspath(path)) as archive:
+        return {key: archive[key].copy() for key in archive.files}
+
+
+def save_weights(model: Module, path: str | os.PathLike) -> None:
+    """Serialize every parameter of ``model`` to ``path``."""
+    save_state(model.state_dict(), path)
+
+
+def load_weights(model: Module, path: str | os.PathLike, strict: bool = True) -> None:
+    """Load weights saved by :func:`save_weights` into ``model``.
+
+    ``strict=False`` enables the paper's fine-tuning workflow: parameters
+    present in the file load, parameters new to the model keep their fresh
+    initialisation.
+    """
+    model.load_state_dict(load_state(path), strict=strict)

@@ -1,0 +1,461 @@
+"""Reverse-mode automatic differentiation on top of numpy.
+
+This module is the foundation of the :mod:`repro.nn` substrate.  The paper
+trained DeepSD with Theano on a GPU; no deep-learning library is available in
+this environment, so we implement the required subset of a tensor library
+ourselves: a :class:`Tensor` wrapping a numpy array, a tape of parent links
+built while the forward pass runs, and a topological-order backward pass.
+
+Only the operations DeepSD needs are provided (dense matmul, broadcasting
+arithmetic, concatenation, row gather for embeddings, leaky ReLU, softmax,
+dropout and reductions).  Everything is expressed with numpy vectorised
+primitives; there are no per-element Python loops on the hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
+
+_DEFAULT_DTYPE = np.float64
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the dtype used when constructing tensors from Python data.
+
+    Gradient-check tests use float64 (the default); large trainings may switch
+    to float32 for speed.
+    """
+    global _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = np.dtype(dtype)
+
+
+def get_default_dtype():
+    """Return the dtype new tensors are created with."""
+    return _DEFAULT_DTYPE
+
+
+def _as_array(value, dtype=None) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        arr = value
+    else:
+        arr = np.asarray(value, dtype=dtype or _DEFAULT_DTYPE)
+    if not np.issubdtype(arr.dtype, np.floating):
+        arr = arr.astype(dtype or _DEFAULT_DTYPE)
+    return arr
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting.
+
+    When a forward op broadcast an operand of ``shape`` up to the output
+    shape, the operand's gradient is the output gradient summed over every
+    broadcast axis.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum away leading axes numpy added in front.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size 1 in the original shape.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array plus the bookkeeping needed for backpropagation.
+
+    Parameters
+    ----------
+    data:
+        Array (or nested sequence / scalar) holding the tensor's value.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "op")
+
+    def __init__(self, data, requires_grad: bool = False, *, dtype=None):
+        self.data: np.ndarray = _as_array(data, dtype)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: tuple = ()
+        self.op: str = "leaf"
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def _from_op(
+        cls,
+        data: np.ndarray,
+        parents: Iterable["Tensor"],
+        backward: Callable[[np.ndarray], None],
+        op: str,
+    ) -> "Tensor":
+        parents = tuple(parents)
+        out = cls.__new__(cls)
+        out.data = data
+        out.grad = None
+        out.requires_grad = any(p.requires_grad for p in parents)
+        out._parents = parents if out.requires_grad else ()
+        out._backward = backward if out.requires_grad else None
+        out.op = op
+        return out
+
+    @staticmethod
+    def ensure(value: ArrayLike) -> "Tensor":
+        """Coerce ``value`` to a (non-differentiable) :class:`Tensor`."""
+        if isinstance(value, Tensor):
+            return value
+        return Tensor(value)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the autograd graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, op={self.op!r}{grad_flag})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        ``grad`` defaults to ones, which for a scalar loss is the usual
+        seed dL/dL = 1.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = _as_array(grad).reshape(self.data.shape)
+
+        order = self._topological_order()
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in order:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                # Leaf: accumulate into .grad
+                if node.requires_grad:
+                    if node.grad is None:
+                        node.grad = node_grad.copy()
+                    else:
+                        node.grad += node_grad
+                continue
+            node._accumulate_parent_grads(node_grad, grads)
+            if node.requires_grad and node.grad is not None:
+                # Intermediate tensors normally do not retain grad; only if a
+                # caller pre-set .grad = 0-array do we accumulate (retain).
+                node.grad += node_grad
+
+    def _accumulate_parent_grads(self, node_grad: np.ndarray, grads: dict) -> None:
+        for parent, parent_grad in self._backward(node_grad):
+            if not parent.requires_grad:
+                continue
+            key = id(parent)
+            if key in grads:
+                grads[key] = grads[key] + parent_grad
+            else:
+                grads[key] = parent_grad
+
+    def _topological_order(self) -> list:
+        """Nodes reachable from self, ordered output-first (reverse topo)."""
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        order.reverse()
+        return order
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor.ensure(other)
+        data = self.data + other.data
+
+        def backward(grad):
+            return (
+                (self, _unbroadcast(grad, self.shape)),
+                (other, _unbroadcast(grad, other.shape)),
+            )
+
+        return Tensor._from_op(data, (self, other), backward, "add")
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor.ensure(other)
+        data = self.data - other.data
+
+        def backward(grad):
+            return (
+                (self, _unbroadcast(grad, self.shape)),
+                (other, _unbroadcast(-grad, other.shape)),
+            )
+
+        return Tensor._from_op(data, (self, other), backward, "sub")
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor.ensure(other).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor.ensure(other)
+        data = self.data * other.data
+
+        def backward(grad):
+            return (
+                (self, _unbroadcast(grad * other.data, self.shape)),
+                (other, _unbroadcast(grad * self.data, other.shape)),
+            )
+
+        return Tensor._from_op(data, (self, other), backward, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor.ensure(other)
+        data = self.data / other.data
+
+        def backward(grad):
+            return (
+                (self, _unbroadcast(grad / other.data, self.shape)),
+                (other, _unbroadcast(-grad * self.data / (other.data ** 2), other.shape)),
+            )
+
+        return Tensor._from_op(data, (self, other), backward, "div")
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor.ensure(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad):
+            return ((self, -grad),)
+
+        return Tensor._from_op(-self.data, (self,), backward, "neg")
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data ** exponent
+
+        def backward(grad):
+            return ((self, grad * exponent * self.data ** (exponent - 1)),)
+
+        return Tensor._from_op(data, (self,), backward, "pow")
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other = Tensor.ensure(other)
+        data = self.data @ other.data
+
+        def backward(grad):
+            return (
+                (self, grad @ other.data.T),
+                (other, self.data.T @ grad),
+            )
+
+        return Tensor._from_op(data, (self, other), backward, "matmul")
+
+    # ------------------------------------------------------------------
+    # Shape ops
+    # ------------------------------------------------------------------
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.shape
+        data = self.data.reshape(shape)
+
+        def backward(grad):
+            return ((self, grad.reshape(original)),)
+
+        return Tensor._from_op(data, (self,), backward, "reshape")
+
+    def transpose(self) -> "Tensor":
+        data = self.data.T
+
+        def backward(grad):
+            return ((self, grad.T),)
+
+        return Tensor._from_op(data, (self,), backward, "transpose")
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def slice_cols(self, start: int, stop: int) -> "Tensor":
+        """Differentiable column slice ``self[:, start:stop]`` of a matrix."""
+        data = self.data[:, start:stop]
+        shape = self.shape
+
+        def backward(grad):
+            full = np.zeros(shape, dtype=grad.dtype)
+            full[:, start:stop] = grad
+            return ((self, full),)
+
+        return Tensor._from_op(data, (self,), backward, "slice_cols")
+
+    def gather_rows(self, indices: np.ndarray) -> "Tensor":
+        """Differentiable row gather ``self[indices]`` (embedding lookup).
+
+        ``indices`` is a 1-D integer array; the gradient scatter-adds back
+        into the gathered rows.
+        """
+        indices = np.asarray(indices, dtype=np.intp)
+        data = self.data[indices]
+        shape = self.shape
+
+        def backward(grad):
+            full = np.zeros(shape, dtype=grad.dtype)
+            np.add.at(full, indices, grad)
+            return ((self, full),)
+
+        return Tensor._from_op(data, (self,), backward, "gather_rows")
+
+    # ------------------------------------------------------------------
+    # Reductions and elementwise nonlinearities
+    # ------------------------------------------------------------------
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+        shape = self.shape
+
+        def backward(grad):
+            if axis is None:
+                return ((self, np.broadcast_to(grad, shape).copy()),)
+            g = grad
+            if not keepdims:
+                g = np.expand_dims(g, axis)
+            return ((self, np.broadcast_to(g, shape).copy()),)
+
+        return Tensor._from_op(data, (self,), backward, "sum")
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            count = self.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def abs(self) -> "Tensor":
+        data = np.abs(self.data)
+        sign = np.sign(self.data)
+
+        def backward(grad):
+            return ((self, grad * sign),)
+
+        return Tensor._from_op(data, (self,), backward, "abs")
+
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(grad):
+            return ((self, grad * data),)
+
+        return Tensor._from_op(data, (self,), backward, "exp")
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward(grad):
+            return ((self, grad / self.data),)
+
+        return Tensor._from_op(data, (self,), backward, "log")
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def clip_min(self, minimum: float) -> "Tensor":
+        """max(self, minimum); gradient passes where self > minimum."""
+        data = np.maximum(self.data, minimum)
+        mask = (self.data > minimum).astype(self.data.dtype)
+
+        def backward(grad):
+            return ((self, grad * mask),)
+
+        return Tensor._from_op(data, (self,), backward, "clip_min")
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 1) -> Tensor:
+    """Differentiable concatenation along ``axis``.
+
+    This realises the paper's Concatenate Layer: it joins the outputs of
+    embedding layers and blocks into one feature vector per batch row.
+    """
+    tensors = [Tensor.ensure(t) for t in tensors]
+    if not tensors:
+        raise ValueError("concat() requires at least one tensor")
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        pieces = []
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(start, stop)
+            pieces.append((tensor, grad[tuple(index)]))
+        return tuple(pieces)
+
+    return Tensor._from_op(data, tensors, backward, "concat")

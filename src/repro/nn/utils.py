@@ -1,0 +1,117 @@
+"""Training utilities: mini-batch iteration and gradient checking."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "iterate_minibatches",
+    "numeric_gradient",
+    "check_gradient",
+    "clip_gradients",
+]
+
+
+def clip_gradients(parameters, max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm.  Heavy-tailed gap targets occasionally
+    produce huge MSE gradients on batches containing extreme events;
+    clipping keeps Adam's moment estimates sane.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    grads = [p.grad for p in parameters if p.grad is not None]
+    if not grads:
+        return 0.0
+    total = float(np.sqrt(sum(float((g ** 2).sum()) for g in grads)))
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for grad in grads:
+            grad *= scale
+    return total
+
+
+def iterate_minibatches(
+    n_items: int,
+    batch_size: int,
+    *,
+    shuffle: bool = True,
+    rng: Optional[np.random.Generator] = None,
+    drop_last: bool = False,
+) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``range(n_items)`` in batches.
+
+    The caller indexes its own feature arrays with each yielded batch, which
+    keeps this helper agnostic to how many arrays make up one example (the
+    advanced DeepSD input is a dozen arrays).
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    indices = np.arange(n_items)
+    if shuffle:
+        rng = rng or np.random.default_rng()
+        rng.shuffle(indices)
+    for start in range(0, n_items, batch_size):
+        batch = indices[start : start + batch_size]
+        if drop_last and batch.size < batch_size:
+            break
+        yield batch
+
+
+def numeric_gradient(
+    fn: Callable[[np.ndarray], float],
+    x: np.ndarray,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central finite-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x)
+        flat[i] = original - eps
+        minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradient(
+    fn: Callable[[Tensor], Tensor],
+    x: np.ndarray,
+    *,
+    eps: float = 1e-6,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Compare autograd and finite-difference gradients of ``fn``.
+
+    ``fn`` must map a tensor to a scalar tensor.  Returns the pair of
+    gradients; raises ``AssertionError`` when they disagree.  Used by the
+    property-based tests that validate every op in :mod:`repro.nn`.
+    """
+    tensor = Tensor(x.astype(np.float64), requires_grad=True)
+    out = fn(tensor)
+    if out.size != 1:
+        raise ValueError("check_gradient requires fn to return a scalar tensor")
+    out.backward()
+    analytic = tensor.grad.copy()
+
+    def scalar_fn(arr: np.ndarray) -> float:
+        return float(fn(Tensor(arr)).data)
+
+    numeric = numeric_gradient(scalar_fn, x.astype(np.float64).copy(), eps=eps)
+    if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+        worst = np.max(np.abs(analytic - numeric))
+        raise AssertionError(
+            f"gradient mismatch: max abs diff {worst:.3e}\n"
+            f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+        )
+    return analytic, numeric

@@ -1,0 +1,62 @@
+"""Tests for the empirical average baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import EmpiricalAverage
+from repro.city import simulate_city
+from repro.config import tiny_scale
+from repro.exceptions import NotFittedError
+from repro.features import FeatureBuilder
+
+
+@pytest.fixture(scope="module")
+def example_sets():
+    scale = tiny_scale()
+    dataset = simulate_city(scale.simulation)
+    return FeatureBuilder(dataset, scale.features).build()
+
+
+class TestEmpiricalAverage:
+    def test_predicts_training_mean_per_pair(self, example_sets):
+        train, _ = example_sets
+        model = EmpiricalAverage().fit(train)
+        predictions = model.predict(train)
+        # For one (area, timeslot) pair, prediction = mean of its train gaps.
+        area, time = int(train.area_ids[0]), int(train.time_ids[0])
+        mask = (train.area_ids == area) & (train.time_ids == time)
+        expected = train.gaps[mask].mean()
+        assert predictions[0] == pytest.approx(expected, rel=1e-6)
+        np.testing.assert_allclose(
+            predictions[mask], np.full(mask.sum(), expected), rtol=1e-6
+        )
+
+    def test_constant_across_days_same_pair(self, example_sets):
+        train, test = example_sets
+        model = EmpiricalAverage().fit(train)
+        predictions = model.predict(test)
+        area, time = int(test.area_ids[0]), int(test.time_ids[0])
+        mask = (test.area_ids == area) & (test.time_ids == time)
+        assert len(np.unique(predictions[mask])) == 1
+
+    def test_unseen_timeslot_falls_back_to_area_mean(self, example_sets):
+        train, test = example_sets
+        model = EmpiricalAverage().fit(train)
+        sub = test.subset(np.array([0]))
+        sub.time_ids = np.array([1439])  # never a training timeslot at tiny scale
+        prediction = model.predict(sub)[0]
+        area = int(sub.area_ids[0])
+        expected = train.gaps[train.area_ids == area].mean()
+        assert prediction == pytest.approx(expected, rel=1e-6)
+
+    def test_predict_before_fit(self, example_sets):
+        train, _ = example_sets
+        with pytest.raises(NotFittedError):
+            EmpiricalAverage().predict(train)
+
+    def test_beats_nothing_but_is_finite(self, example_sets):
+        train, test = example_sets
+        model = EmpiricalAverage().fit(train)
+        predictions = model.predict(test)
+        assert np.isfinite(predictions).all()
+        assert (predictions >= 0).all()

@@ -1,0 +1,94 @@
+"""Property-based tests for the baseline learners' algebraic invariances."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    DecisionTreeRegressor,
+    GradientBoostingRegressor,
+    LassoRegressor,
+    RandomForestRegressor,
+)
+
+
+def make_data(seed, n=200, f=4):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, f))
+    y = x @ rng.normal(size=f) + np.sin(x[:, 0]) + rng.normal(0, 0.2, n)
+    return x, y
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=1000))
+def test_tree_invariant_under_monotone_feature_transform(seed):
+    """Quantile binning only sees feature *order*: a strictly increasing
+    transform of any feature leaves the fitted tree's predictions unchanged."""
+    x, y = make_data(seed)
+    tree_a = DecisionTreeRegressor(max_depth=4).fit(x, y)
+    x_transformed = x.copy()
+    x_transformed[:, 0] = np.exp(x[:, 0])          # strictly increasing
+    x_transformed[:, 1] = x[:, 1] ** 3             # strictly increasing
+    tree_b = DecisionTreeRegressor(max_depth=4).fit(x_transformed, y)
+    np.testing.assert_allclose(tree_a.predict(x), tree_b.predict(x_transformed))
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=1000),
+    st.floats(min_value=-100.0, max_value=100.0),
+)
+def test_gbdt_equivariant_under_target_shift(seed, shift):
+    """Shifting y by a constant shifts every prediction by that constant
+    (the base prediction absorbs it; residuals are unchanged)."""
+    x, y = make_data(seed)
+    a = GradientBoostingRegressor(n_estimators=10, max_depth=3, seed=0).fit(x, y)
+    b = GradientBoostingRegressor(n_estimators=10, max_depth=3, seed=0).fit(
+        x, y + shift
+    )
+    np.testing.assert_allclose(a.predict(x) + shift, b.predict(x), atol=1e-8)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=1000))
+def test_forest_predictions_within_target_range(seed):
+    """Tree leaves hold means of training targets, so ensemble predictions
+    can never leave [min(y), max(y)]."""
+    x, y = make_data(seed)
+    model = RandomForestRegressor(n_estimators=5, max_depth=6, seed=0).fit(x, y)
+    predictions = model.predict(x)
+    assert predictions.min() >= y.min() - 1e-9
+    assert predictions.max() <= y.max() + 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=1000))
+def test_lasso_l1_norm_monotone_in_alpha(seed):
+    """Stronger regularisation never grows the coefficient L1 norm."""
+    x, y = make_data(seed)
+    norms = []
+    for alpha in (0.001, 0.1, 1.0, 10.0):
+        model = LassoRegressor(alpha=alpha, max_iter=300).fit(x, y)
+        norms.append(np.abs(model.coef_).sum())
+    assert all(a >= b - 1e-9 for a, b in zip(norms, norms[1:]))
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=1000))
+def test_lasso_prediction_shift_equivariance(seed):
+    """Shifting y shifts predictions via the intercept only."""
+    x, y = make_data(seed)
+    a = LassoRegressor(alpha=0.1, max_iter=300).fit(x, y)
+    b = LassoRegressor(alpha=0.1, max_iter=300).fit(x, y + 5.0)
+    np.testing.assert_allclose(a.predict(x) + 5.0, b.predict(x), atol=1e-6)
+    np.testing.assert_allclose(a.coef_, b.coef_, atol=1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=1000))
+def test_tree_prediction_is_weighted_mean_preserving(seed):
+    """The average tree prediction equals the target mean on training data
+    (each leaf predicts its members' mean)."""
+    x, y = make_data(seed)
+    tree = DecisionTreeRegressor(max_depth=5).fit(x, y)
+    np.testing.assert_allclose(tree.predict(x).mean(), y.mean(), rtol=1e-9)

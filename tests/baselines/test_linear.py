@@ -1,0 +1,107 @@
+"""Tests for the LASSO coordinate-descent implementation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LassoRegressor, soft_threshold
+from repro.exceptions import NotFittedError
+
+
+RNG = np.random.default_rng(3)
+
+
+class TestSoftThreshold:
+    def test_above(self):
+        assert soft_threshold(3.0, 1.0) == 2.0
+
+    def test_below(self):
+        assert soft_threshold(-3.0, 1.0) == -2.0
+
+    def test_inside_dead_zone(self):
+        assert soft_threshold(0.5, 1.0) == 0.0
+        assert soft_threshold(-0.5, 1.0) == 0.0
+
+    def test_boundary(self):
+        assert soft_threshold(1.0, 1.0) == 0.0
+
+
+class TestLasso:
+    def _toy(self, n=300, noise=0.01):
+        x = RNG.normal(size=(n, 5))
+        true_coef = np.array([2.0, -1.5, 0.0, 0.0, 0.5])
+        y = x @ true_coef + 1.0 + RNG.normal(0, noise, n)
+        return x, y, true_coef
+
+    def test_recovers_coefficients_at_small_alpha(self):
+        x, y, true_coef = self._toy()
+        model = LassoRegressor(alpha=1e-4, max_iter=500).fit(x, y)
+        np.testing.assert_allclose(model.coef_, true_coef, atol=0.05)
+        assert model.intercept_ == pytest.approx(1.0, abs=0.05)
+
+    def test_alpha_zero_is_least_squares(self):
+        x, y, _ = self._toy(noise=0.0)
+        model = LassoRegressor(alpha=0.0, max_iter=1000, tol=1e-10).fit(x, y)
+        # Perfect fit on noiseless data.
+        np.testing.assert_allclose(model.predict(x), y, atol=1e-6)
+
+    def test_sparsity_increases_with_alpha(self):
+        x, y, _ = self._toy()
+        weak = LassoRegressor(alpha=0.01, max_iter=300).fit(x, y)
+        strong = LassoRegressor(alpha=1.0, max_iter=300).fit(x, y)
+        assert strong.sparsity() >= weak.sparsity()
+
+    def test_huge_alpha_kills_all_coefficients(self):
+        x, y, _ = self._toy()
+        model = LassoRegressor(alpha=1e6).fit(x, y)
+        np.testing.assert_array_equal(model.coef_, np.zeros(5))
+        # Prediction collapses to the intercept (= mean of y).
+        np.testing.assert_allclose(model.predict(x), np.full(len(y), y.mean()))
+
+    def test_kkt_conditions_hold(self):
+        """At the optimum: |X_j'r/n| <= alpha for zero coefs, == alpha for
+        active coefs (stationarity of the LASSO objective)."""
+        x, y, _ = self._toy()
+        alpha = 0.1
+        model = LassoRegressor(alpha=alpha, max_iter=2000, tol=1e-12).fit(x, y)
+        residual = y - model.predict(x)
+        n = len(y)
+        for j in range(x.shape[1]):
+            correlation = x[:, j] @ residual / n
+            if model.coef_[j] == 0.0:
+                assert abs(correlation) <= alpha + 1e-6
+            else:
+                assert correlation == pytest.approx(
+                    alpha * np.sign(model.coef_[j]), abs=1e-6
+                )
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LassoRegressor().predict(np.ones((2, 3)))
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            LassoRegressor(alpha=-1.0)
+        with pytest.raises(ValueError):
+            LassoRegressor(max_iter=0)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            LassoRegressor().fit(np.ones(5), np.ones(5))
+        with pytest.raises(ValueError):
+            LassoRegressor().fit(np.ones((5, 2)), np.ones(4))
+        with pytest.raises(ValueError):
+            LassoRegressor().fit(np.ones((0, 2)), np.ones(0))
+
+    def test_constant_feature_ignored(self):
+        x, y, _ = self._toy()
+        x = np.hstack([x, np.ones((len(y), 1))])
+        model = LassoRegressor(alpha=0.01, max_iter=200).fit(x, y)
+        # The constant column carries no signal beyond the intercept.
+        assert np.isfinite(model.coef_).all()
+
+    def test_no_intercept_mode(self):
+        x = RNG.normal(size=(200, 3))
+        y = x @ np.array([1.0, 2.0, 3.0])
+        model = LassoRegressor(alpha=1e-5, fit_intercept=False, max_iter=500).fit(x, y)
+        assert model.intercept_ == 0.0
+        np.testing.assert_allclose(model.coef_, [1.0, 2.0, 3.0], atol=0.01)

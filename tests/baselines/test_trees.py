@@ -1,0 +1,245 @@
+"""Tests for the binner, CART tree, GBDT and random forest."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    Binner,
+    DecisionTreeRegressor,
+    GradientBoostingRegressor,
+    RandomForestRegressor,
+)
+from repro.exceptions import NotFittedError
+
+
+RNG = np.random.default_rng(11)
+
+
+def step_data(n=500):
+    """Piecewise-constant target a depth-2 tree can fit exactly."""
+    x = RNG.uniform(-1, 1, size=(n, 2))
+    y = np.where(x[:, 0] > 0, 10.0, 0.0) + np.where(x[:, 1] > 0.5, 5.0, 0.0)
+    return x, y
+
+
+def smooth_data(n=800):
+    x = RNG.uniform(-2, 2, size=(n, 3))
+    y = np.sin(x[:, 0]) * 3 + x[:, 1] ** 2 + RNG.normal(0, 0.1, n)
+    return x, y
+
+
+class TestBinner:
+    def test_codes_in_range(self):
+        x = RNG.normal(size=(200, 4))
+        codes = Binner(16).fit_transform(x)
+        assert codes.dtype == np.uint8
+        assert codes.max() < 16
+
+    def test_monotone_within_feature(self):
+        x = np.sort(RNG.normal(size=(100, 1)), axis=0)
+        codes = Binner(8).fit_transform(x)
+        assert (np.diff(codes[:, 0].astype(int)) >= 0).all()
+
+    def test_constant_feature_single_bin(self):
+        x = np.ones((50, 1))
+        codes = Binner(8).fit_transform(x)
+        assert len(np.unique(codes)) == 1
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            Binner().transform(np.ones((2, 2)))
+
+    def test_feature_count_mismatch(self):
+        binner = Binner(8).fit(np.ones((10, 3)))
+        with pytest.raises(ValueError):
+            binner.transform(np.ones((5, 2)))
+
+    def test_invalid_n_bins(self):
+        with pytest.raises(ValueError):
+            Binner(1)
+        with pytest.raises(ValueError):
+            Binner(257)
+
+    def test_n_features(self):
+        binner = Binner(8).fit(np.ones((10, 3)))
+        assert binner.n_features == 3
+
+
+class TestDecisionTree:
+    def test_fits_step_function(self):
+        # Quantile binning means the split lands on the nearest bin edge,
+        # so a few points adjacent to the step may be misrouted.
+        x, y = step_data()
+        tree = DecisionTreeRegressor(max_depth=3, n_bins=128).fit(x, y)
+        predictions = tree.predict(x)
+        assert np.isclose(predictions, y, atol=0.5).mean() > 0.95
+        assert ((predictions - y) ** 2).mean() < 0.05 * y.var()
+
+    def test_constant_target_single_leaf(self):
+        x = RNG.normal(size=(100, 3))
+        y = np.full(100, 7.0)
+        tree = DecisionTreeRegressor(max_depth=5).fit(x, y)
+        assert tree.n_nodes == 1
+        np.testing.assert_allclose(tree.predict(x), y)
+
+    def test_depth_limit_respected(self):
+        x, y = smooth_data()
+        tree = DecisionTreeRegressor(max_depth=3).fit(x, y)
+        assert tree.depth <= 3
+
+    def test_min_samples_leaf_respected(self):
+        x, y = smooth_data(200)
+        tree = DecisionTreeRegressor(max_depth=10, min_samples_leaf=20).fit(x, y)
+        codes = tree._binner.transform(x)
+        # Count samples routed to each leaf.
+        leaves = {}
+        for row in range(len(x)):
+            node = 0
+            while tree._nodes[node].feature != -1:
+                n = tree._nodes[node]
+                node = n.left if codes[row, n.feature] <= n.bin_threshold else n.right
+            leaves[node] = leaves.get(node, 0) + 1
+        assert min(leaves.values()) >= 20
+
+    def test_deeper_fits_better(self):
+        x, y = smooth_data()
+        shallow = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        deep = DecisionTreeRegressor(max_depth=8).fit(x, y)
+        err_shallow = ((shallow.predict(x) - y) ** 2).mean()
+        err_deep = ((deep.predict(x) - y) ** 2).mean()
+        assert err_deep < err_shallow
+
+    def test_prediction_is_leaf_mean(self):
+        x, y = smooth_data(300)
+        tree = DecisionTreeRegressor(max_depth=1).fit(x, y)
+        predictions = tree.predict(x)
+        for value in np.unique(predictions):
+            members = predictions == value
+            assert value == pytest.approx(y[members].mean(), rel=1e-9)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeRegressor().predict(np.ones((2, 2)))
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+
+    def test_feature_subsampling_still_works(self):
+        x, y = smooth_data()
+        tree = DecisionTreeRegressor(
+            max_depth=6, max_features=1, rng=np.random.default_rng(0)
+        ).fit(x, y)
+        # Sub-sampled trees are weaker but must beat the mean predictor.
+        assert ((tree.predict(x) - y) ** 2).mean() < y.var()
+
+    def test_fit_binned_then_predict_raw_raises(self):
+        x, y = step_data(100)
+        codes = Binner(8).fit_transform(x)
+        tree = DecisionTreeRegressor(max_depth=2)
+        tree.fit_binned(codes, y)
+        with pytest.raises(ValueError):
+            tree.predict(x)
+        assert tree.predict_binned(codes).shape == (100,)
+
+
+class TestGBDT:
+    def test_improves_over_iterations(self):
+        x, y = smooth_data()
+        model = GradientBoostingRegressor(n_estimators=40, max_depth=3).fit(x, y)
+        scores = model.train_scores_
+        assert scores[-1] < scores[0]
+        assert scores[-1] < 0.5 * np.sqrt(y.var())
+
+    def test_beats_single_tree(self):
+        x, y = smooth_data()
+        x_test, y_test = smooth_data(300)
+        tree = DecisionTreeRegressor(max_depth=3).fit(x, y)
+        gbdt = GradientBoostingRegressor(n_estimators=60, max_depth=3).fit(x, y)
+        err_tree = ((tree.predict(x_test) - y_test) ** 2).mean()
+        err_gbdt = ((gbdt.predict(x_test) - y_test) ** 2).mean()
+        assert err_gbdt < err_tree
+
+    def test_learning_rate_zero_point_one_base_prediction(self):
+        x, y = smooth_data(200)
+        model = GradientBoostingRegressor(n_estimators=1, learning_rate=0.1).fit(x, y)
+        # One tree at lr 0.1 moves predictions only 10% toward residuals.
+        assert abs(model.predict(x).mean() - y.mean()) < 1.0
+
+    def test_subsample_mode(self):
+        x, y = smooth_data()
+        model = GradientBoostingRegressor(
+            n_estimators=20, subsample=0.5, seed=1
+        ).fit(x, y)
+        assert model.n_trees == 20
+        assert ((model.predict(x) - y) ** 2).mean() < y.var()
+
+    def test_deterministic_given_seed(self):
+        x, y = smooth_data(300)
+        a = GradientBoostingRegressor(n_estimators=10, subsample=0.7, seed=5).fit(x, y)
+        b = GradientBoostingRegressor(n_estimators=10, subsample=0.7, seed=5).fit(x, y)
+        np.testing.assert_array_equal(a.predict(x), b.predict(x))
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(subsample=1.5)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            GradientBoostingRegressor().predict(np.ones((2, 2)))
+
+
+class TestRandomForest:
+    def test_beats_mean_predictor(self):
+        x, y = smooth_data()
+        x_test, y_test = smooth_data(300)
+        model = RandomForestRegressor(n_estimators=20, seed=2).fit(x, y)
+        err = ((model.predict(x_test) - y_test) ** 2).mean()
+        assert err < y_test.var()
+
+    def test_prediction_is_tree_average(self):
+        x, y = step_data(200)
+        model = RandomForestRegressor(n_estimators=5, seed=0).fit(x, y)
+        codes = model._binner.transform(x)
+        manual = np.mean([t.predict_binned(codes) for t in model._trees], axis=0)
+        np.testing.assert_allclose(model.predict(x), manual)
+
+    def test_no_bootstrap_trees_identical(self):
+        x, y = step_data(300)
+        model = RandomForestRegressor(
+            n_estimators=5, bootstrap=False, max_features="all", seed=0
+        ).fit(x, y)
+        # Without row/feature randomness all trees are identical, so the
+        # ensemble equals any single tree.
+        codes = model._binner.transform(x)
+        first = model._trees[0].predict_binned(codes)
+        np.testing.assert_allclose(model.predict(x), first)
+        assert ((first - y) ** 2).mean() < 0.05 * y.var()
+
+    def test_max_features_modes(self):
+        x, y = smooth_data(200)
+        for mode in ("sqrt", "all", 2):
+            model = RandomForestRegressor(n_estimators=3, max_features=mode, seed=0)
+            model.fit(x, y)
+            assert model.n_trees == 3
+
+    def test_invalid_max_features(self):
+        x, y = smooth_data(100)
+        with pytest.raises(ValueError):
+            RandomForestRegressor(max_features="half").fit(x, y)
+
+    def test_deterministic_given_seed(self):
+        x, y = smooth_data(200)
+        a = RandomForestRegressor(n_estimators=4, seed=9).fit(x, y)
+        b = RandomForestRegressor(n_estimators=4, seed=9).fit(x, y)
+        np.testing.assert_array_equal(a.predict(x), b.predict(x))
+
+    def test_invalid_n_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=0)

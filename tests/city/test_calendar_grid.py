@@ -1,0 +1,138 @@
+"""Tests for the simulation calendar and city grid."""
+
+import numpy as np
+import pytest
+
+from repro.city import (
+    Archetype,
+    Area,
+    CityGrid,
+    SimulationCalendar,
+    format_timeslot,
+    parse_timeslot,
+)
+
+
+class TestCalendar:
+    def test_day_of_week_cycles(self):
+        cal = SimulationCalendar(n_days=14, start_weekday=0)
+        assert cal.day_of_week(0) == 0
+        assert cal.day_of_week(6) == 6
+        assert cal.day_of_week(7) == 0
+
+    def test_start_weekday_offset(self):
+        cal = SimulationCalendar(n_days=7, start_weekday=5)
+        assert cal.day_of_week(0) == 5
+        assert cal.day_of_week(2) == 0
+
+    def test_weekend_detection(self):
+        cal = SimulationCalendar(n_days=7, start_weekday=0)
+        assert not cal.is_weekend(4)  # Friday
+        assert cal.is_weekend(5)      # Saturday
+        assert cal.is_weekend(6)      # Sunday
+
+    def test_weekday_name(self):
+        cal = SimulationCalendar(n_days=7, start_weekday=0)
+        assert cal.weekday_name(0) == "Monday"
+        assert cal.weekday_name(6) == "Sunday"
+
+    def test_days_with_weekday(self):
+        cal = SimulationCalendar(n_days=21, start_weekday=0)
+        assert cal.days_with_weekday(0) == [0, 7, 14]
+
+    def test_days_with_weekday_before(self):
+        cal = SimulationCalendar(n_days=21, start_weekday=0)
+        assert cal.days_with_weekday(0, before=8) == [0, 7]
+        assert cal.days_with_weekday(0, before=0) == []
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SimulationCalendar(n_days=0)
+        with pytest.raises(ValueError):
+            SimulationCalendar(n_days=5, start_weekday=7)
+
+    def test_day_out_of_range(self):
+        cal = SimulationCalendar(n_days=5)
+        with pytest.raises(ValueError):
+            cal.day_of_week(5)
+
+    def test_invalid_weekday_query(self):
+        cal = SimulationCalendar(n_days=5)
+        with pytest.raises(ValueError):
+            cal.days_with_weekday(7)
+
+
+class TestTimeslotFormat:
+    def test_format(self):
+        assert format_timeslot(0) == "00:00"
+        assert format_timeslot(450) == "07:30"
+        assert format_timeslot(1439) == "23:59"
+
+    def test_parse(self):
+        assert parse_timeslot("07:30") == 450
+        assert parse_timeslot("23:59") == 1439
+
+    def test_roundtrip(self):
+        for ts in (0, 1, 719, 1439):
+            assert parse_timeslot(format_timeslot(ts)) == ts
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_timeslot(1440)
+        with pytest.raises(ValueError):
+            parse_timeslot("24:00")
+
+
+class TestCityGrid:
+    def test_generate_count(self):
+        grid = CityGrid.generate(58, np.random.default_rng(0))
+        assert grid.n_areas == 58
+        assert len(grid) == 58
+
+    def test_ids_dense_and_ordered(self):
+        grid = CityGrid.generate(20, np.random.default_rng(1))
+        for i, area in enumerate(grid):
+            assert area.area_id == i
+
+    def test_core_archetypes_present(self):
+        for seed in range(10):
+            grid = CityGrid.generate(5, np.random.default_rng(seed))
+            archetypes = {a.archetype for a in grid}
+            assert Archetype.RESIDENTIAL in archetypes
+            assert Archetype.BUSINESS in archetypes
+            assert Archetype.ENTERTAINMENT in archetypes
+
+    def test_deterministic_given_seed(self):
+        a = CityGrid.generate(12, np.random.default_rng(5))
+        b = CityGrid.generate(12, np.random.default_rng(5))
+        assert [x.archetype for x in a] == [y.archetype for y in b]
+        assert [x.popularity for x in a] == [y.popularity for y in b]
+
+    def test_popularity_positive(self):
+        grid = CityGrid.generate(30, np.random.default_rng(2))
+        assert all(a.popularity > 0 for a in grid)
+
+    def test_by_archetype(self):
+        grid = CityGrid.generate(30, np.random.default_rng(3))
+        business = grid.by_archetype(Archetype.BUSINESS)
+        assert all(a.archetype is Archetype.BUSINESS for a in business)
+
+    def test_archetype_ids_shape(self):
+        grid = CityGrid.generate(10, np.random.default_rng(4))
+        codes = grid.archetype_ids()
+        assert codes.shape == (10,)
+        assert (codes >= 0).all() and (codes < len(Archetype)).all()
+
+    def test_distance(self):
+        a = Area(0, Archetype.MIXED, 1.0, 100, row=0, col=0)
+        b = Area(1, Archetype.MIXED, 1.0, 100, row=3, col=4)
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_invalid_n_areas(self):
+        with pytest.raises(ValueError):
+            CityGrid.generate(0, np.random.default_rng(0))
+
+    def test_non_dense_ids_rejected(self):
+        areas = [Area(1, Archetype.MIXED, 1.0, 100, 0, 0)]
+        with pytest.raises(ValueError):
+            CityGrid(areas)

@@ -1,0 +1,220 @@
+"""Tests for the demand and supply models."""
+
+import numpy as np
+import pytest
+
+from repro.city import (
+    MINUTES_PER_DAY,
+    Archetype,
+    CityGrid,
+    DemandModel,
+    SimulationCalendar,
+    SupplyModel,
+    WeatherSimulator,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(17)
+    grid = CityGrid.generate(30, rng)
+    calendar = SimulationCalendar(n_days=14, start_weekday=0)
+    weather = WeatherSimulator().simulate(14, rng)
+    return grid, calendar, weather
+
+
+def _first(grid, archetype):
+    areas = grid.by_archetype(archetype)
+    assert areas, f"no {archetype} area generated"
+    return areas[0]
+
+
+class TestDemandModel:
+    def test_intensity_shape_and_positive(self, setup):
+        grid, calendar, weather = setup
+        model = DemandModel()
+        rng = np.random.default_rng(0)
+        intensity = model.intensity(grid[0], 0, calendar, weather, rng)
+        assert intensity.shape == (MINUTES_PER_DAY,)
+        assert (intensity > 0).all()
+
+    def test_residential_morning_peak_on_weekdays(self, setup):
+        grid, _, _ = setup
+        model = DemandModel()
+        area = _first(grid, Archetype.RESIDENTIAL)
+        curve = model.demand_curve(grid, area.area_id, weekend=False)
+        morning = curve[7 * 60 : 9 * 60].mean()
+        midnight = curve[2 * 60 : 4 * 60].mean()
+        assert morning > 3 * midnight
+
+    def test_business_evening_peak_dominates(self, setup):
+        grid, _, _ = setup
+        model = DemandModel()
+        area = _first(grid, Archetype.BUSINESS)
+        curve = model.demand_curve(grid, area.area_id, weekend=False)
+        evening = curve[18 * 60 : 20 * 60].mean()
+        early_afternoon = curve[15 * 60 : 16 * 60].mean()
+        assert evening > early_afternoon
+
+    def test_entertainment_weekend_surge(self, setup):
+        """The paper's Fig. 1(a): entertainment demand jumps on weekends."""
+        grid, _, _ = setup
+        model = DemandModel()
+        area = _first(grid, Archetype.ENTERTAINMENT)
+        weekday = model.demand_curve(grid, area.area_id, weekend=False)
+        weekend = model.demand_curve(grid, area.area_id, weekend=True)
+        assert weekend[12 * 60 : 23 * 60].sum() > 2 * weekday[12 * 60 : 23 * 60].sum()
+
+    def test_business_quieter_on_weekends(self, setup):
+        """The paper's Fig. 1(b): commuter-area demand drops on Sundays."""
+        grid, _, _ = setup
+        model = DemandModel()
+        area = _first(grid, Archetype.BUSINESS)
+        weekday = model.demand_curve(grid, area.area_id, weekend=False)
+        weekend = model.demand_curve(grid, area.area_id, weekend=True)
+        assert weekend.sum() < weekday.sum()
+
+    def test_popularity_scales_demand(self, setup):
+        grid, calendar, weather = setup
+        model = DemandModel(day_noise_sigma=0.0)
+        same_arch = [
+            a for a in grid if a.archetype is grid[0].archetype
+        ]
+        if len(same_arch) >= 2:
+            a, b = same_arch[0], same_arch[1]
+            rng = np.random.default_rng(0)
+            ia = model.intensity(a, 0, calendar, weather, rng)
+            ib = model.intensity(b, 0, calendar, weather, rng)
+            ratio = ia.sum() / ib.sum()
+            assert ratio == pytest.approx(a.popularity / b.popularity, rel=1e-6)
+
+    def test_bad_weather_raises_demand(self, setup):
+        grid, calendar, _ = setup
+        model = DemandModel(day_noise_sigma=0.0)
+        rng = np.random.default_rng(0)
+        # Build two synthetic weather days: all sunny vs all heavy rain.
+        from repro.city.weather import WeatherSeries
+
+        sunny = WeatherSeries(
+            types=np.zeros((1, MINUTES_PER_DAY), dtype=np.int8),
+            temperature=np.full((1, MINUTES_PER_DAY), 20, dtype=np.float32),
+            pm25=np.full((1, MINUTES_PER_DAY), 50, dtype=np.float32),
+        )
+        rainy = WeatherSeries(
+            types=np.full((1, MINUTES_PER_DAY), 5, dtype=np.int8),
+            temperature=np.full((1, MINUTES_PER_DAY), 12, dtype=np.float32),
+            pm25=np.full((1, MINUTES_PER_DAY), 50, dtype=np.float32),
+        )
+        cal = SimulationCalendar(n_days=1)
+        base = model.intensity(grid[0], 0, cal, sunny, np.random.default_rng(1))
+        boosted = model.intensity(grid[0], 0, cal, rainy, np.random.default_rng(1))
+        assert boosted.sum() > 1.2 * base.sum()
+
+    def test_weather_coupling_zero_disables_effect(self, setup):
+        grid, _, _ = setup
+        from repro.city.weather import WeatherSeries
+
+        rainy = WeatherSeries(
+            types=np.full((1, MINUTES_PER_DAY), 5, dtype=np.int8),
+            temperature=np.full((1, MINUTES_PER_DAY), 12, dtype=np.float32),
+            pm25=np.full((1, MINUTES_PER_DAY), 50, dtype=np.float32),
+        )
+        cal = SimulationCalendar(n_days=1)
+        model = DemandModel(weather_coupling=0.0, day_noise_sigma=0.0)
+        with_rain = model.intensity(grid[0], 0, cal, rainy, np.random.default_rng(1))
+        sunny = WeatherSeries(
+            types=np.zeros((1, MINUTES_PER_DAY), dtype=np.int8),
+            temperature=rainy.temperature,
+            pm25=rainy.pm25,
+        )
+        without = model.intensity(grid[0], 0, cal, sunny, np.random.default_rng(1))
+        np.testing.assert_allclose(with_rain, without)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DemandModel(base_rate=0.0)
+        with pytest.raises(ValueError):
+            DemandModel(weather_coupling=2.0)
+
+
+class TestSupplyModel:
+    def test_capacity_shape_and_non_negative(self, setup):
+        grid, calendar, weather = setup
+        model = DemandModel(day_noise_sigma=0.0)
+        rng = np.random.default_rng(3)
+        intensity = model.intensity(grid[0], 0, calendar, weather, rng)
+        supply = SupplyModel()
+        capacity = supply.capacity(
+            grid[0], 0, intensity, weather, np.zeros(MINUTES_PER_DAY), rng
+        )
+        assert capacity.shape == (MINUTES_PER_DAY,)
+        assert (capacity >= 0).all()
+        assert np.issubdtype(capacity.dtype, np.integer)
+
+    def test_mean_capacity_tracks_headroom(self, setup):
+        grid, calendar, weather = setup
+        model = DemandModel(day_noise_sigma=0.0)
+        rng = np.random.default_rng(3)
+        intensity = model.intensity(grid[0], 0, calendar, weather, rng)
+        supply = SupplyModel(
+            headroom=2.0, weather_coupling=0.0, congestion_coupling=0.0, noise_sigma=0.0
+        )
+        capacity = supply.capacity(
+            grid[0], 0, intensity, weather, np.zeros(MINUTES_PER_DAY), rng
+        )
+        ratio = capacity.sum() / intensity.sum()
+        assert 1.8 < ratio < 2.2
+
+    def test_congestion_reduces_capacity(self, setup):
+        grid, calendar, weather = setup
+        model = DemandModel(day_noise_sigma=0.0)
+        intensity = model.intensity(
+            grid[0], 0, calendar, weather, np.random.default_rng(3)
+        )
+        supply = SupplyModel(noise_sigma=0.0, weather_coupling=0.0)
+        free = supply.capacity(
+            grid[0], 0, intensity, weather, np.zeros(MINUTES_PER_DAY),
+            np.random.default_rng(4),
+        )
+        jammed = supply.capacity(
+            grid[0], 0, intensity, weather, np.ones(MINUTES_PER_DAY),
+            np.random.default_rng(4),
+        )
+        assert jammed.sum() < free.sum()
+
+    def test_lag_shifts_capacity_peak(self, setup):
+        grid, _, weather = setup
+        rng = np.random.default_rng(5)
+        minutes = np.arange(MINUTES_PER_DAY, dtype=float)
+        spike = 0.1 + 5.0 * np.exp(-0.5 * ((minutes - 600) / 30) ** 2)
+        lagged = SupplyModel(
+            lag_minutes=60, noise_sigma=0.0, weather_coupling=0.0,
+            congestion_coupling=0.0, smoothing_minutes=1,
+        )
+        capacity = lagged.capacity(
+            grid[0], 0, spike, weather, np.zeros(MINUTES_PER_DAY), rng
+        )
+        # The capacity peak should be well after the demand spike at 600.
+        assert abs(int(np.argmax(capacity)) - 660) <= 20
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SupplyModel(headroom=0.0)
+        with pytest.raises(ValueError):
+            SupplyModel(lag_minutes=-1)
+        with pytest.raises(ValueError):
+            SupplyModel(weather_coupling=1.5)
+
+    def test_wrong_shapes_rejected(self, setup):
+        grid, _, weather = setup
+        supply = SupplyModel()
+        with pytest.raises(ValueError):
+            supply.capacity(
+                grid[0], 0, np.ones(10), weather, np.zeros(MINUTES_PER_DAY),
+                np.random.default_rng(0),
+            )
+        with pytest.raises(ValueError):
+            supply.capacity(
+                grid[0], 0, np.ones(MINUTES_PER_DAY), weather, np.zeros(10),
+                np.random.default_rng(0),
+            )

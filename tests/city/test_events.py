@@ -1,0 +1,127 @@
+"""Tests for the event-surge extension."""
+
+import numpy as np
+import pytest
+
+from repro.city import (
+    Archetype,
+    CityGrid,
+    Event,
+    EventGenerator,
+    EventSchedule,
+    simulate_city,
+)
+from repro.config import SimulationConfig
+
+
+class TestEvent:
+    def test_profile_shape_and_values(self):
+        event = Event(area_id=0, day=1, start_minute=600, duration_minutes=120,
+                      multiplier=3.0)
+        profile = event.intensity_profile()
+        assert profile.shape == (1440,)
+        assert profile[599] == 1.0
+        assert profile[600] == 3.0
+        assert profile[719] == pytest.approx(4.5)  # end-of-event burst
+        assert profile[720] == 1.0
+
+    def test_end_clipped_to_day(self):
+        event = Event(area_id=0, day=0, start_minute=1400, duration_minutes=120,
+                      multiplier=2.0)
+        assert event.end_minute == 1440
+        assert event.intensity_profile().shape == (1440,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Event(0, 0, start_minute=2000, duration_minutes=60, multiplier=2.0)
+        with pytest.raises(ValueError):
+            Event(0, 0, start_minute=600, duration_minutes=0, multiplier=2.0)
+        with pytest.raises(ValueError):
+            Event(0, 0, start_minute=600, duration_minutes=60, multiplier=1.0)
+
+
+class TestEventSchedule:
+    def test_lookup(self):
+        events = [
+            Event(0, 1, 600, 60, 2.0),
+            Event(0, 2, 600, 60, 2.0),
+            Event(1, 1, 600, 60, 2.0),
+        ]
+        schedule = EventSchedule(events=events)
+        assert len(schedule) == 3
+        assert len(schedule.for_area_day(0, 1)) == 1
+        assert len(schedule.for_area_day(2, 1)) == 0
+
+    def test_multipliers_combine(self):
+        events = [Event(0, 1, 600, 60, 2.0), Event(0, 1, 630, 60, 3.0)]
+        schedule = EventSchedule(events=events)
+        profile = schedule.demand_multiplier(0, 1)
+        assert profile[615] == pytest.approx(2.0)
+        # Overlap region multiplies (burst factors may apply too).
+        assert profile[650] >= 6.0
+
+    def test_empty_schedule_identity(self):
+        schedule = EventSchedule(events=[])
+        np.testing.assert_array_equal(schedule.demand_multiplier(0, 0), 1.0)
+
+
+class TestEventGenerator:
+    def test_expected_count(self):
+        rng = np.random.default_rng(0)
+        grid = CityGrid.generate(10, rng)
+        schedule = EventGenerator(events_per_week=7.0).generate(grid, 70, rng)
+        # Expectation = 7 * 70/7 = 70; Poisson spread is ~±25.
+        assert 35 <= len(schedule) <= 110
+
+    def test_zero_rate_no_events(self):
+        rng = np.random.default_rng(0)
+        grid = CityGrid.generate(4, rng)
+        assert len(EventGenerator(0.0).generate(grid, 14, rng)) == 0
+
+    def test_entertainment_hosts_most(self):
+        rng = np.random.default_rng(1)
+        grid = CityGrid.generate(30, rng)
+        schedule = EventGenerator(events_per_week=80.0).generate(grid, 70, rng)
+        by_archetype = {}
+        for event in schedule.events:
+            arch = grid[event.area_id].archetype
+            by_archetype[arch] = by_archetype.get(arch, 0) + 1
+        ent = by_archetype.get(Archetype.ENTERTAINMENT, 0)
+        sub = by_archetype.get(Archetype.SUBURBAN, 0)
+        n_ent = len(grid.by_archetype(Archetype.ENTERTAINMENT))
+        n_sub = max(len(grid.by_archetype(Archetype.SUBURBAN)), 1)
+        assert ent / max(n_ent, 1) > sub / n_sub
+
+    def test_event_times_in_window(self):
+        rng = np.random.default_rng(2)
+        grid = CityGrid.generate(5, rng)
+        schedule = EventGenerator(events_per_week=30.0).generate(grid, 14, rng)
+        for event in schedule.events:
+            assert 14 * 60 <= event.start_minute < 21 * 60
+            assert 90 <= event.duration_minutes < 240
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            EventGenerator(-1.0)
+
+
+class TestSimulationWithEvents:
+    def test_events_raise_demand(self):
+        base_config = SimulationConfig(
+            n_areas=4, n_days=7, seed=123, base_demand_rate=1.0
+        )
+        event_config = SimulationConfig(
+            n_areas=4, n_days=7, seed=123, base_demand_rate=1.0,
+            events_per_week=25.0,
+        )
+        base = simulate_city(base_config)
+        with_events = simulate_city(event_config)
+        assert with_events.n_orders > base.n_orders
+
+    def test_default_config_has_no_events(self):
+        from repro.city import CitySimulator
+
+        simulator = CitySimulator(SimulationConfig(n_areas=2, n_days=2, seed=0,
+                                                   base_demand_rate=0.5))
+        simulator.simulate()
+        assert len(simulator.last_events) == 0

@@ -1,0 +1,136 @@
+"""Tests for CSV import/export — the bring-your-own-data path."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.city import CityDataset, export_csv, import_csv, simulate_city
+from repro.config import SimulationConfig
+from repro.exceptions import DataError
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return simulate_city(
+        SimulationConfig(n_areas=3, n_days=3, seed=5, base_demand_rate=0.8)
+    )
+
+
+@pytest.fixture(scope="module")
+def csv_dir(small_dataset, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("csv_bundle")
+    export_csv(small_dataset, directory)
+    return directory
+
+
+class TestExport:
+    def test_all_files_written(self, csv_dir):
+        for name in ("orders.csv", "weather.csv", "traffic.csv", "areas.csv", "meta.csv"):
+            assert (csv_dir / name).exists()
+
+    def test_orders_row_count(self, csv_dir, small_dataset):
+        with open(csv_dir / "orders.csv", newline="") as handle:
+            n_rows = sum(1 for _ in csv.DictReader(handle))
+        assert n_rows == small_dataset.n_orders
+
+
+class TestRoundtrip:
+    @pytest.fixture(scope="class")
+    def reloaded(self, csv_dir):
+        return import_csv(csv_dir)
+
+    def test_dimensions(self, reloaded, small_dataset):
+        assert reloaded.n_areas == small_dataset.n_areas
+        assert reloaded.n_days == small_dataset.n_days
+        assert reloaded.n_orders == small_dataset.n_orders
+
+    def test_orders_identical(self, reloaded, small_dataset):
+        np.testing.assert_array_equal(reloaded.orders, small_dataset.orders)
+
+    def test_counts_identical(self, reloaded, small_dataset):
+        np.testing.assert_array_equal(
+            reloaded.valid_counts, small_dataset.valid_counts
+        )
+        np.testing.assert_array_equal(
+            reloaded.invalid_counts, small_dataset.invalid_counts
+        )
+
+    def test_gap_queries_match(self, reloaded, small_dataset):
+        for area in range(small_dataset.n_areas):
+            assert reloaded.gap(area, 1, 600) == small_dataset.gap(area, 1, 600)
+
+    def test_weather_close(self, reloaded, small_dataset):
+        np.testing.assert_array_equal(
+            reloaded.weather.types, small_dataset.weather.types
+        )
+        np.testing.assert_allclose(
+            reloaded.weather.temperature, small_dataset.weather.temperature,
+            atol=1e-3,
+        )
+
+    def test_traffic_identical(self, reloaded, small_dataset):
+        np.testing.assert_array_equal(
+            reloaded.traffic.level_counts, small_dataset.traffic.level_counts
+        )
+
+    def test_grid_preserved(self, reloaded, small_dataset):
+        for a, b in zip(reloaded.grid, small_dataset.grid):
+            assert a.archetype == b.archetype
+            assert a.n_road_segments == b.n_road_segments
+
+    def test_derived_sessions_match_simulator(self, reloaded, small_dataset):
+        """Sessions are re-derived from orders; the derived summaries must
+        agree with the simulator's own records."""
+        ours = np.sort(reloaded.sessions, order=["pid"])
+        theirs = np.sort(small_dataset.sessions, order=["pid"])
+        np.testing.assert_array_equal(ours["pid"], theirs["pid"])
+        np.testing.assert_array_equal(ours["first_ts"], theirs["first_ts"])
+        np.testing.assert_array_equal(ours["last_ts"], theirs["last_ts"])
+        np.testing.assert_array_equal(ours["n_calls"], theirs["n_calls"])
+        np.testing.assert_array_equal(ours["served"], theirs["served"])
+
+    def test_features_work_on_imported_data(self, reloaded):
+        from repro.features import AreaDayProfile
+
+        profile = AreaDayProfile(reloaded, 0, 1, 20)
+        assert profile.supply_demand_vector(600).shape == (40,)
+
+
+class TestImportValidation:
+    def test_missing_orders_rejected(self, tmp_path):
+        (tmp_path / "meta.csv").write_text("n_days,start_weekday,n_areas\n2,0,2\n")
+        with pytest.raises(DataError):
+            import_csv(tmp_path)
+
+    def test_missing_meta_requires_explicit_dims(self, csv_dir, tmp_path):
+        import shutil
+
+        partial = tmp_path / "partial"
+        shutil.copytree(csv_dir, partial)
+        (partial / "meta.csv").unlink()
+        with pytest.raises(DataError):
+            import_csv(partial)
+        # Explicit dimensions work.
+        dataset = import_csv(partial, n_days=3, start_weekday=0, n_areas=3)
+        assert dataset.n_days == 3
+
+    def test_missing_areas_synthesised(self, csv_dir, tmp_path):
+        import shutil
+
+        partial = tmp_path / "noareas"
+        shutil.copytree(csv_dir, partial)
+        (partial / "areas.csv").unlink()
+        dataset = import_csv(partial)
+        assert dataset.n_areas == 3
+        assert all(a.popularity == 1.0 for a in dataset.grid)
+
+    def test_out_of_range_orders_rejected(self, csv_dir, tmp_path):
+        import shutil
+
+        broken = tmp_path / "broken"
+        shutil.copytree(csv_dir, broken)
+        with open(broken / "orders.csv", "a", newline="") as handle:
+            handle.write("99,600,123456,0,0,1\n")  # day 99 out of range
+        with pytest.raises(DataError):
+            import_csv(broken)

@@ -1,0 +1,252 @@
+"""Tests for order generation, the full simulator and the dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.city import (
+    MINUTES_PER_DAY,
+    CityDataset,
+    CityGrid,
+    OrderGenerator,
+    RetryPolicy,
+    simulate_city,
+)
+from repro.config import SimulationConfig, tiny_scale
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return simulate_city(tiny_scale().simulation)
+
+
+def _generate_one(arrival_rate=1.0, capacity_level=2, seed=0, **gen_kwargs):
+    rng = np.random.default_rng(seed)
+    grid = CityGrid.generate(3, rng)
+    arrivals = rng.poisson(arrival_rate, size=MINUTES_PER_DAY)
+    capacity = np.full(MINUTES_PER_DAY, capacity_level)
+    dest_weights = np.full(3, 1 / 3)
+    gen = OrderGenerator(**gen_kwargs)
+    return gen.generate_area_day(
+        grid[0], 0, arrivals, capacity, dest_weights, rng, pid_start=1000
+    )
+
+
+class TestRetryPolicy:
+    def test_defaults_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_session_minutes == (policy.max_attempts - 1) * policy.max_delay
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(retry_probability=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(min_delay=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(min_delay=5, max_delay=2)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestOrderGenerator:
+    def test_orders_sorted_by_ts(self):
+        result = _generate_one()
+        assert (np.diff(result.orders["ts"]) >= 0).all()
+
+    def test_pids_offset_by_start(self):
+        result = _generate_one()
+        assert result.orders["pid"].min() >= 1000
+        assert result.sessions["pid"].min() >= 1000
+
+    def test_every_session_has_a_call(self):
+        result = _generate_one()
+        assert (result.sessions["n_calls"] >= 1).all()
+
+    def test_session_call_counts_match_orders(self):
+        result = _generate_one()
+        order_counts = {}
+        for pid in result.orders["pid"]:
+            order_counts[pid] = order_counts.get(pid, 0) + 1
+        for session in result.sessions:
+            assert order_counts.get(session["pid"], 0) == session["n_calls"]
+
+    def test_session_span_bounds_orders(self):
+        result = _generate_one()
+        for session in result.sessions:
+            mask = result.orders["pid"] == session["pid"]
+            ts = result.orders["ts"][mask]
+            assert ts.min() == session["first_ts"]
+            assert ts.max() == session["last_ts"]
+
+    def test_served_session_has_exactly_one_valid_order(self):
+        result = _generate_one()
+        pids_valid = result.orders["pid"][result.orders["valid"]]
+        assert len(pids_valid) == len(set(pids_valid.tolist()))
+        served_pids = set(result.sessions["pid"][result.sessions["served"]].tolist())
+        assert served_pids == set(pids_valid.tolist())
+
+    def test_valid_order_is_sessions_last(self):
+        # Once served, a passenger stops calling.
+        result = _generate_one()
+        orders = result.orders
+        for session in result.sessions[result.sessions["served"]]:
+            mask = orders["pid"] == session["pid"]
+            ts = orders["ts"][mask]
+            valid = orders["valid"][mask]
+            assert valid[np.argmax(ts)]
+
+    def test_session_length_bounded_by_policy(self):
+        policy = RetryPolicy(max_attempts=3, max_delay=2)
+        result = _generate_one(retry_policy=policy)
+        span = result.sessions["last_ts"] - result.sessions["first_ts"]
+        assert span.max() <= policy.max_session_minutes
+
+    def test_zero_capacity_everything_invalid(self):
+        result = _generate_one(capacity_level=0)
+        assert not result.orders["valid"].any()
+        assert not result.sessions["served"].any()
+
+    def test_huge_capacity_everything_valid(self):
+        result = _generate_one(capacity_level=1000)
+        assert result.orders["valid"].all()
+        assert result.sessions["served"].all()
+        # No retries when everyone is served at first call.
+        assert (result.sessions["n_calls"] == 1).all()
+
+    def test_no_retry_policy_single_calls(self):
+        policy = RetryPolicy(retry_probability=0.0)
+        result = _generate_one(capacity_level=0, retry_policy=policy)
+        assert (result.sessions["n_calls"] == 1).all()
+
+    def test_deterministic_given_seed(self):
+        a = _generate_one(seed=9)
+        b = _generate_one(seed=9)
+        np.testing.assert_array_equal(a.orders, b.orders)
+
+    def test_invalid_generator_params(self):
+        with pytest.raises(ValueError):
+            OrderGenerator(idle_persistence=1.5)
+        with pytest.raises(ValueError):
+            OrderGenerator(max_idle_pool=-1)
+
+    def test_wrong_shapes_rejected(self):
+        rng = np.random.default_rng(0)
+        grid = CityGrid.generate(1, rng)
+        gen = OrderGenerator()
+        with pytest.raises(ValueError):
+            gen.generate_area_day(
+                grid[0], 0, np.ones(5), np.ones(MINUTES_PER_DAY),
+                np.ones(1), rng, pid_start=0,
+            )
+
+
+class TestCitySimulator:
+    def test_dataset_dimensions(self, tiny_dataset):
+        scale = tiny_scale()
+        assert tiny_dataset.n_areas == scale.simulation.n_areas
+        assert tiny_dataset.n_days == scale.simulation.n_days
+
+    def test_orders_sorted_by_area_day(self, tiny_dataset):
+        orders = tiny_dataset.orders
+        keys = orders["origin"].astype(np.int64) * 10000 + orders["day"]
+        assert (np.diff(keys) >= 0).all()
+
+    def test_counts_match_orders(self, tiny_dataset):
+        ds = tiny_dataset
+        for area in (0, ds.n_areas - 1):
+            for day in (0, ds.n_days - 1):
+                orders = ds.area_day_orders(area, day)
+                valid = orders[orders["valid"]]
+                invalid = orders[~orders["valid"]]
+                np.testing.assert_array_equal(
+                    ds.valid_counts[area, day],
+                    np.bincount(valid["ts"], minlength=MINUTES_PER_DAY),
+                )
+                np.testing.assert_array_equal(
+                    ds.invalid_counts[area, day],
+                    np.bincount(invalid["ts"], minlength=MINUTES_PER_DAY),
+                )
+
+    def test_gap_equals_invalid_count(self, tiny_dataset):
+        ds = tiny_dataset
+        orders = ds.area_day_orders(1, 2)
+        t = 600
+        manual = int(
+            ((orders["ts"] >= t) & (orders["ts"] < t + 10) & ~orders["valid"]).sum()
+        )
+        assert ds.gap(1, 2, t, horizon=10) == manual
+
+    def test_gap_series_matches_pointwise(self, tiny_dataset):
+        ds = tiny_dataset
+        series = ds.gap_series(0, 0)
+        for t in (0, 100, 700, 1430, 1439):
+            assert series[t] == ds.gap(0, 0, t)
+
+    def test_gap_clipped_at_day_end(self, tiny_dataset):
+        ds = tiny_dataset
+        # Window extending past midnight only counts in-day invalid orders.
+        assert ds.gap(0, 0, 1435, horizon=10) >= 0
+
+    def test_demand_series_totals(self, tiny_dataset):
+        ds = tiny_dataset
+        series = ds.demand_series(2, 1)
+        assert series.sum() == len(ds.area_day_orders(2, 1))
+
+    def test_pids_globally_unique(self, tiny_dataset):
+        pids = tiny_dataset.sessions["pid"]
+        assert len(np.unique(pids)) == len(pids)
+
+    def test_deterministic(self):
+        cfg = SimulationConfig(n_areas=3, n_days=2, seed=321, base_demand_rate=1.0)
+        a = simulate_city(cfg)
+        b = simulate_city(cfg)
+        np.testing.assert_array_equal(a.orders, b.orders)
+        np.testing.assert_array_equal(a.traffic.level_counts, b.traffic.level_counts)
+
+    def test_different_seeds_differ(self):
+        a = simulate_city(SimulationConfig(n_areas=3, n_days=2, seed=1, base_demand_rate=1.0))
+        b = simulate_city(SimulationConfig(n_areas=3, n_days=2, seed=2, base_demand_rate=1.0))
+        assert len(a.orders) != len(b.orders) or not np.array_equal(a.orders, b.orders)
+
+    def test_summary_keys(self, tiny_dataset):
+        summary = tiny_dataset.summary()
+        for key in ("n_areas", "n_days", "n_orders", "valid_fraction", "total_gap"):
+            assert key in summary
+
+    def test_weekly_periodicity_present(self, tiny_dataset):
+        """Same weekday demand curves correlate more than weekday-vs-weekend."""
+        from repro.city import Archetype
+
+        ds = tiny_dataset
+
+        def hourly(area, day):
+            return ds.demand_series(area, day).reshape(24, 60).sum(axis=1)
+
+        # Business areas have the starkest weekday/weekend contrast.
+        candidates = ds.grid.by_archetype(Archetype.BUSINESS) or list(ds.grid)
+        area = candidates[0].area_id
+        # day 0 and day 7 share a weekday; day 5 is Saturday.
+        same = np.corrcoef(hourly(area, 0), hourly(area, 7))[0, 1]
+        cross = np.corrcoef(hourly(area, 0), hourly(area, 5))[0, 1]
+        assert same > cross
+
+
+class TestDatasetPersistence:
+    def test_save_load_roundtrip(self, tiny_dataset, tmp_path):
+        path = tmp_path / "city.npz"
+        tiny_dataset.save(path)
+        loaded = CityDataset.load(path)
+        np.testing.assert_array_equal(loaded.orders, tiny_dataset.orders)
+        np.testing.assert_array_equal(loaded.sessions, tiny_dataset.sessions)
+        np.testing.assert_array_equal(
+            loaded.valid_counts, tiny_dataset.valid_counts
+        )
+        assert loaded.calendar == tiny_dataset.calendar
+        assert [a.archetype for a in loaded.grid] == [
+            a.archetype for a in tiny_dataset.grid
+        ]
+
+    def test_loaded_gap_queries_match(self, tiny_dataset, tmp_path):
+        path = tmp_path / "city.npz"
+        tiny_dataset.save(path)
+        loaded = CityDataset.load(path)
+        assert loaded.gap(0, 1, 480) == tiny_dataset.gap(0, 1, 480)

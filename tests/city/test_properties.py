@@ -1,0 +1,126 @@
+"""Property-based tests (hypothesis) for the city simulator invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.city import (
+    MINUTES_PER_DAY,
+    CityGrid,
+    OrderGenerator,
+    RetryPolicy,
+    SimulationCalendar,
+)
+
+
+@st.composite
+def area_day_inputs(draw):
+    """Random small arrival/capacity series plus a retry policy."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    arrival_rate = draw(st.floats(min_value=0.0, max_value=1.5))
+    capacity_level = draw(st.integers(min_value=0, max_value=4))
+    retry_probability = draw(st.floats(min_value=0.0, max_value=1.0))
+    max_attempts = draw(st.integers(min_value=1, max_value=5))
+    max_delay = draw(st.integers(min_value=1, max_value=5))
+    return seed, arrival_rate, capacity_level, retry_probability, max_attempts, max_delay
+
+
+def _generate(seed, arrival_rate, capacity_level, retry_probability, max_attempts, max_delay):
+    rng = np.random.default_rng(seed)
+    grid = CityGrid.generate(2, rng)
+    arrivals = rng.poisson(arrival_rate, size=MINUTES_PER_DAY)
+    capacity = np.full(MINUTES_PER_DAY, capacity_level)
+    policy = RetryPolicy(
+        retry_probability=retry_probability,
+        max_attempts=max_attempts,
+        min_delay=1,
+        max_delay=max_delay,
+    )
+    generator = OrderGenerator(policy)
+    result = generator.generate_area_day(
+        grid[0], 0, arrivals, capacity, np.array([0.5, 0.5]), rng, pid_start=0
+    )
+    return result, policy, arrivals
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(area_day_inputs())
+def test_sessions_match_arrivals(params):
+    result, _, arrivals = _generate(*params)
+    assert len(result.sessions) == arrivals.sum()
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(area_day_inputs())
+def test_orders_bounded_by_attempts(params):
+    result, policy, arrivals = _generate(*params)
+    assert len(result.orders) <= arrivals.sum() * policy.max_attempts
+    assert len(result.orders) >= len(result.sessions) == arrivals.sum()
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(area_day_inputs())
+def test_served_sessions_have_exactly_one_valid_order(params):
+    result, _, _ = _generate(*params)
+    valid_pids = result.orders["pid"][result.orders["valid"]]
+    # No passenger is served twice.
+    assert len(valid_pids) == len(np.unique(valid_pids))
+    served_pids = set(result.sessions["pid"][result.sessions["served"]].tolist())
+    assert served_pids == set(valid_pids.tolist())
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(area_day_inputs())
+def test_session_spans_respect_policy(params):
+    result, policy, _ = _generate(*params)
+    spans = result.sessions["last_ts"] - result.sessions["first_ts"]
+    assert (spans >= 0).all()
+    assert spans.max(initial=0) <= policy.max_session_minutes
+    assert (result.sessions["n_calls"] <= policy.max_attempts).all()
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(area_day_inputs())
+def test_call_counts_conserved(params):
+    result, _, _ = _generate(*params)
+    assert result.sessions["n_calls"].sum() == len(result.orders)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=200),
+    st.integers(min_value=0, max_value=6),
+)
+def test_calendar_weekday_partition(n_days, start):
+    """Every day belongs to exactly one weekday bucket."""
+    calendar = SimulationCalendar(n_days=n_days, start_weekday=start)
+    buckets = [calendar.days_with_weekday(w) for w in range(7)]
+    all_days = sorted(day for bucket in buckets for day in bucket)
+    assert all_days == list(range(n_days))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=8, max_value=100),
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=1, max_value=99),
+)
+def test_calendar_before_is_prefix(n_days, start, before):
+    calendar = SimulationCalendar(n_days=n_days, start_weekday=start)
+    before = min(before, n_days)
+    for weekday in range(7):
+        full = calendar.days_with_weekday(weekday)
+        prefix = calendar.days_with_weekday(weekday, before=before)
+        assert prefix == [d for d in full if d < before]
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=1, max_value=40), st.integers(min_value=0, max_value=500))
+def test_grid_generation_valid(n_areas, seed):
+    grid = CityGrid.generate(n_areas, np.random.default_rng(seed))
+    assert grid.n_areas == n_areas
+    assert all(a.popularity > 0 for a in grid)
+    assert all(a.n_road_segments > 0 for a in grid)
+    codes = grid.archetype_ids()
+    assert codes.shape == (n_areas,)

@@ -1,0 +1,90 @@
+"""Tests for dataset validation (corruption/failure injection)."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.city import simulate_city, validate_dataset
+from repro.city.dataset import CityDataset
+from repro.config import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def clean():
+    return simulate_city(
+        SimulationConfig(n_areas=3, n_days=3, seed=9, base_demand_rate=0.8)
+    )
+
+
+def corrupted_copy(dataset, **overrides) -> CityDataset:
+    """Rebuild the dataset with some arrays swapped for corrupted versions."""
+    kwargs = dict(
+        grid=dataset.grid,
+        calendar=dataset.calendar,
+        orders=dataset.orders.copy(),
+        sessions=dataset.sessions.copy(),
+        weather=dataset.weather,
+        traffic=dataset.traffic,
+        valid_counts=dataset.valid_counts.copy(),
+        invalid_counts=dataset.invalid_counts.copy(),
+    )
+    kwargs.update(overrides)
+    return CityDataset(**kwargs)
+
+
+class TestCleanDataset:
+    def test_no_problems(self, clean):
+        assert validate_dataset(clean) == []
+
+
+class TestCorruptionDetection:
+    def test_count_mismatch_detected(self, clean):
+        broken = corrupted_copy(clean)
+        broken.valid_counts[0, 0, 600] += 5
+        problems = validate_dataset(broken)
+        assert any("valid_counts" in p for p in problems)
+
+    def test_session_call_mismatch_detected(self, clean):
+        broken = corrupted_copy(clean)
+        broken.sessions["n_calls"][0] += 3
+        problems = validate_dataset(broken)
+        assert any("call counts" in p for p in problems)
+
+    def test_inverted_session_span_detected(self, clean):
+        broken = corrupted_copy(clean)
+        broken.sessions["first_ts"][0] = broken.sessions["last_ts"][0] + 5
+        problems = validate_dataset(broken)
+        assert any("last_ts before first_ts" in p for p in problems)
+
+    def test_duplicate_served_passenger_detected(self, clean):
+        broken = corrupted_copy(clean)
+        # Force two valid orders onto one pid.
+        valid_rows = np.flatnonzero(broken.orders["valid"])
+        assert len(valid_rows) >= 2
+        broken.orders["pid"][valid_rows[1]] = broken.orders["pid"][valid_rows[0]]
+        problems = validate_dataset(broken)
+        assert any("multiple valid orders" in p for p in problems)
+
+    def test_duplicate_session_pid_detected(self, clean):
+        broken = corrupted_copy(clean)
+        broken.sessions["pid"][1] = broken.sessions["pid"][0]
+        problems = validate_dataset(broken)
+        assert any("duplicate session pids" in p for p in problems)
+
+    def test_problem_cap_respected(self, clean):
+        broken = corrupted_copy(clean)
+        broken.valid_counts += 100
+        broken.invalid_counts += 100
+        broken.sessions["n_calls"] += 1
+        problems = validate_dataset(broken, max_problems=2)
+        assert len(problems) == 2
+
+
+class TestImportedDataValidates:
+    def test_csv_roundtrip_is_clean(self, clean, tmp_path):
+        from repro.city import export_csv, import_csv
+
+        export_csv(clean, tmp_path)
+        reloaded = import_csv(tmp_path)
+        assert validate_dataset(reloaded) == []

@@ -1,0 +1,145 @@
+"""Tests for the weather and traffic simulators."""
+
+import numpy as np
+import pytest
+
+from repro.city import (
+    MINUTES_PER_DAY,
+    N_CONGESTION_LEVELS,
+    N_WEATHER_TYPES,
+    WEATHER_TYPES,
+    CityGrid,
+    TrafficSeries,
+    TrafficSimulator,
+    WeatherSeries,
+    WeatherSimulator,
+)
+from repro.city.weather import DEMAND_BOOST, SUPPLY_PENALTY
+
+
+@pytest.fixture(scope="module")
+def weather():
+    return WeatherSimulator().simulate(7, np.random.default_rng(3))
+
+
+class TestWeatherSimulator:
+    def test_shapes(self, weather):
+        assert weather.types.shape == (7, MINUTES_PER_DAY)
+        assert weather.temperature.shape == (7, MINUTES_PER_DAY)
+        assert weather.pm25.shape == (7, MINUTES_PER_DAY)
+
+    def test_types_in_vocabulary(self, weather):
+        assert weather.types.min() >= 0
+        assert weather.types.max() < N_WEATHER_TYPES
+
+    def test_vocabulary_size_matches_paper(self):
+        # Table I: weather type embedding is R^10 -> R^3.
+        assert len(WEATHER_TYPES) == 10
+
+    def test_pm25_positive(self, weather):
+        assert (weather.pm25 >= 1.0).all()
+
+    def test_temperature_diurnal_cycle(self, weather):
+        # Afternoons warmer than pre-dawn on average.
+        afternoon = weather.temperature[:, 14 * 60 : 16 * 60].mean()
+        predawn = weather.temperature[:, 3 * 60 : 5 * 60].mean()
+        assert afternoon > predawn
+
+    def test_weather_is_sticky(self, weather):
+        # Type changes are rare at minute resolution (30-minute steps).
+        changes = (np.diff(weather.types.ravel()) != 0).mean()
+        assert changes < 0.01
+
+    def test_deterministic_given_seed(self):
+        a = WeatherSimulator().simulate(3, np.random.default_rng(11))
+        b = WeatherSimulator().simulate(3, np.random.default_rng(11))
+        np.testing.assert_array_equal(a.types, b.types)
+        np.testing.assert_allclose(a.temperature, b.temperature)
+
+    def test_at_returns_tuple(self, weather):
+        wc_type, temp, pm = weather.at(0, 600)
+        assert 0 <= wc_type < N_WEATHER_TYPES
+        assert isinstance(temp, float)
+        assert pm >= 0
+
+    def test_multiplier_tables_complete(self):
+        assert DEMAND_BOOST.shape == (N_WEATHER_TYPES,)
+        assert SUPPLY_PENALTY.shape == (N_WEATHER_TYPES,)
+        # Bad weather always raises demand and lowers supply vs sunny.
+        assert DEMAND_BOOST[5] > DEMAND_BOOST[0]
+        assert SUPPLY_PENALTY[5] < SUPPLY_PENALTY[0]
+
+    def test_demand_multiplier_shape(self, weather):
+        mult = weather.demand_multiplier(0)
+        assert mult.shape == (MINUTES_PER_DAY,)
+        assert (mult >= 1.0).all()
+
+    def test_invalid_days(self):
+        with pytest.raises(ValueError):
+            WeatherSimulator().simulate(0, np.random.default_rng(0))
+
+    def test_series_shape_validation(self):
+        with pytest.raises(ValueError):
+            WeatherSeries(
+                types=np.zeros((2, 100), dtype=np.int8),
+                temperature=np.zeros((2, 100), dtype=np.float32),
+                pm25=np.zeros((2, 100), dtype=np.float32),
+            )
+
+
+class TestTrafficSimulator:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        rng = np.random.default_rng(5)
+        grid = CityGrid.generate(4, rng)
+        weather = WeatherSimulator().simulate(2, rng)
+        minutes = np.arange(MINUTES_PER_DAY, dtype=float)
+        # Two demand bumps to create congestion peaks.
+        intensity = 0.2 + 2.0 * np.exp(-0.5 * ((minutes - 480) / 60) ** 2)
+        counts = TrafficSimulator().simulate_area_day(
+            grid[0], 0, intensity, weather, rng
+        )
+        return grid, counts, intensity
+
+    def test_shape(self, setup):
+        _, counts, _ = setup
+        assert counts.shape == (MINUTES_PER_DAY, N_CONGESTION_LEVELS)
+
+    def test_segment_conservation(self, setup):
+        grid, counts, _ = setup
+        np.testing.assert_array_equal(
+            counts.sum(axis=1), np.full(MINUTES_PER_DAY, grid[0].n_road_segments)
+        )
+
+    def test_counts_non_negative(self, setup):
+        _, counts, _ = setup
+        assert (counts >= 0).all()
+
+    def test_rush_hour_more_congested_than_night(self, setup):
+        _, counts, _ = setup
+        series = TrafficSeries(level_counts=counts[None, None])
+        congestion = series.congestion_index(0, 0)
+        assert congestion[450:510].mean() > congestion[180:240].mean()
+
+    def test_congestion_index_in_unit_interval(self, setup):
+        _, counts, _ = setup
+        series = TrafficSeries(level_counts=counts[None, None])
+        congestion = series.congestion_index(0, 0)
+        assert (congestion >= 0).all() and (congestion <= 1).all()
+
+    def test_wrong_intensity_shape_rejected(self):
+        rng = np.random.default_rng(0)
+        grid = CityGrid.generate(1, rng)
+        weather = WeatherSimulator().simulate(1, rng)
+        with pytest.raises(ValueError):
+            TrafficSimulator().simulate_area_day(
+                grid[0], 0, np.ones(10), weather, rng
+            )
+
+    def test_series_validation(self):
+        with pytest.raises(ValueError):
+            TrafficSeries(level_counts=np.zeros((2, 2, 1440, 3), dtype=np.int16))
+
+    def test_invalid_coupling(self):
+        with pytest.raises(ValueError):
+            TrafficSimulator(demand_coupling=-1.0)

@@ -1,0 +1,32 @@
+"""Shared fixtures for model tests: one tiny featurized city."""
+
+import pytest
+
+from repro.city import simulate_city
+from repro.config import tiny_scale
+from repro.features import FeatureBuilder
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return tiny_scale()
+
+
+@pytest.fixture(scope="session")
+def dataset(scale):
+    return simulate_city(scale.simulation)
+
+
+@pytest.fixture(scope="session")
+def example_sets(dataset, scale):
+    return FeatureBuilder(dataset, scale.features).build()
+
+
+@pytest.fixture(scope="session")
+def train_set(example_sets):
+    return example_sets[0]
+
+
+@pytest.fixture(scope="session")
+def test_set(example_sets):
+    return example_sets[1]

@@ -1,0 +1,244 @@
+"""Unit tests for the DeepSD blocks."""
+
+import numpy as np
+import pytest
+
+from repro.config import EmbeddingConfig
+from repro.core import (
+    BLOCK_WIDTH,
+    ExtendedBlock,
+    IdentityBlock,
+    OneHotIdentityBlock,
+    OutputHead,
+    SupplyDemandBlock,
+    TrafficBlock,
+    WeatherBlock,
+    WeekdayCombiner,
+    combine_history,
+    make_batch,
+)
+from repro.nn import Tensor
+
+L = 20
+N_AREAS = 6
+EMB = EmbeddingConfig()
+RNG = np.random.default_rng(0)
+
+
+def fake_batch(n=8, rng=None):
+    rng = rng or np.random.default_rng(1)
+    return {
+        "area_ids": rng.integers(0, N_AREAS, n),
+        "time_ids": rng.integers(L, 1430, n),
+        "week_ids": rng.integers(0, 7, n),
+        "sd_now": rng.poisson(2.0, (n, 2 * L)).astype(float),
+        "sd_hist": rng.poisson(2.0, (n, 7, 2 * L)).astype(float),
+        "sd_hist_next": rng.poisson(2.0, (n, 7, 2 * L)).astype(float),
+        "lc_now": rng.poisson(1.0, (n, 2 * L)).astype(float),
+        "lc_hist": rng.poisson(1.0, (n, 7, 2 * L)).astype(float),
+        "lc_hist_next": rng.poisson(1.0, (n, 7, 2 * L)).astype(float),
+        "wt_now": rng.poisson(1.0, (n, 2 * L)).astype(float),
+        "wt_hist": rng.poisson(1.0, (n, 7, 2 * L)).astype(float),
+        "wt_hist_next": rng.poisson(1.0, (n, 7, 2 * L)).astype(float),
+        "weather_types": rng.integers(0, 10, (n, L)),
+        "temperature": rng.normal(0, 1, (n, L)),
+        "pm25": rng.normal(0, 1, (n, L)),
+        "traffic": rng.poisson(30, (n, L, 4)).astype(float),
+    }
+
+
+class TestIdentityBlock:
+    def test_output_dim_matches_table1(self):
+        block = IdentityBlock(58, EMB, RNG)
+        assert block.output_dim == 8 + 6 + 3
+
+    def test_forward_shape(self):
+        block = IdentityBlock(N_AREAS, EMB, RNG)
+        out = block(fake_batch(5))
+        assert out.shape == (5, block.output_dim)
+
+    def test_same_ids_same_rows(self):
+        block = IdentityBlock(N_AREAS, EMB, RNG)
+        batch = fake_batch(4)
+        batch["area_ids"][:] = 3
+        batch["time_ids"][:] = 100
+        batch["week_ids"][:] = 2
+        out = block(batch).data
+        np.testing.assert_array_equal(out[0], out[1])
+
+
+class TestOneHotIdentityBlock:
+    def test_no_parameters(self):
+        block = OneHotIdentityBlock(N_AREAS, EMB)
+        assert block.num_parameters() == 0
+
+    def test_output_dim(self):
+        block = OneHotIdentityBlock(N_AREAS, EMB)
+        assert block.output_dim == N_AREAS + 1440 + 7
+
+    def test_rows_are_one_hot(self):
+        block = OneHotIdentityBlock(N_AREAS, EMB)
+        out = block(fake_batch(6)).data
+        # Each row has exactly three ones: one per categorical feature.
+        np.testing.assert_array_equal(out.sum(axis=1), np.full(6, 3.0))
+        assert set(np.unique(out)) <= {0.0, 1.0}
+
+
+class TestSupplyDemandBlock:
+    def test_shape(self):
+        block = SupplyDemandBlock(L, RNG)
+        out = block(fake_batch(7))
+        assert out.shape == (7, BLOCK_WIDTH)
+
+    def test_grads_flow(self):
+        block = SupplyDemandBlock(L, RNG)
+        block(fake_batch(4)).sum().backward()
+        assert block.hidden.weight.grad is not None
+
+
+class TestEnvironmentBlocks:
+    def test_weather_residual_shape(self):
+        block = WeatherBlock(L, EMB, RNG)
+        x_prev = Tensor(np.random.default_rng(2).normal(size=(5, BLOCK_WIDTH)))
+        out = block(fake_batch(5), x_prev)
+        assert out.shape == (5, BLOCK_WIDTH)
+
+    def test_weather_residual_identity_at_zero_weights(self):
+        """If the block's FC weights are zero, X_out == X_prev (pure shortcut)."""
+        block = WeatherBlock(L, EMB, RNG)
+        block.output.weight.data[:] = 0.0
+        block.output.bias.data[:] = 0.0
+        x_prev = Tensor(np.random.default_rng(2).normal(size=(3, BLOCK_WIDTH)))
+        out = block(fake_batch(3), x_prev)
+        np.testing.assert_allclose(out.data, x_prev.data)
+
+    def test_weather_requires_prev_in_residual_mode(self):
+        block = WeatherBlock(L, EMB, RNG)
+        with pytest.raises(ValueError):
+            block(fake_batch(3), None)
+
+    def test_weather_non_residual_standalone(self):
+        block = WeatherBlock(L, EMB, RNG, residual=False)
+        out = block(fake_batch(3), None)
+        assert out.shape == (3, BLOCK_WIDTH)
+
+    def test_traffic_block_shape(self):
+        block = TrafficBlock(L, RNG)
+        x_prev = Tensor(np.zeros((4, BLOCK_WIDTH)))
+        out = block(fake_batch(4), x_prev)
+        assert out.shape == (4, BLOCK_WIDTH)
+
+    def test_weather_gradients_reach_type_embedding(self):
+        block = WeatherBlock(L, EMB, RNG)
+        x_prev = Tensor(np.zeros((4, BLOCK_WIDTH)))
+        block(fake_batch(4), x_prev).sum().backward()
+        assert block.type_embedding.weight.grad is not None
+        assert np.abs(block.type_embedding.weight.grad).sum() > 0
+
+
+class TestWeekdayCombiner:
+    def test_weights_are_simplex(self):
+        combiner = WeekdayCombiner(N_AREAS, EMB, RNG)
+        out = combiner(fake_batch(10)).data
+        assert out.shape == (10, 7)
+        assert (out > 0).all()
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(10), atol=1e-9)
+
+    def test_weights_for_single_pair(self):
+        combiner = WeekdayCombiner(N_AREAS, EMB, RNG)
+        weights = combiner.weights_for(2, 6)
+        assert weights.shape == (7,)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_depends_on_area_and_week(self):
+        combiner = WeekdayCombiner(N_AREAS, EMB, RNG)
+        a = combiner.weights_for(0, 0)
+        b = combiner.weights_for(1, 0)
+        c = combiner.weights_for(0, 3)
+        assert not np.allclose(a, b)
+        assert not np.allclose(a, c)
+
+
+class TestCombineHistory:
+    def test_one_hot_weights_select_weekday(self):
+        history = np.arange(7.0)[None, :, None] * np.ones((2, 7, 4))
+        weights = np.zeros((2, 7))
+        weights[:, 3] = 1.0
+        out = combine_history(Tensor(weights), history)
+        np.testing.assert_allclose(out.data, np.full((2, 4), 3.0))
+
+    def test_uniform_weights_average(self):
+        rng = np.random.default_rng(5)
+        history = rng.normal(size=(3, 7, 5))
+        weights = Tensor(np.full((3, 7), 1 / 7))
+        out = combine_history(weights, history)
+        np.testing.assert_allclose(out.data, history.mean(axis=1), atol=1e-12)
+
+    def test_gradients_flow_to_weights(self):
+        history = np.random.default_rng(6).normal(size=(2, 7, 3))
+        weights = Tensor(np.full((2, 7), 1 / 7), requires_grad=True)
+        combine_history(weights, history).sum().backward()
+        np.testing.assert_allclose(weights.grad, history.sum(axis=2))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            combine_history(Tensor(np.zeros((2, 6))), np.zeros((2, 7, 3)))
+        with pytest.raises(ValueError):
+            combine_history(Tensor(np.zeros((2, 7))), np.zeros((2, 6, 3)))
+
+
+class TestExtendedBlock:
+    def test_first_block_no_residual_input(self):
+        block = ExtendedBlock("sd", L, N_AREAS, EMB, 16, RNG, residual_input=False)
+        out = block(fake_batch(5))
+        assert out.shape == (5, BLOCK_WIDTH)
+
+    def test_chained_block_shape(self):
+        block = ExtendedBlock("lc", L, N_AREAS, EMB, 16, RNG)
+        x_prev = Tensor(np.zeros((5, BLOCK_WIDTH)))
+        out = block(fake_batch(5), x_prev)
+        assert out.shape == (5, BLOCK_WIDTH)
+
+    def test_residual_identity_at_zero_output_weights(self):
+        block = ExtendedBlock("wt", L, N_AREAS, EMB, 16, RNG)
+        block.output.weight.data[:] = 0.0
+        block.output.bias.data[:] = 0.0
+        x_prev = Tensor(np.random.default_rng(0).normal(size=(4, BLOCK_WIDTH)))
+        out = block(fake_batch(4), x_prev)
+        np.testing.assert_allclose(out.data, x_prev.data)
+
+    def test_missing_prev_raises(self):
+        block = ExtendedBlock("sd", L, N_AREAS, EMB, 16, RNG)
+        with pytest.raises(ValueError):
+            block(fake_batch(3))
+
+    def test_unknown_signal_rejected(self):
+        with pytest.raises(ValueError):
+            ExtendedBlock("xx", L, N_AREAS, EMB, 16, RNG)
+
+    def test_invalid_projection_dim(self):
+        with pytest.raises(ValueError):
+            ExtendedBlock("sd", L, N_AREAS, EMB, 0, RNG)
+
+    def test_weekday_weights_exposed(self):
+        block = ExtendedBlock("sd", L, N_AREAS, EMB, 16, RNG, residual_input=False)
+        weights = block.weekday_weights(0, 1)
+        assert weights.shape == (7,)
+        assert weights.sum() == pytest.approx(1.0)
+
+
+class TestOutputHead:
+    def test_scalar_per_item(self):
+        head = OutputHead(49, RNG)
+        out = head(Tensor(np.random.default_rng(1).normal(size=(6, 49))))
+        assert out.shape == (6,)
+
+    def test_linear_output_unbounded(self):
+        # The final neuron is linear: large negative inputs can produce
+        # large negative outputs (no squashing).
+        head = OutputHead(4, RNG)
+        head.neuron.weight.data[:] = 1.0
+        head.neuron.bias.data[:] = 0.0
+        head.hidden.weight.data[:] = 1.0
+        out = head(Tensor(np.full((1, 4), 100.0)))
+        assert out.data[0] > 100

@@ -1,0 +1,154 @@
+"""Tests for the BasicDeepSD and AdvancedDeepSD models."""
+
+import numpy as np
+import pytest
+
+from repro.config import EmbeddingConfig
+from repro.core import AdvancedDeepSD, BasicDeepSD, make_batch
+from repro.nn import save_weights, load_weights
+
+from .test_blocks import L, N_AREAS, fake_batch
+
+
+@pytest.fixture(params=[BasicDeepSD, AdvancedDeepSD], ids=["basic", "advanced"])
+def model_cls(request):
+    return request.param
+
+
+class TestForward:
+    def test_output_shape(self, model_cls):
+        model = model_cls(N_AREAS, L, seed=0)
+        out = model(fake_batch(9))
+        assert out.shape == (9,)
+
+    def test_deterministic_in_eval_mode(self, model_cls):
+        model = model_cls(N_AREAS, L, seed=0)
+        model.eval()
+        batch = fake_batch(5)
+        a = model(batch).data
+        b = model(batch).data
+        np.testing.assert_array_equal(a, b)
+
+    def test_training_mode_dropout_varies(self, model_cls):
+        model = model_cls(N_AREAS, L, seed=0, dropout=0.5)
+        model.train()
+        batch = fake_batch(5)
+        a = model(batch).data.copy()
+        b = model(batch).data.copy()
+        assert not np.array_equal(a, b)
+
+    def test_gradients_reach_all_parameters(self, model_cls):
+        model = model_cls(N_AREAS, L, seed=0, dropout=0.0)
+        model(fake_batch(6)).sum().backward()
+        missing = [
+            name for name, p in model.named_parameters() if p.grad is None
+        ]
+        assert missing == []
+
+    def test_no_weather_no_traffic_variant(self, model_cls):
+        model = model_cls(N_AREAS, L, seed=0, use_weather=False, use_traffic=False)
+        assert model.weather_block is None
+        assert model.traffic_block is None
+        out = model(fake_batch(4))
+        assert out.shape == (4,)
+
+    def test_weather_only_variant(self, model_cls):
+        model = model_cls(N_AREAS, L, seed=0, use_weather=True, use_traffic=False)
+        out = model(fake_batch(4))
+        assert out.shape == (4,)
+
+    def test_non_residual_variant(self, model_cls):
+        model = model_cls(N_AREAS, L, seed=0, residual=False)
+        out = model(fake_batch(4))
+        assert out.shape == (4,)
+
+    def test_onehot_variant(self, model_cls):
+        model = model_cls(N_AREAS, L, seed=0, identity_encoding="onehot")
+        out = model(fake_batch(4))
+        assert out.shape == (4,)
+
+    def test_invalid_encoding(self, model_cls):
+        with pytest.raises(ValueError):
+            model_cls(N_AREAS, L, identity_encoding="binary")
+
+    def test_seed_reproducibility(self, model_cls):
+        a = model_cls(N_AREAS, L, seed=7)
+        b = model_cls(N_AREAS, L, seed=7)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+
+class TestEmbeddingAccess:
+    def test_area_embedding_matrix_shape(self, model_cls):
+        model = model_cls(N_AREAS, L, EmbeddingConfig(), seed=0)
+        matrix = model.area_embedding_matrix()
+        assert matrix.shape == (N_AREAS, EmbeddingConfig().area_dim)
+
+    def test_onehot_has_no_embedding(self, model_cls):
+        model = model_cls(N_AREAS, L, seed=0, identity_encoding="onehot")
+        with pytest.raises(AttributeError):
+            model.area_embedding_matrix()
+
+
+class TestAdvancedSpecifics:
+    def test_weekday_weights(self):
+        model = AdvancedDeepSD(N_AREAS, L, seed=0)
+        weights = model.weekday_weights(1, 2)
+        assert weights.shape == (7,)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_projection_dim_configurable(self):
+        model = AdvancedDeepSD(N_AREAS, L, seed=0, projection_dim=8)
+        assert model.sd_block.projection.out_features == 8
+
+
+class TestFineTuningWorkflow:
+    """Section V-C: grow a trained model with new blocks and keep weights."""
+
+    def test_shared_blocks_load_non_strict(self, tmp_path, model_cls):
+        base = model_cls(N_AREAS, L, seed=0, use_weather=False, use_traffic=False)
+        path = tmp_path / "base.npz"
+        save_weights(base, path)
+
+        grown = model_cls(N_AREAS, L, seed=99, use_weather=True, use_traffic=True)
+        load_weights(grown, path, strict=False)
+
+        # Shared block weights must equal the base model's...
+        np.testing.assert_array_equal(
+            grown.sd_block.hidden.weight.data, base.sd_block.hidden.weight.data
+        )
+        np.testing.assert_array_equal(
+            grown.head.hidden.weight.data, base.head.hidden.weight.data
+        )
+        # ...and the new environment blocks keep their fresh (seed 99) init.
+        fresh = model_cls(N_AREAS, L, seed=99, use_weather=True, use_traffic=True)
+        np.testing.assert_array_equal(
+            grown.weather_block.hidden.weight.data,
+            fresh.weather_block.hidden.weight.data,
+        )
+
+    def test_grown_model_prediction_changes_only_via_new_blocks(self, model_cls):
+        """With zeroed new-block outputs, the grown model reproduces the base model."""
+        base = model_cls(N_AREAS, L, seed=0, use_weather=False, use_traffic=False)
+        grown = model_cls(N_AREAS, L, seed=1, use_weather=True, use_traffic=True)
+        grown.load_state_dict(base.state_dict(), strict=False)
+        for block in (grown.weather_block, grown.traffic_block):
+            block.output.weight.data[:] = 0.0
+            block.output.bias.data[:] = 0.0
+        base.eval()
+        grown.eval()
+        batch = fake_batch(5)
+        np.testing.assert_allclose(grown(batch).data, base(batch).data, atol=1e-9)
+
+
+class TestMakeBatch:
+    def test_subset_rows(self, train_set):
+        batch = make_batch(train_set, np.array([0, 2, 4]))
+        assert batch["sd_now"].shape[0] == 3
+        np.testing.assert_array_equal(
+            batch["area_ids"], train_set.area_ids[[0, 2, 4]]
+        )
+
+    def test_full_set(self, train_set):
+        batch = make_batch(train_set)
+        assert batch["sd_now"].shape[0] == train_set.n_items

@@ -1,0 +1,81 @@
+"""Tests for input scaling and batching."""
+
+import numpy as np
+import pytest
+
+from repro.core import INPUT_FIELDS, InputScales, batch_targets, make_batch
+from repro.core.normalization import _SCALED_KEYS
+
+
+class TestInputScales:
+    def test_defaults_identity(self):
+        scales = InputScales()
+        batch = {"sd_now": np.ones((2, 4))}
+        out = scales.apply(batch)
+        assert out["sd_now"] is batch["sd_now"]  # factor 1.0: untouched
+
+    def test_apply_divides(self):
+        scales = InputScales(sd=2.0)
+        batch = {"sd_now": np.full((2, 4), 6.0), "sd_hist": np.full((2, 7, 4), 4.0)}
+        out = scales.apply(batch)
+        np.testing.assert_allclose(out["sd_now"], 3.0)
+        np.testing.assert_allclose(out["sd_hist"], 2.0)
+
+    def test_apply_does_not_mutate_input(self):
+        scales = InputScales(sd=2.0)
+        batch = {"sd_now": np.full((2, 4), 6.0)}
+        scales.apply(batch)
+        np.testing.assert_allclose(batch["sd_now"], 6.0)
+
+    def test_traffic_scaled(self):
+        scales = InputScales(traffic=10.0)
+        out = scales.apply({"traffic": np.full((1, 2, 4), 30.0)})
+        np.testing.assert_allclose(out["traffic"], 3.0)
+
+    def test_missing_keys_ignored(self):
+        scales = InputScales(sd=2.0, lc=3.0)
+        out = scales.apply({"sd_now": np.ones((1, 2))})
+        assert "lc_now" not in out
+
+    def test_from_example_set(self, train_set):
+        scales = InputScales.from_example_set(train_set)
+        assert scales.sd == pytest.approx(float(train_set.sd_now.std()))
+        assert scales.traffic == pytest.approx(float(train_set.traffic.std()))
+        assert scales.sd > 0
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            InputScales(sd=0.0)
+        with pytest.raises(ValueError):
+            InputScales(traffic=-1.0)
+
+    def test_scaled_keys_cover_all_count_fields(self):
+        scaled = {key for keys in _SCALED_KEYS.values() for key in keys}
+        count_fields = {
+            f for f in INPUT_FIELDS
+            if f.startswith(("sd_", "lc_", "wt_")) or f == "traffic"
+        }
+        assert scaled == count_fields
+
+
+class TestBatching:
+    def test_make_batch_full(self, train_set):
+        batch = make_batch(train_set)
+        assert set(batch) == set(INPUT_FIELDS)
+        assert batch["sd_now"] is train_set.sd_now  # no copy without indices
+
+    def test_make_batch_subset(self, train_set):
+        indices = np.array([1, 3])
+        batch = make_batch(train_set, indices)
+        np.testing.assert_array_equal(batch["week_ids"], train_set.week_ids[indices])
+
+    def test_make_batch_selected_fields(self, train_set):
+        batch = make_batch(train_set, fields=("sd_now", "area_ids"))
+        assert set(batch) == {"sd_now", "area_ids"}
+
+    def test_batch_targets(self, train_set):
+        np.testing.assert_array_equal(batch_targets(train_set), train_set.gaps)
+        indices = np.array([0, 2])
+        np.testing.assert_array_equal(
+            batch_targets(train_set, indices), train_set.gaps[indices]
+        )

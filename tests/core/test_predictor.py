@@ -1,0 +1,121 @@
+"""Tests for the online GapPredictor.
+
+The key consistency property: a prediction for an (area, day, timeslot)
+triple that exists in a pre-built ExampleSet must equal the batch
+prediction for that item — the on-demand featurization path and the bulk
+builder path must agree exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BasicDeepSD, GapPredictor, GapQuery, Trainer, TrainingConfig
+from repro.exceptions import DataError
+
+
+@pytest.fixture(scope="module")
+def trained(dataset, scale, example_sets):
+    train_set, test_set = example_sets
+    model = BasicDeepSD(
+        dataset.n_areas, scale.features.window_minutes, scale.embeddings,
+        dropout=0.1, seed=2,
+    )
+    trainer = Trainer(model, TrainingConfig(epochs=3, best_k=2, seed=2))
+    trainer.fit(train_set, eval_set=test_set)
+    return trainer
+
+
+@pytest.fixture(scope="module")
+def predictor(trained, dataset, scale, example_sets):
+    train_set, _ = example_sets
+    return GapPredictor.from_training(
+        trained, dataset, scale.features, train_set
+    )
+
+
+class TestConsistencyWithBuilder:
+    def test_matches_batch_prediction(self, predictor, trained, example_sets):
+        _, test_set = example_sets
+        batch_predictions = trained.predict(test_set)
+        for i in (0, len(test_set) // 2, len(test_set) - 1):
+            online = predictor.predict(
+                int(test_set.area_ids[i]),
+                int(test_set.day_ids[i]),
+                int(test_set.time_ids[i]),
+            )
+            assert online == pytest.approx(batch_predictions[i], rel=1e-5)
+
+    def test_features_match_builder(self, predictor, example_sets):
+        _, test_set = example_sets
+        i = 7
+        query = GapQuery(
+            int(test_set.area_ids[i]),
+            int(test_set.day_ids[i]),
+            int(test_set.time_ids[i]),
+        )
+        online_set = predictor._featurize([query])
+        np.testing.assert_allclose(online_set.sd_now[0], test_set.sd_now[i], rtol=1e-6)
+        np.testing.assert_allclose(online_set.sd_hist[0], test_set.sd_hist[i], rtol=1e-5)
+        np.testing.assert_allclose(
+            online_set.sd_hist_next[0], test_set.sd_hist_next[i], rtol=1e-5
+        )
+        np.testing.assert_allclose(online_set.wt_hist[0], test_set.wt_hist[i], rtol=1e-5)
+        np.testing.assert_allclose(
+            online_set.temperature[0], test_set.temperature[i], rtol=1e-4
+        )
+        np.testing.assert_array_equal(
+            online_set.weather_types[0], test_set.weather_types[i]
+        )
+        assert online_set.gaps[0] == test_set.gaps[i]
+
+
+class TestPredictorAPI:
+    def test_predict_many_order(self, predictor, example_sets):
+        _, test_set = example_sets
+        queries = [
+            GapQuery(int(test_set.area_ids[i]), int(test_set.day_ids[i]),
+                     int(test_set.time_ids[i]))
+            for i in (0, 1, 2)
+        ]
+        batch = predictor.predict_many(queries)
+        singles = [predictor.predict(q.area_id, q.day, q.timeslot) for q in queries]
+        np.testing.assert_allclose(batch, singles, rtol=1e-6)
+
+    def test_empty_queries(self, predictor):
+        assert predictor.predict_many([]).shape == (0,)
+
+    def test_arbitrary_timeslot_works(self, predictor):
+        # Not on any training/test grid: 10:07.
+        value = predictor.predict(0, 8, 607)
+        assert np.isfinite(value)
+
+    def test_actual_gap_matches_dataset(self, predictor, dataset):
+        assert predictor.actual_gap(1, 2, 600) == dataset.gap(1, 2, 600)
+
+    def test_profiles_cached(self, predictor):
+        predictor.predict(0, 8, 500)
+        first = predictor._profiles[(0, 8)]
+        predictor.predict(0, 8, 520)
+        assert predictor._profiles[(0, 8)] is first
+
+
+class TestValidation:
+    def test_bad_area(self, predictor):
+        with pytest.raises(DataError):
+            predictor.predict(999, 0, 500)
+
+    def test_bad_day(self, predictor):
+        with pytest.raises(DataError):
+            predictor.predict(0, 999, 500)
+
+    def test_timeslot_too_early(self, predictor):
+        with pytest.raises(DataError):
+            predictor.predict(0, 0, 5)
+
+    def test_timeslot_too_late(self, predictor):
+        with pytest.raises(DataError):
+            predictor.predict(0, 0, 1439)
+
+    def test_missing_scalers_rejected(self, trained, dataset, scale):
+        with pytest.raises(DataError):
+            GapPredictor(trained, dataset, scale.features, {"temperature": (0, 1)})

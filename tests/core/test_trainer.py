@@ -1,0 +1,172 @@
+"""Tests for the training loop and the paper's training protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdvancedDeepSD,
+    BasicDeepSD,
+    Trainer,
+    TrainingConfig,
+    TrainingHistory,
+    predict_gaps,
+)
+from repro.core.trainer import _average_states
+from repro.exceptions import ConfigError
+
+
+class TestTrainingConfig:
+    def test_paper_defaults(self):
+        config = TrainingConfig()
+        assert config.epochs == 50
+        assert config.batch_size == 64
+        assert config.best_k == 10
+        assert config.loss == "mse"
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TrainingConfig(epochs=0)
+        with pytest.raises(ConfigError):
+            TrainingConfig(batch_size=0)
+        with pytest.raises(ConfigError):
+            TrainingConfig(learning_rate=0.0)
+        with pytest.raises(ConfigError):
+            TrainingConfig(best_k=0)
+
+
+class TestTrainingHistory:
+    def test_best_epochs_by_rmse(self):
+        history = TrainingHistory(
+            train_loss=[5.0, 4.0, 3.0],
+            eval_rmse=[10.0, 8.0, 9.0],
+        )
+        assert history.best_epochs(2) == [1, 2]
+
+    def test_best_epochs_fallback_to_train_loss(self):
+        history = TrainingHistory(train_loss=[5.0, 3.0, 4.0])
+        assert history.best_epochs(1) == [1]
+
+    def test_n_epochs(self):
+        assert TrainingHistory(train_loss=[1.0, 2.0]).n_epochs == 2
+
+
+class TestAverageStates:
+    def test_mean_of_states(self):
+        a = {"w": np.array([1.0, 2.0])}
+        b = {"w": np.array([3.0, 4.0])}
+        out = _average_states([a, b])
+        np.testing.assert_allclose(out["w"], [2.0, 3.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            _average_states([])
+
+
+class TestTrainer:
+    @pytest.fixture(scope="class")
+    def trained(self, train_set, test_set, scale):
+        model = BasicDeepSD(
+            train_set.n_areas, scale.features.window_minutes, seed=3
+        )
+        trainer = Trainer(model, TrainingConfig(epochs=5, best_k=2, seed=3))
+        history = trainer.fit(train_set, eval_set=test_set)
+        return trainer, history
+
+    def test_history_lengths(self, trained):
+        _, history = trained
+        assert history.n_epochs == 5
+        assert len(history.eval_mae) == 5
+        assert len(history.eval_rmse) == 5
+        assert len(history.epoch_seconds) == 5
+
+    def test_loss_decreases(self, trained):
+        _, history = trained
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_beats_predicting_zero(self, trained, test_set):
+        trainer, _ = trained
+        predictions = trainer.predict(test_set)
+        rmse = np.sqrt(((predictions - test_set.gaps) ** 2).mean())
+        zero_rmse = np.sqrt((test_set.gaps ** 2).mean())
+        assert rmse < zero_rmse
+
+    def test_predict_shape(self, trained, test_set):
+        trainer, _ = trained
+        assert trainer.predict(test_set).shape == (test_set.n_items,)
+
+    def test_predict_deterministic(self, trained, test_set):
+        trainer, _ = trained
+        a = trainer.predict(test_set)
+        b = trainer.predict(test_set)
+        np.testing.assert_array_equal(a, b)
+
+    def test_reproducible_given_seed(self, train_set, test_set, scale):
+        def run():
+            model = BasicDeepSD(
+                train_set.n_areas, scale.features.window_minutes, seed=11
+            )
+            trainer = Trainer(model, TrainingConfig(epochs=2, best_k=1, seed=11))
+            trainer.fit(train_set, eval_set=test_set)
+            return trainer.predict(test_set)
+
+        np.testing.assert_allclose(run(), run())
+
+    def test_callback_invoked_each_epoch(self, train_set, scale):
+        model = BasicDeepSD(train_set.n_areas, scale.features.window_minutes, seed=0)
+        seen = []
+        trainer = Trainer(model, TrainingConfig(epochs=3, best_k=1))
+        trainer.fit(train_set, callback=lambda e, h: seen.append(e))
+        assert seen == [0, 1, 2]
+
+    def test_fit_without_eval_set(self, train_set, scale):
+        model = BasicDeepSD(train_set.n_areas, scale.features.window_minutes, seed=0)
+        trainer = Trainer(model, TrainingConfig(epochs=2, best_k=1))
+        history = trainer.fit(train_set)
+        assert history.eval_rmse == []
+        assert history.n_epochs == 2
+
+    def test_predict_gaps_helper_uses_live_weights(self, trained, test_set):
+        trainer, _ = trained
+        np.testing.assert_array_equal(
+            predict_gaps(trainer.model, test_set),
+            trainer._predict_current(test_set),
+        )
+
+    def test_ensemble_prediction_differs_from_single_snapshot(
+        self, trained, test_set
+    ):
+        trainer, _ = trained
+        assert len(trainer._ensemble_states) == 2
+        single = trainer._predict_current(test_set)
+        ensembled = trainer.predict(test_set)
+        assert not np.array_equal(single, ensembled)
+
+
+class TestAdvancedTraining:
+    def test_advanced_trains_end_to_end(self, train_set, test_set, scale):
+        model = AdvancedDeepSD(
+            train_set.n_areas, scale.features.window_minutes, seed=5
+        )
+        trainer = Trainer(model, TrainingConfig(epochs=3, best_k=1, seed=5))
+        history = trainer.fit(train_set, eval_set=test_set)
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_fine_tuning_converges_faster_initially(self, train_set, test_set, scale):
+        """Fig. 16: starting from trained shared weights beats re-training
+        for the first epochs."""
+        window = scale.features.window_minutes
+        base = AdvancedDeepSD(
+            train_set.n_areas, window, seed=7, use_weather=False, use_traffic=False
+        )
+        Trainer(base, TrainingConfig(epochs=4, best_k=1, seed=7)).fit(train_set)
+
+        grown = AdvancedDeepSD(train_set.n_areas, window, seed=8)
+        grown.load_state_dict(base.state_dict(), strict=False)
+        fine_tune = Trainer(grown, TrainingConfig(epochs=1, best_k=1, seed=8))
+        fine_history = fine_tune.fit(train_set)
+
+        fresh = AdvancedDeepSD(train_set.n_areas, window, seed=8)
+        scratch = Trainer(fresh, TrainingConfig(epochs=1, best_k=1, seed=8))
+        scratch_history = scratch.fit(train_set)
+
+        assert fine_history.train_loss[0] < scratch_history.train_loss[0]

@@ -1,0 +1,89 @@
+"""Tests for the uniform-weekday-weights ablation variant."""
+
+import numpy as np
+import pytest
+
+from repro.config import EmbeddingConfig
+from repro.core import AdvancedDeepSD, ExtendedBlock
+from repro.nn import Tensor
+
+from .test_blocks import L, N_AREAS, fake_batch
+
+EMB = EmbeddingConfig()
+
+
+class TestUniformExtendedBlock:
+    def test_uniform_block_forward(self):
+        rng = np.random.default_rng(0)
+        block = ExtendedBlock(
+            "sd", L, N_AREAS, EMB, 16, rng,
+            residual_input=False, uniform_weights=True,
+        )
+        out = block(fake_batch(4))
+        assert out.shape == (4, 32)
+
+    def test_uniform_weights_ignore_identity_inputs(self):
+        """With uniform weights the output must not depend on AreaID/WeekID
+        (those only feed the combiner inside the block)."""
+        rng = np.random.default_rng(0)
+        block = ExtendedBlock(
+            "sd", L, N_AREAS, EMB, 16, rng,
+            residual_input=False, uniform_weights=True,
+        )
+        batch = fake_batch(3)
+        out_a = block(batch).data.copy()
+        batch2 = dict(batch)
+        batch2["area_ids"] = (batch["area_ids"] + 1) % N_AREAS
+        batch2["week_ids"] = (batch["week_ids"] + 3) % 7
+        out_b = block(batch2).data
+        np.testing.assert_array_equal(out_a, out_b)
+
+    def test_learned_weights_do_depend_on_identity(self):
+        rng = np.random.default_rng(0)
+        block = ExtendedBlock("sd", L, N_AREAS, EMB, 16, rng, residual_input=False)
+        batch = fake_batch(3)
+        out_a = block(batch).data.copy()
+        batch2 = dict(batch)
+        batch2["area_ids"] = (batch["area_ids"] + 1) % N_AREAS
+        out_b = block(batch2).data
+        assert not np.array_equal(out_a, out_b)
+
+    def test_uniform_combination_is_history_mean(self):
+        """E under uniform weights equals the plain mean over weekdays."""
+        rng = np.random.default_rng(1)
+        block = ExtendedBlock(
+            "sd", L, N_AREAS, EMB, 16, rng,
+            residual_input=False, uniform_weights=True,
+        )
+        batch = fake_batch(2)
+        from repro.core import combine_history
+
+        weights = Tensor(np.full((2, 7), 1.0 / 7.0))
+        expected = combine_history(weights, batch["sd_hist"]).data
+        np.testing.assert_allclose(expected, batch["sd_hist"].mean(axis=1), atol=1e-12)
+
+
+class TestUniformAdvancedModel:
+    def test_constructs_and_runs(self):
+        model = AdvancedDeepSD(
+            N_AREAS, L, seed=0, uniform_weekday_weights=True, dropout=0.0
+        )
+        out = model(fake_batch(5))
+        assert out.shape == (5,)
+
+    def test_uniform_weekday_weights_helper_still_distribution(self):
+        # The combiner parameters exist (just unused); weekday_weights
+        # still reports the (frozen) learned-layer output.
+        model = AdvancedDeepSD(N_AREAS, L, seed=0, uniform_weekday_weights=True)
+        weights = model.weekday_weights(0, 0)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_gradients_flow_without_combiner(self):
+        model = AdvancedDeepSD(
+            N_AREAS, L, seed=0, uniform_weekday_weights=True, dropout=0.0
+        )
+        model(fake_batch(4)).sum().backward()
+        # Projection weights get gradients...
+        assert model.sd_block.projection.weight.grad is not None
+        # ...but the unused combiner softmax layer does not.
+        assert model.sd_block.combiner.softmax_layer.weight.grad is None

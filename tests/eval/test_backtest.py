@@ -1,0 +1,129 @@
+"""Tests for the dispatcher-loop backtest."""
+
+import numpy as np
+import pytest
+
+from repro.eval.backtest import BacktestMoment, BacktestReport, _ranks
+
+
+def moment(predicted, actual, day=0, timeslot=600):
+    return BacktestMoment(
+        day=day,
+        timeslot=timeslot,
+        predicted=np.asarray(predicted, dtype=float),
+        actual=np.asarray(actual, dtype=float),
+    )
+
+
+class TestRanks:
+    def test_simple_order(self):
+        np.testing.assert_allclose(_ranks(np.array([10.0, 30.0, 20.0])), [0, 2, 1])
+
+    def test_ties_get_average_rank(self):
+        ranks = _ranks(np.array([1.0, 1.0, 5.0]))
+        np.testing.assert_allclose(ranks, [0.5, 0.5, 2.0])
+
+
+class TestBacktestMoment:
+    def test_perfect_prediction_hit_rate_one(self):
+        m = moment([5, 1, 9, 0], [5, 1, 9, 0])
+        assert m.top_k_hit_rate(2) == 1.0
+
+    def test_inverted_prediction_hit_rate_zero(self):
+        m = moment([0, 1, 2, 3], [3, 2, 1, 0])
+        assert m.top_k_hit_rate(2) == 0.0
+
+    def test_k_larger_than_areas_clamped(self):
+        m = moment([1, 2], [2, 1])
+        assert 0.0 <= m.top_k_hit_rate(10) <= 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            moment([1], [1]).top_k_hit_rate(0)
+
+    def test_rank_correlation_perfect(self):
+        m = moment([1, 2, 3, 4], [10, 20, 30, 40])
+        assert m.rank_correlation() == pytest.approx(1.0)
+
+    def test_rank_correlation_inverted(self):
+        m = moment([4, 3, 2, 1], [10, 20, 30, 40])
+        assert m.rank_correlation() == pytest.approx(-1.0)
+
+    def test_rank_correlation_constant_truth(self):
+        m = moment([1, 2, 3], [5, 5, 5])
+        assert m.rank_correlation() == 0.0
+
+
+class TestBacktestReport:
+    def test_overall_metrics(self):
+        report = BacktestReport(
+            moments=[moment([1, 2], [1, 2]), moment([3, 3], [4, 2], day=1)]
+        )
+        assert report.n_moments == 2
+        assert report.overall_mae() == pytest.approx(0.5)
+        assert report.overall_rmse() == pytest.approx(np.sqrt(0.5))
+
+    def test_per_day_rmse_keys(self):
+        report = BacktestReport(
+            moments=[moment([1], [1], day=0), moment([1], [3], day=2)]
+        )
+        per_day = report.per_day_rmse()
+        assert set(per_day) == {0, 2}
+        assert per_day[0] == 0.0
+        assert per_day[2] == 2.0
+
+    def test_mean_hit_rate(self):
+        report = BacktestReport(
+            moments=[
+                moment([5, 1, 0], [5, 1, 0]),
+                moment([0, 1, 5], [5, 1, 0]),
+            ]
+        )
+        assert report.mean_top_k_hit_rate(1) == pytest.approx(0.5)
+
+
+class TestRunBacktest:
+    @pytest.fixture(scope="class")
+    def predictor(self):
+        from repro.city import simulate_city
+        from repro.config import tiny_scale
+        from repro.core import BasicDeepSD, GapPredictor, Trainer, TrainingConfig
+        from repro.features import FeatureBuilder
+
+        scale = tiny_scale()
+        dataset = simulate_city(scale.simulation)
+        train_set, test_set = FeatureBuilder(dataset, scale.features).build()
+        model = BasicDeepSD(
+            dataset.n_areas, scale.features.window_minutes, scale.embeddings,
+            dropout=0.1, seed=0,
+        )
+        trainer = Trainer(model, TrainingConfig(epochs=3, best_k=2, seed=0))
+        trainer.fit(train_set)
+        return GapPredictor.from_training(
+            trainer, dataset, scale.features, train_set
+        )
+
+    def test_end_to_end(self, predictor):
+        from repro.eval import run_backtest
+
+        report = run_backtest(predictor, days=[8], timeslots=[480, 1140])
+        assert report.n_moments == 2
+        n_areas = predictor.dataset.n_areas
+        assert report.moments[0].predicted.shape == (n_areas,)
+        assert np.isfinite(report.overall_rmse())
+        assert 0.0 <= report.mean_top_k_hit_rate(2) <= 1.0
+        assert -1.0 <= report.mean_rank_correlation() <= 1.0
+
+    def test_actuals_match_dataset(self, predictor):
+        from repro.eval import run_backtest
+
+        report = run_backtest(predictor, days=[8], timeslots=[480])
+        actual = report.moments[0].actual
+        for area in range(predictor.dataset.n_areas):
+            assert actual[area] == predictor.dataset.gap(area, 8, 480)
+
+    def test_area_subset(self, predictor):
+        from repro.eval import run_backtest
+
+        report = run_backtest(predictor, days=[8], timeslots=[480], areas=[0, 2])
+        assert report.moments[0].predicted.shape == (2,)

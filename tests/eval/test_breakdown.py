@@ -1,0 +1,74 @@
+"""Tests for the error-breakdown analysis."""
+
+import numpy as np
+import pytest
+
+from repro.city import simulate_city
+from repro.config import tiny_scale
+from repro.eval import by_area, by_archetype, by_hour, by_weekday, worst_slices
+from repro.features import FeatureBuilder
+
+
+@pytest.fixture(scope="module")
+def setup():
+    scale = tiny_scale()
+    dataset = simulate_city(scale.simulation)
+    _, test_set = FeatureBuilder(dataset, scale.features).build()
+    rng = np.random.default_rng(0)
+    predictions = test_set.gaps.astype(np.float64) + rng.normal(0, 1, test_set.n_items)
+    return dataset, test_set, predictions
+
+
+class TestByWeekday:
+    def test_covers_all_items(self, setup):
+        _, test_set, predictions = setup
+        rows = by_weekday(predictions, test_set)
+        assert sum(row.n_items for row in rows) == test_set.n_items
+
+    def test_keys_are_weekday_names(self, setup):
+        _, test_set, predictions = setup
+        rows = by_weekday(predictions, test_set)
+        assert {row.key for row in rows} <= {
+            "Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun",
+        }
+
+    def test_perfect_prediction_zero_error(self, setup):
+        _, test_set, _ = setup
+        rows = by_weekday(test_set.gaps.astype(np.float64), test_set)
+        assert all(row.mae == 0.0 for row in rows)
+
+
+class TestByHourAreaArchetype:
+    def test_by_hour_partition(self, setup):
+        _, test_set, predictions = setup
+        rows = by_hour(predictions, test_set)
+        assert sum(row.n_items for row in rows) == test_set.n_items
+        hours = {int(row.key) for row in rows}
+        assert hours <= set(range(24))
+
+    def test_by_area_partition(self, setup):
+        dataset, test_set, predictions = setup
+        rows = by_area(predictions, test_set)
+        assert len(rows) == dataset.n_areas
+        assert sum(row.n_items for row in rows) == test_set.n_items
+
+    def test_by_archetype_keys(self, setup):
+        dataset, test_set, predictions = setup
+        rows = by_archetype(predictions, test_set, dataset)
+        present = {a.archetype.value for a in dataset.grid}
+        assert {row.key for row in rows} == present
+
+
+class TestWorstSlices:
+    def test_sorted_descending(self, setup):
+        _, test_set, predictions = setup
+        rows = by_area(predictions, test_set)
+        worst = worst_slices(rows, k=3)
+        assert len(worst) == 3
+        assert worst[0].rmse >= worst[1].rmse >= worst[2].rmse
+        assert worst[0].rmse == max(row.rmse for row in rows)
+
+    def test_k_larger_than_rows(self, setup):
+        _, test_set, predictions = setup
+        rows = by_weekday(predictions, test_set)
+        assert len(worst_slices(rows, k=100)) == len(rows)

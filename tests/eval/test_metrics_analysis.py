@@ -1,0 +1,149 @@
+"""Tests for metrics, analyses and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    ErrorReport,
+    closest_and_farthest,
+    embedding_distances,
+    evaluate,
+    evaluate_under_thresholds,
+    format_table,
+    mae,
+    prediction_curve,
+    rapid_variation_score,
+    rmse,
+)
+
+
+class TestMetrics:
+    def test_mae_value(self):
+        assert mae(np.array([1.0, 3.0]), np.array([0.0, 0.0])) == 2.0
+
+    def test_rmse_value(self):
+        assert rmse(np.array([3.0, 4.0]), np.array([0.0, 0.0])) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_rmse_at_least_mae(self):
+        rng = np.random.default_rng(0)
+        predictions = rng.normal(size=100)
+        targets = rng.normal(size=100)
+        assert rmse(predictions, targets) >= mae(predictions, targets)
+
+    def test_perfect_prediction(self):
+        y = np.arange(5.0)
+        report = evaluate(y, y)
+        assert report.mae == 0.0
+        assert report.rmse == 0.0
+        assert report.n_items == 5
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            mae(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError):
+            evaluate(np.ones(0), np.ones(0))
+
+    def test_as_row(self):
+        report = ErrorReport(mae=1.0, rmse=2.0, n_items=10)
+        assert report.as_row() == (1.0, 2.0)
+
+
+class TestThresholdEvaluation:
+    def test_subset_by_true_gap(self):
+        targets = np.array([0.0, 5.0, 50.0])
+        predictions = np.array([1.0, 5.0, 10.0])
+        reports = evaluate_under_thresholds(predictions, targets, [10.0])
+        # Only the first two items have gap <= 10.
+        assert reports[10.0].n_items == 2
+        assert reports[10.0].mae == pytest.approx(0.5)
+
+    def test_monotone_item_counts(self):
+        rng = np.random.default_rng(1)
+        targets = rng.exponential(5.0, 500)
+        predictions = targets + rng.normal(0, 1, 500)
+        reports = evaluate_under_thresholds(predictions, targets, [1, 10, 100])
+        counts = [reports[t].n_items for t in (1, 10, 100)]
+        assert counts == sorted(counts)
+
+    def test_empty_subset_is_nan(self):
+        reports = evaluate_under_thresholds(
+            np.array([1.0]), np.array([5.0]), [1.0]
+        )
+        assert np.isnan(reports[1.0].mae)
+        assert reports[1.0].n_items == 0
+
+
+class TestEmbeddingAnalysis:
+    def test_distances_match_norms(self):
+        w = np.array([[0.0, 0.0], [3.0, 4.0], [1.0, 0.0]])
+        d = embedding_distances(w)
+        assert d[0, 1] == pytest.approx(5.0)
+        assert d[0, 2] == pytest.approx(1.0)
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-12)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(2)
+        d = embedding_distances(rng.normal(size=(10, 4)))
+        np.testing.assert_allclose(d, d.T, atol=1e-9)
+
+    def test_closest_and_farthest(self):
+        w = np.array([[0.0], [1.0], [10.0]])
+        d = embedding_distances(w)
+        nearest, farthest = closest_and_farthest(d, 0)
+        assert nearest == 1
+        assert farthest == 2
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError):
+            embedding_distances(np.ones(5))
+
+
+class TestPredictionCurve:
+    def test_sorted_by_day_then_time(self):
+        curve = prediction_curve(
+            predictions=np.array([1.0, 2.0, 3.0]),
+            targets=np.array([1.0, 2.0, 3.0]),
+            area_ids=np.array([0, 0, 0]),
+            day_ids=np.array([1, 0, 0]),
+            time_ids=np.array([10, 30, 20]),
+            area_id=0,
+        )
+        assert [(d, t) for d, t, _, _ in curve] == [(0, 20), (0, 30), (1, 10)]
+
+    def test_filters_by_area(self):
+        curve = prediction_curve(
+            predictions=np.zeros(4),
+            targets=np.zeros(4),
+            area_ids=np.array([0, 1, 0, 1]),
+            day_ids=np.zeros(4, dtype=int),
+            time_ids=np.arange(4),
+            area_id=1,
+        )
+        assert len(curve) == 2
+
+    def test_rapid_variation_score(self):
+        flat = [(0, t, 1.0, 0.0) for t in range(5)]
+        spiky = [(0, t, float(t % 2) * 10, 0.0) for t in range(5)]
+        assert rapid_variation_score(spiky) > rapid_variation_score(flat)
+        assert rapid_variation_score([(0, 0, 1.0, 1.0)]) == 0.0
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        out = format_table(
+            ["Model", "MAE"], [["GBDT", 3.72], ["DeepSD", 3.30]], title="Table II"
+        )
+        assert "Table II" in out
+        assert "GBDT" in out
+        assert "3.30" in out
+
+    def test_alignment(self):
+        out = format_table(["A", "B"], [["x", 1.0]])
+        lines = out.splitlines()
+        assert len(lines[0]) == len(lines[1])
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["A"], [["x", "y"]])

@@ -1,0 +1,24 @@
+"""Shared tiny-scale experiment context for runner tests.
+
+Uses a temporary cache dir so tests never touch (or depend on) the real
+benchmark cache.
+"""
+
+import pytest
+
+from repro.config import get_scale
+from repro.experiments.context import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def context(tmp_path_factory, monkeypatch_session=None):
+    import os
+
+    cache = tmp_path_factory.mktemp("repro_cache")
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache)
+    yield ExperimentContext(scale=get_scale("tiny"))
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old

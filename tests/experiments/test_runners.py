@@ -1,0 +1,226 @@
+"""Structural tests for every experiment runner at tiny scale.
+
+These check that each table/figure runner executes end-to-end and produces
+well-formed results.  *Shape* assertions (who wins) belong to the benchmark
+harness at bench scale — tiny-scale outcomes are too noisy for them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig1,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig15,
+    fig16,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+
+class TestTable1:
+    def test_rows(self, context):
+        rows = table1.run(context)
+        assert [row.layer for row in rows] == ["AreaID", "TimeID", "WeekID", "wc.type"]
+        assert all(row.output_dim < row.input_vocab or row.layer == "AreaID"
+                   for row in rows)
+
+    def test_model_agreement(self, context):
+        actual = dict(table1.verify_against_model(context))
+        for row in table1.run(context):
+            assert actual[row.layer] == row.output_dim
+
+
+class TestTable2:
+    def test_all_models_present(self, context):
+        rows = table2.run(context)
+        names = {row.model for row in rows}
+        assert names == {
+            "Average", "LASSO", "GBDT", "RF", "Basic DeepSD", "Advanced DeepSD",
+        }
+
+    def test_metrics_finite_positive(self, context):
+        for row in table2.run(context):
+            assert np.isfinite(row.mae) and row.mae >= 0
+            assert row.rmse >= row.mae
+
+    def test_learned_models_beat_average(self, context):
+        rows = {row.model: row for row in table2.run(context)}
+        assert rows["Advanced DeepSD"].rmse < rows["Average"].rmse
+
+    def test_improvement_metric(self, context):
+        rows = table2.run(context)
+        improvement = table2.improvement_over_best_existing(rows)
+        assert -1.0 < improvement < 1.0
+
+
+class TestTable3:
+    def test_four_rows(self, context):
+        rows = table3.run(context)
+        assert len(rows) == 4
+        assert {(r.model, r.representation) for r in rows} == {
+            ("basic", "One-hot"), ("basic", "Embedding"),
+            ("advanced", "One-hot"), ("advanced", "Embedding"),
+        }
+
+    def test_times_positive(self, context):
+        for row in table3.run(context):
+            assert row.seconds_per_epoch > 0
+
+
+class TestTable4:
+    def test_distance_matrix_valid(self, context):
+        result = table4.run(context)
+        assert result.distances.shape[0] == len(result.areas)
+        np.testing.assert_allclose(result.distances, result.distances.T, atol=1e-9)
+        assert (result.distances >= 0).all()
+
+    def test_pairs_reference_real_areas(self, context):
+        result = table4.run(context)
+        n = context.dataset.n_areas
+        for pair in result.close_pairs + result.far_pairs:
+            assert 0 <= pair.area_a < n
+            assert 0 <= pair.area_b < n
+            assert pair.embedding_distance >= 0
+
+    def test_close_pairs_closer(self, context):
+        result = table4.run(context)
+        for close, far in zip(result.close_pairs, result.far_pairs):
+            assert close.embedding_distance <= far.embedding_distance
+
+
+class TestTable5:
+    def test_rows(self, context):
+        rows = table5.run(context)
+        assert len(rows) == 4
+        assert {(r.model, r.residual) for r in rows} == {
+            ("basic", True), ("basic", False),
+            ("advanced", True), ("advanced", False),
+        }
+
+
+class TestFig1:
+    def test_four_curves(self, context):
+        result = fig1.run(context)
+        assert len(result.curves) == 4
+        for curve in result.curves:
+            assert curve.hourly_demand.shape == (24,)
+            assert (curve.hourly_demand >= 0).all()
+
+    def test_ratios_computable(self, context):
+        result = fig1.run(context)
+        assert fig1.entertainment_weekend_ratio(result) > 0
+        assert fig1.business_commute_peak_ratio(result) > 0
+
+    def test_curve_lookup(self, context):
+        result = fig1.run(context)
+        first = result.curves[0]
+        assert result.curve(first.area_id, first.weekday_name) is first
+        with pytest.raises(KeyError):
+            result.curve(10_000, "Wednesday")
+
+
+class TestFig10:
+    def test_series_structure(self, context):
+        series = fig10.run(context, thresholds=(2, 10, 100))
+        assert set(series) == {"GBDT", "Basic DeepSD", "Advanced DeepSD"}
+        for data in series.values():
+            assert len(data.mae) == 3
+            assert data.n_items == sorted(data.n_items)
+
+    def test_win_fraction_bounds(self, context):
+        series = fig10.run(context, thresholds=(2, 10, 100))
+        assert 0.0 <= fig10.advanced_win_fraction(series) <= 1.0
+
+
+class TestFig11:
+    def test_curves_cover_test_items(self, context):
+        result = fig11.run(context)
+        per_day = len(list(context.scale.features.test_timeslots()))
+        expected = per_day * context.scale.features.test_days
+        assert len(result.curve_gbdt) == expected
+        assert len(result.curve_deepsd) == expected
+
+    def test_errors_positive(self, context):
+        result = fig11.run(context)
+        assert result.rmse_gbdt_rapid > 0
+        assert result.rmse_deepsd_rapid > 0
+
+
+class TestFig12:
+    def test_pairs_valid(self, context):
+        result = fig12.run(context)
+        assert result.close_pair.embedding_distance <= result.far_pair.embedding_distance
+        assert -1.0 <= result.close_pair.correlation <= 1.0
+        assert result.scale_free_pair.scale_ratio >= 1.0
+        assert result.close_pair.hourly_a.shape == (24,)
+
+
+class TestFig13:
+    def test_six_rows(self, context):
+        rows = fig13.run(context)
+        assert len(rows) == 6
+
+    def test_case_errors_helper(self, context):
+        rows = fig13.run(context)
+        errors = fig13.case_errors(rows, "basic")
+        assert set(errors) == {"A", "B", "C"}
+
+
+class TestFig15:
+    def test_profiles_are_distributions(self, context):
+        result = fig15.run(context, n_areas=2)
+        assert len(result.profiles) == 2
+        for profile in result.profiles:
+            np.testing.assert_allclose(
+                profile.weights.sum(axis=1), np.ones(7), atol=1e-6
+            )
+
+    def test_mass_helpers(self, context):
+        result = fig15.run(context, n_areas=2)
+        assert 0.0 <= fig15.mean_weekend_mass_on_sunday(result) <= 1.0
+        assert 0.0 <= fig15.mean_weekend_mass_on_tuesday(result) <= 1.0
+
+    def test_profile_lookup(self, context):
+        result = fig15.run(context, n_areas=2)
+        first = result.profiles[0]
+        assert result.profile(first.area_id) is first
+        with pytest.raises(KeyError):
+            result.profile(9_999)
+
+
+class TestFig16:
+    def test_curves_and_advantage(self, context):
+        result = fig16.run(context, epochs=2)
+        assert len(result.finetune_loss) == 2
+        assert len(result.retrain_rmse) == 2
+        # Fine-tuning must start ahead: shared weights are already trained.
+        assert result.finetune_loss[0] < result.retrain_loss[0]
+
+    def test_epochs_to_reach(self, context):
+        result = fig16.run(context, epochs=2)
+        level = max(result.finetune_rmse) + 1.0
+        assert result.epochs_to_reach(level, "finetune") == 1
+        assert result.epochs_to_reach(-1.0, "retrain") == -1
+
+
+class TestContextCaching:
+    def test_trained_models_cached_in_memory(self, context):
+        a = context.trained("basic")
+        b = context.trained("basic")
+        assert a is b
+
+    def test_baselines_cached(self, context):
+        a = context.baseline("average")
+        b = context.baseline("average")
+        assert a is b
+
+    def test_unknown_baseline_rejected(self, context):
+        with pytest.raises(KeyError):
+            context.baseline("xgboost")

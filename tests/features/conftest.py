@@ -1,0 +1,29 @@
+"""Shared fixtures: one tiny simulated city per test session."""
+
+import pytest
+
+from repro.city import simulate_city
+from repro.config import tiny_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return tiny_scale()
+
+
+@pytest.fixture(scope="session")
+def dataset(scale):
+    return simulate_city(scale.simulation)
+
+
+@pytest.fixture(scope="session")
+def dataset_global(dataset):
+    """Alias used by the hypothesis property tests (session-scoped)."""
+    return dataset
+
+
+@pytest.fixture(scope="session")
+def example_sets(dataset, scale):
+    from repro.features import FeatureBuilder
+
+    return FeatureBuilder(dataset, scale.features).build()

@@ -1,0 +1,163 @@
+"""Tests for the real-time vectors against brute-force recomputation.
+
+Every vector definition (paper Definitions 5-7) is re-derived here directly
+from the raw order/session records, and the optimised AreaDayProfile output
+must match exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.features import AreaDayProfile
+
+L = 20
+
+
+@pytest.fixture(scope="module")
+def profile(dataset):
+    return AreaDayProfile(dataset, area_id=0, day=2, window=L)
+
+
+def brute_force_sd(orders, t):
+    vec = np.zeros(2 * L)
+    for lag in range(1, L + 1):
+        at = orders[orders["ts"] == t - lag]
+        vec[lag - 1] = at["valid"].sum()
+        vec[L + lag - 1] = (~at["valid"]).sum()
+    return vec
+
+
+def brute_force_lc(orders, t):
+    """Definition 6 verbatim: keep only each passenger's last call in the window."""
+    window = orders[(orders["ts"] >= t - L) & (orders["ts"] < t)]
+    last_call = {}
+    for order in window:
+        pid = order["pid"]
+        if pid not in last_call or order["ts"] > last_call[pid]["ts"]:
+            last_call[pid] = order
+    vec = np.zeros(2 * L)
+    for order in last_call.values():
+        lag = t - order["ts"]
+        if order["valid"]:
+            vec[lag - 1] += 1
+        else:
+            vec[L + lag - 1] += 1
+    return vec
+
+
+def brute_force_wt(orders, t):
+    """Definition 7: passengers bucketed by wait (first call to last call),
+    split by served.
+
+    Only sessions *fully contained* in the window count: a passenger still
+    calling at or after ``t`` has an undetermined outcome at prediction
+    time, and one whose first call predates ``t-L`` was not fully observed.
+    """
+    sessions = {}
+    for order in orders:
+        pid = order["pid"]
+        entry = sessions.setdefault(
+            pid, {"first": order["ts"], "last": order["ts"], "served": False}
+        )
+        entry["first"] = min(entry["first"], order["ts"])
+        entry["last"] = max(entry["last"], order["ts"])
+        entry["served"] = entry["served"] or bool(order["valid"])
+    vec = np.zeros(2 * L)
+    for entry in sessions.values():
+        if not (t - L <= entry["first"] and entry["last"] < t):
+            continue
+        wait = entry["last"] - entry["first"]
+        vec[wait if entry["served"] else L + wait] += 1
+    return vec
+
+
+class TestSupplyDemandVector:
+    @pytest.mark.parametrize("t", [60, 480, 720, 1080, 1439])
+    def test_matches_brute_force(self, dataset, profile, t):
+        orders = dataset.area_day_orders(0, 2)
+        np.testing.assert_allclose(
+            profile.supply_demand_vector(t), brute_force_sd(orders, t)
+        )
+
+    def test_batch_matches_single(self, profile):
+        ts = np.array([100, 500, 900])
+        batch = profile.supply_demand_vectors(ts)
+        for i, t in enumerate(ts):
+            np.testing.assert_allclose(batch[i], profile.supply_demand_vector(int(t)))
+
+    def test_shape(self, profile):
+        assert profile.supply_demand_vector(300).shape == (2 * L,)
+
+    def test_conservation(self, dataset, profile):
+        """Sum of the vector equals the number of orders in the window."""
+        orders = dataset.area_day_orders(0, 2)
+        t = 700
+        in_window = ((orders["ts"] >= t - L) & (orders["ts"] < t)).sum()
+        assert profile.supply_demand_vector(t).sum() == in_window
+
+    def test_timeslot_bounds_enforced(self, profile):
+        with pytest.raises(DataError):
+            profile.supply_demand_vectors(np.array([L - 1]))
+        with pytest.raises(DataError):
+            profile.supply_demand_vectors(np.array([1441]))
+
+
+class TestLastCallVector:
+    @pytest.mark.parametrize("t", [60, 480, 760, 1100, 1400])
+    def test_matches_brute_force(self, dataset, profile, t):
+        orders = dataset.area_day_orders(0, 2)
+        np.testing.assert_allclose(
+            profile.last_call_vector(t), brute_force_lc(orders, t)
+        )
+
+    def test_counts_unique_passengers(self, dataset, profile):
+        """Each passenger contributes at most once to the last-call vector."""
+        orders = dataset.area_day_orders(0, 2)
+        t = 800
+        window = orders[(orders["ts"] >= t - L) & (orders["ts"] < t)]
+        n_pids = len(np.unique(window["pid"]))
+        assert profile.last_call_vector(t).sum() == n_pids
+
+    def test_at_most_supply_demand(self, profile):
+        """Last-call counts can never exceed total order counts per minute."""
+        for t in (300, 600, 1200):
+            sd = profile.supply_demand_vector(t)
+            lc = profile.last_call_vector(t)
+            total_sd = sd[:L] + sd[L:]
+            total_lc = lc[:L] + lc[L:]
+            assert (total_lc <= total_sd + 1e-9).all()
+
+    def test_batch_matches_single(self, profile):
+        ts = np.array([250, 650, 1300])
+        batch = profile.last_call_vectors(ts)
+        for i, t in enumerate(ts):
+            np.testing.assert_allclose(batch[i], profile.last_call_vector(int(t)))
+
+
+class TestWaitingTimeVector:
+    @pytest.mark.parametrize("t", [60, 480, 760, 1100, 1400])
+    def test_matches_brute_force(self, dataset, profile, t):
+        orders = dataset.area_day_orders(0, 2)
+        expected = brute_force_wt(orders, t)
+        np.testing.assert_allclose(profile.waiting_time_vector(t), expected)
+
+    def test_batch_matches_single(self, profile):
+        ts = np.array([150, 750, 1350])
+        batch = profile.waiting_time_vectors(ts)
+        for i, t in enumerate(ts):
+            np.testing.assert_allclose(batch[i], profile.waiting_time_vector(int(t)))
+
+    def test_non_negative(self, profile):
+        for t in (100, 500, 1000):
+            assert (profile.waiting_time_vector(t) >= 0).all()
+
+
+class TestProfileValidation:
+    def test_invalid_window(self, dataset):
+        with pytest.raises(ValueError):
+            AreaDayProfile(dataset, 0, 0, window=0)
+
+    def test_2d_timeslots_rejected(self, profile):
+        with pytest.raises(ValueError):
+            profile.supply_demand_vectors(np.zeros((2, 2), dtype=int))

@@ -1,0 +1,105 @@
+"""Tests for leaky ReLU, softmax and dropout."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, check_gradient
+from repro.nn import functional as F
+
+
+RNG = np.random.default_rng(99)
+
+
+class TestLeakyRelu:
+    def test_positive_passthrough(self):
+        out = F.leaky_relu(Tensor([1.0, 2.0]))
+        np.testing.assert_allclose(out.data, [1.0, 2.0])
+
+    def test_negative_scaled(self):
+        out = F.leaky_relu(Tensor([-1.0, -2.0]))
+        np.testing.assert_allclose(out.data, [-0.001, -0.002])
+
+    def test_paper_definition(self):
+        # LReL(x) = max(0.001 x, x)
+        x = RNG.normal(size=100)
+        out = F.leaky_relu(Tensor(x))
+        np.testing.assert_allclose(out.data, np.maximum(0.001 * x, x))
+
+    def test_custom_slope(self):
+        out = F.leaky_relu(Tensor([-10.0]), negative_slope=0.1)
+        np.testing.assert_allclose(out.data, [-1.0])
+
+    def test_gradient(self):
+        x = RNG.normal(size=(4, 3)) * 2.0
+        x[np.abs(x) < 0.05] += 0.5  # keep away from the kink
+        check_gradient(lambda t: F.leaky_relu(t).sum(), x)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        out = F.softmax(Tensor(RNG.normal(size=(5, 7))))
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(5))
+
+    def test_output_positive(self):
+        out = F.softmax(Tensor(RNG.normal(size=(5, 7)) * 10))
+        assert (out.data > 0).all()
+
+    def test_invariant_to_shift(self):
+        x = RNG.normal(size=(2, 4))
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b)
+
+    def test_large_values_stable(self):
+        out = F.softmax(Tensor([[1000.0, 1000.0]]))
+        np.testing.assert_allclose(out.data, [[0.5, 0.5]])
+
+    def test_gradient(self):
+        x = RNG.normal(size=(3, 7))
+        weights = Tensor(RNG.normal(size=(3, 7)))
+        check_gradient(lambda t: (F.softmax(t) * weights).sum(), x)
+
+    def test_gradient_axis0(self):
+        x = RNG.normal(size=(4, 2))
+        weights = Tensor(RNG.normal(size=(4, 2)))
+        check_gradient(lambda t: (F.softmax(t, axis=0) * weights).sum(), x)
+
+
+class TestDropout:
+    def test_identity_when_not_training(self):
+        x = Tensor(RNG.normal(size=(10, 10)))
+        out = F.dropout(x, 0.5, training=False)
+        assert out is x
+
+    def test_identity_when_p_zero(self):
+        x = Tensor(RNG.normal(size=(4,)))
+        assert F.dropout(x, 0.0, training=True) is x
+
+    def test_zeroes_roughly_p_fraction(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.5, training=True, rng=rng)
+        frac_zero = (out.data == 0).mean()
+        assert 0.45 < frac_zero < 0.55
+
+    def test_inverted_scaling_preserves_mean(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((500, 500)))
+        out = F.dropout(x, 0.5, training=True, rng=rng)
+        assert abs(out.data.mean() - 1.0) < 0.02
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor([1.0]), 1.0, training=True)
+        with pytest.raises(ValueError):
+            F.dropout(Tensor([1.0]), -0.1, training=True)
+
+    def test_gradient_masked_like_forward(self):
+        rng = np.random.default_rng(7)
+        x = Tensor(np.ones((6, 6)), requires_grad=True)
+        out = F.dropout(x, 0.5, training=True, rng=rng)
+        out.sum().backward()
+        # Grad is zero exactly where output was dropped, 1/keep elsewhere.
+        dropped = out.data == 0
+        assert (x.grad[dropped] == 0).all()
+        np.testing.assert_allclose(x.grad[~dropped], 2.0)

@@ -1,0 +1,267 @@
+"""Tests for Module/Parameter discovery and the layer library."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dense,
+    Dropout,
+    Embedding,
+    Module,
+    ModuleList,
+    Parameter,
+    Sequential,
+    Tensor,
+)
+
+
+RNG = np.random.default_rng(42)
+
+
+class TinyModel(Module):
+    def __init__(self):
+        super().__init__()
+        self.first = Dense(4, 3, rng=RNG)
+        self.second = Dense(3, 1, activation="linear", rng=RNG)
+        self.extras = [Dense(4, 2, rng=RNG), Dense(2, 2, rng=RNG)]
+
+    def forward(self, x):
+        return self.second(self.first(x))
+
+
+class TestModule:
+    def test_named_parameters_paths(self):
+        model = TinyModel()
+        names = {name for name, _ in model.named_parameters()}
+        assert "first.weight" in names
+        assert "second.bias" in names
+        assert "extras.0.weight" in names
+        assert "extras.1.bias" in names
+
+    def test_parameter_count(self):
+        model = TinyModel()
+        expected = (4 * 3 + 3) + (3 * 1 + 1) + (4 * 2 + 2) + (2 * 2 + 2)
+        assert model.num_parameters() == expected
+
+    def test_train_eval_recursive(self):
+        model = Sequential(Dense(2, 2, rng=RNG), Dropout(0.5))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self):
+        model = TinyModel()
+        out = model(Tensor(RNG.normal(size=(2, 4))))
+        out.sum().backward()
+        assert model.first.weight.grad is not None
+        model.zero_grad()
+        assert model.first.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        model = TinyModel()
+        state = model.state_dict()
+        other = TinyModel()
+        other.load_state_dict(state)
+        np.testing.assert_array_equal(other.first.weight.data, model.first.weight.data)
+
+    def test_state_dict_is_a_copy(self):
+        model = TinyModel()
+        state = model.state_dict()
+        state["first.weight"][:] = 0.0
+        assert not (model.first.weight.data == 0).all()
+
+    def test_load_state_dict_strict_missing(self):
+        model = TinyModel()
+        state = model.state_dict()
+        del state["first.weight"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_state_dict_strict_unexpected(self):
+        model = TinyModel()
+        state = model.state_dict()
+        state["phantom"] = np.ones(3)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_state_dict_non_strict_partial(self):
+        model = TinyModel()
+        fresh = TinyModel()
+        state = {"first.weight": model.first.weight.data}
+        fresh.load_state_dict(state, strict=False)
+        np.testing.assert_array_equal(fresh.first.weight.data, model.first.weight.data)
+
+    def test_load_state_dict_shape_mismatch(self):
+        model = TinyModel()
+        state = model.state_dict()
+        state["first.weight"] = np.ones((2, 2))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestDense:
+    def test_output_shape(self):
+        layer = Dense(5, 7, rng=RNG)
+        out = layer(Tensor(RNG.normal(size=(3, 5))))
+        assert out.shape == (3, 7)
+
+    def test_linear_activation_exact(self):
+        layer = Dense(2, 1, activation="linear", rng=RNG)
+        layer.weight.data = np.array([[2.0], [3.0]])
+        layer.bias.data = np.array([1.0])
+        out = layer(Tensor([[1.0, 1.0]]))
+        np.testing.assert_allclose(out.data, [[6.0]])
+
+    def test_lrelu_default(self):
+        layer = Dense(1, 1, rng=RNG)
+        layer.weight.data = np.array([[1.0]])
+        layer.bias.data = np.array([0.0])
+        out = layer(Tensor([[-5.0]]))
+        np.testing.assert_allclose(out.data, [[-0.005]])
+
+    def test_wrong_input_width_raises(self):
+        layer = Dense(4, 2, rng=RNG)
+        with pytest.raises(ValueError):
+            layer(Tensor(RNG.normal(size=(3, 5))))
+
+    def test_invalid_widths(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+        with pytest.raises(ValueError):
+            Dense(3, -1)
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError):
+            Dense(2, 2, activation="tanhh")
+
+    def test_callable_activation(self):
+        layer = Dense(2, 2, activation=lambda t: t * 0.0, rng=RNG)
+        out = layer(Tensor(RNG.normal(size=(1, 2))))
+        np.testing.assert_allclose(out.data, [[0.0, 0.0]])
+
+    def test_gradients_flow_to_both_params(self):
+        layer = Dense(3, 2, rng=RNG)
+        layer(Tensor(RNG.normal(size=(4, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        assert layer.bias.grad.shape == (2,)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(58, 8, rng=RNG)
+        out = emb(np.array([0, 5, 57]))
+        assert out.shape == (3, 8)
+
+    def test_lookup_matches_rows(self):
+        emb = Embedding(10, 4, rng=RNG)
+        out = emb(np.array([3, 3, 7]))
+        np.testing.assert_array_equal(out.data[0], emb.weight.data[3])
+        np.testing.assert_array_equal(out.data[1], emb.weight.data[3])
+        np.testing.assert_array_equal(out.data[2], emb.weight.data[7])
+
+    def test_out_of_range_raises(self):
+        emb = Embedding(5, 2, rng=RNG)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_rejects_2d_ids(self):
+        emb = Embedding(5, 2, rng=RNG)
+        with pytest.raises(ValueError):
+            emb(np.zeros((2, 2), dtype=int))
+
+    def test_duplicate_ids_accumulate_grads(self):
+        emb = Embedding(6, 3, rng=RNG)
+        emb(np.array([2, 2, 2])).sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[2], [3.0, 3.0, 3.0])
+        np.testing.assert_allclose(emb.weight.grad[0], [0.0, 0.0, 0.0])
+
+    def test_distances_symmetric_zero_diagonal(self):
+        emb = Embedding(7, 3, rng=RNG)
+        d = emb.distances()
+        assert d.shape == (7, 7)
+        np.testing.assert_allclose(d, d.T, atol=1e-12)
+        np.testing.assert_allclose(np.diag(d), np.zeros(7), atol=1e-9)
+
+    def test_distances_match_manual(self):
+        emb = Embedding(4, 2, rng=RNG)
+        d = emb.distances()
+        w = emb.weight.data
+        manual = np.linalg.norm(w[1] - w[2])
+        assert d[1, 2] == pytest.approx(manual, abs=1e-9)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            Embedding(0, 3)
+        with pytest.raises(ValueError):
+            Embedding(3, 0)
+
+
+class TestDropoutLayer:
+    def test_eval_mode_identity(self):
+        layer = Dropout(0.5)
+        layer.eval()
+        x = Tensor(RNG.normal(size=(4, 4)))
+        assert layer(x) is x
+
+    def test_train_mode_drops(self):
+        layer = Dropout(0.9, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((100, 100))))
+        assert (out.data == 0).mean() > 0.8
+
+    def test_reseed_reproducible(self):
+        layer = Dropout(0.5)
+        x = Tensor(np.ones((10, 10)))
+        layer.reseed(123)
+        a = layer(x).data.copy()
+        layer.reseed(123)
+        b = layer(x).data.copy()
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        model = Sequential(
+            Dense(2, 3, activation="linear", rng=RNG),
+            Dense(3, 1, activation="linear", rng=RNG),
+        )
+        out = model(Tensor(RNG.normal(size=(5, 2))))
+        assert out.shape == (5, 1)
+
+    def test_sequential_len_getitem_iter(self):
+        a, b = Dense(2, 2, rng=RNG), Dense(2, 2, rng=RNG)
+        model = Sequential(a, b)
+        assert len(model) == 2
+        assert model[0] is a
+        assert list(model) == [a, b]
+
+    def test_sequential_append(self):
+        model = Sequential()
+        model.append(Dense(2, 2, rng=RNG))
+        assert len(model) == 1
+
+    def test_sequential_parameters_discovered(self):
+        model = Sequential(Dense(2, 3, rng=RNG), Dense(3, 1, rng=RNG))
+        assert model.num_parameters() == (2 * 3 + 3) + (3 * 1 + 1)
+
+    def test_module_list_registers_params(self):
+        ml = ModuleList([Dense(2, 2, rng=RNG)])
+        ml.append(Dense(2, 2, rng=RNG))
+        assert len(ml) == 2
+        assert sum(1 for _ in ml.parameters()) == 4
+
+    def test_module_list_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            ModuleList()(Tensor([1.0]))
+
+
+class TestParameter:
+    def test_requires_grad(self):
+        assert Parameter(np.ones(3)).requires_grad

@@ -1,0 +1,230 @@
+"""Tests for optimisers, losses and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    Dense,
+    Parameter,
+    Sequential,
+    Tensor,
+    check_gradient,
+    huber_loss,
+    iterate_minibatches,
+    load_state,
+    load_weights,
+    losses,
+    mae_loss,
+    mse_loss,
+    save_state,
+    save_weights,
+)
+
+
+RNG = np.random.default_rng(7)
+
+
+class TestLosses:
+    def test_mse_value(self):
+        loss = mse_loss(Tensor([1.0, 2.0]), Tensor([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_mae_value(self):
+        loss = mae_loss(Tensor([1.0, -2.0]), Tensor([0.0, 0.0]))
+        assert loss.item() == pytest.approx(1.5)
+
+    def test_huber_quadratic_region(self):
+        # |err| < delta: huber = err^2 / 2
+        loss = huber_loss(Tensor([0.5]), Tensor([0.0]), delta=1.0)
+        assert loss.item() == pytest.approx(0.125)
+
+    def test_huber_linear_region(self):
+        # |err| = 3, delta = 1: huber = delta*(|err| - delta/2) = 2.5
+        loss = huber_loss(Tensor([3.0]), Tensor([0.0]), delta=1.0)
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_huber_invalid_delta(self):
+        with pytest.raises(ValueError):
+            huber_loss(Tensor([1.0]), Tensor([0.0]), delta=0.0)
+
+    def test_losses_zero_at_perfect_prediction(self):
+        y = Tensor(RNG.normal(size=10))
+        for fn in (mse_loss, mae_loss, huber_loss):
+            assert fn(y, Tensor(y.data.copy())).item() == pytest.approx(0.0)
+
+    def test_mse_gradient(self):
+        target = Tensor(RNG.normal(size=(4,)))
+        check_gradient(lambda t: mse_loss(t, target), RNG.normal(size=(4,)))
+
+    def test_huber_gradient(self):
+        target = Tensor(np.zeros(4))
+        x = np.array([0.3, -0.4, 2.5, -3.0])  # both regions, away from kinks
+        check_gradient(lambda t: huber_loss(t, target), x)
+
+    def test_get_by_name(self):
+        assert losses.get("mse") is mse_loss
+        assert losses.get(mae_loss) is mae_loss
+        with pytest.raises(ValueError):
+            losses.get("nope")
+
+
+def _quadratic_problem():
+    """Single parameter, loss (w - 3)^2 — any optimiser should find w = 3."""
+    w = Parameter(np.array([0.0]))
+
+    def loss_fn():
+        diff = w - 3.0
+        return (diff * diff).sum()
+
+    return w, loss_fn
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        w, loss_fn = _quadratic_problem()
+        opt = SGD([w], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            loss_fn().backward()
+            opt.step()
+        assert w.data[0] == pytest.approx(3.0, abs=1e-4)
+
+    def test_momentum_converges(self):
+        w, loss_fn = _quadratic_problem()
+        opt = SGD([w], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            opt.zero_grad()
+            loss_fn().backward()
+            opt.step()
+        assert w.data[0] == pytest.approx(3.0, abs=1e-3)
+
+    def test_weight_decay_shrinks(self):
+        w = Parameter(np.array([10.0]))
+        opt = SGD([w], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (w * 0.0).sum().backward()
+        opt.step()
+        assert w.data[0] < 10.0
+
+    def test_skips_params_without_grad(self):
+        w = Parameter(np.array([1.0]))
+        opt = SGD([w], lr=0.1)
+        opt.step()  # no grad — must not crash or move
+        assert w.data[0] == 1.0
+
+    def test_invalid_hyperparams(self):
+        w = Parameter(np.array([1.0]))
+        with pytest.raises(ValueError):
+            SGD([w], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([w], lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD([w], lr=0.1, weight_decay=-1.0)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_duplicate_params_rejected(self):
+        w = Parameter(np.array([1.0]))
+        with pytest.raises(ValueError):
+            SGD([w, w], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        w, loss_fn = _quadratic_problem()
+        opt = Adam([w], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            loss_fn().backward()
+            opt.step()
+        assert w.data[0] == pytest.approx(3.0, abs=1e-3)
+
+    def test_first_step_size_is_lr(self):
+        # With bias correction, the first Adam step is ≈ lr regardless of
+        # gradient magnitude.
+        w = Parameter(np.array([0.0]))
+        opt = Adam([w], lr=0.01)
+        opt.zero_grad()
+        (w * 1000.0).sum().backward()
+        opt.step()
+        assert abs(w.data[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_fits_linear_regression(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(2, 1, activation="linear", rng=rng)
+        x = rng.normal(size=(128, 2))
+        y = x @ np.array([[1.5], [-2.0]]) + 0.5
+        opt = Adam(layer.parameters(), lr=0.05)
+        for _ in range(400):
+            opt.zero_grad()
+            mse_loss(layer(Tensor(x)), Tensor(y)).backward()
+            opt.step()
+        assert mse_loss(layer(Tensor(x)), Tensor(y)).item() < 1e-6
+        np.testing.assert_allclose(
+            layer.weight.data.ravel(), [1.5, -2.0], atol=1e-2
+        )
+
+    def test_invalid_hyperparams(self):
+        w = Parameter(np.array([1.0]))
+        with pytest.raises(ValueError):
+            Adam([w], lr=-1.0)
+        with pytest.raises(ValueError):
+            Adam([w], beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam([w], eps=0.0)
+
+
+class TestSerialization:
+    def test_save_load_weights_roundtrip(self, tmp_path):
+        model = Sequential(Dense(3, 2, rng=RNG), Dense(2, 1, rng=RNG))
+        path = tmp_path / "model.npz"
+        save_weights(model, path)
+        other = Sequential(Dense(3, 2, rng=RNG), Dense(2, 1, rng=RNG))
+        load_weights(other, path)
+        for (_, a), (_, b) in zip(model.named_parameters(), other.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_non_strict_load_for_grown_model(self, tmp_path):
+        small = Sequential(Dense(3, 2, rng=RNG))
+        path = tmp_path / "small.npz"
+        save_weights(small, path)
+        grown = Sequential(Dense(3, 2, rng=RNG), Dense(2, 1, rng=RNG))
+        before = grown.layers[1].weight.data.copy()
+        load_weights(grown, path, strict=False)
+        np.testing.assert_array_equal(
+            grown.layers[0].weight.data, small.layers[0].weight.data
+        )
+        np.testing.assert_array_equal(grown.layers[1].weight.data, before)
+
+    def test_save_state_creates_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "state.npz"
+        save_state({"x": np.ones(3)}, path)
+        state = load_state(path)
+        np.testing.assert_array_equal(state["x"], np.ones(3))
+
+
+class TestMinibatches:
+    def test_covers_all_indices(self):
+        seen = np.concatenate(list(iterate_minibatches(103, 10, shuffle=False)))
+        np.testing.assert_array_equal(np.sort(seen), np.arange(103))
+
+    def test_batch_sizes(self):
+        batches = list(iterate_minibatches(103, 10, shuffle=False))
+        assert [len(b) for b in batches] == [10] * 10 + [3]
+
+    def test_drop_last(self):
+        batches = list(iterate_minibatches(103, 10, shuffle=False, drop_last=True))
+        assert [len(b) for b in batches] == [10] * 10
+
+    def test_shuffle_changes_order(self):
+        a = np.concatenate(list(iterate_minibatches(50, 10, rng=np.random.default_rng(1))))
+        assert not np.array_equal(a, np.arange(50))
+        np.testing.assert_array_equal(np.sort(a), np.arange(50))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(10, 0))

@@ -1,0 +1,104 @@
+"""Property-based tests (hypothesis) for the autograd engine.
+
+The central invariant: for every composite expression built from our ops, the
+analytic gradient matches a central finite-difference estimate.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import Tensor, check_gradient
+from repro.nn import functional as F
+
+
+finite_floats = st.floats(
+    min_value=-3.0, max_value=3.0, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+def matrices(rows, cols):
+    return arrays(np.float64, (rows, cols), elements=finite_floats)
+
+
+@settings(max_examples=25, deadline=None)
+@given(matrices(3, 4), matrices(3, 4))
+def test_addition_commutative(a, b):
+    left = (Tensor(a) + Tensor(b)).data
+    right = (Tensor(b) + Tensor(a)).data
+    np.testing.assert_allclose(left, right)
+
+
+@settings(max_examples=25, deadline=None)
+@given(matrices(2, 3), matrices(3, 2))
+def test_matmul_grad_property(a, b):
+    bt = Tensor(b)
+    check_gradient(lambda t: (t @ bt).sum(), a, atol=1e-4, rtol=1e-3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(matrices(3, 3))
+def test_chained_expression_grad(x):
+    # (x * 2 + 1)^2 averaged — polynomial, smooth everywhere.
+    check_gradient(lambda t: ((t * 2.0 + 1.0) ** 2).mean(), x, atol=1e-4, rtol=1e-3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(matrices(2, 5))
+def test_softmax_rows_always_simplex(x):
+    out = F.softmax(Tensor(x)).data
+    assert (out >= 0).all()
+    np.testing.assert_allclose(out.sum(axis=-1), np.ones(2), atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(matrices(2, 4), matrices(2, 3))
+def test_concat_preserves_values(a, b):
+    out = F.concat([Tensor(a), Tensor(b)], axis=1).data
+    np.testing.assert_array_equal(out[:, :4], a)
+    np.testing.assert_array_equal(out[:, 4:], b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(matrices(2, 4), matrices(2, 3))
+def test_concat_grad_splits(a, b):
+    ta = Tensor(a, requires_grad=True)
+    tb = Tensor(b, requires_grad=True)
+    F.concat([ta, tb], axis=1).sum().backward()
+    np.testing.assert_array_equal(ta.grad, np.ones_like(a))
+    np.testing.assert_array_equal(tb.grad, np.ones_like(b))
+
+
+@settings(max_examples=25, deadline=None)
+@given(matrices(4, 4))
+def test_sum_then_mean_consistent(x):
+    t = Tensor(x)
+    np.testing.assert_allclose(t.mean().item(), t.sum().item() / x.size, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(matrices(3, 4))
+def test_exp_grad(x):
+    check_gradient(lambda t: t.exp().sum(), x, atol=1e-4, rtol=1e-3)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=20), st.integers(min_value=1, max_value=8))
+def test_gather_rows_grad_counts(vocab, picks):
+    """Gradient of sum(gather(W, ids)) counts row occurrences exactly."""
+    rng = np.random.default_rng(vocab * 100 + picks)
+    w = Tensor(rng.normal(size=(vocab, 3)), requires_grad=True)
+    ids = rng.integers(0, vocab, size=picks)
+    w.gather_rows(ids).sum().backward()
+    counts = np.bincount(ids, minlength=vocab).astype(float)
+    np.testing.assert_allclose(w.grad, np.repeat(counts[:, None], 3, axis=1))
+
+
+@settings(max_examples=25, deadline=None)
+@given(matrices(3, 5))
+def test_leaky_relu_bounds(x):
+    """LReL output is always between 0.001*x and x (elementwise envelope)."""
+    out = F.leaky_relu(Tensor(x)).data
+    np.testing.assert_allclose(out, np.maximum(0.001 * x, x))
+    assert (out >= np.minimum(0.001 * x, x) - 1e-12).all()

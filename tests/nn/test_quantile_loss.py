@@ -1,0 +1,92 @@
+"""Tests for the pinball (quantile) loss and risk-aware training."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Parameter,
+    Tensor,
+    check_gradient,
+    pinball_loss,
+    quantile_loss,
+)
+
+
+class TestPinballValues:
+    def test_median_is_half_mae(self):
+        pred = Tensor([1.0, 5.0])
+        target = Tensor([3.0, 3.0])
+        # q=0.5: 0.5*|e| averaged -> 0.5 * mean(|2|, |2|) = 1.0
+        assert pinball_loss(pred, target, 0.5).item() == pytest.approx(1.0)
+
+    def test_asymmetry(self):
+        target = Tensor([0.0])
+        under = pinball_loss(Tensor([-1.0]), target, 0.8)  # e = +1
+        over = pinball_loss(Tensor([1.0]), target, 0.8)    # e = -1
+        # q=0.8 punishes under-prediction 4x more than over-prediction.
+        assert under.item() == pytest.approx(0.8)
+        assert over.item() == pytest.approx(0.2)
+
+    def test_zero_at_perfect(self):
+        y = Tensor([1.0, 2.0, 3.0])
+        assert pinball_loss(y, Tensor(y.data.copy()), 0.7).item() == pytest.approx(0.0)
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            pinball_loss(Tensor([1.0]), Tensor([1.0]), 0.0)
+        with pytest.raises(ValueError):
+            quantile_loss(1.0)
+
+    def test_gradient(self):
+        rng = np.random.default_rng(0)
+        target = Tensor(rng.normal(size=6))
+        x = rng.normal(size=6) + 3.0  # keep errors away from zero kink
+        check_gradient(lambda t: pinball_loss(t, target, 0.8), x)
+
+
+class TestQuantileRegression:
+    def test_constant_model_learns_the_quantile(self):
+        """Minimising pinball loss with a constant predictor recovers the
+        empirical quantile of the targets."""
+        rng = np.random.default_rng(1)
+        targets = rng.exponential(5.0, size=2000)
+        for q in (0.2, 0.5, 0.8):
+            w = Parameter(np.array([0.0]))
+            opt = Adam([w], lr=0.3)
+            loss_fn = quantile_loss(q)
+            ones = Tensor(np.ones((2000, 1)))
+            y = Tensor(targets)
+            for _ in range(600):
+                opt.zero_grad()
+                pred = (ones @ w.reshape(1, 1)).reshape(-1)
+                loss_fn(pred, y).backward()
+                opt.step()
+            expected = np.quantile(targets, q)
+            assert w.data[0] == pytest.approx(expected, rel=0.1)
+
+    def test_higher_quantile_predicts_higher(self):
+        """Training DeepSD with q=0.85 yields systematically higher
+        predictions than q=0.5 — the risk-aware dispatch behaviour."""
+        from repro.city import simulate_city
+        from repro.config import tiny_scale
+        from repro.core import BasicDeepSD, Trainer, TrainingConfig
+        from repro.features import FeatureBuilder
+
+        scale = tiny_scale()
+        dataset = simulate_city(scale.simulation)
+        train_set, test_set = FeatureBuilder(dataset, scale.features).build()
+
+        def train(q):
+            model = BasicDeepSD(
+                dataset.n_areas, scale.features.window_minutes, dropout=0.0,
+                seed=0,
+            )
+            config = TrainingConfig(epochs=4, best_k=2, seed=0, loss=quantile_loss(q))
+            trainer = Trainer(model, config)
+            trainer.fit(train_set)
+            return trainer.predict(test_set)
+
+        median = train(0.5)
+        p85 = train(0.85)
+        assert p85.mean() > median.mean()

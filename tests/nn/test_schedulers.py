@@ -1,0 +1,146 @@
+"""Tests for learning-rate schedules and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    ConstantSchedule,
+    CosineDecay,
+    Parameter,
+    StepDecay,
+    clip_gradients,
+)
+
+
+def make_optimizer(lr=0.1):
+    return SGD([Parameter(np.ones(3))], lr=lr)
+
+
+class TestConstantSchedule:
+    def test_never_changes(self):
+        opt = make_optimizer(0.05)
+        schedule = ConstantSchedule(opt)
+        for _ in range(20):
+            assert schedule.step() == 0.05
+        assert opt.lr == 0.05
+
+
+class TestStepDecay:
+    def test_halves_at_boundaries(self):
+        opt = make_optimizer(0.1)
+        schedule = StepDecay(opt, step_size=3, gamma=0.5)
+        rates = [schedule.step() for _ in range(7)]
+        np.testing.assert_allclose(
+            rates, [0.1, 0.1, 0.05, 0.05, 0.05, 0.025, 0.025]
+        )
+
+    def test_mutates_optimizer(self):
+        opt = make_optimizer(0.1)
+        schedule = StepDecay(opt, step_size=1, gamma=0.1)
+        schedule.step()
+        assert opt.lr == pytest.approx(0.01)
+
+    def test_validation(self):
+        opt = make_optimizer()
+        with pytest.raises(ValueError):
+            StepDecay(opt, step_size=0)
+        with pytest.raises(ValueError):
+            StepDecay(opt, gamma=0.0)
+        with pytest.raises(ValueError):
+            StepDecay(opt, gamma=1.5)
+
+
+class TestCosineDecay:
+    def test_endpoints(self):
+        opt = make_optimizer(0.1)
+        schedule = CosineDecay(opt, total_epochs=10, min_lr=0.01)
+        assert schedule.learning_rate(0) == pytest.approx(0.1)
+        assert schedule.learning_rate(10) == pytest.approx(0.01)
+        # Halfway: mean of the endpoints.
+        assert schedule.learning_rate(5) == pytest.approx(0.055)
+
+    def test_monotone_decreasing(self):
+        opt = make_optimizer(0.1)
+        schedule = CosineDecay(opt, total_epochs=20)
+        rates = [schedule.step() for _ in range(20)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_clamped_past_horizon(self):
+        opt = make_optimizer(0.1)
+        schedule = CosineDecay(opt, total_epochs=5, min_lr=0.02)
+        for _ in range(10):
+            schedule.step()
+        assert opt.lr == pytest.approx(0.02)
+
+    def test_validation(self):
+        opt = make_optimizer()
+        with pytest.raises(ValueError):
+            CosineDecay(opt, total_epochs=0)
+        with pytest.raises(ValueError):
+            CosineDecay(opt, total_epochs=5, min_lr=-1.0)
+
+
+class TestClipGradients:
+    def test_small_gradients_untouched(self):
+        param = Parameter(np.ones(4))
+        param.grad = np.full(4, 0.1)
+        norm = clip_gradients([param], max_norm=10.0)
+        assert norm == pytest.approx(0.2)
+        np.testing.assert_allclose(param.grad, 0.1)
+
+    def test_large_gradients_scaled(self):
+        param = Parameter(np.ones(4))
+        param.grad = np.full(4, 10.0)  # norm 20
+        norm = clip_gradients([param], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_global_norm_across_params(self):
+        a = Parameter(np.ones(1))
+        b = Parameter(np.ones(1))
+        a.grad = np.array([3.0])
+        b.grad = np.array([4.0])
+        clip_gradients([a, b], max_norm=1.0)
+        total = np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2)
+        assert total == pytest.approx(1.0, rel=1e-6)
+        # Direction preserved: 3:4 ratio.
+        assert a.grad[0] / b.grad[0] == pytest.approx(0.75)
+
+    def test_none_grads_skipped(self):
+        param = Parameter(np.ones(3))
+        assert clip_gradients([param], max_norm=1.0) == 0.0
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_gradients([], max_norm=0.0)
+
+
+class TestTrainerIntegration:
+    def test_schedule_and_clip_in_training(self):
+        from repro.core import BasicDeepSD, Trainer, TrainingConfig
+        from repro.city import simulate_city
+        from repro.config import tiny_scale
+        from repro.features import FeatureBuilder
+
+        scale = tiny_scale()
+        dataset = simulate_city(scale.simulation)
+        train_set, _ = FeatureBuilder(dataset, scale.features).build()
+        model = BasicDeepSD(
+            dataset.n_areas, scale.features.window_minutes, dropout=0.0, seed=0
+        )
+        config = TrainingConfig(
+            epochs=2, best_k=1, seed=0, lr_schedule="cosine", grad_clip=5.0
+        )
+        history = Trainer(model, config).fit(train_set)
+        assert np.isfinite(history.train_loss).all()
+
+    def test_invalid_schedule_name(self):
+        from repro.core import TrainingConfig
+        from repro.exceptions import ConfigError
+
+        with pytest.raises(ConfigError):
+            TrainingConfig(lr_schedule="linear")
+        with pytest.raises(ConfigError):
+            TrainingConfig(grad_clip=-1.0)

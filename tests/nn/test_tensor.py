@@ -1,0 +1,271 @@
+"""Unit tests for the autograd Tensor: forward values and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, check_gradient, concat
+
+
+RNG = np.random.default_rng(1234)
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.dtype == np.float64
+
+    def test_integer_input_promoted_to_float(self):
+        t = Tensor([1, 2, 3])
+        assert np.issubdtype(t.dtype, np.floating)
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_ensure_passes_tensor_through(self):
+        t = Tensor([1.0])
+        assert Tensor.ensure(t) is t
+
+    def test_ensure_wraps_array(self):
+        out = Tensor.ensure(np.ones(3))
+        assert isinstance(out, Tensor)
+
+    def test_item_on_scalar(self):
+        assert Tensor(2.5).item() == pytest.approx(2.5)
+
+    def test_detach_cuts_graph(self):
+        t = Tensor([1.0], requires_grad=True)
+        d = (t * 2.0).detach()
+        assert not d.requires_grad
+
+    def test_len(self):
+        assert len(Tensor([1.0, 2.0])) == 2
+
+
+class TestForwardValues:
+    def test_add(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_add_scalar(self):
+        np.testing.assert_allclose((Tensor([1.0]) + 1.0).data, [2.0])
+
+    def test_radd(self):
+        np.testing.assert_allclose((1.0 + Tensor([1.0])).data, [2.0])
+
+    def test_sub(self):
+        np.testing.assert_allclose((Tensor([3.0]) - Tensor([1.0])).data, [2.0])
+
+    def test_rsub(self):
+        np.testing.assert_allclose((5.0 - Tensor([2.0])).data, [3.0])
+
+    def test_mul(self):
+        np.testing.assert_allclose((Tensor([2.0]) * Tensor([4.0])).data, [8.0])
+
+    def test_div(self):
+        np.testing.assert_allclose((Tensor([8.0]) / Tensor([2.0])).data, [4.0])
+
+    def test_rdiv(self):
+        np.testing.assert_allclose((8.0 / Tensor([2.0])).data, [4.0])
+
+    def test_neg(self):
+        np.testing.assert_allclose((-Tensor([1.0, -2.0])).data, [-1.0, 2.0])
+
+    def test_pow(self):
+        np.testing.assert_allclose((Tensor([3.0]) ** 2).data, [9.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+    def test_matmul(self):
+        a = Tensor([[1.0, 2.0]])
+        b = Tensor([[3.0], [4.0]])
+        np.testing.assert_allclose((a @ b).data, [[11.0]])
+
+    def test_reshape(self):
+        out = Tensor(np.arange(6.0)).reshape(2, 3)
+        assert out.shape == (2, 3)
+
+    def test_transpose(self):
+        out = Tensor(np.ones((2, 3))).T
+        assert out.shape == (3, 2)
+
+    def test_sum_all(self):
+        assert Tensor([[1.0, 2.0], [3.0, 4.0]]).sum().item() == pytest.approx(10.0)
+
+    def test_sum_axis(self):
+        out = Tensor([[1.0, 2.0], [3.0, 4.0]]).sum(axis=0)
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_mean(self):
+        assert Tensor([1.0, 2.0, 3.0]).mean().item() == pytest.approx(2.0)
+
+    def test_mean_axis(self):
+        out = Tensor([[1.0, 3.0], [2.0, 4.0]]).mean(axis=1)
+        np.testing.assert_allclose(out.data, [2.0, 3.0])
+
+    def test_abs(self):
+        np.testing.assert_allclose(Tensor([-1.0, 2.0]).abs().data, [1.0, 2.0])
+
+    def test_exp_log_roundtrip(self):
+        x = Tensor([0.5, 1.5])
+        np.testing.assert_allclose(x.exp().log().data, x.data)
+
+    def test_sqrt(self):
+        np.testing.assert_allclose(Tensor([4.0, 9.0]).sqrt().data, [2.0, 3.0])
+
+    def test_clip_min(self):
+        np.testing.assert_allclose(Tensor([-1.0, 2.0]).clip_min(0.0).data, [0.0, 2.0])
+
+    def test_slice_cols(self):
+        out = Tensor(np.arange(12.0).reshape(3, 4)).slice_cols(1, 3)
+        assert out.shape == (3, 2)
+        np.testing.assert_allclose(out.data[0], [1.0, 2.0])
+
+    def test_gather_rows(self):
+        table = Tensor(np.arange(12.0).reshape(4, 3))
+        out = table.gather_rows(np.array([2, 0]))
+        np.testing.assert_allclose(out.data, [[6.0, 7.0, 8.0], [0.0, 1.0, 2.0]])
+
+    def test_concat_axis1(self):
+        out = concat([Tensor(np.ones((2, 2))), Tensor(np.zeros((2, 3)))], axis=1)
+        assert out.shape == (2, 5)
+
+    def test_concat_empty_raises(self):
+        with pytest.raises(ValueError):
+            concat([], axis=1)
+
+
+class TestBackward:
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_grad_accumulates_across_backwards(self):
+        t = Tensor([2.0], requires_grad=True)
+        (t * 3.0).backward()
+        (t * 3.0).backward()
+        np.testing.assert_allclose(t.grad, [6.0])
+
+    def test_zero_grad(self):
+        t = Tensor([2.0], requires_grad=True)
+        (t * 3.0).backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_diamond_graph_grad(self):
+        # y = x*x + x*x should give dy/dx = 4x through two paths
+        t = Tensor([3.0], requires_grad=True)
+        a = t * t
+        b = t * t
+        (a + b).backward()
+        np.testing.assert_allclose(t.grad, [12.0])
+
+    def test_reused_node_grad(self):
+        # z = (x + 1) used twice
+        t = Tensor([1.0], requires_grad=True)
+        y = t + 1.0
+        (y * y).backward()
+        np.testing.assert_allclose(t.grad, [4.0])
+
+    def test_broadcast_add_grad_shapes(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones((4,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        np.testing.assert_allclose(b.grad, 3.0 * np.ones(4))
+
+    def test_broadcast_scalar_like_grad(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((1, 3)), requires_grad=True)
+        (a * b).sum().backward()
+        assert b.grad.shape == (1, 3)
+        np.testing.assert_allclose(b.grad, [[2.0, 2.0, 2.0]])
+
+
+class TestGradientChecks:
+    """Finite-difference validation of each op's backward rule."""
+
+    def test_add(self):
+        x = RNG.normal(size=(3, 4))
+        other = Tensor(RNG.normal(size=(3, 4)))
+        check_gradient(lambda t: (t + other).sum(), x)
+
+    def test_sub(self):
+        x = RNG.normal(size=(3, 4))
+        other = Tensor(RNG.normal(size=(3, 4)))
+        check_gradient(lambda t: (other - t).sum(), x)
+
+    def test_mul_broadcast(self):
+        x = RNG.normal(size=(3, 1))
+        other = Tensor(RNG.normal(size=(3, 4)))
+        check_gradient(lambda t: (t * other).sum(), x)
+
+    def test_div(self):
+        x = RNG.normal(size=(3,)) + 5.0
+        other = Tensor(RNG.normal(size=(3,)))
+        check_gradient(lambda t: (other / t).sum(), x)
+
+    def test_matmul_left(self):
+        x = RNG.normal(size=(2, 4))
+        w = Tensor(RNG.normal(size=(4, 3)))
+        check_gradient(lambda t: (t @ w).sum(), x)
+
+    def test_matmul_right(self):
+        x = RNG.normal(size=(4, 3))
+        a = Tensor(RNG.normal(size=(2, 4)))
+        check_gradient(lambda t: (a @ t).sum(), x)
+
+    def test_pow(self):
+        x = np.abs(RNG.normal(size=(3,))) + 1.0
+        check_gradient(lambda t: (t ** 3).sum(), x)
+
+    def test_reshape(self):
+        x = RNG.normal(size=(2, 6))
+        check_gradient(lambda t: (t.reshape(3, 4) ** 2).sum(), x)
+
+    def test_transpose(self):
+        x = RNG.normal(size=(2, 3))
+        w = Tensor(RNG.normal(size=(2, 4)))
+        check_gradient(lambda t: (t.T @ w).sum(), x)
+
+    def test_sum_axis_keepdims(self):
+        x = RNG.normal(size=(3, 4))
+        check_gradient(lambda t: (t.sum(axis=1, keepdims=True) ** 2).sum(), x)
+
+    def test_mean_axis(self):
+        x = RNG.normal(size=(4, 3))
+        check_gradient(lambda t: (t.mean(axis=0) ** 2).sum(), x)
+
+    def test_abs_away_from_zero(self):
+        x = RNG.normal(size=(5,)) + np.sign(RNG.normal(size=(5,))) * 2.0
+        check_gradient(lambda t: t.abs().sum(), x)
+
+    def test_exp(self):
+        x = RNG.normal(size=(4,))
+        check_gradient(lambda t: t.exp().sum(), x)
+
+    def test_log(self):
+        x = np.abs(RNG.normal(size=(4,))) + 1.0
+        check_gradient(lambda t: t.log().sum(), x)
+
+    def test_clip_min(self):
+        x = RNG.normal(size=(6,)) * 3.0 + 0.5
+        x = x[np.abs(x - 0.0) > 0.1]  # stay away from the kink
+        check_gradient(lambda t: t.clip_min(0.0).sum(), x)
+
+    def test_slice_cols(self):
+        x = RNG.normal(size=(3, 5))
+        check_gradient(lambda t: (t.slice_cols(1, 4) ** 2).sum(), x)
+
+    def test_gather_rows(self):
+        x = RNG.normal(size=(5, 3))
+        ids = np.array([0, 2, 2, 4])
+        check_gradient(lambda t: (t.gather_rows(ids) ** 2).sum(), x)
+
+    def test_concat(self):
+        x = RNG.normal(size=(2, 3))
+        other = Tensor(RNG.normal(size=(2, 2)))
+        check_gradient(lambda t: (concat([t, other], axis=1) ** 2).sum(), x)

@@ -1,0 +1,135 @@
+"""Tests for the command-line interface (in-process via cli.main)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def city_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "city.npz"
+    assert main(["simulate", "--scale", "tiny", "--out", str(path)]) == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def example_paths(city_path, tmp_path_factory):
+    base = tmp_path_factory.mktemp("cli_features")
+    train, test = base / "train.npz", base / "test.npz"
+    code = main(
+        [
+            "featurize", "--scale", "tiny", "--city", str(city_path),
+            "--train-out", str(train), "--test-out", str(test),
+        ]
+    )
+    assert code == 0
+    return train, test
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "table2"])
+        assert args.name == "table2"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table9"])
+
+
+class TestSimulate:
+    def test_creates_loadable_city(self, city_path):
+        from repro.city import CityDataset
+
+        dataset = CityDataset.load(city_path)
+        assert dataset.n_areas == 6
+
+    def test_seed_override(self, tmp_path):
+        a = tmp_path / "a.npz"
+        b = tmp_path / "b.npz"
+        main(["simulate", "--scale", "tiny", "--seed", "1", "--out", str(a)])
+        main(["simulate", "--scale", "tiny", "--seed", "2", "--out", str(b)])
+        from repro.city import CityDataset
+
+        assert CityDataset.load(a).n_orders != CityDataset.load(b).n_orders
+
+
+class TestFeaturize:
+    def test_outputs_loadable(self, example_paths):
+        from repro.features import ExampleSet
+
+        train = ExampleSet.load(example_paths[0])
+        test = ExampleSet.load(example_paths[1])
+        assert train.n_items > 0
+        assert test.n_items > 0
+        assert train.window == test.window
+
+
+class TestTrainEvaluate:
+    def test_train_and_evaluate_roundtrip(self, example_paths, tmp_path, capsys):
+        train, test = example_paths
+        weights = tmp_path / "model.npz"
+        code = main(
+            [
+                "train", "--model", "basic", "--scale", "tiny",
+                "--train", str(train), "--test", str(test),
+                "--epochs", "2", "--save", str(weights),
+            ]
+        )
+        assert code == 0
+        assert weights.exists()
+        out = capsys.readouterr().out
+        assert "trained basic" in out
+        assert "RMSE" in out
+
+        code = main(
+            [
+                "evaluate", "--model", "basic", "--scale", "tiny",
+                "--weights", str(weights),
+                "--train", str(train), "--test", str(test),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MAE" in out and "basic" in out
+
+    def test_train_without_eval_set(self, example_paths, capsys):
+        train, _ = example_paths
+        code = main(
+            [
+                "train", "--model", "basic", "--scale", "tiny",
+                "--train", str(train), "--epochs", "1",
+            ]
+        )
+        assert code == 0
+
+
+class TestInfo:
+    def test_city_info(self, city_path, capsys):
+        assert main(["info", str(city_path), "--kind", "city"]) == 0
+        out = capsys.readouterr().out
+        assert "n_orders" in out
+
+    def test_examples_info(self, example_paths, capsys):
+        assert main(["info", str(example_paths[0]), "--kind", "examples"]) == 0
+        out = capsys.readouterr().out
+        assert "gap mean" in out
+
+
+class TestExperimentCommand:
+    def test_table1_runs(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        # Fresh context registry so the env var takes effect.
+        from repro.experiments import context as context_module
+
+        context_module._CONTEXTS.clear()
+        assert main(["experiment", "table1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "AreaID" in out
+        context_module._CONTEXTS.clear()

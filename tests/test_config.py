@@ -1,0 +1,112 @@
+"""Tests for the configuration layer."""
+
+import pytest
+
+from repro.config import (
+    EmbeddingConfig,
+    ExperimentScale,
+    FeatureConfig,
+    SimulationConfig,
+    bench_scale,
+    get_scale,
+    paper_scale,
+    tiny_scale,
+    with_seed,
+)
+from repro.exceptions import ConfigError
+
+
+class TestSimulationConfig:
+    def test_defaults_valid(self):
+        config = SimulationConfig()
+        assert config.n_areas == 58
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(n_areas=0)
+        with pytest.raises(ConfigError):
+            SimulationConfig(n_days=-1)
+        with pytest.raises(ConfigError):
+            SimulationConfig(start_weekday=7)
+        with pytest.raises(ConfigError):
+            SimulationConfig(base_demand_rate=0.0)
+
+
+class TestFeatureConfig:
+    def test_paper_defaults(self):
+        config = FeatureConfig()
+        assert config.window_minutes == 20
+        assert config.gap_minutes == 10
+        assert config.train_days == 24
+        assert config.test_days == 28
+        assert config.projection_dim == 16
+
+    def test_paper_item_counts(self):
+        """Section VI-A: 283 items/day/area in training, 9 test slots/day."""
+        config = FeatureConfig()
+        assert len(list(config.train_timeslots())) == 283
+        assert len(list(config.test_timeslots())) == 9
+        assert list(config.test_timeslots())[0] == 450     # 7:30
+        assert list(config.test_timeslots())[-1] == 1410   # 23:30
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FeatureConfig(window_minutes=0)
+        with pytest.raises(ConfigError):
+            FeatureConfig(train_start_minute=5)  # < window
+        with pytest.raises(ConfigError):
+            FeatureConfig(test_end_minute=1435)  # + gap > 1440
+        with pytest.raises(ConfigError):
+            FeatureConfig(train_stride_minutes=0)
+        with pytest.raises(ConfigError):
+            FeatureConfig(train_days=0)
+
+    def test_n_days(self):
+        assert FeatureConfig().n_days == 52
+
+
+class TestEmbeddingConfig:
+    def test_table1_defaults(self):
+        config = EmbeddingConfig()
+        assert (config.area_dim, config.time_dim, config.week_dim) == (8, 6, 3)
+        assert config.weather_type_dim == 3
+        assert config.time_vocab == 1440
+        assert config.weather_type_vocab == 10
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            EmbeddingConfig(area_dim=0)
+
+
+class TestScales:
+    def test_paper_scale_matches_protocol(self):
+        scale = paper_scale()
+        assert scale.simulation.n_areas == 58
+        assert scale.features.train_days == 24
+        assert scale.features.test_days == 28
+
+    def test_bench_test_slots_covered_by_train_grid(self):
+        for factory in (bench_scale, tiny_scale):
+            scale = factory()
+            train = set(scale.features.train_timeslots())
+            test = set(scale.features.test_timeslots())
+            assert test <= train, f"{scale.name}: test slots must be trained TimeIDs"
+
+    def test_get_scale(self):
+        assert get_scale("tiny").name == "tiny"
+        assert get_scale("bench", seed=42).simulation.seed == 42
+        with pytest.raises(ConfigError):
+            get_scale("huge")
+
+    def test_with_seed(self):
+        scale = with_seed(bench_scale(), 7)
+        assert scale.simulation.seed == 7
+        assert scale.name == "bench"
+
+    def test_scale_day_consistency_enforced(self):
+        with pytest.raises(ConfigError):
+            ExperimentScale(
+                name="broken",
+                simulation=SimulationConfig(n_areas=2, n_days=5),
+                features=FeatureConfig(train_days=10, test_days=10),
+            )

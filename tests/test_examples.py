@@ -1,0 +1,44 @@
+"""Smoke tests: every shipped example must run end-to-end.
+
+Examples are plain scripts (not a package); they are loaded by path and
+their ``main()`` executed in-process.  Each example's own assertions (e.g.
+"DeepSD beats the historical mean") run as part of this.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart",
+    "fleet_rebalancing",
+    "extend_with_new_data",
+    "embedding_explorer",
+    "dispatch_backtest",
+]
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} produced no output"
+
+
+def test_all_examples_listed():
+    on_disk = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES), "keep the smoke-test list in sync"

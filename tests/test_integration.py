@@ -1,0 +1,156 @@
+"""End-to-end integration tests: the full pipeline across module seams.
+
+simulate → save/load city → featurize → save/load examples → train →
+save/load weights → predict (batch and online) → evaluate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import EmpiricalAverage, GradientBoostingRegressor
+from repro.city import CityDataset, simulate_city
+from repro.config import tiny_scale
+from repro.core import (
+    AdvancedDeepSD,
+    BasicDeepSD,
+    GapPredictor,
+    InputScales,
+    Trainer,
+    TrainingConfig,
+)
+from repro.eval import evaluate
+from repro.features import ExampleSet, FeatureBuilder, tree_design_matrix
+from repro.nn import load_weights, save_weights
+
+
+@pytest.fixture(scope="module")
+def pipeline(tmp_path_factory):
+    """Run the whole pipeline once, exercising every persistence seam."""
+    base = tmp_path_factory.mktemp("pipeline")
+    scale = tiny_scale()
+
+    dataset = simulate_city(scale.simulation)
+    dataset.save(base / "city.npz")
+    dataset = CityDataset.load(base / "city.npz")
+
+    train_set, test_set = FeatureBuilder(dataset, scale.features).build()
+    train_set.save(base / "train.npz")
+    test_set.save(base / "test.npz")
+    train_set = ExampleSet.load(base / "train.npz")
+    test_set = ExampleSet.load(base / "test.npz")
+
+    model = AdvancedDeepSD(
+        dataset.n_areas, scale.features.window_minutes, scale.embeddings,
+        dropout=0.1, seed=3,
+    )
+    trainer = Trainer(model, TrainingConfig(epochs=4, best_k=2, seed=3))
+    history = trainer.fit(train_set, eval_set=test_set)
+    save_weights(model, base / "weights.npz")
+
+    return {
+        "base": base,
+        "scale": scale,
+        "dataset": dataset,
+        "train": train_set,
+        "test": test_set,
+        "trainer": trainer,
+        "model": model,
+        "history": history,
+    }
+
+
+class TestFullPipeline:
+    def test_training_progressed(self, pipeline):
+        history = pipeline["history"]
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_model_beats_average_baseline(self, pipeline):
+        test_set = pipeline["test"]
+        targets = test_set.gaps.astype(np.float64)
+        deepsd = evaluate(pipeline["trainer"].predict(test_set), targets)
+        average = evaluate(
+            EmpiricalAverage().fit(pipeline["train"]).predict(test_set), targets
+        )
+        assert deepsd.rmse < average.rmse
+
+    def test_weights_roundtrip_reproduces_predictions(self, pipeline):
+        scale = pipeline["scale"]
+        dataset = pipeline["dataset"]
+        clone = AdvancedDeepSD(
+            dataset.n_areas, scale.features.window_minutes, scale.embeddings,
+            dropout=0.1, seed=99,
+        )
+        load_weights(clone, pipeline["base"] / "weights.npz")
+        clone.input_scales = InputScales.from_example_set(pipeline["train"])
+        original = pipeline["trainer"]._predict_current(pipeline["test"])
+        restored = Trainer(clone).predict(pipeline["test"])
+        np.testing.assert_allclose(restored, original, rtol=1e-6)
+
+    def test_online_predictor_agrees_with_batch(self, pipeline):
+        predictor = GapPredictor.from_training(
+            pipeline["trainer"],
+            pipeline["dataset"],
+            pipeline["scale"].features,
+            pipeline["train"],
+        )
+        test_set = pipeline["test"]
+        batch = pipeline["trainer"].predict(test_set)
+        i = len(test_set) // 3
+        online = predictor.predict(
+            int(test_set.area_ids[i]),
+            int(test_set.day_ids[i]),
+            int(test_set.time_ids[i]),
+        )
+        assert online == pytest.approx(batch[i], rel=1e-5)
+
+    def test_gbdt_trains_on_same_features(self, pipeline):
+        train_set, test_set = pipeline["train"], pipeline["test"]
+        x_train, _ = tree_design_matrix(train_set)
+        x_test, _ = tree_design_matrix(test_set)
+        model = GradientBoostingRegressor(n_estimators=10, max_depth=3, seed=0)
+        model.fit(x_train, train_set.gaps.astype(np.float64))
+        report = evaluate(model.predict(x_test), test_set.gaps.astype(np.float64))
+        assert np.isfinite(report.rmse)
+
+    def test_finetune_grown_model_from_saved_weights(self, pipeline):
+        """The extendability workflow across a serialization boundary."""
+        scale = pipeline["scale"]
+        dataset = pipeline["dataset"]
+        slim = AdvancedDeepSD(
+            dataset.n_areas, scale.features.window_minutes, scale.embeddings,
+            dropout=0.1, seed=5, use_weather=False, use_traffic=False,
+        )
+        Trainer(slim, TrainingConfig(epochs=1, best_k=1, seed=5)).fit(
+            pipeline["train"]
+        )
+        path = pipeline["base"] / "slim.npz"
+        save_weights(slim, path)
+
+        grown = AdvancedDeepSD(
+            dataset.n_areas, scale.features.window_minutes, scale.embeddings,
+            dropout=0.1, seed=6,
+        )
+        load_weights(grown, path, strict=False)
+        np.testing.assert_array_equal(
+            grown.sd_block.projection.weight.data,
+            slim.sd_block.projection.weight.data,
+        )
+        history = Trainer(grown, TrainingConfig(epochs=1, best_k=1, seed=6)).fit(
+            pipeline["train"]
+        )
+        assert np.isfinite(history.train_loss[0])
+
+
+class TestBasicModelPipeline:
+    def test_basic_trains_and_predicts(self, pipeline):
+        scale = pipeline["scale"]
+        dataset = pipeline["dataset"]
+        model = BasicDeepSD(
+            dataset.n_areas, scale.features.window_minutes, scale.embeddings,
+            dropout=0.1, seed=4,
+        )
+        trainer = Trainer(model, TrainingConfig(epochs=2, best_k=1, seed=4))
+        trainer.fit(pipeline["train"])
+        predictions = trainer.predict(pipeline["test"])
+        assert predictions.shape == (pipeline["test"].n_items,)
+        assert np.isfinite(predictions).all()
