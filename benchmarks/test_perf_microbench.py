@@ -4,6 +4,11 @@ Unlike the table/figure benches (one-shot experiment reproductions), these
 use pytest-benchmark's repeated timing to track the throughput of the
 library's hot paths: model forward/backward, feature extraction and the
 order simulator.
+
+Timings are also recorded into a :class:`repro.obs.MetricsRegistry`
+under the ``repro.bench.*`` namespace and exported to
+``bench_artifacts/microbench_metrics.json``, so perf trajectories share
+one metric namespace with the pipeline's runtime metrics.
 """
 
 import numpy as np
@@ -14,10 +19,31 @@ from repro.config import EmbeddingConfig
 from repro.core import AdvancedDeepSD, BasicDeepSD, make_batch
 from repro.features import AreaDayProfile
 from repro.nn import Adam, Tensor, mse_loss
+from repro.obs import MetricsRegistry
 
 BATCH = 64
 L = 20
 N_AREAS = 20
+
+
+@pytest.fixture(scope="module")
+def perf_metrics(artifacts_dir):
+    """Registry collecting every microbench timing; exported on teardown."""
+    registry = MetricsRegistry()
+    yield registry
+    (artifacts_dir / "microbench_metrics.json").write_text(
+        registry.to_json() + "\n"
+    )
+
+
+def record_timing(registry: MetricsRegistry, name: str, benchmark) -> None:
+    """Push one pytest-benchmark result into the ``repro.bench`` namespace."""
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if stats is None:
+        return
+    registry.observe(f"repro.bench.{name}.mean_seconds", float(stats.mean))
+    registry.gauge(f"repro.bench.{name}.min_seconds", float(stats.min))
+    registry.counter(f"repro.bench.{name}.rounds", float(stats.rounds))
 
 
 @pytest.fixture(scope="module")
@@ -42,21 +68,23 @@ def advanced_model(context):
     )
 
 
-def test_perf_basic_forward(benchmark, basic_model, batch):
+def test_perf_basic_forward(benchmark, basic_model, batch, perf_metrics):
     inputs, _ = batch
     basic_model.eval()
     result = benchmark(lambda: basic_model(inputs))
     assert result.shape == (BATCH,)
+    record_timing(perf_metrics, "basic_forward", benchmark)
 
 
-def test_perf_advanced_forward(benchmark, advanced_model, batch):
+def test_perf_advanced_forward(benchmark, advanced_model, batch, perf_metrics):
     inputs, _ = batch
     advanced_model.eval()
     result = benchmark(lambda: advanced_model(inputs))
     assert result.shape == (BATCH,)
+    record_timing(perf_metrics, "advanced_forward", benchmark)
 
 
-def test_perf_advanced_training_step(benchmark, advanced_model, batch):
+def test_perf_advanced_training_step(benchmark, advanced_model, batch, perf_metrics):
     inputs, targets = batch
     advanced_model.train()
     optimizer = Adam(advanced_model.parameters(), lr=1e-3)
@@ -70,9 +98,10 @@ def test_perf_advanced_training_step(benchmark, advanced_model, batch):
 
     loss_value = benchmark(step)
     assert np.isfinite(loss_value)
+    record_timing(perf_metrics, "advanced_training_step", benchmark)
 
 
-def test_perf_profile_construction(benchmark, context):
+def test_perf_profile_construction(benchmark, context, perf_metrics):
     dataset = context.dataset
 
     def build():
@@ -80,9 +109,10 @@ def test_perf_profile_construction(benchmark, context):
 
     profile = benchmark(build)
     assert profile.window == L
+    record_timing(perf_metrics, "profile_construction", benchmark)
 
 
-def test_perf_vector_extraction(benchmark, context):
+def test_perf_vector_extraction(benchmark, context, perf_metrics):
     profile = AreaDayProfile(context.dataset, 0, 0, L)
     timeslots = np.arange(30, 1430, 30)
 
@@ -95,9 +125,10 @@ def test_perf_vector_extraction(benchmark, context):
 
     sd, lc, wt = benchmark(extract)
     assert sd.shape == (len(timeslots), 2 * L)
+    record_timing(perf_metrics, "vector_extraction", benchmark)
 
 
-def test_perf_order_generation(benchmark):
+def test_perf_order_generation(benchmark, perf_metrics):
     rng = np.random.default_rng(0)
     grid = CityGrid.generate(3, rng)
     arrivals = rng.poisson(1.0, size=MINUTES_PER_DAY)
@@ -112,3 +143,4 @@ def test_perf_order_generation(benchmark):
 
     result = benchmark(generate)
     assert result.n_orders > 0
+    record_timing(perf_metrics, "order_generation", benchmark)

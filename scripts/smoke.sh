@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# End-to-end observability smoke test:
+#   simulate → featurize → train → evaluate → report   (tiny scale)
+# Fails if any stage exits non-zero, logs an ERROR event, or does not
+# write its run manifest.  Wired into tier-1 via the `smoke` pytest
+# marker (tests/test_smoke_pipeline.py).
+#
+# Usage: scripts/smoke.sh [workdir]   (default: a fresh mktemp dir)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+WORK="${1:-$(mktemp -d)}"
+mkdir -p "$WORK"
+LOG="$WORK/smoke.log"
+export PYTHONPATH="$ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
+
+cd "$WORK"
+
+run() {
+    python -m repro "$@" --log-level debug --log-file "$LOG"
+}
+
+run simulate  --scale tiny --out city.npz
+run featurize --scale tiny --city city.npz \
+              --train-out train.npz --test-out test.npz
+run train     --model basic --scale tiny --train train.npz --test test.npz \
+              --epochs 2 --save model.npz
+run evaluate  --model basic --scale tiny --weights model.npz \
+              --train train.npz --test test.npz
+
+for manifest in city.npz.manifest.json train.npz.manifest.json \
+                model.npz.manifest.json model.npz.eval.manifest.json; do
+    if [ ! -f "$manifest" ]; then
+        echo "smoke FAILED: missing manifest $manifest" >&2
+        exit 1
+    fi
+done
+
+if grep -q "level=error" "$LOG"; then
+    echo "smoke FAILED: ERROR events in $LOG:" >&2
+    grep "level=error" "$LOG" >&2
+    exit 1
+fi
+
+python -m repro report city.npz.manifest.json train.npz.manifest.json \
+    model.npz.manifest.json model.npz.eval.manifest.json --quiet
+
+echo "smoke ok"

@@ -12,7 +12,9 @@ self-contained Python library:
 - :mod:`repro.core` — Basic and Advanced DeepSD models plus trainer;
 - :mod:`repro.baselines` — empirical average, LASSO, GBDT, random forest;
 - :mod:`repro.eval` — MAE/RMSE metrics and the paper's analyses;
-- :mod:`repro.experiments` — one runner per table/figure in Section VI.
+- :mod:`repro.experiments` — one runner per table/figure in Section VI;
+- :mod:`repro.obs` — structured logging, metrics registry and run
+  manifests across the whole pipeline.
 """
 
 from .exceptions import ConfigError, DataError, NotFittedError, ReproError

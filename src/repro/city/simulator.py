@@ -9,9 +9,12 @@ retry sessions.
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 
 from ..config import SimulationConfig
+from ..obs import get_logger, get_registry
 from .calendar import MINUTES_PER_DAY, SimulationCalendar
 from .dataset import CityDataset
 from .demand import DemandModel
@@ -21,6 +24,8 @@ from .orders import OrderGenerator, RetryPolicy
 from .supply import SupplyModel
 from .traffic import N_CONGESTION_LEVELS, TrafficSeries, TrafficSimulator
 from .weather import WeatherSimulator
+
+_log = get_logger(__name__)
 
 
 def simulate_city(config: SimulationConfig | None = None) -> CityDataset:
@@ -62,6 +67,31 @@ class CitySimulator:
     def simulate(self) -> CityDataset:
         """Generate the complete dataset for this configuration."""
         config = self.config
+        _log.event(
+            "simulate.start",
+            level=logging.DEBUG,
+            areas=config.n_areas,
+            days=config.n_days,
+            seed=config.seed,
+        )
+        with get_registry().timer("repro.simulate.seconds") as timer:
+            dataset = self._simulate(config)
+        registry = get_registry()
+        registry.counter("repro.simulate.runs")
+        registry.counter("repro.simulate.orders", dataset.n_orders)
+        registry.counter("repro.simulate.sessions", len(dataset.sessions))
+        _log.event(
+            "simulate.done",
+            areas=config.n_areas,
+            days=config.n_days,
+            orders=dataset.n_orders,
+            sessions=len(dataset.sessions),
+            total_gap=dataset.total_gap(),
+            seconds=timer.elapsed,
+        )
+        return dataset
+
+    def _simulate(self, config: SimulationConfig) -> CityDataset:
         rng = np.random.default_rng(config.seed)
 
         grid = CityGrid.generate(config.n_areas, rng)

@@ -7,12 +7,19 @@ Commands cover the full pipeline a downstream user needs:
 - ``train``      — train a DeepSD variant and save its weights;
 - ``evaluate``   — score saved model weights on a saved ExampleSet;
 - ``experiment`` — run one of the paper's table/figure experiments;
-- ``info``       — describe a saved city or ExampleSet.
+- ``info``       — describe a saved city or ExampleSet;
+- ``report``     — summarize one or more run manifests.
+
+Every command accepts the observability group
+(``--log-level/--log-format/--log-file``, ``--quiet/--verbose``,
+``--no-metrics``, ``--manifest``) and writes a ``RunManifest`` JSON next
+to its primary artifact — see ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import Optional, Sequence
 
@@ -22,6 +29,51 @@ from . import __version__
 from .config import get_scale
 from .eval import evaluate as evaluate_metrics
 from .eval import format_table
+from .obs import (
+    LEVELS,
+    RunManifest,
+    configure_logging,
+    configure_metrics,
+    get_logger,
+    get_registry,
+)
+
+_log = get_logger(__name__)
+
+
+def _obs_parent() -> argparse.ArgumentParser:
+    """Shared observability options, attached to every subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument(
+        "--log-level", default=None, choices=sorted(LEVELS),
+        help="structured log threshold (default: info)",
+    )
+    group.add_argument(
+        "--log-format", default="kv", choices=["kv", "json"],
+        help="kv (key=value lines) or json (JSON-lines)",
+    )
+    group.add_argument(
+        "--log-file", default=None,
+        help="write logs to this file instead of stderr",
+    )
+    group.add_argument(
+        "--quiet", action="store_true",
+        help="only warnings and errors (shorthand for --log-level warning)",
+    )
+    group.add_argument(
+        "--verbose", action="store_true",
+        help="debug-level events (shorthand for --log-level debug)",
+    )
+    group.add_argument(
+        "--no-metrics", action="store_true",
+        help="disable the in-process metrics registry",
+    )
+    group.add_argument(
+        "--manifest", default=None,
+        help="run-manifest path (default: <primary output>.manifest.json)",
+    )
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -30,20 +82,25 @@ def build_parser() -> argparse.ArgumentParser:
         description="DeepSD (ICDE 2017) reproduction pipeline",
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    obs = _obs_parent()
     sub = parser.add_subparsers(dest="command", required=True)
 
-    simulate = sub.add_parser("simulate", help="generate a synthetic city")
+    simulate = sub.add_parser(
+        "simulate", parents=[obs], help="generate a synthetic city"
+    )
     simulate.add_argument("--scale", default="bench", help="paper | bench | tiny")
     simulate.add_argument("--seed", type=int, default=None)
     simulate.add_argument("--out", required=True, help="output .npz path")
 
-    featurize = sub.add_parser("featurize", help="build train/test ExampleSets")
+    featurize = sub.add_parser(
+        "featurize", parents=[obs], help="build train/test ExampleSets"
+    )
     featurize.add_argument("--scale", default="bench")
     featurize.add_argument("--city", required=True, help="city .npz from `simulate`")
     featurize.add_argument("--train-out", required=True)
     featurize.add_argument("--test-out", required=True)
 
-    train = sub.add_parser("train", help="train a DeepSD model")
+    train = sub.add_parser("train", parents=[obs], help="train a DeepSD model")
     train.add_argument("--model", default="advanced", choices=["basic", "advanced"])
     train.add_argument("--scale", default="bench")
     train.add_argument("--train", dest="train_set", required=True)
@@ -53,7 +110,9 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--seed", type=int, default=1)
     train.add_argument("--save", default=None, help="save trained weights (.npz)")
 
-    evaluate = sub.add_parser("evaluate", help="score saved weights on an ExampleSet")
+    evaluate = sub.add_parser(
+        "evaluate", parents=[obs], help="score saved weights on an ExampleSet"
+    )
     evaluate.add_argument("--model", default="advanced", choices=["basic", "advanced"])
     evaluate.add_argument("--scale", default="bench")
     evaluate.add_argument("--weights", required=True)
@@ -62,7 +121,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="training set (for the input scales)")
     evaluate.add_argument("--dropout", type=float, default=0.1)
 
-    experiment = sub.add_parser("experiment", help="run a paper experiment")
+    experiment = sub.add_parser(
+        "experiment", parents=[obs], help="run a paper experiment"
+    )
     experiment.add_argument(
         "name",
         choices=[
@@ -73,11 +134,43 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--scale", default="bench")
     experiment.add_argument("--seed", type=int, default=None)
 
-    info = sub.add_parser("info", help="describe a saved artifact")
+    info = sub.add_parser("info", parents=[obs], help="describe a saved artifact")
     info.add_argument("path")
     info.add_argument("--kind", choices=["city", "examples"], default="city")
 
+    report = sub.add_parser(
+        "report", parents=[obs], help="summarize one or more run manifests"
+    )
+    report.add_argument("manifests", nargs="+", help="*.manifest.json paths")
+
     return parser
+
+
+def _configure_observability(args) -> None:
+    """Apply the obs option group once per invocation."""
+    if args.log_level:
+        level = args.log_level
+    elif args.verbose:
+        level = "debug"
+    elif args.quiet:
+        level = "warning"
+    else:
+        level = "info"
+    configure_logging(level=level, fmt=args.log_format, file=args.log_file)
+    if args.no_metrics:
+        configure_metrics(enabled=False)
+
+
+def _write_manifest(manifest: RunManifest, args, artifact: Optional[str]) -> None:
+    """Persist the manifest next to ``artifact`` (or at ``--manifest``)."""
+    if args.manifest:
+        path = manifest.write(args.manifest)
+    elif artifact:
+        path = manifest.write(artifact=artifact)
+    else:
+        return
+    _log.event("manifest.written", level=logging.DEBUG,
+               path=path, command=manifest.command)
 
 
 # ----------------------------------------------------------------------
@@ -92,9 +185,21 @@ def cmd_simulate(args) -> int:
     scale = get_scale(args.scale)
     if args.seed is not None:
         scale = with_seed(scale, args.seed)
-    dataset = simulate_city(scale.simulation)
-    dataset.save(args.out)
+    manifest = RunManifest.begin(
+        "simulate",
+        config={"scale": scale.name, "out": args.out},
+        seed=scale.simulation.seed,
+    )
+    with manifest.stage("simulate"):
+        dataset = simulate_city(scale.simulation)
+    with manifest.stage("save"):
+        dataset.save(args.out)
     summary = dataset.summary()
+    manifest.record(
+        **{k: v for k, v in summary.items() if isinstance(v, (int, float))}
+    )
+    manifest.artifacts["city"] = args.out
+    _write_manifest(manifest, args, args.out)
     print(f"wrote {args.out}")
     for key, value in summary.items():
         print(f"  {key}: {value}")
@@ -106,10 +211,21 @@ def cmd_featurize(args) -> int:
     from .features import FeatureBuilder
 
     scale = get_scale(args.scale)
-    dataset = CityDataset.load(args.city)
-    train_set, test_set = FeatureBuilder(dataset, scale.features).build()
-    train_set.save(args.train_out)
-    test_set.save(args.test_out)
+    manifest = RunManifest.begin(
+        "featurize",
+        config={"scale": scale.name, "city": args.city},
+        seed=scale.simulation.seed,
+    )
+    with manifest.stage("load_city"):
+        dataset = CityDataset.load(args.city)
+    with manifest.stage("build"):
+        train_set, test_set = FeatureBuilder(dataset, scale.features).build()
+    with manifest.stage("save"):
+        train_set.save(args.train_out)
+        test_set.save(args.test_out)
+    manifest.record(train_items=train_set.n_items, test_items=test_set.n_items)
+    manifest.artifacts.update(train=args.train_out, test=args.test_out)
+    _write_manifest(manifest, args, args.train_out)
     print(f"wrote {args.train_out} ({train_set.n_items} items)")
     print(f"wrote {args.test_out} ({test_set.n_items} items)")
     return 0
@@ -134,26 +250,47 @@ def cmd_train(args) -> int:
     from .nn import save_weights
 
     scale = get_scale(args.scale)
-    train_set = ExampleSet.load(args.train_set)
-    test_set = ExampleSet.load(args.test_set) if args.test_set else None
     epochs = args.epochs or (50 if scale.name != "tiny" else 6)
+    manifest = RunManifest.begin(
+        "train",
+        config={
+            "scale": scale.name,
+            "model": args.model,
+            "epochs": epochs,
+            "dropout": args.dropout,
+            "train": args.train_set,
+            "test": args.test_set,
+        },
+        seed=args.seed,
+    )
+    with manifest.stage("load"):
+        train_set = ExampleSet.load(args.train_set)
+        test_set = ExampleSet.load(args.test_set) if args.test_set else None
 
     model = _build_model(args.model, scale, train_set.n_areas, args.dropout, args.seed)
     trainer = Trainer(
         model, TrainingConfig(epochs=epochs, best_k=min(10, epochs), seed=args.seed)
     )
-    history = trainer.fit(train_set, eval_set=test_set)
+    with manifest.stage("fit"):
+        history = trainer.fit(train_set, eval_set=test_set)
+    manifest.record(epochs=epochs, final_train_loss=history.train_loss[-1])
     print(f"trained {args.model} for {epochs} epochs")
     if history.eval_rmse:
+        manifest.record(best_epoch_rmse=min(history.eval_rmse))
         print(f"  best epoch RMSE: {min(history.eval_rmse):.3f}")
     if test_set is not None:
-        report = evaluate_metrics(
-            trainer.predict(test_set), test_set.gaps.astype(np.float64)
-        )
+        with manifest.stage("evaluate"):
+            report = evaluate_metrics(
+                trainer.predict(test_set), test_set.gaps.astype(np.float64)
+            )
+        manifest.record(mae=report.mae, rmse=report.rmse)
         print(f"  ensembled test MAE {report.mae:.3f}  RMSE {report.rmse:.3f}")
     if args.save:
-        save_weights(model, args.save)
+        with manifest.stage("save"):
+            save_weights(model, args.save)
+        manifest.artifacts["weights"] = args.save
         print(f"wrote {args.save}")
+    _write_manifest(manifest, args, args.save)
     return 0
 
 
@@ -163,14 +300,29 @@ def cmd_evaluate(args) -> int:
     from .nn import load_weights
 
     scale = get_scale(args.scale)
-    train_set = ExampleSet.load(args.train_set)
-    test_set = ExampleSet.load(args.test_set)
-    model = _build_model(args.model, scale, test_set.n_areas, args.dropout, seed=0)
-    load_weights(model, args.weights)
-    model.input_scales = InputScales.from_example_set(train_set)
-    report = evaluate_metrics(
-        Trainer(model).predict(test_set), test_set.gaps.astype(np.float64)
+    manifest = RunManifest.begin(
+        "evaluate",
+        config={
+            "scale": scale.name,
+            "model": args.model,
+            "weights": args.weights,
+            "test": args.test_set,
+        },
+        seed=scale.simulation.seed,
     )
+    with manifest.stage("load"):
+        train_set = ExampleSet.load(args.train_set)
+        test_set = ExampleSet.load(args.test_set)
+        model = _build_model(args.model, scale, test_set.n_areas, args.dropout, seed=0)
+        load_weights(model, args.weights)
+        model.input_scales = InputScales.from_example_set(train_set)
+    with manifest.stage("predict"):
+        predictions = Trainer(model).predict(test_set)
+    report = evaluate_metrics(predictions, test_set.gaps.astype(np.float64))
+    manifest.record(mae=report.mae, rmse=report.rmse, items=report.n_items)
+    # The weights' own manifest is `<weights>.manifest.json` (written by
+    # `train --save`); evaluation runs get a distinct default suffix.
+    _write_manifest(manifest, args, f"{args.weights}.eval")
     print(
         format_table(
             ["Model", "MAE", "RMSE", "items"],
@@ -186,8 +338,16 @@ def cmd_experiment(args) -> int:
     from .experiments import get_context
 
     context = get_context(args.scale, args.seed)
+    manifest = RunManifest.begin(
+        "experiment",
+        config={"name": args.name, "scale": context.scale.name},
+        seed=context.scale.simulation.seed,
+    )
     runner = getattr(experiments, args.name)
-    result = runner.run(context)
+    with manifest.stage(args.name):
+        result = runner.run(context)
+    if args.manifest:
+        _write_manifest(manifest, args, None)
     print(_render_experiment(args.name, result))
     return 0
 
@@ -225,6 +385,48 @@ def cmd_info(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    """Render stage timings and final metrics from saved manifests."""
+    manifests = [RunManifest.load(path) for path in args.manifests]
+    for manifest in manifests:
+        print(
+            f"{manifest.command}: version={manifest.version} "
+            f"seed={manifest.seed} created={manifest.created_at}"
+        )
+    print()
+
+    timing_rows = []
+    for manifest in manifests:
+        for stage in manifest.stages:
+            timing_rows.append([manifest.command, stage["name"], stage["seconds"]])
+        timing_rows.append([manifest.command, "total", manifest.total_seconds])
+    print(
+        format_table(
+            ["run", "stage", "seconds"],
+            timing_rows,
+            title="Stage timings",
+            float_format="{:.3f}",
+        )
+    )
+
+    metric_rows = [
+        [manifest.command, name, value]
+        for manifest in manifests
+        for name, value in sorted(manifest.metrics.items())
+    ]
+    if metric_rows:
+        print()
+        print(
+            format_table(
+                ["run", "metric", "value"],
+                metric_rows,
+                title="Final metrics",
+                float_format="{:.4f}",
+            )
+        )
+    return 0
+
+
 _COMMANDS = {
     "simulate": cmd_simulate,
     "featurize": cmd_featurize,
@@ -232,11 +434,13 @@ _COMMANDS = {
     "evaluate": cmd_evaluate,
     "experiment": cmd_experiment,
     "info": cmd_info,
+    "report": cmd_report,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _configure_observability(args)
     return _COMMANDS[args.command](args)
 
 

@@ -11,6 +11,7 @@ them, whereas averaging predictions gives the robustness the paper reports.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -19,6 +20,7 @@ import numpy as np
 
 from ..exceptions import ConfigError
 from ..features.builder import ExampleSet
+from ..obs import get_logger, get_registry, record_training_history
 from ..nn import (
     Adam,
     ConstantSchedule,
@@ -32,6 +34,8 @@ from ..nn import (
 )
 from .batching import batch_targets, make_batch
 from .normalization import InputScales
+
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -94,11 +98,23 @@ class TrainingHistory:
 
 
 class Trainer:
-    """Trains a DeepSD model on an :class:`ExampleSet`."""
+    """Trains a DeepSD model on an :class:`ExampleSet`.
 
-    def __init__(self, model: Module, config: Optional[TrainingConfig] = None):
+    ``clock`` is the monotonic clock used for epoch timings
+    (``time.perf_counter`` by default); tests inject a fake one so
+    ``TrainingHistory.epoch_seconds`` is deterministic.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        config: Optional[TrainingConfig] = None,
+        *,
+        clock: Optional[Callable[[], float]] = None,
+    ):
         self.model = model
         self.config = config or TrainingConfig()
+        self.clock = clock or time.perf_counter
         self._loss_fn = losses.get(self.config.loss)
         self._ensemble_states: List[Dict[str, np.ndarray]] = []
 
@@ -125,18 +141,43 @@ class Trainer:
         history = TrainingHistory()
         snapshots: List[Dict[str, np.ndarray]] = []
 
+        _log.event(
+            "train.start",
+            level=logging.DEBUG,
+            epochs=config.epochs,
+            items=train_set.n_items,
+            batch_size=config.batch_size,
+            seed=config.seed,
+        )
         for epoch in range(config.epochs):
-            started = time.perf_counter()
+            started = self.clock()
             epoch_loss = self._run_epoch(train_set, optimizer, rng)
+            epoch_lr = optimizer.lr
             scheduler.step()
             history.train_loss.append(epoch_loss)
-            history.epoch_seconds.append(time.perf_counter() - started)
+            history.epoch_seconds.append(self.clock() - started)
 
             if eval_set is not None:
                 predictions = self._predict_current(eval_set)
                 errors = predictions - eval_set.gaps
                 history.eval_mae.append(float(np.abs(errors).mean()))
                 history.eval_rmse.append(float(np.sqrt((errors ** 2).mean())))
+
+            if _log.isEnabledFor(logging.INFO):
+                fields = {
+                    "epoch": epoch + 1,
+                    "epochs": config.epochs,
+                    "train_loss": epoch_loss,
+                    "lr": epoch_lr,
+                    # Global grad norm of the last batch — a cheap proxy,
+                    # computed only when the event is actually emitted.
+                    "grad_norm": _grad_norm(self.model.parameters()),
+                    "seconds": history.epoch_seconds[-1],
+                }
+                if history.eval_mae:
+                    fields["val_mae"] = history.eval_mae[-1]
+                    fields["val_rmse"] = history.eval_rmse[-1]
+                _log.event("train.epoch", **fields)
 
             snapshots.append(self.model.state_dict())
             if callback is not None:
@@ -147,6 +188,14 @@ class Trainer:
         # Leave the live weights at the single best epoch; predict() then
         # ensembles over the best-k snapshots.
         self.model.load_state_dict(self._ensemble_states[0])
+        record_training_history(history, get_registry())
+        _log.event(
+            "train.done",
+            level=logging.DEBUG,
+            epochs=history.n_epochs,
+            best_epoch=best[0],
+            seconds=float(sum(history.epoch_seconds)),
+        )
         return history
 
     def _run_epoch(
@@ -212,6 +261,15 @@ class Trainer:
             outputs[indices] = self.model(batch).data
         self.model.train()
         return outputs
+
+
+def _grad_norm(parameters) -> float:
+    """Global L2 norm of the current parameter gradients."""
+    total = 0.0
+    for parameter in parameters:
+        if parameter.grad is not None:
+            total += float((parameter.grad ** 2).sum())
+    return float(np.sqrt(total))
 
 
 def _average_states(states: List[Dict[str, np.ndarray]]) -> Dict[str, np.ndarray]:

@@ -17,10 +17,13 @@ from typing import TYPE_CHECKING, List, Sequence
 
 import numpy as np
 
+from ..obs import get_logger, get_registry
 from .metrics import evaluate
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.predictor import GapPredictor
+
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -107,19 +110,27 @@ def run_backtest(
         areas = range(dataset.n_areas)
     areas = list(areas)
     report = BacktestReport()
-    for day in days:
-        for timeslot in timeslots:
-            queries = [GapQuery(area, day, timeslot) for area in areas]
-            predicted = predictor.predict_many(queries)
-            actual = np.array(
-                [predictor.actual_gap(area, day, timeslot) for area in areas],
-                dtype=np.float64,
-            )
-            report.moments.append(
-                BacktestMoment(
-                    day=day, timeslot=timeslot, predicted=predicted, actual=actual
+    with get_registry().timer("repro.backtest.seconds") as timer:
+        for day in days:
+            for timeslot in timeslots:
+                queries = [GapQuery(area, day, timeslot) for area in areas]
+                predicted = predictor.predict_many(queries)
+                actual = np.array(
+                    [predictor.actual_gap(area, day, timeslot) for area in areas],
+                    dtype=np.float64,
                 )
-            )
+                report.moments.append(
+                    BacktestMoment(
+                        day=day, timeslot=timeslot, predicted=predicted, actual=actual
+                    )
+                )
+    get_registry().counter("repro.backtest.moments", report.n_moments)
+    _log.event(
+        "backtest.done",
+        moments=report.n_moments,
+        areas=len(areas),
+        seconds=timer.elapsed,
+    )
     return report
 
 

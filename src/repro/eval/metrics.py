@@ -12,6 +12,8 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from ..obs import get_registry
+
 
 @dataclass(frozen=True)
 class ErrorReport:
@@ -40,11 +42,18 @@ def rmse(predictions: np.ndarray, targets: np.ndarray) -> float:
 def evaluate(predictions: np.ndarray, targets: np.ndarray) -> ErrorReport:
     """Both metrics at once."""
     predictions, targets = _validate(predictions, targets)
-    return ErrorReport(
+    report = ErrorReport(
         mae=mae(predictions, targets),
         rmse=rmse(predictions, targets),
         n_items=len(targets),
     )
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("repro.eval.evaluations")
+        registry.gauge("repro.eval.mae", report.mae)
+        registry.gauge("repro.eval.rmse", report.rmse)
+        registry.gauge("repro.eval.items", report.n_items)
+    return report
 
 
 def evaluate_under_thresholds(

@@ -9,8 +9,8 @@ process) and on disk (across benchmark runs) under ``REPRO_CACHE_DIR``
 
 from __future__ import annotations
 
+import logging
 import os
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional
@@ -19,6 +19,7 @@ import numpy as np
 
 from ..city import CityDataset, simulate_city
 from ..config import ExperimentScale, get_scale
+from ..obs import get_logger, get_registry
 from ..core import (
     AdvancedDeepSD,
     BasicDeepSD,
@@ -27,6 +28,8 @@ from ..core import (
     TrainingHistory,
 )
 from ..features import ExampleSet, FeatureBuilder
+
+_log = get_logger(__name__)
 
 #: Training hyper-parameters per scale.  The paper trains 50 epochs with
 #: dropout 0.5 on ~394k items; the bench/tiny splits are 30-400× smaller,
@@ -122,7 +125,18 @@ class ExperimentContext:
     def dataset(self) -> CityDataset:
         if self._dataset is None:
             path = cache_dir() / f"city_{self._tag()}.npz"
-            if path.exists():
+            cached = path.exists()
+            _log.event(
+                "experiment.dataset",
+                level=logging.DEBUG,
+                tag=self._tag(),
+                cached=cached,
+            )
+            get_registry().counter(
+                "repro.experiment.cache_hits" if cached
+                else "repro.experiment.cache_misses"
+            )
+            if cached:
                 self._dataset = CityDataset.load(path)
             else:
                 self._dataset = simulate_city(self.scale.simulation)
@@ -132,7 +146,18 @@ class ExperimentContext:
     def _example_sets(self) -> None:
         train_path = cache_dir() / f"train_{self._tag()}.npz"
         test_path = cache_dir() / f"test_{self._tag()}.npz"
-        if train_path.exists() and test_path.exists():
+        cached = train_path.exists() and test_path.exists()
+        _log.event(
+            "experiment.features",
+            level=logging.DEBUG,
+            tag=self._tag(),
+            cached=cached,
+        )
+        get_registry().counter(
+            "repro.experiment.cache_hits" if cached
+            else "repro.experiment.cache_misses"
+        )
+        if cached:
             self._train = ExampleSet.load(train_path)
             self._test = ExampleSet.load(test_path)
             return
@@ -187,12 +212,21 @@ class ExperimentContext:
         )
 
         disk = cache_dir() / f"model_{cache_key}_{self._tag()}.npz"
-        if disk.exists():
+        cached = disk.exists()
+        _log.event(
+            "experiment.model",
+            level=logging.DEBUG,
+            model=key,
+            seed=seed,
+            cached=cached,
+        )
+        if cached:
+            get_registry().counter("repro.experiment.cache_hits")
             trained = self._load_trained(key, model, trainer, disk)
         else:
-            started = time.perf_counter()
-            history = trainer.fit(self.train_set, eval_set=self.test_set)
-            train_seconds = time.perf_counter() - started
+            get_registry().counter("repro.experiment.cache_misses")
+            with get_registry().timer("repro.experiment.train_seconds") as timer:
+                history = trainer.fit(self.train_set, eval_set=self.test_set)
             trained = TrainedModel(
                 key=key,
                 model=model,
@@ -200,7 +234,7 @@ class ExperimentContext:
                 history=history,
                 test_predictions=trainer.predict(self.test_set),
                 seconds_per_epoch=float(np.mean(history.epoch_seconds)),
-                train_seconds=train_seconds,
+                train_seconds=timer.elapsed,
             )
             self._save_trained(trained, disk)
         self._models[cache_key] = trained
@@ -243,23 +277,30 @@ class ExperimentContext:
         train, test = self.train_set, self.test_set
         targets = train.gaps.astype(np.float64)
         spec = BASELINE_SPECS[key]
-        started = time.perf_counter()
-        if key == "average":
-            predictions = EmpiricalAverage().fit(train).predict(test)
-        elif key == "lasso":
-            x_train, x_test, _ = linear_design_matrix(train, test)
-            predictions = LassoRegressor(**spec).fit(x_train, targets).predict(x_test)
-        elif key in ("gbdt", "rf"):
-            x_train, _ = tree_design_matrix(train)
-            x_test, _ = tree_design_matrix(test)
-            cls = GradientBoostingRegressor if key == "gbdt" else RandomForestRegressor
-            predictions = cls(**spec).fit(x_train, targets).predict(x_test)
-        else:
-            raise KeyError(f"unknown baseline {key!r}")
+        with get_registry().timer("repro.experiment.baseline_seconds") as timer:
+            if key == "average":
+                predictions = EmpiricalAverage().fit(train).predict(test)
+            elif key == "lasso":
+                x_train, x_test, _ = linear_design_matrix(train, test)
+                predictions = (
+                    LassoRegressor(**spec).fit(x_train, targets).predict(x_test)
+                )
+            elif key in ("gbdt", "rf"):
+                x_train, _ = tree_design_matrix(train)
+                x_test, _ = tree_design_matrix(test)
+                cls = (
+                    GradientBoostingRegressor if key == "gbdt"
+                    else RandomForestRegressor
+                )
+                predictions = cls(**spec).fit(x_train, targets).predict(x_test)
+            else:
+                raise KeyError(f"unknown baseline {key!r}")
+        _log.event("experiment.baseline", level=logging.DEBUG,
+                   baseline=key, seconds=timer.elapsed)
         return BaselineResult(
             key=key,
             test_predictions=predictions,
-            fit_seconds=time.perf_counter() - started,
+            fit_seconds=timer.elapsed,
         )
 
     def _save_trained(self, trained: TrainedModel, path: Path) -> None:

@@ -15,6 +15,7 @@ test days.  Each item carries:
 
 from __future__ import annotations
 
+import logging
 import os
 from dataclasses import dataclass, field, fields
 from typing import TYPE_CHECKING, Dict, Tuple
@@ -24,6 +25,7 @@ import numpy as np
 from ..city.calendar import SimulationCalendar
 from ..config import FeatureConfig
 from ..exceptions import DataError
+from ..obs import get_logger, get_registry
 from .environment import Standardizer, extract_environment
 from .history import HistoryAccumulator
 from .vectors import AreaDayProfile
@@ -32,6 +34,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..city.dataset import CityDataset
 
 SIGNALS = ("sd", "lc", "wt")
+
+_log = get_logger(__name__)
 
 
 @dataclass
@@ -169,8 +173,19 @@ class FeatureBuilder:
 
     def build(self) -> Tuple[ExampleSet, ExampleSet]:
         """Build (train, test) with environment scalers fit on train."""
-        train = self._build_items(self._train_items())
-        test = self._build_items(self._test_items())
+        registry = get_registry()
+        _log.event(
+            "featurize.start",
+            level=logging.DEBUG,
+            areas=self.dataset.n_areas,
+            train_days=self.config.train_days,
+            test_days=self.config.test_days,
+            window=self.config.window_minutes,
+        )
+        with registry.timer("repro.featurize.train_seconds") as train_timer:
+            train = self._build_items(self._train_items())
+        with registry.timer("repro.featurize.test_seconds") as test_timer:
+            test = self._build_items(self._test_items())
         for name in ("temperature", "pm25"):
             scaler = Standardizer.fit(getattr(train, name))
             for example_set in (train, test):
@@ -180,6 +195,13 @@ class FeatureBuilder:
                     scaler.transform(getattr(example_set, name)).astype(np.float32),
                 )
                 example_set.scalers[name] = (scaler.mean, scaler.std)
+        registry.counter("repro.featurize.items", train.n_items + test.n_items)
+        _log.event(
+            "featurize.done",
+            train_items=train.n_items,
+            test_items=test.n_items,
+            seconds=train_timer.elapsed + test_timer.elapsed,
+        )
         return train, test
 
     def _train_items(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:

@@ -1,0 +1,52 @@
+"""Observability: structured logging, metrics and run manifests.
+
+The three pillars the pipeline is instrumented with (see
+``docs/observability.md`` for formats and the metric-name namespace):
+
+- :mod:`repro.obs.logging` — ``get_logger(name)`` structured event
+  loggers, configured once via :func:`configure_logging`;
+- :mod:`repro.obs.metrics` — the process-local :class:`MetricsRegistry`
+  (counters / gauges / histograms / timers) behind :func:`get_registry`;
+- :mod:`repro.obs.manifest` — :class:`RunManifest`, the JSON run record
+  written next to every CLI artifact and read by ``repro report``.
+"""
+
+from .logging import (
+    LEVELS,
+    EventLogger,
+    JsonFormatter,
+    KeyValueFormatter,
+    configure_logging,
+    get_logger,
+    parse_level,
+)
+from .manifest import MANIFEST_SUFFIX, RunManifest, describe_version
+from .metrics import (
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    configure_metrics,
+    get_registry,
+    record_training_history,
+    set_registry,
+)
+
+__all__ = [
+    "LEVELS",
+    "EventLogger",
+    "Histogram",
+    "JsonFormatter",
+    "KeyValueFormatter",
+    "MANIFEST_SUFFIX",
+    "MetricsRegistry",
+    "RunManifest",
+    "Timer",
+    "configure_logging",
+    "configure_metrics",
+    "describe_version",
+    "get_logger",
+    "get_registry",
+    "parse_level",
+    "record_training_history",
+    "set_registry",
+]

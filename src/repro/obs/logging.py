@@ -1,0 +1,215 @@
+"""Structured logging for the repro pipeline.
+
+Library modules obtain a logger with :func:`get_logger` and emit *events* —
+named records carrying key=value fields — via :meth:`EventLogger.event`.
+Nothing is printed until :func:`configure_logging` installs a handler
+(the CLI does this once from its ``--log-level/--log-format/--log-file``
+options); until then the ``repro`` logger tree carries a ``NullHandler``
+so importing the library stays silent.
+
+Two output formats are supported:
+
+- ``kv`` — one ``ts=... level=... logger=... event=... k=v`` line per
+  record, grep-friendly;
+- ``json`` — one JSON object per line (JSON-lines), machine-friendly.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Optional
+
+__all__ = [
+    "EventLogger",
+    "JsonFormatter",
+    "KeyValueFormatter",
+    "configure_logging",
+    "get_logger",
+    "parse_level",
+]
+
+#: Root of the library's logger namespace.
+ROOT_LOGGER = "repro"
+
+LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+FORMATS = ("kv", "json")
+
+_TIME_FORMAT = "%Y-%m-%dT%H:%M:%S"
+
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+
+def parse_level(level: int | str) -> int:
+    """Accept either a numeric level or a name like ``"info"``."""
+    if isinstance(level, int):
+        return level
+    try:
+        return LEVELS[level.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; known: {sorted(LEVELS)}"
+        ) from None
+
+
+def _render_value(value: object) -> str:
+    """Render one field value for the kv format."""
+    if isinstance(value, float):
+        text = f"{value:.6g}"
+    elif isinstance(value, bool):
+        text = str(value).lower()
+    else:
+        text = str(value)
+    if any(c.isspace() for c in text) or text == "":
+        text = '"' + text.replace('"', r"\"") + '"'
+    return text
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``ts=... level=... logger=... [event=...] [msg=...] k=v ...``"""
+
+    def format(self, record: logging.LogRecord) -> str:
+        parts = [
+            f"ts={self.formatTime(record, _TIME_FORMAT)}",
+            f"level={record.levelname.lower()}",
+            f"logger={record.name}",
+        ]
+        event = getattr(record, "event", None)
+        if event:
+            parts.append(f"event={event}")
+        message = record.getMessage()
+        if message:
+            parts.append(f"msg={_render_value(message)}")
+        for key, value in getattr(record, "fields", {}).items():
+            parts.append(f"{key}={_render_value(value)}")
+        if record.exc_info:
+            parts.append(f"exc={_render_value(self.formatException(record.exc_info))}")
+        return " ".join(parts)
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record (JSON-lines)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": self.formatTime(record, _TIME_FORMAT),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+        }
+        event = getattr(record, "event", None)
+        if event:
+            payload["event"] = event
+        message = record.getMessage()
+        if message:
+            payload["msg"] = message
+        payload.update(getattr(record, "fields", {}))
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+class EventLogger:
+    """Thin wrapper over :class:`logging.Logger` adding structured events.
+
+    ``event(name, **fields)`` emits a record whose formatter-visible
+    payload is the event name plus the fields; the standard ``debug`` /
+    ``info`` / ``warning`` / ``error`` methods also accept ``**fields``.
+    """
+
+    def __init__(self, logger: logging.Logger):
+        self._logger = logger
+
+    @property
+    def name(self) -> str:
+        return self._logger.name
+
+    def isEnabledFor(self, level: int) -> bool:
+        return self._logger.isEnabledFor(level)
+
+    def event(self, name: str, *, level: int = logging.INFO, **fields) -> None:
+        """Emit a named structured event, e.g. ``event("train.epoch", loss=…)``."""
+        if self._logger.isEnabledFor(level):
+            self._logger.log(level, "", extra={"event": name, "fields": fields})
+
+    def _log(self, level: int, message: str, fields: dict) -> None:
+        if self._logger.isEnabledFor(level):
+            self._logger.log(level, message, extra={"fields": fields})
+
+    def debug(self, message: str, **fields) -> None:
+        self._log(logging.DEBUG, message, fields)
+
+    def info(self, message: str, **fields) -> None:
+        self._log(logging.INFO, message, fields)
+
+    def warning(self, message: str, **fields) -> None:
+        self._log(logging.WARNING, message, fields)
+
+    def error(self, message: str, **fields) -> None:
+        self._log(logging.ERROR, message, fields)
+
+
+def get_logger(name: str) -> EventLogger:
+    """Structured logger under the ``repro`` namespace.
+
+    ``name`` is typically ``__name__``; names outside the namespace are
+    prefixed so every library logger shares the one configuration root.
+    """
+    if not name.startswith(ROOT_LOGGER):
+        name = f"{ROOT_LOGGER}.{name}"
+    return EventLogger(logging.getLogger(name))
+
+
+class _StderrProxy:
+    """File-like object resolving ``sys.stderr`` at write time.
+
+    Binding the live attribute (not a snapshot) keeps the handler valid
+    when test harnesses swap ``sys.stderr`` per test.
+    """
+
+    def write(self, text: str) -> int:
+        return sys.stderr.write(text)
+
+    def flush(self) -> None:
+        try:
+            sys.stderr.flush()
+        except (ValueError, OSError):  # pragma: no cover - closed stream
+            pass
+
+
+def configure_logging(
+    level: int | str = "info",
+    fmt: str = "kv",
+    file: Optional[str] = None,
+    stream: Optional[IO[str]] = None,
+) -> logging.Handler:
+    """Install one handler on the ``repro`` logger tree (idempotent).
+
+    Called once by the CLI from ``--log-level/--log-format/--log-file``;
+    programmatic users may call it directly.  ``file`` wins over
+    ``stream``; the default sink is ``sys.stderr``.  Returns the handler
+    (tests use it to flush/close).
+    """
+    if fmt not in FORMATS:
+        raise ValueError(f"unknown log format {fmt!r}; known: {FORMATS}")
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if not isinstance(handler, logging.NullHandler):
+            root.removeHandler(handler)
+            handler.close()
+    if file:
+        handler: logging.Handler = logging.FileHandler(file, encoding="utf-8")
+    else:
+        handler = logging.StreamHandler(stream or _StderrProxy())
+    handler.setFormatter(KeyValueFormatter() if fmt == "kv" else JsonFormatter())
+    root.addHandler(handler)
+    root.setLevel(parse_level(level))
+    root.propagate = False
+    return handler

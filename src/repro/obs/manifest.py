@@ -1,0 +1,165 @@
+"""Run manifests: a persisted JSON record of what a pipeline stage did.
+
+Every CLI command writes a :class:`RunManifest` next to its primary
+artifact (``<out>.manifest.json``) capturing the command, its config,
+the seed, a git-describe-style version, per-stage wall-clock timings and
+the final metrics.  ``repro report`` reads one or more manifests back
+and renders a stage-timing + metric summary table.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Callable, Iterator, List, Optional
+
+import time
+
+__all__ = ["MANIFEST_SUFFIX", "RunManifest", "describe_version"]
+
+MANIFEST_SUFFIX = ".manifest.json"
+SCHEMA_VERSION = 1
+
+
+def describe_version() -> str:
+    """``git describe``-style version, falling back to the package version."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--tags", "--always", "--dirty"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    from .. import __version__
+
+    return f"repro-{__version__}"
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+@dataclass
+class RunManifest:
+    """Record of one pipeline run (see ``docs/observability.md`` §Manifests)."""
+
+    command: str
+    config: dict = field(default_factory=dict)
+    seed: Optional[int] = None
+    version: str = ""
+    created_at: str = ""
+    stages: List[dict] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+    artifacts: dict = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+    _clock: Callable[[], float] = field(
+        default=time.perf_counter, repr=False, compare=False
+    )
+
+    @classmethod
+    def begin(
+        cls,
+        command: str,
+        *,
+        config: Optional[dict] = None,
+        seed: Optional[int] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> "RunManifest":
+        """Start a manifest for a run that is about to execute."""
+        return cls(
+            command=command,
+            config=dict(config or {}),
+            seed=seed,
+            version=describe_version(),
+            created_at=_utc_now(),
+            _clock=clock,
+        )
+
+    # ------------------------------------------------------------------
+    # Stage timings
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a pipeline stage: ``with manifest.stage("featurize"): ...``."""
+        started = self._clock()
+        try:
+            yield
+        finally:
+            self.add_stage(name, self._clock() - started)
+
+    def add_stage(self, name: str, seconds: float) -> None:
+        self.stages.append({"name": name, "seconds": float(seconds)})
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(stage["seconds"] for stage in self.stages))
+
+    def record(self, **metrics) -> None:
+        """Merge final metrics (numbers keyed by dotted name)."""
+        self.metrics.update(metrics)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def default_path(artifact: str | os.PathLike) -> str:
+        """``<artifact>.manifest.json`` — the manifest's home beside its artifact."""
+        return os.fspath(artifact) + MANIFEST_SUFFIX
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "command": self.command,
+            "config": self.config,
+            "seed": self.seed,
+            "version": self.version,
+            "created_at": self.created_at,
+            "stages": self.stages,
+            "total_seconds": self.total_seconds,
+            "metrics": self.metrics,
+            "artifacts": self.artifacts,
+        }
+
+    def write(
+        self,
+        path: Optional[str | os.PathLike] = None,
+        *,
+        artifact: Optional[str | os.PathLike] = None,
+    ) -> str:
+        """Serialize to ``path`` (or next to ``artifact``); returns the path."""
+        if path is None:
+            if artifact is None:
+                raise ValueError("write() needs a path or an artifact")
+            path = self.default_path(artifact)
+        path = os.fspath(path)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True, default=str)
+            handle.write("\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "RunManifest":
+        with open(os.fspath(path), "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        return cls(
+            command=payload.get("command", "?"),
+            config=payload.get("config", {}),
+            seed=payload.get("seed"),
+            version=payload.get("version", ""),
+            created_at=payload.get("created_at", ""),
+            stages=list(payload.get("stages", [])),
+            metrics=payload.get("metrics", {}),
+            artifacts=payload.get("artifacts", {}),
+            schema_version=payload.get("schema_version", SCHEMA_VERSION),
+        )

@@ -1,0 +1,218 @@
+"""Process-local metrics: counters, gauges, histograms and timers.
+
+A :class:`MetricsRegistry` is a plain in-process aggregation sink — no
+background threads, no sockets.  Pipeline layers record into the shared
+default registry (:func:`get_registry`) under the stable ``repro.*``
+namespace documented in ``docs/observability.md``; tests and benchmarks
+construct private registries with a fake clock.
+
+Design constraints:
+
+- **off-hot-path** — instrumentation happens at stage/epoch granularity,
+  never per minibatch or per order; with ``enabled=False`` every record
+  call is a constant-time no-op, so the microbenchmarks are unaffected;
+- **injectable clock** — :meth:`MetricsRegistry.timer` reads the
+  registry's monotonic clock, so timings are deterministic under test.
+  ``REPRO_METRICS=0`` disables the default registry at import time.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+    "configure_metrics",
+    "get_registry",
+    "record_training_history",
+    "set_registry",
+]
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of observed values (count/total/min/max)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class Timer:
+    """Times a block (context manager) or a function (decorator).
+
+    The elapsed seconds are read from the owning registry's clock and
+    recorded into the histogram ``name`` on exit; ``.elapsed`` holds the
+    last measurement either way, even when the registry is disabled —
+    callers that need the duration (e.g. experiment bookkeeping) can rely
+    on it without caring whether metrics are on.
+    """
+
+    def __init__(self, registry: "MetricsRegistry", name: str):
+        self._registry = registry
+        self.name = name
+        self.elapsed: float = 0.0
+        self._started: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._started = self._registry.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = self._registry.clock() - (self._started or 0.0)
+        self._started = None
+        self._registry.observe(self.name, self.elapsed)
+
+    def __call__(self, fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with Timer(self._registry, self.name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms keyed by dotted metric name."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        enabled: bool = True,
+    ):
+        self.clock = clock
+        self.enabled = enabled
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, value: float = 1.0) -> None:
+        """Increment a monotonically growing counter."""
+        if self.enabled:
+            self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time value (last write wins)."""
+        if self.enabled:
+            self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Add one observation to a histogram."""
+        if self.enabled:
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = Histogram()
+            histogram.observe(float(value))
+
+    def timer(self, name: str) -> Timer:
+        """A :class:`Timer` recording into histogram ``name``."""
+        return Timer(self, name)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of everything recorded so far."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: histogram.as_dict()
+                for name, histogram in self.histograms.items()
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+
+_default = MetricsRegistry(enabled=os.environ.get("REPRO_METRICS", "1") != "0")
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry the pipeline records into."""
+    return _default
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry (returns the previous one)."""
+    global _default
+    previous = _default
+    _default = registry
+    return previous
+
+
+def configure_metrics(
+    enabled: Optional[bool] = None,
+    clock: Optional[Callable[[], float]] = None,
+) -> MetricsRegistry:
+    """Adjust the default registry in place."""
+    if enabled is not None:
+        _default.enabled = enabled
+    if clock is not None:
+        _default.clock = clock
+    return _default
+
+
+def record_training_history(
+    history,
+    registry: Optional[MetricsRegistry] = None,
+    prefix: str = "repro.train",
+) -> None:
+    """Bridge a :class:`repro.core.TrainingHistory` into a registry.
+
+    Duck-typed on the history's list attributes so ``repro.obs`` stays
+    import-free of the model stack.
+    """
+    registry = registry or get_registry()
+    if not registry.enabled:
+        return
+    registry.gauge(f"{prefix}.epochs", history.n_epochs)
+    if history.train_loss:
+        registry.gauge(f"{prefix}.final_loss", history.train_loss[-1])
+        registry.gauge(f"{prefix}.best_loss", min(history.train_loss))
+    if history.eval_rmse:
+        registry.gauge(f"{prefix}.best_rmse", min(history.eval_rmse))
+    if history.eval_mae:
+        registry.gauge(f"{prefix}.best_mae", min(history.eval_mae))
+    for seconds in history.epoch_seconds:
+        registry.observe(f"{prefix}.epoch_seconds", seconds)

@@ -142,6 +142,27 @@ class TestTrainer:
         assert not np.array_equal(single, ensembled)
 
 
+class TestInjectableClock:
+    def test_epoch_seconds_deterministic_with_fake_clock(self, train_set, scale):
+        ticks = iter(float(i) for i in range(100))
+        model = BasicDeepSD(train_set.n_areas, scale.features.window_minutes, seed=0)
+        trainer = Trainer(
+            model,
+            TrainingConfig(epochs=3, best_k=1),
+            clock=lambda: next(ticks),
+        )
+        history = trainer.fit(train_set)
+        # Two clock reads per epoch (start/end of the training step) ⇒
+        # every epoch "lasts" exactly one tick, reproducibly.
+        assert history.epoch_seconds == [1.0, 1.0, 1.0]
+
+    def test_default_clock_is_wall_time(self, train_set, scale):
+        model = BasicDeepSD(train_set.n_areas, scale.features.window_minutes, seed=0)
+        trainer = Trainer(model, TrainingConfig(epochs=1, best_k=1))
+        history = trainer.fit(train_set)
+        assert history.epoch_seconds[0] > 0
+
+
 class TestAdvancedTraining:
     def test_advanced_trains_end_to_end(self, train_set, test_set, scale):
         model = AdvancedDeepSD(

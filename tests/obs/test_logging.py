@@ -1,0 +1,132 @@
+"""Tests for structured logging: formats, events, configuration."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import (
+    JsonFormatter,
+    KeyValueFormatter,
+    configure_logging,
+    get_logger,
+    parse_level,
+)
+from repro.obs.logging import ROOT_LOGGER
+
+
+@pytest.fixture(autouse=True)
+def restore_logging():
+    """Restore the silent library default after every test here."""
+    yield
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if not isinstance(handler, logging.NullHandler):
+            root.removeHandler(handler)
+            handler.close()
+    root.setLevel(logging.NOTSET)
+    root.propagate = True
+
+
+@pytest.fixture()
+def capture():
+    """Configure the repro logger tree into an in-memory stream."""
+    stream = io.StringIO()
+
+    def _configure(level="info", fmt="kv"):
+        configure_logging(level=level, fmt=fmt, stream=stream)
+        return stream
+
+    return _configure
+
+
+class TestParseLevel:
+    def test_names_and_ints(self):
+        assert parse_level("debug") == logging.DEBUG
+        assert parse_level("INFO") == logging.INFO
+        assert parse_level(logging.ERROR) == logging.ERROR
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            parse_level("loud")
+
+
+class TestKeyValueFormat:
+    def test_event_renders_fields(self, capture):
+        stream = capture(level="info", fmt="kv")
+        get_logger("tests.kv").event("stage.done", items=42, rmse=6.27)
+        line = stream.getvalue().strip()
+        assert "level=info" in line
+        assert "logger=repro.tests.kv" in line
+        assert "event=stage.done" in line
+        assert "items=42" in line
+        assert "rmse=6.27" in line
+
+    def test_values_with_spaces_are_quoted(self, capture):
+        stream = capture()
+        get_logger("tests.kv").event("note", path="a file.npz")
+        assert 'path="a file.npz"' in stream.getvalue()
+
+    def test_plain_messages_pass_through(self, capture):
+        stream = capture()
+        get_logger("tests.kv").warning("something odd", area=3)
+        line = stream.getvalue().strip()
+        assert "level=warning" in line
+        assert 'msg="something odd"' in line
+        assert "area=3" in line
+
+
+class TestJsonFormat:
+    def test_one_json_object_per_line(self, capture):
+        stream = capture(level="debug", fmt="json")
+        logger = get_logger("tests.json")
+        logger.event("a", level=logging.DEBUG, x=1)
+        logger.event("b", y=2.5)
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["event"] == "a" and first["x"] == 1
+        assert first["level"] == "debug"
+        assert second["event"] == "b" and second["y"] == 2.5
+
+
+class TestLevels:
+    def test_events_below_threshold_are_dropped(self, capture):
+        stream = capture(level="warning")
+        logger = get_logger("tests.levels")
+        logger.event("hidden")                 # info < warning
+        logger.event("shown", level=logging.ERROR)
+        output = stream.getvalue()
+        assert "hidden" not in output
+        assert "shown" in output
+
+    def test_is_enabled_for_guard(self, capture):
+        capture(level="warning")
+        assert not get_logger("tests.levels").isEnabledFor(logging.INFO)
+        assert get_logger("tests.levels").isEnabledFor(logging.ERROR)
+
+
+class TestConfigure:
+    def test_reconfiguring_replaces_handler(self, capture):
+        stream = capture()
+        configure_logging(level="info", stream=stream)
+        configure_logging(level="info", stream=stream)
+        get_logger("tests.cfg").event("once")
+        assert stream.getvalue().count("event=once") == 1
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging(fmt="yaml")
+
+    def test_log_file_sink(self, tmp_path):
+        path = tmp_path / "run.log"
+        handler = configure_logging(level="debug", file=str(path))
+        get_logger("tests.cfg").event("to.file", k=1)
+        handler.flush()
+        assert "event=to.file" in path.read_text()
+
+    def test_unconfigured_library_is_silent(self):
+        # The repro root carries a NullHandler; emitting an event without
+        # configure_logging must not raise or print handler warnings.
+        get_logger("tests.silent").event("quiet", level=logging.ERROR)

@@ -1,0 +1,110 @@
+"""Tests for run manifests: stage timing, round-trip, report rendering."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import MANIFEST_SUFFIX, RunManifest, describe_version
+
+
+class FakeClock:
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestStageTiming:
+    def test_stage_context_manager_uses_injected_clock(self):
+        manifest = RunManifest.begin("test", clock=FakeClock(step=2.0))
+        with manifest.stage("simulate"):
+            pass
+        with manifest.stage("save"):
+            pass
+        assert manifest.stages == [
+            {"name": "simulate", "seconds": 2.0},
+            {"name": "save", "seconds": 2.0},
+        ]
+        assert manifest.total_seconds == 4.0
+
+    def test_stage_recorded_on_exception(self):
+        manifest = RunManifest.begin("test", clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with manifest.stage("boom"):
+                raise RuntimeError("boom")
+        assert manifest.stages[0]["name"] == "boom"
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        manifest = RunManifest.begin(
+            "simulate", config={"scale": "tiny"}, seed=7, clock=FakeClock()
+        )
+        with manifest.stage("simulate"):
+            pass
+        manifest.record(n_orders=123, rmse=6.5)
+        manifest.artifacts["city"] = "city.npz"
+        path = manifest.write(artifact=tmp_path / "city.npz")
+        assert path.endswith("city.npz" + MANIFEST_SUFFIX)
+
+        loaded = RunManifest.load(path)
+        assert loaded.command == "simulate"
+        assert loaded.config == {"scale": "tiny"}
+        assert loaded.seed == 7
+        assert loaded.version == manifest.version
+        assert loaded.stages == manifest.stages
+        assert loaded.metrics == {"n_orders": 123, "rmse": 6.5}
+        assert loaded.artifacts == {"city": "city.npz"}
+
+    def test_written_json_is_valid_and_sorted(self, tmp_path):
+        manifest = RunManifest.begin("x", clock=FakeClock())
+        path = manifest.write(tmp_path / "m.json")
+        payload = json.loads((tmp_path / "m.json").read_text())
+        assert payload["schema_version"] == 1
+        assert "created_at" in payload
+        assert path == str(tmp_path / "m.json")
+
+    def test_write_requires_a_destination(self):
+        with pytest.raises(ValueError):
+            RunManifest.begin("x").write()
+
+
+class TestVersion:
+    def test_describe_version_nonempty(self):
+        assert describe_version()
+
+
+class TestReportCommand:
+    def test_report_renders_stages_and_metrics(self, tmp_path, capsys):
+        manifest = RunManifest.begin(
+            "train", config={"scale": "tiny"}, seed=1, clock=FakeClock(step=0.5)
+        )
+        with manifest.stage("fit"):
+            pass
+        manifest.record(rmse=6.381, mae=3.375)
+        path = manifest.write(artifact=tmp_path / "weights.npz")
+
+        assert main(["report", path, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "Stage timings" in out
+        assert "fit" in out
+        assert "total" in out
+        assert "Final metrics" in out
+        assert "rmse" in out
+        assert "6.3810" in out
+
+    def test_report_many_manifests(self, tmp_path, capsys):
+        paths = []
+        for command in ("simulate", "featurize"):
+            manifest = RunManifest.begin(command, clock=FakeClock())
+            with manifest.stage(command):
+                pass
+            paths.append(manifest.write(tmp_path / f"{command}.json"))
+        assert main(["report", *paths, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "simulate" in out and "featurize" in out

@@ -1,0 +1,158 @@
+"""Tests for the metrics registry: counters, histograms, timers, export."""
+
+import json
+
+import pytest
+
+from repro.core import TrainingHistory
+from repro.obs import MetricsRegistry, get_registry, record_training_history, set_registry
+
+
+class FakeClock:
+    """Monotonic clock advancing a fixed step per call."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestCounters:
+    def test_increment_defaults_to_one(self):
+        registry = MetricsRegistry()
+        registry.counter("repro.test.calls")
+        registry.counter("repro.test.calls")
+        assert registry.counters["repro.test.calls"] == 2.0
+
+    def test_increment_by_value(self):
+        registry = MetricsRegistry()
+        registry.counter("repro.test.orders", 10)
+        registry.counter("repro.test.orders", 5)
+        assert registry.counters["repro.test.orders"] == 15.0
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro.test.rmse", 6.0)
+        registry.gauge("repro.test.rmse", 5.5)
+        assert registry.gauges["repro.test.rmse"] == 5.5
+
+
+class TestHistograms:
+    def test_summary_statistics(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0):
+            registry.observe("repro.test.seconds", value)
+        histogram = registry.histograms["repro.test.seconds"]
+        assert histogram.count == 3
+        assert histogram.total == 6.0
+        assert histogram.mean == 2.0
+        assert histogram.min == 1.0
+        assert histogram.max == 3.0
+
+    def test_empty_histogram_mean_is_zero(self):
+        from repro.obs import Histogram
+
+        assert Histogram().mean == 0.0
+        assert Histogram().as_dict()["min"] is None
+
+
+class TestTimer:
+    def test_context_manager_with_fake_clock(self):
+        registry = MetricsRegistry(clock=FakeClock(step=2.5))
+        with registry.timer("repro.test.block") as timer:
+            pass
+        assert timer.elapsed == 2.5
+        assert registry.histograms["repro.test.block"].total == 2.5
+
+    def test_decorator_records_each_call(self):
+        registry = MetricsRegistry(clock=FakeClock(step=1.0))
+
+        @registry.timer("repro.test.fn")
+        def double(x):
+            return 2 * x
+
+        assert double(3) == 6
+        assert double(4) == 8
+        assert registry.histograms["repro.test.fn"].count == 2
+
+    def test_records_on_exception(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        with pytest.raises(ValueError):
+            with registry.timer("repro.test.boom"):
+                raise ValueError("boom")
+        assert registry.histograms["repro.test.boom"].count == 1
+
+    def test_elapsed_available_when_disabled(self):
+        registry = MetricsRegistry(clock=FakeClock(step=3.0), enabled=False)
+        with registry.timer("repro.test.off") as timer:
+            pass
+        assert timer.elapsed == 3.0
+        assert "repro.test.off" not in registry.histograms
+
+
+class TestDisabled:
+    def test_all_recording_is_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("a")
+        registry.gauge("b", 1.0)
+        registry.observe("c", 1.0)
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+
+class TestExport:
+    def test_snapshot_round_trips_through_json(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        registry.counter("repro.test.n", 3)
+        registry.gauge("repro.test.g", 1.5)
+        registry.observe("repro.test.h", 2.0)
+        payload = json.loads(registry.to_json())
+        assert payload["counters"]["repro.test.n"] == 3.0
+        assert payload["gauges"]["repro.test.g"] == 1.5
+        assert payload["histograms"]["repro.test.h"]["count"] == 1
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        registry.reset()
+        assert registry.counters == {}
+
+
+class TestDefaultRegistry:
+    def test_swap_and_restore(self):
+        mine = MetricsRegistry()
+        previous = set_registry(mine)
+        try:
+            assert get_registry() is mine
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+
+class TestTrainingHistoryBridge:
+    def test_records_gauges_and_epoch_seconds(self):
+        registry = MetricsRegistry()
+        history = TrainingHistory(
+            train_loss=[5.0, 3.0],
+            eval_mae=[2.0, 1.5],
+            eval_rmse=[4.0, 3.5],
+            epoch_seconds=[0.5, 0.7],
+        )
+        record_training_history(history, registry)
+        assert registry.gauges["repro.train.epochs"] == 2
+        assert registry.gauges["repro.train.final_loss"] == 3.0
+        assert registry.gauges["repro.train.best_rmse"] == 3.5
+        assert registry.gauges["repro.train.best_mae"] == 1.5
+        assert registry.histograms["repro.train.epoch_seconds"].count == 2
+
+    def test_disabled_registry_stays_empty(self):
+        registry = MetricsRegistry(enabled=False)
+        record_training_history(TrainingHistory(train_loss=[1.0]), registry)
+        assert registry.gauges == {}

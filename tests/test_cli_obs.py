@@ -1,0 +1,153 @@
+"""CLI observability: log flags, stage events, manifests, quiet/verbose."""
+
+import json
+import logging
+
+import pytest
+
+from repro.cli import main
+from repro.obs import RunManifest
+from repro.obs.logging import ROOT_LOGGER
+
+
+@pytest.fixture(autouse=True)
+def restore_logging():
+    """Each main() call configures the repro logger; reset afterwards."""
+    yield
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if not isinstance(handler, logging.NullHandler):
+            root.removeHandler(handler)
+            handler.close()
+    root.setLevel(logging.NOTSET)
+    root.propagate = True
+
+
+@pytest.fixture(scope="module")
+def pipeline(tmp_path_factory):
+    """One tiny simulate+featurize shared by the tests below."""
+    base = tmp_path_factory.mktemp("cli_obs")
+    city = base / "city.npz"
+    train, test = base / "train.npz", base / "test.npz"
+    log = base / "setup.log"
+    assert main(
+        ["simulate", "--scale", "tiny", "--out", str(city),
+         "--log-level", "debug", "--log-file", str(log)]
+    ) == 0
+    assert main(
+        ["featurize", "--scale", "tiny", "--city", str(city),
+         "--train-out", str(train), "--test-out", str(test),
+         "--log-level", "debug", "--log-file", str(log)]
+    ) == 0
+    return {"base": base, "city": city, "train": train, "test": test, "log": log}
+
+
+class TestStageEvents:
+    def test_debug_log_level_emits_stage_events(self, pipeline):
+        text = pipeline["log"].read_text()
+        assert "event=simulate.start" in text
+        assert "event=simulate.done" in text
+        assert "event=featurize.start" in text
+        assert "event=featurize.done" in text
+        assert "event=manifest.written" in text
+
+    def test_json_log_format(self, pipeline, tmp_path):
+        log = tmp_path / "run.log"
+        out = tmp_path / "city.npz"
+        assert main(
+            ["simulate", "--scale", "tiny", "--out", str(out),
+             "--log-level", "debug", "--log-format", "json",
+             "--log-file", str(log)]
+        ) == 0
+        events = [json.loads(line) for line in log.read_text().splitlines()]
+        assert any(e.get("event") == "simulate.done" for e in events)
+        done = next(e for e in events if e.get("event") == "simulate.done")
+        assert done["orders"] > 0 and done["seconds"] >= 0
+
+
+class TestManifests:
+    def test_simulate_and_featurize_manifests(self, pipeline):
+        city_manifest = RunManifest.load(str(pipeline["city"]) + ".manifest.json")
+        assert city_manifest.command == "simulate"
+        assert [s["name"] for s in city_manifest.stages] == ["simulate", "save"]
+        assert city_manifest.metrics["n_orders"] > 0
+        assert city_manifest.seed == 7  # tiny-scale default seed
+
+        feat_manifest = RunManifest.load(str(pipeline["train"]) + ".manifest.json")
+        assert feat_manifest.command == "featurize"
+        assert feat_manifest.metrics["train_items"] > 0
+
+    def test_manifest_path_override(self, pipeline, tmp_path):
+        override = tmp_path / "custom.json"
+        out = tmp_path / "city.npz"
+        assert main(
+            ["simulate", "--scale", "tiny", "--out", str(out),
+             "--manifest", str(override), "--quiet"]
+        ) == 0
+        assert override.exists()
+        assert not (tmp_path / "city.npz.manifest.json").exists()
+
+    def test_train_and_evaluate_manifests_and_report(
+        self, pipeline, tmp_path, capsys
+    ):
+        weights = tmp_path / "model.npz"
+        log = tmp_path / "train.log"
+        assert main(
+            ["train", "--model", "basic", "--scale", "tiny",
+             "--train", str(pipeline["train"]), "--test", str(pipeline["test"]),
+             "--epochs", "2", "--save", str(weights),
+             "--log-level", "info", "--log-file", str(log)]
+        ) == 0
+        # One structured event per epoch at info level (satellite 1).
+        text = log.read_text()
+        assert text.count("event=train.epoch") == 2
+        assert "train_loss=" in text and "val_rmse=" in text
+        assert "lr=" in text and "grad_norm=" in text and "seconds=" in text
+
+        train_manifest = RunManifest.load(str(weights) + ".manifest.json")
+        assert train_manifest.command == "train"
+        assert "fit" in [s["name"] for s in train_manifest.stages]
+        assert train_manifest.metrics["rmse"] > 0
+
+        assert main(
+            ["evaluate", "--model", "basic", "--scale", "tiny",
+             "--weights", str(weights),
+             "--train", str(pipeline["train"]), "--test", str(pipeline["test"]),
+             "--quiet"]
+        ) == 0
+        eval_path = str(weights) + ".eval.manifest.json"
+        eval_manifest = RunManifest.load(eval_path)
+        assert eval_manifest.command == "evaluate"
+        assert eval_manifest.metrics["items"] > 0
+
+        capsys.readouterr()
+        assert main(
+            ["report", str(weights) + ".manifest.json", eval_path, "--quiet"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Stage timings" in out
+        assert "Final metrics" in out
+        assert "rmse" in out
+
+
+class TestQuietVerbose:
+    def test_quiet_suppresses_epoch_lines(self, pipeline, tmp_path):
+        log = tmp_path / "quiet.log"
+        assert main(
+            ["train", "--model", "basic", "--scale", "tiny",
+             "--train", str(pipeline["train"]), "--epochs", "1",
+             "--quiet", "--log-file", str(log)]
+        ) == 0
+        assert "event=train.epoch" not in log.read_text()
+
+    def test_verbose_adds_debug_events(self, pipeline, tmp_path):
+        log = tmp_path / "verbose.log"
+        assert main(
+            ["train", "--model", "basic", "--scale", "tiny",
+             "--train", str(pipeline["train"]), "--epochs", "1",
+             "--verbose", "--log-file", str(log)]
+        ) == 0
+        text = log.read_text()
+        assert "event=train.start" in text
+        assert "event=train.done" in text
+        assert "event=train.epoch" in text
