@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # End-to-end observability smoke test:
-#   simulate → featurize → train → evaluate → report   (tiny scale)
-# Fails if any stage exits non-zero, logs an ERROR event, or does not
-# write its run manifest.  Wired into tier-1 via the `smoke` pytest
+#   simulate → featurize → train → evaluate → interrupt/resume → report
+# (tiny scale).  Fails if any stage exits non-zero, logs an ERROR event,
+# does not write its run manifest, or if a training run resumed from a
+# checkpoint diverges from the uninterrupted run.  Wired into tier-1 via the `smoke` pytest
 # marker (tests/test_smoke_pipeline.py).
 #
 # Usage: scripts/smoke.sh [workdir]   (default: a fresh mktemp dir)
@@ -28,8 +29,39 @@ run train     --model basic --scale tiny --train train.npz --test test.npz \
 run evaluate  --model basic --scale tiny --weights model.npz \
               --train train.npz --test test.npz
 
+# Fault-injected checkpoint/resume: train 3 epochs straight, then "kill"
+# an identical run after epoch 1 and resume it from its checkpoint dir.
+# The resumed run must reproduce the straight run's weights bitwise.
+run train     --model basic --scale tiny --train train.npz --test test.npz \
+              --epochs 3 --save model_straight.npz
+run train     --model basic --scale tiny --train train.npz --test test.npz \
+              --epochs 3 --checkpoint-dir ckpt --checkpoint-every 1 \
+              --stop-after 1
+run train     --model basic --scale tiny --train train.npz --test test.npz \
+              --epochs 3 --checkpoint-dir ckpt --resume \
+              --save model_resumed.npz
+
+if [ ! -f ckpt/latest.json ]; then
+    echo "smoke FAILED: missing ckpt/latest.json" >&2
+    exit 1
+fi
+if ! grep -q '"resume"' model_resumed.npz.manifest.json; then
+    echo "smoke FAILED: no resume provenance in model_resumed manifest" >&2
+    exit 1
+fi
+python - <<'EOF'
+import numpy as np
+a = np.load("model_straight.npz")
+b = np.load("model_resumed.npz")
+assert set(a.files) == set(b.files), "weight keys differ"
+for key in a.files:
+    np.testing.assert_array_equal(a[key], b[key], err_msg=key)
+print("resume equivalence ok")
+EOF
+
 for manifest in city.npz.manifest.json train.npz.manifest.json \
-                model.npz.manifest.json model.npz.eval.manifest.json; do
+                model.npz.manifest.json model.npz.eval.manifest.json \
+                model_resumed.npz.manifest.json; do
     if [ ! -f "$manifest" ]; then
         echo "smoke FAILED: missing manifest $manifest" >&2
         exit 1
@@ -43,6 +75,7 @@ if grep -q "level=error" "$LOG"; then
 fi
 
 python -m repro report city.npz.manifest.json train.npz.manifest.json \
-    model.npz.manifest.json model.npz.eval.manifest.json --quiet
+    model.npz.manifest.json model.npz.eval.manifest.json \
+    model_resumed.npz.manifest.json --quiet
 
 echo "smoke ok"

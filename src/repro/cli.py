@@ -4,7 +4,9 @@ Commands cover the full pipeline a downstream user needs:
 
 - ``simulate``   — generate a synthetic city and save it;
 - ``featurize``  — build train/test ExampleSets from a saved city;
-- ``train``      — train a DeepSD variant and save its weights;
+- ``train``      — train a DeepSD variant and save its weights, with
+  fault-tolerant checkpoint/resume
+  (``--checkpoint-dir/--checkpoint-every/--resume``);
 - ``evaluate``   — score saved model weights on a saved ExampleSet;
 - ``experiment`` — run one of the paper's table/figure experiments;
 - ``info``       — describe a saved city or ExampleSet;
@@ -109,6 +111,25 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--dropout", type=float, default=0.1)
     train.add_argument("--seed", type=int, default=1)
     train.add_argument("--save", default=None, help="save trained weights (.npz)")
+    ckpt = train.add_argument_group("checkpointing")
+    ckpt.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="write resumable training checkpoints into DIR",
+    )
+    ckpt.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="checkpoint every N epochs (default 1; needs --checkpoint-dir)",
+    )
+    ckpt.add_argument(
+        "--resume", nargs="?", const="auto", default=None, metavar="PATH",
+        help="resume from a checkpoint dir/file (bare --resume uses "
+             "--checkpoint-dir)",
+    )
+    ckpt.add_argument(
+        "--stop-after", type=int, default=None, metavar="N",
+        help="stop after N epochs, leaving a checkpoint behind "
+             "(fault-injection testing)",
+    )
 
     evaluate = sub.add_parser(
         "evaluate", parents=[obs], help="score saved weights on an ExampleSet"
@@ -246,11 +267,17 @@ def _build_model(name: str, scale, n_areas: int, dropout: float, seed: int):
 
 def cmd_train(args) -> int:
     from .core import Trainer, TrainingConfig
+    from .exceptions import ConfigError
     from .features import ExampleSet
     from .nn import save_weights
 
     scale = get_scale(args.scale)
     epochs = args.epochs or (50 if scale.name != "tiny" else 6)
+    resume_from = args.resume
+    if resume_from == "auto":
+        if not args.checkpoint_dir:
+            raise ConfigError("--resume without a path requires --checkpoint-dir")
+        resume_from = args.checkpoint_dir
     manifest = RunManifest.begin(
         "train",
         config={
@@ -260,6 +287,9 @@ def cmd_train(args) -> int:
             "dropout": args.dropout,
             "train": args.train_set,
             "test": args.test_set,
+            "checkpoint_dir": args.checkpoint_dir,
+            "checkpoint_every": args.checkpoint_every,
+            "resume": resume_from,
         },
         seed=args.seed,
     )
@@ -272,9 +302,28 @@ def cmd_train(args) -> int:
         model, TrainingConfig(epochs=epochs, best_k=min(10, epochs), seed=args.seed)
     )
     with manifest.stage("fit"):
-        history = trainer.fit(train_set, eval_set=test_set)
-    manifest.record(epochs=epochs, final_train_loss=history.train_loss[-1])
-    print(f"trained {args.model} for {epochs} epochs")
+        history = trainer.fit(
+            train_set,
+            eval_set=test_set,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            resume_from=resume_from,
+            stop_after_epoch=args.stop_after,
+        )
+    manifest.record(epochs=history.n_epochs, final_train_loss=history.train_loss[-1])
+    if trainer.resumed_from:
+        manifest.mark_resumed(trainer.resumed_from, trainer.resumed_epoch)
+        print(f"resumed from {trainer.resumed_from} (epoch {trainer.resumed_epoch})")
+    if args.checkpoint_dir:
+        manifest.artifacts["checkpoint_dir"] = args.checkpoint_dir
+    if trainer.last_checkpoint:
+        manifest.artifacts["checkpoint"] = trainer.last_checkpoint
+    print(f"trained {args.model} for {history.n_epochs} of {epochs} epochs")
+    if history.n_epochs < epochs:
+        print(
+            f"  stopped early after epoch {history.n_epochs}; resume with "
+            f"`repro train --checkpoint-dir {args.checkpoint_dir} --resume ...`"
+        )
     if history.eval_rmse:
         manifest.record(best_epoch_rmse=min(history.eval_rmse))
         print(f"  best epoch RMSE: {min(history.eval_rmse):.3f}")
@@ -393,6 +442,11 @@ def cmd_report(args) -> int:
             f"{manifest.command}: version={manifest.version} "
             f"seed={manifest.seed} created={manifest.created_at}"
         )
+        if manifest.resume:
+            print(
+                f"  resumed from {manifest.resume.get('from')} "
+                f"at epoch {manifest.resume.get('epoch')}"
+            )
     print()
 
     timing_rows = []

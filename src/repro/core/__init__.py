@@ -6,7 +6,8 @@
   history combination, projection-space estimation, last-call and
   waiting-time blocks;
 - :class:`Trainer` — the paper's training protocol (Adam, batch 64,
-  50 epochs, best-10-epoch parameter averaging);
+  50 epochs, best-10-epoch parameter averaging), with fault-tolerant
+  checkpoint/resume (:mod:`repro.core.checkpoint`);
 - constructor flags expose every ablation the evaluation section needs
   (one-hot identity, no-residual, environment on/off).
 """
@@ -14,6 +15,7 @@
 from .advanced import AdvancedDeepSD
 from .basic import BasicDeepSD
 from .batching import INPUT_FIELDS, batch_targets, make_batch
+from .checkpoint import BestSnapshots, Checkpoint, config_fingerprint
 from .blocks import (
     BLOCK_WIDTH,
     HIDDEN_WIDTH,
@@ -38,6 +40,9 @@ from .trainer import (
 __all__ = [
     "BasicDeepSD",
     "AdvancedDeepSD",
+    "BestSnapshots",
+    "Checkpoint",
+    "config_fingerprint",
     "Trainer",
     "TrainingConfig",
     "TrainingHistory",

@@ -1,0 +1,411 @@
+"""Fault-tolerant training: versioned checkpoint bundles and best-k spill.
+
+The paper's extendability story (Section V-C) reuses trained weights, and
+the long Table 1 / Fig. 16 sweeps make losing a run at epoch 49 expensive.
+This module provides the persistence layer behind
+``Trainer.fit(checkpoint_dir=..., resume_from=...)``:
+
+- :class:`Checkpoint` — one atomic ``.npz`` + JSON bundle per save point
+  holding the model weights, full optimizer/scheduler state, the trainer's
+  shuffle RNG and every dropout noise stream, the
+  :class:`~repro.core.trainer.TrainingHistory` so far, references to the
+  best-k epoch snapshots, and a fingerprint of the
+  :class:`~repro.core.trainer.TrainingConfig` so a resume with different
+  hyper-parameters fails loudly;
+- :class:`BestSnapshots` — a bounded running top-k of epoch snapshots
+  (by per-epoch eval RMSE), spilled through the checkpoint directory when
+  one is configured so peak memory is O(best_k), not O(epochs).
+
+A run killed mid-way and resumed from its latest checkpoint replays the
+exact arithmetic of the uninterrupted run: weights, Adam moments and step
+count, learning-rate schedule position, and all random streams are
+restored bitwise (arrays through ``.npz``, RNG bit-generator states and
+history floats through JSON, both of which round-trip exactly).
+
+File layout inside a checkpoint directory::
+
+    ckpt-00012.npz    arrays: model/<param>, optim/<buffer>/<index>
+    ckpt-00012.json   everything else + the npz file name
+    best-00007.npz    spilled best-k epoch snapshots
+    latest.json       pointer to the newest complete bundle
+
+Every file is written to a same-directory temp name and ``os.replace``-d
+into place; the ``latest.json`` pointer is updated only after both halves
+of a bundle landed, so a crash mid-write never corrupts the resume point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..exceptions import ConfigError
+from ..nn import Dropout, Module
+from ..nn.serialization import load_state, save_state
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "BestSnapshots",
+    "Checkpoint",
+    "config_fingerprint",
+    "dropout_rng_states",
+    "restore_dropout_rng_states",
+]
+
+CHECKPOINT_SCHEMA_VERSION = 1
+_CKPT_PREFIX = "ckpt-"
+_BEST_PREFIX = "best-"
+_LATEST = "latest.json"
+
+
+def _describe(value: object) -> str:
+    """Stable JSON fallback for non-serializable config values.
+
+    Callables hash by qualified name, not ``repr`` — a function's default
+    repr embeds its memory address, which would change the fingerprint on
+    every process start.
+    """
+    return getattr(value, "__qualname__", None) or str(value)
+
+
+def config_fingerprint(config: object) -> str:
+    """Deterministic digest of a training config's fields.
+
+    Accepts a dataclass (e.g. ``TrainingConfig``) or a mapping.  Stored in
+    every checkpoint and re-checked on resume: continuing a run under
+    different hyper-parameters would silently break the equivalence
+    guarantee, so it is rejected instead.
+    """
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        fields = dataclasses.asdict(config)
+    else:
+        fields = dict(config)
+    blob = json.dumps(fields, sort_keys=True, default=_describe)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def dropout_rng_states(model: Module) -> List[dict]:
+    """Bit-generator states of every dropout noise stream, in module order."""
+    return [m.rng_state for m in model.modules() if isinstance(m, Dropout)]
+
+
+def restore_dropout_rng_states(model: Module, states: List[dict]) -> None:
+    layers = [m for m in model.modules() if isinstance(m, Dropout)]
+    if len(layers) != len(states):
+        raise ConfigError(
+            f"checkpoint has {len(states)} dropout streams, "
+            f"model has {len(layers)}"
+        )
+    for layer, state in zip(layers, states):
+        layer.rng_state = state
+
+
+def _write_json_atomic(path: str, payload: dict) -> None:
+    tmp = f"{path}.tmp-{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True, default=_describe)
+            handle.write("\n")
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+
+
+def _snapshot_name(epoch: int) -> str:
+    return f"{_BEST_PREFIX}{epoch:05d}.npz"
+
+
+class BestSnapshots:
+    """Bounded running top-k of epoch snapshots, ranked by (score, epoch).
+
+    Replaces the trainer's historical all-epochs ``snapshots`` list: at any
+    moment at most ``k`` states are retained.  Without a directory they
+    live in memory; with one they are spilled as ``best-<epoch>.npz`` files
+    and memory holds only (epoch, score) bookkeeping.
+
+    Ranking is lexicographic on ``(score, epoch)`` with strict improvement
+    required for eviction, which reproduces exactly the selection of a
+    stable argsort over the full per-epoch score list
+    (:meth:`TrainingHistory.best_epochs`).
+    """
+
+    def __init__(self, k: int, directory: Optional[str] = None) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self.directory = os.fspath(directory) if directory is not None else None
+        self.entries: List[dict] = []
+        self._states: Dict[int, Dict[str, np.ndarray]] = {}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def update(self, epoch: int, score: float, state: Dict[str, np.ndarray]) -> bool:
+        """Offer one epoch's snapshot; returns whether it entered the top-k."""
+        score = float(score)
+        if len(self.entries) >= self.k:
+            worst = max(self.entries, key=lambda e: (e["score"], e["epoch"]))
+            if (score, epoch) >= (worst["score"], worst["epoch"]):
+                return False
+            self.entries.remove(worst)
+            # The spilled file (if any) is intentionally left on disk:
+            # earlier checkpoints may still reference it.  Checkpoint.save
+            # prunes files no retained bundle points at.
+            self._states.pop(worst["epoch"], None)
+        entry = {"epoch": int(epoch), "score": score}
+        if self.directory is not None:
+            entry["file"] = _snapshot_name(epoch)
+            save_state(state, os.path.join(self.directory, entry["file"]))
+        else:
+            self._states[int(epoch)] = state
+        self.entries.append(entry)
+        return True
+
+    def ordered(self) -> List[dict]:
+        """Entries best-first (ascending score, ties to the earlier epoch)."""
+        return sorted(self.entries, key=lambda e: (e["score"], e["epoch"]))
+
+    def best_epochs(self) -> List[int]:
+        return [entry["epoch"] for entry in self.ordered()]
+
+    def state_for(self, entry: dict) -> Dict[str, np.ndarray]:
+        if self.directory is not None:
+            return load_state(os.path.join(self.directory, entry["file"]))
+        return self._states[entry["epoch"]]
+
+    def states(self) -> List[Dict[str, np.ndarray]]:
+        """The retained snapshots, best-first (the prediction ensemble)."""
+        return [self.state_for(entry) for entry in self.ordered()]
+
+    def restore(self, entries: List[dict], source_dir: Optional[str]) -> None:
+        """Rebuild the tracker from a checkpoint's best-k references.
+
+        Spill files are re-homed if the tracker writes to a different
+        directory than the checkpoint was read from, and loaded into
+        memory when this run checkpoints nowhere.
+        """
+        self.entries = []
+        self._states = {}
+        for entry in entries:
+            epoch = int(entry["epoch"])
+            restored = {"epoch": epoch, "score": float(entry["score"])}
+            source = (
+                os.path.join(source_dir, entry["file"])
+                if source_dir is not None and "file" in entry
+                else None
+            )
+            if self.directory is not None:
+                restored["file"] = _snapshot_name(epoch)
+                target = os.path.join(self.directory, restored["file"])
+                if source is None:
+                    raise ConfigError(
+                        f"checkpoint entry for epoch {epoch} has no spill file"
+                    )
+                if os.path.abspath(source) != os.path.abspath(target):
+                    save_state(load_state(source), target)
+                elif not os.path.exists(target):
+                    raise ConfigError(f"missing best-k snapshot {target}")
+            else:
+                if source is None:
+                    raise ConfigError(
+                        f"checkpoint entry for epoch {epoch} has no spill file"
+                    )
+                self._states[epoch] = load_state(source)
+            self.entries.append(restored)
+
+
+@dataclass
+class Checkpoint:
+    """One resumable save point of a training run (schema version 1).
+
+    ``epoch`` counts *completed* epochs; resuming restarts the loop there.
+    ``history`` is the plain-dict form of ``TrainingHistory`` (the trainer
+    converts) to keep this module free of a circular import.
+    """
+
+    epoch: int
+    model_state: Dict[str, np.ndarray]
+    optimizer_state: Dict[str, object]
+    scheduler_state: Dict[str, object]
+    rng_state: dict
+    dropout_states: List[dict]
+    history: Dict[str, List[float]]
+    best_entries: List[dict]
+    fingerprint: str
+    config: Dict[str, object] = field(default_factory=dict)
+    schema_version: int = CHECKPOINT_SCHEMA_VERSION
+    # Set by save()/load(); not serialized.
+    path: Optional[str] = None
+    directory: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Saving
+    # ------------------------------------------------------------------
+
+    def save(self, directory: str | os.PathLike, *, retain: int = 3) -> str:
+        """Write the bundle atomically; returns the JSON half's path.
+
+        ``retain`` bounds disk growth: after a successful save only the
+        newest ``retain`` bundles survive, and ``best-*.npz`` spill files
+        referenced by none of them are removed.
+        """
+        if retain < 1:
+            raise ValueError(f"retain must be >= 1, got {retain}")
+        directory = os.fspath(directory)
+        os.makedirs(directory, exist_ok=True)
+        stem = f"{_CKPT_PREFIX}{self.epoch:05d}"
+
+        arrays: Dict[str, np.ndarray] = {
+            f"model/{name}": value for name, value in self.model_state.items()
+        }
+        optim_scalars: Dict[str, object] = {}
+        optim_buffers: List[str] = []
+        for key, value in self.optimizer_state.items():
+            if isinstance(value, list):
+                optim_buffers.append(key)
+                for index, array in enumerate(value):
+                    arrays[f"optim/{key}/{index}"] = array
+            else:
+                optim_scalars[key] = value
+
+        save_state(arrays, os.path.join(directory, f"{stem}.npz"))
+        payload = {
+            "schema_version": self.schema_version,
+            "epoch": self.epoch,
+            "fingerprint": self.fingerprint,
+            "config": self.config,
+            "arrays_file": f"{stem}.npz",
+            "optimizer": {"scalars": optim_scalars, "buffers": sorted(optim_buffers)},
+            "scheduler": self.scheduler_state,
+            "rng_state": self.rng_state,
+            "dropout_states": self.dropout_states,
+            "history": self.history,
+            "best": self.best_entries,
+        }
+        json_path = os.path.join(directory, f"{stem}.json")
+        _write_json_atomic(json_path, payload)
+        _write_json_atomic(os.path.join(directory, _LATEST), {"latest": stem})
+        self.path = json_path
+        self.directory = directory
+        self._prune(directory, retain)
+        return json_path
+
+    @staticmethod
+    def _prune(directory: str, retain: int) -> None:
+        stems = sorted(
+            name[: -len(".json")]
+            for name in os.listdir(directory)
+            if name.startswith(_CKPT_PREFIX) and name.endswith(".json")
+        )
+        retained, dropped = stems[-retain:], stems[:-retain]
+        for stem in dropped:
+            for suffix in (".json", ".npz"):
+                try:
+                    os.remove(os.path.join(directory, stem + suffix))
+                except OSError:
+                    pass
+        referenced = set()
+        for stem in retained:
+            try:
+                with open(
+                    os.path.join(directory, stem + ".json"), encoding="utf-8"
+                ) as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            for entry in payload.get("best", []):
+                if "file" in entry:
+                    referenced.add(entry["file"])
+        for name in os.listdir(directory):
+            if name.startswith(_BEST_PREFIX) and name.endswith(".npz"):
+                if name not in referenced:
+                    try:
+                        os.remove(os.path.join(directory, name))
+                    except OSError:
+                        pass
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def latest_stem(directory: str | os.PathLike) -> Optional[str]:
+        """Newest complete bundle in ``directory`` (via the pointer file,
+        falling back to a directory scan for robustness)."""
+        directory = os.fspath(directory)
+        pointer = os.path.join(directory, _LATEST)
+        if os.path.exists(pointer):
+            try:
+                with open(pointer, encoding="utf-8") as handle:
+                    stem = json.load(handle).get("latest")
+                if stem and os.path.exists(os.path.join(directory, f"{stem}.json")):
+                    return stem
+            except (OSError, ValueError):
+                pass
+        stems = sorted(
+            name[: -len(".json")]
+            for name in os.listdir(directory)
+            if name.startswith(_CKPT_PREFIX) and name.endswith(".json")
+        )
+        return stems[-1] if stems else None
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "Checkpoint":
+        """Read a bundle from a directory, a ``ckpt-*.json`` path or a stem."""
+        path = os.fspath(path)
+        if os.path.isdir(path):
+            stem = cls.latest_stem(path)
+            if stem is None:
+                raise FileNotFoundError(f"no checkpoints in {path!r}")
+            json_path = os.path.join(path, f"{stem}.json")
+        elif path.endswith(".json"):
+            json_path = path
+        else:
+            json_path = f"{path}.json"
+        directory = os.path.dirname(json_path) or "."
+
+        with open(json_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        version = payload.get("schema_version")
+        if version != CHECKPOINT_SCHEMA_VERSION:
+            raise ConfigError(
+                f"unsupported checkpoint schema version {version!r} "
+                f"(expected {CHECKPOINT_SCHEMA_VERSION})"
+            )
+        arrays = load_state(os.path.join(directory, payload["arrays_file"]))
+
+        model_state: Dict[str, np.ndarray] = {}
+        buffers: Dict[str, Dict[int, np.ndarray]] = {}
+        for key, value in arrays.items():
+            if key.startswith("model/"):
+                model_state[key[len("model/") :]] = value
+            elif key.startswith("optim/"):
+                _, buffer, index = key.split("/", 2)
+                buffers.setdefault(buffer, {})[int(index)] = value
+        optimizer_state: Dict[str, object] = dict(payload["optimizer"]["scalars"])
+        for buffer in payload["optimizer"]["buffers"]:
+            slots = buffers.get(buffer, {})
+            optimizer_state[buffer] = [slots[i] for i in sorted(slots)]
+
+        return cls(
+            epoch=int(payload["epoch"]),
+            model_state=model_state,
+            optimizer_state=optimizer_state,
+            scheduler_state=payload["scheduler"],
+            rng_state=payload["rng_state"],
+            dropout_states=payload["dropout_states"],
+            history=payload["history"],
+            best_entries=payload["best"],
+            fingerprint=payload["fingerprint"],
+            config=payload.get("config", {}),
+            schema_version=version,
+            path=json_path,
+            directory=directory,
+        )

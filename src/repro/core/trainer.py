@@ -7,14 +7,22 @@ final model is the average of the models in the best 10 epochs").  Averaging
 is implemented as a prediction ensemble over the best-k epoch snapshots —
 averaging raw weights across distant epochs of a non-convex model destroys
 them, whereas averaging predictions gives the robustness the paper reports.
+
+Training is fault tolerant: ``fit(checkpoint_dir=…)`` writes atomic
+:class:`~repro.core.checkpoint.Checkpoint` bundles and ``resume_from=``
+restarts a killed run with bitwise-identical arithmetic (see
+``docs/reproduce.md`` §Fault-tolerant training).  The best-k snapshots are
+kept as a bounded running top-k — spilled through the checkpoint directory
+when one is configured — so peak memory never scales with the epoch count.
 """
 
 from __future__ import annotations
 
 import logging
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -33,6 +41,13 @@ from ..nn import (
     losses,
 )
 from .batching import batch_targets, make_batch
+from .checkpoint import (
+    BestSnapshots,
+    Checkpoint,
+    config_fingerprint,
+    dropout_rng_states,
+    restore_dropout_rng_states,
+)
 from .normalization import InputScales
 
 _log = get_logger(__name__)
@@ -91,10 +106,33 @@ class TrainingHistory:
         return len(self.train_loss)
 
     def best_epochs(self, k: int) -> List[int]:
-        """Indices of the k best epochs by eval RMSE (train loss fallback)."""
+        """Indices of the k best epochs by eval RMSE (train loss fallback).
+
+        The sort is stable so ties resolve to the earlier epoch — the same
+        rule the trainer's running :class:`BestSnapshots` tracker applies,
+        keeping the two selections identical.
+        """
         scores = self.eval_rmse if self.eval_rmse else self.train_loss
-        order = np.argsort(scores)
+        order = np.argsort(scores, kind="stable")
         return [int(i) for i in order[:k]]
+
+    def to_dict(self) -> Dict[str, List[float]]:
+        """Plain-list form for JSON persistence (checkpoints)."""
+        return {
+            "train_loss": list(self.train_loss),
+            "eval_mae": list(self.eval_mae),
+            "eval_rmse": list(self.eval_rmse),
+            "epoch_seconds": list(self.epoch_seconds),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, List[float]]) -> "TrainingHistory":
+        return cls(
+            train_loss=[float(x) for x in payload.get("train_loss", [])],
+            eval_mae=[float(x) for x in payload.get("eval_mae", [])],
+            eval_rmse=[float(x) for x in payload.get("eval_rmse", [])],
+            epoch_seconds=[float(x) for x in payload.get("epoch_seconds", [])],
+        )
 
 
 class Trainer:
@@ -117,6 +155,10 @@ class Trainer:
         self.clock = clock or time.perf_counter
         self._loss_fn = losses.get(self.config.loss)
         self._ensemble_states: List[Dict[str, np.ndarray]] = []
+        # Provenance of the most recent fit(), for run manifests.
+        self.resumed_from: Optional[str] = None
+        self.resumed_epoch: Optional[int] = None
+        self.last_checkpoint: Optional[str] = None
 
     def fit(
         self,
@@ -124,13 +166,37 @@ class Trainer:
         eval_set: Optional[ExampleSet] = None,
         *,
         callback: Optional[Callable[[int, TrainingHistory], None]] = None,
+        checkpoint_dir: Optional[str | os.PathLike] = None,
+        checkpoint_every: int = 1,
+        resume_from: Optional[str | os.PathLike] = None,
+        stop_after_epoch: Optional[int] = None,
     ) -> TrainingHistory:
         """Run the full training protocol and load the averaged best weights.
 
         ``callback(epoch, history)`` fires after each epoch — used by the
         convergence experiments (Fig. 16) to record learning curves.
+
+        With ``checkpoint_dir`` set, a :class:`Checkpoint` bundle is written
+        atomically every ``checkpoint_every`` epochs (and at the final one),
+        and the best-k snapshots spill to disk instead of living in memory.
+        ``resume_from`` (a checkpoint directory, ``ckpt-*.json`` path or
+        stem) restarts a killed run from its save point with bitwise-
+        identical arithmetic — same final weights, history and ensemble as
+        the uninterrupted run.  ``stop_after_epoch`` ends the run early
+        after writing a checkpoint; it exists for fault-injection tests and
+        graceful preemption drains.
         """
         config = self.config
+        if checkpoint_every < 1:
+            raise ConfigError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        if stop_after_epoch is not None and stop_after_epoch < 1:
+            raise ConfigError(
+                f"stop_after_epoch must be >= 1, got {stop_after_epoch}"
+            )
+        if checkpoint_dir is not None:
+            checkpoint_dir = os.fspath(checkpoint_dir)
         # DeepSD models normalise their count inputs; fit the per-signal
         # scales from the training set unless the caller provided them.
         if getattr(self.model, "input_scales", "absent") is None:
@@ -139,7 +205,37 @@ class Trainer:
         scheduler = self._build_scheduler(optimizer)
         rng = np.random.default_rng(config.seed)
         history = TrainingHistory()
-        snapshots: List[Dict[str, np.ndarray]] = []
+        tracker = BestSnapshots(config.best_k, directory=checkpoint_dir)
+        fingerprint = config_fingerprint(config)
+        self.resumed_from = None
+        self.resumed_epoch = None
+        self.last_checkpoint = None
+
+        start_epoch = 0
+        if resume_from is not None:
+            ckpt = Checkpoint.load(resume_from)
+            if ckpt.fingerprint != fingerprint:
+                raise ConfigError(
+                    f"checkpoint {ckpt.path!r} was written under a different "
+                    f"training config (fingerprint {ckpt.fingerprint} != "
+                    f"{fingerprint}); resuming would break run equivalence"
+                )
+            if ckpt.epoch > config.epochs:
+                raise ConfigError(
+                    f"checkpoint is at epoch {ckpt.epoch}, beyond the "
+                    f"configured {config.epochs} epochs"
+                )
+            self.model.load_state_dict(ckpt.model_state)
+            optimizer.load_state_dict(ckpt.optimizer_state)
+            scheduler.load_state_dict(ckpt.scheduler_state)
+            rng.bit_generator.state = ckpt.rng_state
+            restore_dropout_rng_states(self.model, ckpt.dropout_states)
+            history = TrainingHistory.from_dict(ckpt.history)
+            tracker.restore(ckpt.best_entries, ckpt.directory)
+            start_epoch = ckpt.epoch
+            self.resumed_from = ckpt.path
+            self.resumed_epoch = ckpt.epoch
+            _log.event("train.resume", path=ckpt.path, epoch=ckpt.epoch)
 
         _log.event(
             "train.start",
@@ -149,9 +245,9 @@ class Trainer:
             batch_size=config.batch_size,
             seed=config.seed,
         )
-        for epoch in range(config.epochs):
+        for epoch in range(start_epoch, config.epochs):
             started = self.clock()
-            epoch_loss = self._run_epoch(train_set, optimizer, rng)
+            epoch_loss, grad_norm = self._run_epoch(train_set, optimizer, rng)
             epoch_lr = optimizer.lr
             scheduler.step()
             history.train_loss.append(epoch_loss)
@@ -169,9 +265,9 @@ class Trainer:
                     "epochs": config.epochs,
                     "train_loss": epoch_loss,
                     "lr": epoch_lr,
-                    # Global grad norm of the last batch — a cheap proxy,
-                    # computed only when the event is actually emitted.
-                    "grad_norm": _grad_norm(self.model.parameters()),
+                    # Pre-clip global norm of the last batch, as returned
+                    # by clip_gradients.
+                    "grad_norm": grad_norm,
                     "seconds": history.epoch_seconds[-1],
                 }
                 if history.eval_mae:
@@ -179,35 +275,92 @@ class Trainer:
                     fields["val_rmse"] = history.eval_rmse[-1]
                 _log.event("train.epoch", **fields)
 
-            snapshots.append(self.model.state_dict())
+            # The ranking score mirrors best_epochs(): eval RMSE when an
+            # eval set is present, else the training loss.
+            score = history.eval_rmse[-1] if eval_set is not None else epoch_loss
+            tracker.update(epoch, score, self.model.state_dict())
+
+            done = epoch + 1 == config.epochs
+            stopping = stop_after_epoch is not None and epoch + 1 >= stop_after_epoch
+            if checkpoint_dir is not None and (
+                done or stopping or (epoch + 1) % checkpoint_every == 0
+            ):
+                self.last_checkpoint = self._save_checkpoint(
+                    checkpoint_dir, epoch + 1, optimizer, scheduler, rng,
+                    history, tracker, fingerprint,
+                )
             if callback is not None:
                 callback(epoch, history)
+            if stopping and not done:
+                _log.event(
+                    "train.interrupted",
+                    epoch=epoch + 1,
+                    epochs=config.epochs,
+                    checkpoint=self.last_checkpoint,
+                )
+                break
 
-        best = history.best_epochs(min(config.best_k, len(snapshots)))
-        self._ensemble_states = [snapshots[i] for i in best]
+        best = tracker.best_epochs()
+        self._ensemble_states = tracker.states()
         # Leave the live weights at the single best epoch; predict() then
         # ensembles over the best-k snapshots.
-        self.model.load_state_dict(self._ensemble_states[0])
+        if self._ensemble_states:
+            self.model.load_state_dict(self._ensemble_states[0])
         record_training_history(history, get_registry())
         _log.event(
             "train.done",
             level=logging.DEBUG,
             epochs=history.n_epochs,
-            best_epoch=best[0],
+            best_epoch=best[0] if best else -1,
             seconds=float(sum(history.epoch_seconds)),
         )
         return history
+
+    def _save_checkpoint(
+        self,
+        checkpoint_dir: str,
+        epoch: int,
+        optimizer: Adam,
+        scheduler,
+        rng: np.random.Generator,
+        history: TrainingHistory,
+        tracker: BestSnapshots,
+        fingerprint: str,
+    ) -> str:
+        checkpoint = Checkpoint(
+            epoch=epoch,
+            model_state=self.model.state_dict(),
+            optimizer_state=optimizer.state_dict(),
+            scheduler_state=scheduler.state_dict(),
+            rng_state=rng.bit_generator.state,
+            dropout_states=dropout_rng_states(self.model),
+            history=history.to_dict(),
+            best_entries=tracker.ordered(),
+            fingerprint=fingerprint,
+            config=vars(self.config).copy(),
+        )
+        path = checkpoint.save(checkpoint_dir)
+        _log.event("train.checkpoint", level=logging.DEBUG, path=path, epoch=epoch)
+        return path
 
     def _run_epoch(
         self,
         train_set: ExampleSet,
         optimizer: Adam,
         rng: np.random.Generator,
-    ) -> float:
+    ) -> Tuple[float, float]:
+        """One pass over the training set.
+
+        Returns the mean batch loss and the last batch's pre-clip global
+        gradient norm (clip_gradients measures it either way; an infinite
+        bound turns the call into a pure measurement when clipping is off).
+        """
         config = self.config
         self.model.train()
         total_loss = 0.0
         n_batches = 0
+        grad_norm = 0.0
+        max_norm = config.grad_clip if config.grad_clip else float("inf")
         for indices in iterate_minibatches(
             train_set.n_items, config.batch_size, shuffle=config.shuffle, rng=rng
         ):
@@ -217,12 +370,11 @@ class Trainer:
             predictions = self.model(batch)
             loss = self._loss_fn(predictions, Tensor(targets))
             loss.backward()
-            if config.grad_clip:
-                clip_gradients(self.model.parameters(), config.grad_clip)
+            grad_norm = clip_gradients(self.model.parameters(), max_norm)
             optimizer.step()
             total_loss += loss.item()
             n_batches += 1
-        return total_loss / max(n_batches, 1)
+        return total_loss / max(n_batches, 1), grad_norm
 
     def _build_scheduler(self, optimizer: Adam):
         config = self.config
@@ -251,7 +403,13 @@ class Trainer:
     def _predict_current(
         self, example_set: ExampleSet, batch_size: int = 1024
     ) -> np.ndarray:
-        """Predictions from the live weights (inference mode, no dropout)."""
+        """Predictions from the live weights (inference mode, no dropout).
+
+        The model's prior train/eval mode is restored on exit, so running
+        inference on a trained model does not leave dropout active for a
+        later direct ``model(batch)`` call.
+        """
+        was_training = self.model.training
         self.model.eval()
         outputs = np.empty(example_set.n_items)
         for indices in iterate_minibatches(
@@ -259,27 +417,9 @@ class Trainer:
         ):
             batch = make_batch(example_set, indices)
             outputs[indices] = self.model(batch).data
-        self.model.train()
+        if was_training:
+            self.model.train()
         return outputs
-
-
-def _grad_norm(parameters) -> float:
-    """Global L2 norm of the current parameter gradients."""
-    total = 0.0
-    for parameter in parameters:
-        if parameter.grad is not None:
-            total += float((parameter.grad ** 2).sum())
-    return float(np.sqrt(total))
-
-
-def _average_states(states: List[Dict[str, np.ndarray]]) -> Dict[str, np.ndarray]:
-    """Elementwise mean of several state dicts (the best-k averaging)."""
-    if not states:
-        raise ValueError("no states to average")
-    averaged = {}
-    for key in states[0]:
-        averaged[key] = np.mean([state[key] for state in states], axis=0)
-    return averaged
 
 
 def predict_gaps(model: Module, example_set: ExampleSet, batch_size: int = 1024) -> np.ndarray:

@@ -30,5 +30,18 @@ class Dropout(Module):
         """Reset the dropout noise stream (for reproducible training runs)."""
         self._rng = np.random.default_rng(seed)
 
+    @property
+    def rng_state(self) -> dict:
+        """Bit-generator state of the noise stream (for checkpointing)."""
+        return self._rng.bit_generator.state
+
+    @rng_state.setter
+    def rng_state(self, state: dict) -> None:
+        name = state.get("bit_generator")
+        if name != type(self._rng.bit_generator).__name__:
+            bit_generator = getattr(np.random, name)()
+            self._rng = np.random.Generator(bit_generator)
+        self._rng.bit_generator.state = state
+
     def forward(self, x: Tensor) -> Tensor:
         return F.dropout(x, self.p, training=self.training, rng=self._rng)

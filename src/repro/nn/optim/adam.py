@@ -7,7 +7,7 @@ We fix the batch size to be 64."
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Dict, Iterable, List
 
 import numpy as np
 
@@ -63,3 +63,31 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict[str, object]:
+        """Moments, step count and hyper-parameters — everything a resumed
+        run needs for bitwise-identical updates."""
+        return {
+            "type": "Adam",
+            "step_count": self._step_count,
+            "lr": self.lr,
+            "beta1": self.beta1,
+            "beta2": self.beta2,
+            "eps": self.eps,
+            "weight_decay": self.weight_decay,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self._check_state_type(state)
+        m: List[np.ndarray] = self._load_buffers("m", state["m"])
+        v: List[np.ndarray] = self._load_buffers("v", state["v"])
+        self._m = m
+        self._v = v
+        self._step_count = int(state["step_count"])
+        self.lr = float(state["lr"])
+        self.beta1 = float(state["beta1"])
+        self.beta2 = float(state["beta2"])
+        self.eps = float(state["eps"])
+        self.weight_decay = float(state["weight_decay"])

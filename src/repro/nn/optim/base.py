@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Dict, Iterable, List
+
+import numpy as np
 
 from ..layers.base import Parameter
 
@@ -11,7 +13,10 @@ class Optimizer:
     """Base class holding a fixed list of parameters to update.
 
     Subclasses implement :meth:`step`, reading each parameter's ``.grad``
-    (populated by ``loss.backward()``) and updating ``.data`` in place.
+    (populated by ``loss.backward()``) and updating ``.data`` in place,
+    and :meth:`state_dict` / :meth:`load_state_dict` so a training run can
+    be checkpointed and resumed without losing the optimiser's internal
+    buffers (Adam moments, SGD velocity, step counts).
     """
 
     def __init__(self, params: Iterable[Parameter]) -> None:
@@ -31,3 +36,49 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable snapshot of the optimiser's mutable state.
+
+        Per-parameter buffers are lists of array copies (one per managed
+        parameter, in registration order); everything else is a plain
+        scalar.  The ``type`` key names the concrete class so a mismatched
+        resume fails loudly instead of silently mixing buffer semantics.
+        """
+        raise NotImplementedError
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        raise NotImplementedError
+
+    def _check_state_type(self, state: Dict[str, object]) -> None:
+        expected = type(self).__name__
+        got = state.get("type", expected)
+        if got != expected:
+            raise ValueError(
+                f"optimizer state type mismatch: checkpoint {got!r}, "
+                f"optimizer {expected!r}"
+            )
+
+    def _load_buffers(
+        self, name: str, values: List[np.ndarray]
+    ) -> List[np.ndarray]:
+        """Validate and copy one per-parameter buffer list from a state dict."""
+        if len(values) != len(self.params):
+            raise ValueError(
+                f"optimizer buffer {name!r} has {len(values)} entries "
+                f"for {len(self.params)} parameters"
+            )
+        buffers = []
+        for index, (param, value) in enumerate(zip(self.params, values)):
+            array = np.asarray(value)
+            if array.shape != param.data.shape:
+                raise ValueError(
+                    f"optimizer buffer {name!r}[{index}] shape {array.shape} "
+                    f"does not match parameter shape {param.data.shape}"
+                )
+            buffers.append(array.astype(param.data.dtype).copy())
+        return buffers

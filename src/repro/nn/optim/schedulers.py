@@ -9,6 +9,7 @@ stabilises the last epochs.  A scheduler wraps an optimizer and mutates its
 from __future__ import annotations
 
 import math
+from typing import Dict
 
 from .base import Optimizer
 
@@ -32,6 +33,27 @@ class Scheduler:
 
     def learning_rate(self, epoch: int) -> float:
         raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, object]:
+        """Epoch counter and base rate — enough to resume any schedule."""
+        return {
+            "type": type(self).__name__,
+            "epoch": self.epoch,
+            "initial_lr": self.initial_lr,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        expected = type(self).__name__
+        got = state.get("type", expected)
+        if got != expected:
+            raise ValueError(
+                f"scheduler state type mismatch: checkpoint {got!r}, "
+                f"scheduler {expected!r}"
+            )
+        self.epoch = int(state["epoch"])
+        self.initial_lr = float(state["initial_lr"])
+        if self.epoch > 0:
+            self.optimizer.lr = self.learning_rate(self.epoch)
 
 
 class ConstantSchedule(Scheduler):

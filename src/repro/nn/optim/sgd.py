@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Dict, Iterable
 
 import numpy as np
 
@@ -49,3 +49,19 @@ class SGD(Optimizer):
                 param.data += velocity
             else:
                 param.data -= self.lr * grad
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "type": "SGD",
+            "lr": self.lr,
+            "momentum": self.momentum,
+            "weight_decay": self.weight_decay,
+            "velocity": [v.copy() for v in self._velocity],
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self._check_state_type(state)
+        self._velocity = self._load_buffers("velocity", state["velocity"])
+        self.lr = float(state["lr"])
+        self.momentum = float(state["momentum"])
+        self.weight_decay = float(state["weight_decay"])

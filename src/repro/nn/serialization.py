@@ -19,12 +19,24 @@ __all__ = ["save_weights", "load_weights", "save_state", "load_state"]
 
 
 def save_state(state: Dict[str, np.ndarray], path: str | os.PathLike) -> None:
-    """Write a raw state dict to ``path`` as a compressed npz archive."""
+    """Write a raw state dict to ``path`` as a compressed npz archive.
+
+    The write is atomic: the archive lands in a same-directory temp file
+    and is ``os.replace``-d into place, so a reader (or a crashed writer)
+    never observes a half-written archive.  The temp name keeps the
+    ``.npz`` suffix because ``np.savez`` appends it to bare paths.
+    """
     path = os.fspath(path)
     directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
-    np.savez_compressed(path, **state)
+    tmp = f"{path}.tmp-{os.getpid()}.npz"
+    try:
+        np.savez_compressed(tmp, **state)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.remove(tmp)
 
 
 def load_state(path: str | os.PathLike) -> Dict[str, np.ndarray]:

@@ -22,7 +22,7 @@ import time
 __all__ = ["MANIFEST_SUFFIX", "RunManifest", "describe_version"]
 
 MANIFEST_SUFFIX = ".manifest.json"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def describe_version() -> str:
@@ -60,6 +60,7 @@ class RunManifest:
     stages: List[dict] = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
     artifacts: dict = field(default_factory=dict)
+    resume: Optional[dict] = None
     schema_version: int = SCHEMA_VERSION
     _clock: Callable[[], float] = field(
         default=time.perf_counter, repr=False, compare=False
@@ -108,6 +109,15 @@ class RunManifest:
         """Merge final metrics (numbers keyed by dotted name)."""
         self.metrics.update(metrics)
 
+    def mark_resumed(self, source: str, epoch: int) -> None:
+        """Record that this run continued from a training checkpoint.
+
+        ``source`` is the checkpoint the run restarted from and ``epoch``
+        the number of epochs it had already completed — the provenance a
+        reader needs to reconstruct the full history of a spliced run.
+        """
+        self.resume = {"from": os.fspath(source), "epoch": int(epoch)}
+
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
@@ -129,6 +139,7 @@ class RunManifest:
             "total_seconds": self.total_seconds,
             "metrics": self.metrics,
             "artifacts": self.artifacts,
+            "resume": self.resume,
         }
 
     def write(
@@ -161,5 +172,6 @@ class RunManifest:
             stages=list(payload.get("stages", [])),
             metrics=payload.get("metrics", {}),
             artifacts=payload.get("artifacts", {}),
+            resume=payload.get("resume"),
             schema_version=payload.get("schema_version", SCHEMA_VERSION),
         )

@@ -11,7 +11,6 @@ from repro.core import (
     TrainingHistory,
     predict_gaps,
 )
-from repro.core.trainer import _average_states
 from repro.exceptions import ConfigError
 
 
@@ -48,18 +47,6 @@ class TestTrainingHistory:
 
     def test_n_epochs(self):
         assert TrainingHistory(train_loss=[1.0, 2.0]).n_epochs == 2
-
-
-class TestAverageStates:
-    def test_mean_of_states(self):
-        a = {"w": np.array([1.0, 2.0])}
-        b = {"w": np.array([3.0, 4.0])}
-        out = _average_states([a, b])
-        np.testing.assert_allclose(out["w"], [2.0, 3.0])
-
-    def test_empty_rejected(self):
-        with pytest.raises(ValueError):
-            _average_states([])
 
 
 class TestTrainer:
@@ -140,6 +127,27 @@ class TestTrainer:
         single = trainer._predict_current(test_set)
         ensembled = trainer.predict(test_set)
         assert not np.array_equal(single, ensembled)
+
+    def test_snapshot_memory_bounded_by_best_k(self, train_set, scale):
+        """fit() must never retain more than best_k epoch snapshots."""
+        model = BasicDeepSD(train_set.n_areas, scale.features.window_minutes, seed=0)
+        trainer = Trainer(model, TrainingConfig(epochs=6, best_k=2, seed=0))
+        trainer.fit(train_set)
+        assert len(trainer._ensemble_states) == 2
+
+    def test_predict_restores_eval_mode(self, trained, test_set):
+        """Inference on a trained model must not leave dropout active."""
+        trainer, _ = trained
+        trainer.model.eval()
+        predict_gaps(trainer.model, test_set)
+        assert all(not m.training for m in trainer.model.modules())
+
+    def test_predict_restores_train_mode(self, trained, test_set):
+        trainer, _ = trained
+        trainer.model.train()
+        trainer.predict(test_set)
+        assert all(m.training for m in trainer.model.modules())
+        trainer.model.eval()
 
 
 class TestInjectableClock:

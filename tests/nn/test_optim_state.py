@@ -1,0 +1,169 @@
+"""Optimizer and scheduler state-dict round-trips (checkpoint substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    ConstantSchedule,
+    CosineDecay,
+    Parameter,
+    StepDecay,
+    load_state,
+    save_state,
+)
+
+
+def make_params(seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        Parameter(rng.normal(size=(3, 2))),
+        Parameter(rng.normal(size=(4,))),
+    ]
+
+
+def fake_step(params, rng):
+    for p in params:
+        p.grad = rng.normal(size=p.data.shape)
+
+
+class TestAdamStateDict:
+    def test_roundtrip_through_npz(self, tmp_path):
+        """Save after k steps, reload into a fresh optimizer, continue:
+        both trajectories must be bitwise identical."""
+        rng = np.random.default_rng(7)
+        params_a = make_params(1)
+        opt_a = Adam(params_a, lr=0.01, beta1=0.8, beta2=0.99, weight_decay=0.01)
+        grads = [
+            [np.asarray(rng.normal(size=p.data.shape)) for p in params_a]
+            for _ in range(6)
+        ]
+        for g in grads[:3]:
+            for p, grad in zip(params_a, g):
+                p.grad = grad.copy()
+            opt_a.step()
+
+        state = opt_a.state_dict()
+        # Round-trip every array through an .npz archive (as the
+        # Checkpoint bundle does) and the scalars through plain floats.
+        arrays = {f"m/{i}": m for i, m in enumerate(state["m"])}
+        arrays.update({f"v/{i}": v for i, v in enumerate(state["v"])})
+        path = tmp_path / "adam.npz"
+        save_state(arrays, path)
+        loaded = load_state(path)
+        restored = dict(
+            state,
+            m=[loaded[f"m/{i}"] for i in range(len(state["m"]))],
+            v=[loaded[f"v/{i}"] for i in range(len(state["v"]))],
+        )
+
+        params_b = make_params(2)  # different init: state load overwrites moments
+        for pa, pb in zip(params_a, params_b):
+            pb.data = pa.data.copy()
+        opt_b = Adam(params_b, lr=0.5)  # hyper-params come from the state dict
+        opt_b.load_state_dict(restored)
+        assert opt_b._step_count == 3
+        assert opt_b.lr == 0.01
+        assert opt_b.beta1 == 0.8
+
+        for g in grads[3:]:
+            for p, grad in zip(params_a, g):
+                p.grad = grad.copy()
+            for p, grad in zip(params_b, g):
+                p.grad = grad.copy()
+            opt_a.step()
+            opt_b.step()
+        for pa, pb in zip(params_a, params_b):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_state_dict_is_a_copy(self):
+        params = make_params()
+        opt = Adam(params)
+        fake_step(params, np.random.default_rng(0))
+        opt.step()
+        state = opt.state_dict()
+        state["m"][0][:] = 99.0
+        assert not np.any(opt._m[0] == 99.0)
+
+    def test_type_mismatch_rejected(self):
+        params = make_params()
+        opt = Adam(params)
+        sgd_state = SGD(make_params()).state_dict()
+        with pytest.raises(ValueError, match="type mismatch"):
+            opt.load_state_dict(sgd_state)
+
+    def test_buffer_length_mismatch_rejected(self):
+        opt = Adam(make_params())
+        state = opt.state_dict()
+        state["m"] = state["m"][:1]
+        with pytest.raises(ValueError, match="entries"):
+            opt.load_state_dict(state)
+
+    def test_buffer_shape_mismatch_rejected(self):
+        opt = Adam(make_params())
+        state = opt.state_dict()
+        state["m"][0] = np.zeros((9, 9))
+        with pytest.raises(ValueError, match="shape"):
+            opt.load_state_dict(state)
+
+
+class TestSGDStateDict:
+    def test_momentum_roundtrip(self):
+        rng = np.random.default_rng(3)
+        params_a = make_params(5)
+        opt_a = SGD(params_a, lr=0.1, momentum=0.9)
+        for _ in range(3):
+            fake_step(params_a, np.random.default_rng(11))
+            opt_a.step()
+
+        params_b = make_params(6)
+        for pa, pb in zip(params_a, params_b):
+            pb.data = pa.data.copy()
+        opt_b = SGD(params_b, lr=0.9)
+        opt_b.load_state_dict(opt_a.state_dict())
+        assert opt_b.lr == 0.1
+        assert opt_b.momentum == 0.9
+
+        grad = [np.asarray(rng.normal(size=p.data.shape)) for p in params_a]
+        for opt, params in ((opt_a, params_a), (opt_b, params_b)):
+            for p, g in zip(params, grad):
+                p.grad = g.copy()
+            opt.step()
+        for pa, pb in zip(params_a, params_b):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+
+class TestSchedulerStateDict:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda opt: ConstantSchedule(opt),
+            lambda opt: StepDecay(opt, step_size=2, gamma=0.5),
+            lambda opt: CosineDecay(opt, total_epochs=10),
+        ],
+    )
+    def test_resumed_schedule_matches_straight_run(self, factory):
+        opt_a = Adam(make_params(), lr=0.02)
+        sched_a = factory(opt_a)
+        lrs_a = [sched_a.step() for _ in range(8)]
+
+        opt_b = Adam(make_params(), lr=0.02)
+        sched_b = factory(opt_b)
+        for _ in range(4):
+            sched_b.step()
+        state = sched_b.state_dict()
+
+        opt_c = Adam(make_params(), lr=0.999)  # overwritten by the restore
+        sched_c = factory(opt_c)
+        sched_c.load_state_dict(state)
+        assert sched_c.epoch == 4
+        assert opt_c.lr == opt_b.lr
+        lrs_c = [sched_c.step() for _ in range(4)]
+        assert lrs_c == lrs_a[4:]
+
+    def test_type_mismatch_rejected(self):
+        opt = Adam(make_params())
+        state = ConstantSchedule(opt).state_dict()
+        with pytest.raises(ValueError, match="type mismatch"):
+            StepDecay(Adam(make_params()), step_size=2).load_state_dict(state)

@@ -65,13 +65,21 @@ class TestRoundTrip:
         manifest = RunManifest.begin("x", clock=FakeClock())
         path = manifest.write(tmp_path / "m.json")
         payload = json.loads((tmp_path / "m.json").read_text())
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
         assert "created_at" in payload
         assert path == str(tmp_path / "m.json")
 
     def test_write_requires_a_destination(self):
         with pytest.raises(ValueError):
             RunManifest.begin("x").write()
+
+    def test_resume_provenance_round_trips(self, tmp_path):
+        manifest = RunManifest.begin("train", clock=FakeClock())
+        assert manifest.resume is None
+        manifest.mark_resumed("ckpt/ckpt-00003.json", 3)
+        path = manifest.write(tmp_path / "m.json")
+        loaded = RunManifest.load(path)
+        assert loaded.resume == {"from": "ckpt/ckpt-00003.json", "epoch": 3}
 
 
 class TestVersion:

@@ -110,6 +110,59 @@ class TestTrainEvaluate:
         assert code == 0
 
 
+class TestCheckpointResume:
+    def test_interrupt_then_resume_matches_straight_run(
+        self, example_paths, tmp_path, capsys
+    ):
+        train, test = example_paths
+        ckpt = tmp_path / "ckpt"
+        straight = tmp_path / "straight.npz"
+        resumed = tmp_path / "resumed.npz"
+        base = [
+            "train", "--model", "basic", "--scale", "tiny",
+            "--train", str(train), "--test", str(test), "--epochs", "3",
+        ]
+        assert main(base + ["--save", str(straight)]) == 0
+        code = main(
+            base + ["--checkpoint-dir", str(ckpt), "--stop-after", "1"]
+        )
+        assert code == 0
+        assert (ckpt / "latest.json").exists()
+        out = capsys.readouterr().out
+        assert "stopped early after epoch 1" in out
+
+        code = main(
+            base + ["--checkpoint-dir", str(ckpt), "--resume",
+                    "--save", str(resumed)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+
+        import json
+
+        a, b = np.load(straight), np.load(resumed)
+        assert set(a.files) == set(b.files)
+        for key in a.files:
+            np.testing.assert_array_equal(a[key], b[key])
+        manifest = json.loads((tmp_path / "resumed.npz.manifest.json").read_text())
+        assert manifest["resume"]["epoch"] == 1
+        assert manifest["resume"]["from"].endswith("ckpt-00001.json")
+        assert manifest["artifacts"]["checkpoint_dir"] == str(ckpt)
+
+    def test_bare_resume_requires_checkpoint_dir(self, example_paths):
+        from repro.exceptions import ConfigError
+
+        train, _ = example_paths
+        with pytest.raises(ConfigError, match="checkpoint-dir"):
+            main(
+                [
+                    "train", "--model", "basic", "--scale", "tiny",
+                    "--train", str(train), "--epochs", "1", "--resume",
+                ]
+            )
+
+
 class TestInfo:
     def test_city_info(self, city_path, capsys):
         assert main(["info", str(city_path), "--kind", "city"]) == 0

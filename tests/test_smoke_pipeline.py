@@ -1,8 +1,10 @@
 """Tier-1 wiring for scripts/smoke.sh (the `smoke` marker).
 
-Runs the full simulate → featurize → train → evaluate → report pipeline
-at tiny scale through the real CLI entry point in a subprocess, asserting
-every stage writes its manifest and no ERROR events are logged.
+Runs the full simulate → featurize → train → evaluate →
+interrupt/resume → report pipeline at tiny scale through the real CLI
+entry point in a subprocess, asserting every stage writes its manifest,
+no ERROR events are logged, and a checkpoint-resumed training run
+reproduces the uninterrupted run's weights bitwise.
 Deselect with ``pytest -m "not smoke"`` when iterating.
 """
 
@@ -35,10 +37,14 @@ def test_smoke_pipeline(tmp_path):
         f"smoke.sh failed\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"
     )
     assert "smoke ok" in result.stdout
+    assert "resume equivalence ok" in result.stdout
     # The script already checked these; assert the key artifacts anyway so
     # a silently weakened script cannot pass.
     assert (tmp_path / "model.npz.manifest.json").exists()
-    assert "event=train.epoch" in (tmp_path / "smoke.log").read_text()
+    assert (tmp_path / "ckpt" / "latest.json").exists()
+    log = (tmp_path / "smoke.log").read_text()
+    assert "event=train.epoch" in log
+    assert "event=train.resume" in log
 
 
 @pytest.mark.smoke
