@@ -17,6 +17,7 @@ import pytest
 from repro.city import CityGrid, MINUTES_PER_DAY, OrderGenerator
 from repro.config import EmbeddingConfig
 from repro.core import AdvancedDeepSD, BasicDeepSD, make_batch
+from repro.core.batching import EpochBatches
 from repro.features import AreaDayProfile
 from repro.nn import Adam, Tensor, mse_loss
 from repro.obs import MetricsRegistry
@@ -126,6 +127,58 @@ def test_perf_vector_extraction(benchmark, context, perf_metrics):
     sd, lc, wt = benchmark(extract)
     assert sd.shape == (len(timeslots), 2 * L)
     record_timing(perf_metrics, "vector_extraction", benchmark)
+
+
+def test_perf_batch_delivery_per_batch(benchmark, context, perf_metrics):
+    """The historical delivery path: per-batch fancy indexing of all fields."""
+    train = context.train_set
+    permutation = np.random.default_rng(0).permutation(train.n_items)
+
+    def deliver():
+        total = 0
+        for start in range(0, train.n_items, BATCH):
+            rows = permutation[start : start + BATCH]
+            total += make_batch(train, rows)["sd_now"].shape[0]
+        return total
+
+    assert benchmark(deliver) == train.n_items
+    record_timing(perf_metrics, "batch_delivery_per_batch", benchmark)
+
+
+def test_perf_batch_delivery_epoch_gather(benchmark, context, perf_metrics):
+    """The trainer's delivery path: one permutation gather + slice views.
+
+    Reuses one buffer dict across rounds, as the trainer does across
+    epochs, so the timing reflects steady-state cost.
+    """
+    train = context.train_set
+    permutation = np.random.default_rng(0).permutation(train.n_items)
+    buffers = {}
+
+    def deliver():
+        total = 0
+        epoch = EpochBatches(train, permutation, buffers=buffers)
+        for batch, _ in epoch.batches(BATCH):
+            total += batch["sd_now"].shape[0]
+        return total
+
+    assert benchmark(deliver) == train.n_items
+    record_timing(perf_metrics, "batch_delivery_epoch_gather", benchmark)
+
+
+def test_perf_basic_fields_epoch_gather(benchmark, context, perf_metrics):
+    """Epoch gather restricted to the basic model's declared input fields."""
+    train = context.train_set
+    fields = BasicDeepSD(context.dataset.n_areas, L).input_fields
+    permutation = np.random.default_rng(0).permutation(train.n_items)
+    buffers = {}
+
+    def deliver():
+        epoch = EpochBatches(train, permutation, fields, buffers)
+        return sum(batch["sd_now"].shape[0] for batch, _ in epoch.batches(BATCH))
+
+    assert benchmark(deliver) == train.n_items
+    record_timing(perf_metrics, "basic_fields_epoch_gather", benchmark)
 
 
 def test_perf_order_generation(benchmark, perf_metrics):

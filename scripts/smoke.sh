@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # End-to-end observability smoke test:
-#   simulate → featurize → train → evaluate → interrupt/resume → report
+#   simulate → featurize → train → evaluate → interrupt/resume → bench → report
 # (tiny scale).  Fails if any stage exits non-zero, logs an ERROR event,
-# does not write its run manifest, or if a training run resumed from a
-# checkpoint diverges from the uninterrupted run.  Wired into tier-1 via the `smoke` pytest
+# does not write its run manifest, if a training run resumed from a
+# checkpoint diverges from the uninterrupted run, or if hot-path
+# throughput regressed more than 2x against the committed BENCH_perf.json
+# (skipped when the repo has no baseline yet).  Wired into tier-1 via the `smoke` pytest
 # marker (tests/test_smoke_pipeline.py).
 #
 # Usage: scripts/smoke.sh [workdir]   (default: a fresh mktemp dir)
@@ -67,6 +69,20 @@ for manifest in city.npz.manifest.json train.npz.manifest.json \
         exit 1
     fi
 done
+
+# Fast canonical perf bench: writes the BENCH_perf.json schema and gates
+# throughput against the committed baseline.  Also a determinism check —
+# the bench compares a serial and a parallel experiment run bitwise.
+run bench --scale tiny --epochs 2 --workers 2 \
+          --out "$WORK/BENCH_perf.json" --baseline "$ROOT/BENCH_perf.json"
+python - <<'EOF'
+import json
+payload = json.load(open("BENCH_perf.json"))
+assert payload["schema_version"] == 1, payload
+assert payload["metrics"]["experiment.identical"] == 1.0, \
+    "parallel experiment run diverged from serial"
+print("bench schema + determinism ok")
+EOF
 
 if grep -q "level=error" "$LOG"; then
     echo "smoke FAILED: ERROR events in $LOG:" >&2

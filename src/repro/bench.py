@@ -1,0 +1,304 @@
+"""Canonical performance benchmark: the numbers behind ``BENCH_perf.json``.
+
+``repro bench`` measures the throughput of the pipeline's three hot paths
+— featurization, training epochs, inference — plus the wall-clock of a
+multi-model experiment run serially versus through the parallel runner,
+and writes one canonical JSON file (``BENCH_perf.json`` at the repo root
+by default).  That file is the repo's perf trajectory: every optimisation
+PR regenerates it, and ``scripts/smoke.sh`` fails if any recorded
+throughput regresses more than :data:`REGRESSION_FACTOR`× against the
+committed baseline.
+
+The train-epoch section times the same model/optimizer arithmetic under
+both batch-delivery strategies — the historical per-batch fancy indexing
+(:func:`repro.core.make_batch` per step) and the current once-per-epoch
+permutation gather (:class:`repro.core.batching.EpochBatches`) — so the
+batching change's effect stays visible in the trajectory.  The experiment
+section re-runs the same task set in fresh caches both ways and records
+whether the results matched bitwise, making every bench run also a
+determinism check.
+
+All numbers are honest wall-clock measurements on the current machine;
+the parallel speedup in particular scales with available cores
+(``cpu_count`` is recorded alongside it for interpretation).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from .config import get_scale
+from .obs import get_logger, get_registry
+
+_log = get_logger(__name__)
+
+BENCH_SCHEMA_VERSION = 1
+DEFAULT_BENCH_PATH = "BENCH_perf.json"
+#: A recorded throughput may not drop below 1/REGRESSION_FACTOR of the
+#: committed baseline (generous: benchmarks run on heterogeneous machines).
+REGRESSION_FACTOR = 2.0
+
+
+@contextmanager
+def _cache_dir(path: Optional[str] = None) -> Iterator[str]:
+    """Temporarily point ``REPRO_CACHE_DIR`` at a (fresh) directory."""
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    target = path or tempfile.mkdtemp(prefix="repro_bench_")
+    os.environ["REPRO_CACHE_DIR"] = target
+    try:
+        yield target
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = previous
+
+
+def bench_featurization(scale_name: str) -> Dict[str, float]:
+    """Items/sec of a cold FeatureBuilder.build() (simulation excluded)."""
+    from .city import simulate_city
+    from .features import FeatureBuilder
+
+    scale = get_scale(scale_name)
+    dataset = simulate_city(scale.simulation)
+    started = time.perf_counter()
+    train, test = FeatureBuilder(dataset, scale.features).build()
+    seconds = time.perf_counter() - started
+    items = train.n_items + test.n_items
+    return {
+        "featurize.items": float(items),
+        "featurize.seconds": seconds,
+        "featurize.items_per_sec": items / seconds if seconds else 0.0,
+    }
+
+
+def _legacy_epoch(model, train_set, optimizer, loss_fn, rng, batch_size):
+    """The pre-optimisation inner loop, replicated exactly: per-batch
+    fancy indexing of every field, and the per-step ``model.parameters()``
+    walk through the gradient-norm measurement."""
+    from .core import batch_targets, make_batch
+    from .nn import Tensor, clip_gradients, iterate_minibatches
+
+    total = 0.0
+    for indices in iterate_minibatches(
+        train_set.n_items, batch_size, shuffle=True, rng=rng
+    ):
+        batch = make_batch(train_set, indices)
+        targets = batch_targets(train_set, indices)
+        optimizer.zero_grad()
+        loss = loss_fn(model(batch), Tensor(targets))
+        loss.backward()
+        clip_gradients(model.parameters(), float("inf"))
+        optimizer.step()
+        total += loss.item()
+    return total
+
+
+def bench_train_epoch(scale_name: str, epochs: int = 2) -> Dict[str, float]:
+    """Train-epoch throughput, new epoch-gather path vs the legacy loop.
+
+    Both paths run identical arithmetic (same model seed, same shuffle
+    stream), so the delta is purely the batch-delivery cost.
+    """
+    from .core import BasicDeepSD, InputScales, Trainer, TrainingConfig
+    from .nn import Adam, losses
+
+    scale = get_scale(scale_name)
+    with _cache_dir():
+        from .experiments.context import ExperimentContext
+
+        context = ExperimentContext(scale=scale)
+        train_set = context.train_set
+        n_areas = context.dataset.n_areas
+
+    def fresh_model():
+        model = BasicDeepSD(
+            n_areas,
+            scale.features.window_minutes,
+            scale.embeddings,
+            dropout=0.1,
+            seed=1,
+        )
+        model.input_scales = InputScales.from_example_set(train_set)
+        model.train()
+        return model
+
+    config = TrainingConfig(epochs=epochs, best_k=1, seed=1)
+    loss_fn = losses.get(config.loss)
+
+    # Legacy path: per-batch make_batch gathers.
+    model = fresh_model()
+    optimizer = Adam(model.parameters(), lr=config.learning_rate)
+    rng = np.random.default_rng(config.seed)
+    started = time.perf_counter()
+    for _ in range(epochs):
+        _legacy_epoch(model, train_set, optimizer, loss_fn, rng, config.batch_size)
+    legacy_seconds = time.perf_counter() - started
+
+    # Current path: Trainer's once-per-epoch permutation gather.
+    model = fresh_model()
+    trainer = Trainer(model, config)
+    optimizer = Adam(model.parameters(), lr=config.learning_rate)
+    rng = np.random.default_rng(config.seed)
+    started = time.perf_counter()
+    for _ in range(epochs):
+        trainer._run_epoch(train_set, optimizer, rng)
+    gather_seconds = time.perf_counter() - started
+
+    items = float(train_set.n_items * epochs)
+    return {
+        "train_epoch.items": items,
+        "train_epoch.epochs": float(epochs),
+        "train_epoch.batch_gather.seconds": legacy_seconds,
+        "train_epoch.batch_gather.items_per_sec": (
+            items / legacy_seconds if legacy_seconds else 0.0
+        ),
+        "train_epoch.seconds": gather_seconds,
+        "train_epoch.items_per_sec": items / gather_seconds if gather_seconds else 0.0,
+        "train_epoch.speedup_vs_batch_gather": (
+            legacy_seconds / gather_seconds if gather_seconds else 0.0
+        ),
+    }
+
+
+def bench_inference(scale_name: str) -> Dict[str, float]:
+    """Single-pass prediction throughput over the train set."""
+    from .core import BasicDeepSD, InputScales, Trainer
+
+    scale = get_scale(scale_name)
+    with _cache_dir():
+        from .experiments.context import ExperimentContext
+
+        context = ExperimentContext(scale=scale)
+        example_set = context.train_set
+        n_areas = context.dataset.n_areas
+    model = BasicDeepSD(
+        n_areas,
+        scale.features.window_minutes,
+        scale.embeddings,
+        dropout=0.0,
+        seed=1,
+    )
+    model.input_scales = InputScales.from_example_set(example_set)
+    trainer = Trainer(model)
+    trainer._predict_current(example_set)  # warm up
+    started = time.perf_counter()
+    trainer._predict_current(example_set)
+    seconds = time.perf_counter() - started
+    return {
+        "inference.items": float(example_set.n_items),
+        "inference.seconds": seconds,
+        "inference.items_per_sec": (
+            example_set.n_items / seconds if seconds else 0.0
+        ),
+    }
+
+
+def bench_experiment(
+    scale_name: str, workers: int = 2, experiment: str = "table2"
+) -> Dict[str, float]:
+    """Serial vs parallel wall-clock of one multi-model experiment.
+
+    Each mode runs in its own fresh cache directory, so both pay the full
+    simulate + featurize + train cost; ``identical`` records whether the
+    two runs' result rows matched exactly (the runner's determinism
+    guarantee, doubling as a self-check of every bench run).
+    """
+    from .experiments import runner
+    from .experiments.context import ExperimentContext
+
+    def one_run(n_workers: int):
+        with _cache_dir():
+            context = ExperimentContext(scale=get_scale(scale_name))
+            started = time.perf_counter()
+            result, _ = runner.run_experiment(
+                experiment, context, workers=n_workers
+            )
+            return result, time.perf_counter() - started
+
+    serial_result, serial_seconds = one_run(1)
+    parallel_result, parallel_seconds = one_run(workers)
+    return {
+        "experiment.serial_seconds": serial_seconds,
+        "experiment.parallel_seconds": parallel_seconds,
+        "experiment.workers": float(workers),
+        "experiment.speedup": (
+            serial_seconds / parallel_seconds if parallel_seconds else 0.0
+        ),
+        "experiment.identical": float(serial_result == parallel_result),
+    }
+
+
+def run_bench(
+    scale_name: str = "tiny",
+    *,
+    workers: int = 2,
+    epochs: int = 2,
+    experiment: str = "table2",
+) -> dict:
+    """Run every section and assemble the ``BENCH_perf.json`` payload."""
+    registry = get_registry()
+    metrics: Dict[str, float] = {}
+    for section, fn in (
+        ("featurize", lambda: bench_featurization(scale_name)),
+        ("train_epoch", lambda: bench_train_epoch(scale_name, epochs)),
+        ("inference", lambda: bench_inference(scale_name)),
+        ("experiment", lambda: bench_experiment(scale_name, workers, experiment)),
+    ):
+        _log.event("bench.section", section=section)
+        with registry.timer(f"repro.bench.{section}.seconds"):
+            metrics.update(fn())
+    for name, value in metrics.items():
+        registry.gauge(f"repro.bench.{name}", value)
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "generated_by": "repro bench",
+        "scale": scale_name,
+        "experiment": experiment,
+        "cpu_count": os.cpu_count() or 1,
+        "metrics": metrics,
+    }
+
+
+def write_bench(payload: dict, path: str = DEFAULT_BENCH_PATH) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_bench(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def find_regressions(
+    current: dict, baseline: dict, factor: float = REGRESSION_FACTOR
+) -> List[str]:
+    """Throughput metrics that dropped more than ``factor``× vs baseline.
+
+    Only ``*.items_per_sec`` metrics gate — absolute seconds vary with
+    scale/epoch knobs, and the experiment speedup varies with core count.
+    Returns human-readable findings (empty = no regression).
+    """
+    findings = []
+    base_metrics = baseline.get("metrics", {})
+    for name, value in current.get("metrics", {}).items():
+        if not name.endswith("items_per_sec"):
+            continue
+        reference = base_metrics.get(name)
+        if not reference or reference <= 0:
+            continue
+        if value < reference / factor:
+            findings.append(
+                f"{name}: {value:.1f} items/s is more than {factor:g}x below "
+                f"baseline {reference:.1f} items/s"
+            )
+    return findings

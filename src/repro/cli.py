@@ -8,7 +8,10 @@ Commands cover the full pipeline a downstream user needs:
   fault-tolerant checkpoint/resume
   (``--checkpoint-dir/--checkpoint-every/--resume``);
 - ``evaluate``   — score saved model weights on a saved ExampleSet;
-- ``experiment`` — run one of the paper's table/figure experiments;
+- ``experiment`` — run one of the paper's table/figure experiments,
+  optionally fanning its model training across processes (``--workers``);
+- ``bench``      — measure hot-path throughput and write the canonical
+  ``BENCH_perf.json`` perf-trajectory file (see ``docs/performance.md``);
 - ``info``       — describe a saved city or ExampleSet;
 - ``report``     — summarize one or more run manifests.
 
@@ -22,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import logging
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -154,6 +158,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--scale", default="bench")
     experiment.add_argument("--seed", type=int, default=None)
+    experiment.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="fan the experiment's model/baseline training across N worker "
+             "processes (results are bitwise-identical to --workers 1; "
+             "see docs/performance.md)",
+    )
+
+    bench = sub.add_parser(
+        "bench", parents=[obs],
+        help="measure hot-path throughput and write BENCH_perf.json",
+    )
+    bench.add_argument("--scale", default="tiny", help="paper | bench | tiny")
+    bench.add_argument(
+        "--out", default=None, metavar="PATH",
+        help=f"output JSON path (default {('BENCH_perf.json')!s})",
+    )
+    bench.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker count for the serial-vs-parallel experiment section",
+    )
+    bench.add_argument(
+        "--epochs", type=int, default=2, metavar="N",
+        help="training epochs timed in the train-epoch section",
+    )
+    bench.add_argument(
+        "--experiment", default="table2",
+        help="multi-model experiment used for the wall-clock comparison",
+    )
+    bench.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="committed BENCH_perf.json to gate against; exits 1 if any "
+             "throughput regressed more than 2x (skipped when PATH is "
+             "missing)",
+    )
 
     info = sub.add_parser("info", parents=[obs], help="describe a saved artifact")
     info.add_argument("path")
@@ -384,20 +422,82 @@ def cmd_evaluate(args) -> int:
 
 def cmd_experiment(args) -> int:
     from . import experiments
-    from .experiments import get_context
+    from .experiments import get_context, runner
 
     context = get_context(args.scale, args.seed)
     manifest = RunManifest.begin(
         "experiment",
-        config={"name": args.name, "scale": context.scale.name},
+        config={
+            "name": args.name,
+            "scale": context.scale.name,
+            "workers": args.workers,
+        },
         seed=context.scale.simulation.seed,
     )
-    runner = getattr(experiments, args.name)
+    if args.workers > 1:
+        # Fan the heavy per-model work across worker processes first; the
+        # serial runner below then finds everything in the shared cache.
+        with manifest.stage("parallel_prepare"):
+            report = runner.run_tasks(
+                context, runner.tasks_for(args.name), workers=args.workers
+            )
+        manifest.record(**report.to_metrics())
+        for task in report.results:
+            manifest.add_stage(f"task:{task.task_id}", task.seconds)
+    module = getattr(experiments, args.name)
     with manifest.stage(args.name):
-        result = runner.run(context)
+        result = module.run(context)
     if args.manifest:
         _write_manifest(manifest, args, None)
     print(_render_experiment(args.name, result))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from .bench import (
+        DEFAULT_BENCH_PATH,
+        find_regressions,
+        load_bench,
+        run_bench,
+        write_bench,
+    )
+
+    out = args.out or DEFAULT_BENCH_PATH
+    manifest = RunManifest.begin(
+        "bench",
+        config={
+            "scale": args.scale,
+            "workers": args.workers,
+            "epochs": args.epochs,
+            "experiment": args.experiment,
+            "out": out,
+        },
+    )
+    with manifest.stage("bench"):
+        payload = run_bench(
+            args.scale,
+            workers=args.workers,
+            epochs=args.epochs,
+            experiment=args.experiment,
+        )
+    path = write_bench(payload, out)
+    manifest.record(**payload["metrics"])
+    manifest.artifacts["bench"] = path
+    _write_manifest(manifest, args, path)
+    print(f"wrote {path}")
+    for name in sorted(payload["metrics"]):
+        print(f"  {name}: {payload['metrics'][name]:.3f}")
+
+    if args.baseline:
+        if not os.path.exists(args.baseline):
+            print(f"baseline {args.baseline} missing; regression check skipped")
+            return 0
+        regressions = find_regressions(payload, load_bench(args.baseline))
+        if regressions:
+            for finding in regressions:
+                print(f"PERF REGRESSION: {finding}", file=sys.stderr)
+            return 1
+        print(f"no >2x throughput regressions vs {args.baseline}")
     return 0
 
 
@@ -487,6 +587,7 @@ _COMMANDS = {
     "train": cmd_train,
     "evaluate": cmd_evaluate,
     "experiment": cmd_experiment,
+    "bench": cmd_bench,
     "info": cmd_info,
     "report": cmd_report,
 }

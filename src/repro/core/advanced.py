@@ -102,6 +102,17 @@ class AdvancedDeepSD(Module):
             Dropout(dropout, rng=np.random.default_rng(seed + 1 + i)) for i in range(5)
         ]
 
+        # The batch fields forward() reads (see BasicDeepSD): the extended
+        # blocks consume all three signals' now/hist/hist_next arrays.
+        fields = ["area_ids", "time_ids", "week_ids"]
+        for signal in ("sd", "lc", "wt"):
+            fields += [f"{signal}_now", f"{signal}_hist", f"{signal}_hist_next"]
+        if use_weather:
+            fields += ["weather_types", "temperature", "pm25"]
+        if use_traffic:
+            fields.append("traffic")
+        self.input_fields = tuple(fields)
+
     def forward(self, batch: Dict[str, np.ndarray]) -> Tensor:
         """Predict the gap for each item in the batch — a (n,) tensor."""
         if self.input_scales is not None:

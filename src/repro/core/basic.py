@@ -109,6 +109,16 @@ class BasicDeepSD(Module):
         self.weather_dropout = Dropout(dropout, rng=np.random.default_rng(seed + 2))
         self.traffic_dropout = Dropout(dropout, rng=np.random.default_rng(seed + 3))
 
+        # The batch fields forward() reads — the trainer gathers only these
+        # per epoch instead of every ExampleSet field (the basic model never
+        # touches the six (n, 7, 2L) history arrays, the bulk of the data).
+        fields = ["area_ids", "time_ids", "week_ids", "sd_now"]
+        if use_weather:
+            fields += ["weather_types", "temperature", "pm25"]
+        if use_traffic:
+            fields.append("traffic")
+        self.input_fields = tuple(fields)
+
     def forward(self, batch: Dict[str, np.ndarray]) -> Tensor:
         """Predict the gap for each item in the batch — a (n,) tensor."""
         if self.input_scales is not None:

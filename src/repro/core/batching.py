@@ -3,11 +3,24 @@
 Models consume plain dicts of numpy arrays keyed by the ExampleSet field
 names; this keeps the training loop agnostic to which blocks a given model
 variant actually uses.
+
+Two access patterns are provided:
+
+- :func:`make_batch` — gather arbitrary rows with one fancy-index per
+  field (used for ad-hoc lookups and the serving predictor);
+- :class:`EpochBatches` — the trainer's hot path: gather the requested
+  fields once per epoch with a single permutation fancy-index, then
+  serve each minibatch as zero-copy contiguous slice views.  Per-batch
+  fancy indexing of all 16 input fields costs 16 gathers and 16
+  allocations per step; the epoch gather pays the cost once, and only
+  for the fields the model declares it reads (``model.input_fields``) —
+  the basic network, for example, never touches the six ``(n, 7, 2L)``
+  history arrays that dominate an ExampleSet's bytes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -50,3 +63,79 @@ def make_batch(
 def batch_targets(example_set: ExampleSet, indices: np.ndarray | None = None) -> np.ndarray:
     """Gap labels for the same rows."""
     return example_set.gaps if indices is None else example_set.gaps[indices]
+
+
+class EpochBatches:
+    """One epoch of minibatches served as contiguous slice views.
+
+    With a ``permutation`` (training), every input field and the labels
+    are gathered once — ``field[permutation]`` — so each row is copied
+    exactly once per epoch and every minibatch afterwards is a zero-copy
+    view ``gathered[start:stop]``.  Without one (inference), the
+    underlying ExampleSet arrays are sliced directly.
+
+    ``slice(start, stop)`` returns exactly the same arrays as
+    ``make_batch(example_set, permutation[start:stop])`` /
+    ``batch_targets(...)`` would, bitwise, because
+    ``field[perm][start:stop] == field[perm[start:stop]]`` — the trainer
+    relies on this for checkpoint/resume equivalence.  Models must not
+    mutate batches in place (none do: input scaling copies).
+
+    ``buffers`` is an optional caller-owned dict the gathered arrays are
+    written into (``np.take(..., out=...)``) and cached in across epochs.
+    Without it, every epoch allocates fresh multi-megabyte destination
+    arrays, which the allocator hands back to the OS on free — so every
+    epoch re-pays the page-fault cost of touching that memory.  Passing
+    the same dict each epoch (as the trainer does) pays it once per fit.
+    Consumers must therefore not hold batch views across epochs — the
+    next gather overwrites them (nothing in the model stack does: every
+    float field is cast to a fresh float64 array on the way into the
+    autograd graph, and integer id fields are only read by embedding
+    lookups).
+    """
+
+    def __init__(
+        self,
+        example_set: ExampleSet,
+        permutation: Optional[np.ndarray] = None,
+        fields: Sequence[str] = INPUT_FIELDS,
+        buffers: Optional[Dict[str, np.ndarray]] = None,
+    ):
+        self.n_items = example_set.n_items
+        if permutation is None:
+            self._fields = {name: getattr(example_set, name) for name in fields}
+            self._targets = example_set.gaps
+        else:
+            if buffers is None:
+                buffers = {}
+            self._fields = {
+                name: self._gather(getattr(example_set, name), permutation, name, buffers)
+                for name in fields
+            }
+            self._targets = self._gather(example_set.gaps, permutation, "gaps", buffers)
+
+    @staticmethod
+    def _gather(
+        source: np.ndarray,
+        permutation: np.ndarray,
+        name: str,
+        buffers: Dict[str, np.ndarray],
+    ) -> np.ndarray:
+        out = buffers.get(name)
+        if out is None or out.shape != source.shape or out.dtype != source.dtype:
+            out = np.empty_like(source)
+            buffers[name] = out
+        np.take(source, permutation, axis=0, out=out)
+        return out
+
+    def slice(self, start: int, stop: int) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
+        """(inputs, targets) for rows ``[start, stop)`` of the epoch order."""
+        batch = {name: value[start:stop] for name, value in self._fields.items()}
+        return batch, self._targets[start:stop]
+
+    def batches(self, batch_size: int):
+        """Yield ``(inputs, targets)`` minibatch views in epoch order."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        for start in range(0, self.n_items, batch_size):
+            yield self.slice(start, min(start + batch_size, self.n_items))

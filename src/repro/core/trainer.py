@@ -37,10 +37,9 @@ from ..nn import (
     StepDecay,
     Tensor,
     clip_gradients,
-    iterate_minibatches,
     losses,
 )
-from .batching import batch_targets, make_batch
+from .batching import INPUT_FIELDS, EpochBatches
 from .checkpoint import (
     BestSnapshots,
     Checkpoint,
@@ -155,6 +154,8 @@ class Trainer:
         self.clock = clock or time.perf_counter
         self._loss_fn = losses.get(self.config.loss)
         self._ensemble_states: List[Dict[str, np.ndarray]] = []
+        # Reused epoch-gather destinations (see EpochBatches ``buffers``).
+        self._gather_buffers: Dict[str, np.ndarray] = {}
         # Provenance of the most recent fit(), for run manifests.
         self.resumed_from: Optional[str] = None
         self.resumed_epoch: Optional[int] = None
@@ -354,6 +355,13 @@ class Trainer:
         Returns the mean batch loss and the last batch's pre-clip global
         gradient norm (clip_gradients measures it either way; an infinite
         bound turns the call into a pure measurement when clipping is off).
+
+        Batches come from one :class:`EpochBatches` permutation-gather
+        over the fields the model declares it reads (``input_fields``) —
+        the same rows in the same order as per-batch fancy indexing of the
+        shuffled index array, so the arithmetic (and the RNG stream, one
+        shuffle per epoch) is bitwise-identical to the historical loop,
+        which gathered every ExampleSet field for every batch.
         """
         config = self.config
         self.model.train()
@@ -361,20 +369,34 @@ class Trainer:
         n_batches = 0
         grad_norm = 0.0
         max_norm = config.grad_clip if config.grad_clip else float("inf")
-        for indices in iterate_minibatches(
-            train_set.n_items, config.batch_size, shuffle=config.shuffle, rng=rng
-        ):
-            batch = make_batch(train_set, indices)
-            targets = batch_targets(train_set, indices)
+        permutation = None
+        if config.shuffle:
+            permutation = np.arange(train_set.n_items)
+            rng.shuffle(permutation)
+        epoch_batches = EpochBatches(
+            train_set, permutation, self._input_fields(), self._gather_buffers
+        )
+        # parameters() walks the module tree; resolve it once per epoch
+        # instead of once per step.
+        parameters = list(self.model.parameters())
+        for batch, targets in epoch_batches.batches(config.batch_size):
             optimizer.zero_grad()
             predictions = self.model(batch)
             loss = self._loss_fn(predictions, Tensor(targets))
             loss.backward()
-            grad_norm = clip_gradients(self.model.parameters(), max_norm)
+            grad_norm = clip_gradients(parameters, max_norm)
             optimizer.step()
             total_loss += loss.item()
             n_batches += 1
         return total_loss / max(n_batches, 1), grad_norm
+
+    def _input_fields(self):
+        """The batch fields to gather: what the model says it reads.
+
+        Models without an ``input_fields`` declaration get every field
+        (the historical behaviour), so ad-hoc models keep working.
+        """
+        return tuple(getattr(self.model, "input_fields", None) or INPUT_FIELDS)
 
     def _build_scheduler(self, optimizer: Adam):
         config = self.config
@@ -412,11 +434,12 @@ class Trainer:
         was_training = self.model.training
         self.model.eval()
         outputs = np.empty(example_set.n_items)
-        for indices in iterate_minibatches(
-            example_set.n_items, batch_size, shuffle=False
-        ):
-            batch = make_batch(example_set, indices)
-            outputs[indices] = self.model(batch).data
+        # Sequential order: serve zero-copy slice views of the set itself.
+        epoch_batches = EpochBatches(example_set, fields=self._input_fields())
+        for start in range(0, example_set.n_items, batch_size):
+            stop = min(start + batch_size, example_set.n_items)
+            batch, _ = epoch_batches.slice(start, stop)
+            outputs[start:stop] = self.model(batch).data
         if was_training:
             self.model.train()
         return outputs

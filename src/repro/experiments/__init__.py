@@ -14,6 +14,7 @@ from . import (
     fig13,
     fig15,
     fig16,
+    runner,
     table1,
     table2,
     table3,
@@ -29,14 +30,29 @@ from .context import (
     TrainedModel,
     cache_dir,
     get_context,
+    scale_fingerprint,
+)
+from .runner import (
+    ExperimentTask,
+    RunnerReport,
+    run_experiment,
+    run_tasks,
+    tasks_for,
 )
 
 __all__ = [
     "ExperimentContext",
+    "ExperimentTask",
     "TrainedModel",
     "BaselineResult",
+    "RunnerReport",
     "get_context",
     "cache_dir",
+    "scale_fingerprint",
+    "run_experiment",
+    "run_tasks",
+    "tasks_for",
+    "runner",
     "MODEL_SPECS",
     "BASELINE_SPECS",
     "TRAINING_DEFAULTS",

@@ -5,6 +5,14 @@ which lazily simulates the city, builds the train/test ExampleSets and
 trains models on demand.  Heavy artifacts are cached both in memory (one
 process) and on disk (across benchmark runs) under ``REPRO_CACHE_DIR``
 (default ``.repro_cache/``).
+
+Cache files are keyed by scale name, simulation seed *and* a fingerprint
+of the full scale configuration, so two runs only share artifacts when
+every simulation/feature/embedding constant matches — the handoff the
+parallel experiment engine (:mod:`repro.experiments.runner`) relies on to
+let worker processes reuse one simulated city + featurization instead of
+rebuilding them.  Saves go through tmp+rename so concurrent workers never
+observe a half-written archive.
 """
 
 from __future__ import annotations
@@ -26,10 +34,21 @@ from ..core import (
     Trainer,
     TrainingConfig,
     TrainingHistory,
+    config_fingerprint,
 )
 from ..features import ExampleSet, FeatureBuilder
 
 _log = get_logger(__name__)
+
+
+def scale_fingerprint(scale: ExperimentScale) -> str:
+    """Short digest of every constant in an :class:`ExperimentScale`.
+
+    Nested dataclasses (simulation / features / embeddings) are flattened
+    by :func:`repro.core.config_fingerprint`, so any config change —
+    not just the name or seed — yields a different cache key.
+    """
+    return config_fingerprint(scale)[:10]
 
 #: Training hyper-parameters per scale.  The paper trains 50 epochs with
 #: dropout 0.5 on ~394k items; the bench/tiny splits are 30-400× smaller,
@@ -67,6 +86,18 @@ def cache_dir() -> Path:
     path = Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
     path.mkdir(parents=True, exist_ok=True)
     return path
+
+
+def _atomic_savez(path: Path, **arrays) -> None:
+    """``np.savez_compressed`` through tmp+rename (safe under concurrency)."""
+    # The tmp name keeps the .npz suffix so numpy does not append one.
+    tmp = path.with_name(path.name + f".{os.getpid()}.tmp.npz")
+    try:
+        np.savez_compressed(tmp, **arrays)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # failed save: drop the partial file
+            tmp.unlink()
 
 
 @dataclass
@@ -140,8 +171,19 @@ class ExperimentContext:
                 self._dataset = CityDataset.load(path)
             else:
                 self._dataset = simulate_city(self.scale.simulation)
-                self._dataset.save(path)
+                self._save_atomic(self._dataset.save, path)
         return self._dataset
+
+    @staticmethod
+    def _save_atomic(save, path: Path) -> None:
+        """Run a ``save(path)`` method through tmp+rename."""
+        tmp = path.with_name(path.name + f".{os.getpid()}.tmp.npz")
+        try:
+            save(tmp)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
 
     def _example_sets(self) -> None:
         train_path = cache_dir() / f"train_{self._tag()}.npz"
@@ -164,8 +206,8 @@ class ExperimentContext:
         self._train, self._test = FeatureBuilder(
             self.dataset, self.scale.features
         ).build()
-        self._train.save(train_path)
-        self._test.save(test_path)
+        self._save_atomic(self._train.save, train_path)
+        self._save_atomic(self._test.save, test_path)
 
     @property
     def train_set(self) -> ExampleSet:
@@ -180,10 +222,33 @@ class ExperimentContext:
         return self._test
 
     def _tag(self) -> str:
-        return f"{self.scale.name}_{self.scale.simulation.seed}"
+        scale = self.scale
+        return f"{scale.name}_{scale.simulation.seed}_{scale_fingerprint(scale)}"
 
     def training_defaults(self) -> dict:
         return TRAINING_DEFAULTS.get(self.scale.name, TRAINING_DEFAULTS["bench"])
+
+    # ------------------------------------------------------------------
+    # Cache layout (shared with the parallel runner's worker processes)
+    # ------------------------------------------------------------------
+
+    def model_cache_path(self, key: str, seed: int = 1) -> Path:
+        return cache_dir() / f"model_{key}_{seed}_{self._tag()}.npz"
+
+    def baseline_cache_path(self, key: str) -> Path:
+        return cache_dir() / f"baseline_{key}_{self._tag()}.npz"
+
+    def prewarm_shared(self) -> None:
+        """Materialise the city + ExampleSets in the on-disk cache.
+
+        Called by the parallel runner before fanning out so every worker
+        process loads the one simulated city and featurization from disk
+        instead of rebuilding them (the expensive, perfectly shareable
+        part of every experiment).
+        """
+        self.dataset
+        self.train_set
+        self.test_set
 
     # ------------------------------------------------------------------
     # Models
@@ -211,7 +276,7 @@ class ExperimentContext:
             TrainingConfig(epochs=defaults["epochs"], best_k=10, seed=seed),
         )
 
-        disk = cache_dir() / f"model_{cache_key}_{self._tag()}.npz"
+        disk = self.model_cache_path(key, seed)
         cached = disk.exists()
         _log.event(
             "experiment.model",
@@ -247,8 +312,13 @@ class ExperimentContext:
     def baseline(self, key: str) -> BaselineResult:
         """Fit (or fetch) one classical baseline by name."""
         if key not in self._baselines:
-            path = cache_dir() / f"baseline_{key}_{self._tag()}.npz"
-            if path.exists():
+            path = self.baseline_cache_path(key)
+            cached = path.exists()
+            get_registry().counter(
+                "repro.experiment.cache_hits" if cached
+                else "repro.experiment.cache_misses"
+            )
+            if cached:
                 with np.load(path) as archive:
                     self._baselines[key] = BaselineResult(
                         key=key,
@@ -257,7 +327,7 @@ class ExperimentContext:
                     )
             else:
                 result = self._fit_baseline(key)
-                np.savez_compressed(
+                _atomic_savez(
                     path,
                     test_predictions=result.test_predictions,
                     fit_seconds=np.array([result.fit_seconds]),
@@ -318,7 +388,7 @@ class ExperimentContext:
         for i, state in enumerate(trained.trainer._ensemble_states):
             for name, value in state.items():
                 arrays[f"ens{i}__{name}"] = value
-        np.savez_compressed(path, **arrays)
+        _atomic_savez(path, **arrays)
 
     def _load_trained(
         self, key: str, model, trainer: Trainer, path: Path

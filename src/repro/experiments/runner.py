@@ -1,0 +1,336 @@
+"""Parallel experiment engine: fan model variants and baselines across cores.
+
+Every experiment runner trains its DeepSD variants and classical baselines
+through :class:`~repro.experiments.context.ExperimentContext`, one task at
+a time.  The tasks are embarrassingly parallel — each model variant trains
+from its own seed and touches nothing shared except the read-only city and
+ExampleSets — so this module fans them out over a process pool and lets
+the experiment's normal serial code pick every result up from the shared
+on-disk cache afterwards.
+
+Determinism is structural, not incidental:
+
+- **per-task seeding** — every task carries its own training seed
+  (models: the ``seed`` field; baselines: the seed pinned inside
+  ``BASELINE_SPECS``), so a task's arithmetic never depends on which
+  worker runs it, how many workers exist, or in what order tasks finish;
+- **shared handoff** — the parent prewarms the simulated city and the
+  train/test ExampleSets into the fingerprint-keyed cache
+  (:meth:`ExperimentContext.prewarm_shared`), so workers *load* identical
+  inputs instead of rebuilding them;
+- **bitwise transport** — results travel through ``.npz`` archives, which
+  preserve float bits exactly.
+
+Together these make ``run_experiment(name, workers=N)`` produce results
+bitwise-identical to serial execution for any ``N`` (asserted by
+``tests/experiments/test_runner_parallel.py``).
+
+Observability: worker-pool size, cache hit/miss counts and per-task wall
+clock are recorded into the process :class:`~repro.obs.MetricsRegistry`
+under ``repro.runner.*`` and surfaced in the returned
+:class:`RunnerReport` (the CLI copies them into the run manifest).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import ExperimentScale
+from ..exceptions import ConfigError
+from ..obs import get_logger, get_registry
+from .context import BASELINE_SPECS, MODEL_SPECS, ExperimentContext
+
+_log = get_logger(__name__)
+
+__all__ = [
+    "ExperimentTask",
+    "RunnerReport",
+    "TaskResult",
+    "baseline_task",
+    "model_task",
+    "run_experiment",
+    "run_tasks",
+    "tasks_for",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """One unit of parallel work: train a model variant or fit a baseline.
+
+    ``seed`` is the *task's* training seed (models only) — part of the
+    task identity, never derived from worker placement, which is what
+    keeps results stable across pool sizes.
+    """
+
+    kind: str  # "model" | "baseline"
+    key: str
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("model", "baseline"):
+            raise ConfigError(f"task kind must be model/baseline, got {self.kind!r}")
+        known = MODEL_SPECS if self.kind == "model" else BASELINE_SPECS
+        if self.key not in known:
+            raise ConfigError(f"unknown {self.kind} task {self.key!r}")
+
+    @property
+    def task_id(self) -> str:
+        if self.kind == "model":
+            return f"model:{self.key}:{self.seed}"
+        return f"baseline:{self.key}"
+
+
+def model_task(key: str, seed: int = 1) -> ExperimentTask:
+    return ExperimentTask("model", key, seed)
+
+
+def baseline_task(key: str) -> ExperimentTask:
+    return ExperimentTask("baseline", key)
+
+
+def _model_tasks(*keys: str) -> Tuple[ExperimentTask, ...]:
+    return tuple(model_task(key) for key in keys)
+
+
+#: The training/fitting work each experiment needs, derivable from the
+#: ``context.trained(...)`` / ``context.baseline(...)`` calls its ``run``
+#: makes.  Experiments without an entry (table1, fig1) do no heavy
+#: per-model work and run serially as before.
+EXPERIMENT_TASKS: Dict[str, Tuple[ExperimentTask, ...]] = {
+    "table2": (
+        baseline_task("average"),
+        baseline_task("lasso"),
+        baseline_task("gbdt"),
+        baseline_task("rf"),
+        *_model_tasks("basic", "advanced"),
+    ),
+    "table3": _model_tasks("basic", "advanced", "basic_onehot", "advanced_onehot"),
+    "table4": _model_tasks("basic"),
+    "table5": _model_tasks(
+        "basic", "advanced", "basic_noresidual", "advanced_noresidual"
+    ),
+    "fig10": (baseline_task("gbdt"), *_model_tasks("basic", "advanced")),
+    "fig11": (baseline_task("gbdt"), *_model_tasks("advanced")),
+    "fig12": _model_tasks("basic"),
+    "fig13": _model_tasks(
+        "basic_order_only", "basic_weather", "basic",
+        "advanced_order_only", "advanced_weather", "advanced",
+    ),
+    "fig15": _model_tasks("advanced"),
+    "fig16": _model_tasks("advanced_order_only"),
+}
+
+
+def tasks_for(name: str) -> Tuple[ExperimentTask, ...]:
+    """The parallelizable tasks behind one experiment (possibly empty)."""
+    return EXPERIMENT_TASKS.get(name, ())
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Outcome of one task: where it ran and how long it took."""
+
+    task_id: str
+    seconds: float
+    cached: bool
+    pid: int
+
+
+@dataclass
+class RunnerReport:
+    """What one :func:`run_tasks` call did, for manifests and tests."""
+
+    workers: int
+    wall_seconds: float = 0.0
+    prewarm_seconds: float = 0.0
+    results: List[TaskResult] = field(default_factory=list)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(result.cached for result in self.results)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(not result.cached for result in self.results)
+
+    @property
+    def task_seconds(self) -> float:
+        return float(sum(result.seconds for result in self.results))
+
+    def to_metrics(self) -> Dict[str, float]:
+        """Flat numbers for ``RunManifest.record``."""
+        return {
+            "runner.workers": self.workers,
+            "runner.tasks": len(self.results),
+            "runner.cache_hits": self.cache_hits,
+            "runner.cache_misses": self.cache_misses,
+            "runner.wall_seconds": self.wall_seconds,
+            "runner.prewarm_seconds": self.prewarm_seconds,
+            "runner.task_seconds": self.task_seconds,
+        }
+
+
+#: Per-worker-process context, so one worker running several tasks loads
+#: the shared city/ExampleSets from disk once, not once per task.
+_WORKER_CONTEXT: Optional[ExperimentContext] = None
+
+
+def _worker_context(scale: ExperimentScale, cache_root: str) -> ExperimentContext:
+    global _WORKER_CONTEXT
+    if _WORKER_CONTEXT is None or _WORKER_CONTEXT.scale != scale:
+        os.environ["REPRO_CACHE_DIR"] = cache_root
+        _WORKER_CONTEXT = ExperimentContext(scale=scale)
+    return _WORKER_CONTEXT
+
+
+def _execute_task(
+    scale: ExperimentScale, cache_root: str, task: ExperimentTask
+) -> TaskResult:
+    """Worker entry point: run one task into the shared on-disk cache.
+
+    Uses the per-process :class:`ExperimentContext` against the parent's
+    cache directory; the prewarmed city/ExampleSets load from disk, the
+    task's result lands in the cache, and only the lightweight
+    :class:`TaskResult` travels back over the pipe.
+    """
+    context = _worker_context(scale, cache_root)
+    started = time.perf_counter()
+    if task.kind == "model":
+        cached = context.model_cache_path(task.key, task.seed).exists()
+        context.trained(task.key, seed=task.seed)
+    else:
+        cached = context.baseline_cache_path(task.key).exists()
+        context.baseline(task.key)
+    return TaskResult(
+        task_id=task.task_id,
+        seconds=time.perf_counter() - started,
+        cached=cached,
+        pid=os.getpid(),
+    )
+
+
+def _run_serial(
+    context: ExperimentContext, tasks: Sequence[ExperimentTask]
+) -> List[TaskResult]:
+    results = []
+    for task in tasks:
+        started = time.perf_counter()
+        if task.kind == "model":
+            cached = context.model_cache_path(task.key, task.seed).exists()
+            context.trained(task.key, seed=task.seed)
+        else:
+            cached = context.baseline_cache_path(task.key).exists()
+            context.baseline(task.key)
+        results.append(
+            TaskResult(
+                task_id=task.task_id,
+                seconds=time.perf_counter() - started,
+                cached=cached,
+                pid=os.getpid(),
+            )
+        )
+    return results
+
+
+def run_tasks(
+    context: ExperimentContext,
+    tasks: Sequence[ExperimentTask],
+    *,
+    workers: Optional[int] = None,
+) -> RunnerReport:
+    """Execute ``tasks`` with up to ``workers`` processes.
+
+    ``workers=None`` or ``<= 1`` runs everything inline (serial); either
+    way the results land in the shared cache *and* the given context's
+    in-memory maps, so a subsequent ``experiments.<name>.run(context)``
+    finds every model already trained.
+    """
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    # De-duplicate while preserving order (table2 lists baselines the
+    # caller may also have requested explicitly).
+    unique: Dict[str, ExperimentTask] = {}
+    for task in tasks:
+        unique.setdefault(task.task_id, task)
+    tasks = list(unique.values())
+
+    registry = get_registry()
+    report = RunnerReport(workers=workers)
+    started = time.perf_counter()
+    with registry.timer("repro.runner.prewarm_seconds") as prewarm_timer:
+        context.prewarm_shared()
+    report.prewarm_seconds = prewarm_timer.elapsed
+
+    _log.event(
+        "runner.start",
+        level=logging.DEBUG,
+        workers=workers,
+        tasks=len(tasks),
+        scale=context.scale.name,
+    )
+    if workers == 1 or len(tasks) <= 1:
+        report.results = _run_serial(context, tasks)
+    else:
+        cache_root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_execute_task, context.scale, cache_root, task)
+                for task in tasks
+            ]
+            report.results = [future.result() for future in futures]
+        # Fault the workers' cached results into this context's memory so
+        # callers see the same state a serial run would have left behind.
+        for task in tasks:
+            if task.kind == "model":
+                context.trained(task.key, seed=task.seed)
+            else:
+                context.baseline(task.key)
+    report.wall_seconds = time.perf_counter() - started
+
+    registry.gauge("repro.runner.workers", workers)
+    registry.counter("repro.runner.tasks", len(report.results))
+    registry.counter("repro.runner.cache_hits", report.cache_hits)
+    registry.counter("repro.runner.cache_misses", report.cache_misses)
+    for result in report.results:
+        registry.observe("repro.runner.task_seconds", result.seconds)
+    _log.event(
+        "runner.done",
+        workers=workers,
+        tasks=len(report.results),
+        cache_hits=report.cache_hits,
+        cache_misses=report.cache_misses,
+        wall_seconds=report.wall_seconds,
+    )
+    return report
+
+
+def run_experiment(
+    name: str,
+    context: ExperimentContext,
+    *,
+    workers: Optional[int] = None,
+):
+    """Run one named experiment, fanning its heavy tasks across workers.
+
+    Returns ``(result, report)`` where ``result`` is exactly what the
+    experiment's serial ``run(context)`` returns — the parallel phase only
+    pre-populates the cache the serial code then reads, which is why the
+    rows are bitwise-identical to a serial run.
+    """
+    from .. import experiments
+
+    try:
+        module = getattr(experiments, name)
+    except AttributeError:
+        raise ConfigError(f"unknown experiment {name!r}") from None
+    report = run_tasks(context, tasks_for(name), workers=workers)
+    result = module.run(context)
+    return result, report

@@ -265,7 +265,6 @@ class FeatureBuilder:
         n = len(area_ids)
         L = config.window_minutes
         all_slots = self._all_slots()
-        slot_index = {int(s): i for i, s in enumerate(all_slots)}
 
         now = {name: np.empty((n, 2 * L), dtype=np.float32) for name in SIGNALS}
         hist = {name: np.empty((n, 7, 2 * L), dtype=np.float32) for name in SIGNALS}
@@ -276,9 +275,12 @@ class FeatureBuilder:
         for area in np.unique(area_ids):
             tables = self._area_signal_tables(int(area), all_slots)
             rows = np.flatnonzero(area_ids == area)
-            slot_now = np.array([slot_index[int(t)] for t in time_ids[rows]])
-            slot_next = np.array(
-                [slot_index[int(t) + config.gap_minutes] for t in time_ids[rows]]
+            # all_slots is sorted and contains every item slot and its
+            # t + C shift by construction, so searchsorted is an exact
+            # vectorized lookup (no per-row dict indexing).
+            slot_now = np.searchsorted(all_slots, time_ids[rows])
+            slot_next = np.searchsorted(
+                all_slots, time_ids[rows] + config.gap_minutes
             )
             days = day_ids[rows]
             for name in SIGNALS:
@@ -290,8 +292,8 @@ class FeatureBuilder:
                 )
 
         environment = extract_environment(dataset, area_ids, day_ids, time_ids, L)
-        week_ids = np.array(
-            [dataset.calendar.day_of_week(int(d)) for d in day_ids], dtype=np.int64
+        week_ids = (
+            (day_ids.astype(np.int64) + dataset.calendar.start_weekday) % 7
         )
         gaps = dataset.gaps(area_ids, day_ids, time_ids, horizon=config.gap_minutes)
 

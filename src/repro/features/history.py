@@ -34,6 +34,14 @@ class HistoryAccumulator:
     before a given day, with zeros for weekdays not yet seen (a day with no
     history contributes an all-zero historical vector, which the network
     learns to down-weight).
+
+    Sums accumulate in float64 for numerical stability, but the per-day
+    mean table — the ``(n_days+1, 7, n_slots, dim)`` array dominating
+    featurization peak memory — is stored as float32.  Every consumer
+    (the ExampleSet hist blocks) is float32 anyway, so this halves the
+    table's footprint without changing any downstream value: dividing in
+    float64 and rounding once to float32 is exactly the cast the old
+    float64 table went through on assignment.
     """
 
     def __init__(self, calendar: SimulationCalendar, vectors: np.ndarray):
@@ -45,7 +53,9 @@ class HistoryAccumulator:
         self._vectors = vectors
         n_days, n_slots, dim = vectors.shape
         # hist[d] = per-weekday mean over days < d; built incrementally.
-        self._history = np.zeros((n_days + 1, DAYS_PER_WEEK, n_slots, dim), dtype=np.float64)
+        self._history = np.zeros(
+            (n_days + 1, DAYS_PER_WEEK, n_slots, dim), dtype=np.float32
+        )
         sums = np.zeros((DAYS_PER_WEEK, n_slots, dim), dtype=np.float64)
         counts = np.zeros(DAYS_PER_WEEK, dtype=np.int64)
         for day in range(n_days):

@@ -52,11 +52,12 @@ class Embedding(Module):
         ids = np.asarray(ids)
         if ids.ndim != 1:
             raise ValueError(f"Embedding expects a 1-D id array, got shape {ids.shape}")
-        if ids.size and (ids.min() < 0 or ids.max() >= self.vocab_size):
-            raise IndexError(
-                f"id out of range [0, {self.vocab_size}): "
-                f"min={ids.min()}, max={ids.max()}"
-            )
+        if ids.size:
+            lo, hi = int(ids.min()), int(ids.max())
+            if lo < 0 or hi >= self.vocab_size:
+                raise IndexError(
+                    f"id out of range [0, {self.vocab_size}): min={lo}, max={hi}"
+                )
         return self.weight.gather_rows(ids)
 
     def distances(self) -> np.ndarray:

@@ -44,25 +44,48 @@ class Adam(Optimizer):
         self._step_count = 0
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        # Scratch space so step() allocates nothing: the update below is
+        # ~9 temporaries per parameter per step without it, and the update
+        # runs once per minibatch.
+        self._scratch_a = [np.empty_like(p.data) for p in self.params]
+        self._scratch_b = [np.empty_like(p.data) for p in self.params]
 
     def step(self) -> None:
+        """One Adam update, written with explicit ``out=`` scratch buffers.
+
+        Each line mirrors a term of the textbook update in the same
+        evaluation order, so the arithmetic (and rounding) is identical to
+        the naive expression — only the temporary allocations are gone.
+        """
         self._step_count += 1
         t = self._step_count
         bias1 = 1.0 - self.beta1 ** t
         bias2 = 1.0 - self.beta2 ** t
-        for param, m, v in zip(self.params, self._m, self._v):
+        buffers = zip(self.params, self._m, self._v, self._scratch_a, self._scratch_b)
+        for param, m, v, a, b in buffers:
             if param.grad is None:
                 continue
             grad = param.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                # grad + weight_decay * data, evaluated in that order.
+                np.multiply(param.data, self.weight_decay, out=b)
+                np.add(grad, b, out=b)
+                grad = b
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=a)
+            m += a
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, 1.0 - self.beta2, out=a)
+            a *= grad
+            v += a
+            # lr * (m / bias1) / (sqrt(v / bias2) + eps)
+            np.divide(m, bias1, out=a)
+            a *= self.lr
+            np.divide(v, bias2, out=b)
+            np.sqrt(b, out=b)
+            b += self.eps
+            a /= b
+            param.data -= a
 
     def state_dict(self) -> Dict[str, object]:
         """Moments, step count and hyper-parameters — everything a resumed

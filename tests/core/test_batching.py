@@ -1,0 +1,177 @@
+"""EpochBatches: the trainer's epoch-gather batch delivery.
+
+The contract under test is bitwise equivalence with the historical
+per-batch fancy-indexing path — same arrays, same rounding — plus the
+field-subsetting and buffer-reuse behaviours the trainer relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdvancedDeepSD,
+    BasicDeepSD,
+    InputScales,
+    Trainer,
+    TrainingConfig,
+    batch_targets,
+    make_batch,
+)
+from repro.core.batching import INPUT_FIELDS, EpochBatches
+from repro.nn import Adam, Tensor, iterate_minibatches, losses
+
+
+BATCH = 32
+
+
+def shuffled(train_set, seed=0):
+    rng = np.random.default_rng(seed)
+    permutation = np.arange(train_set.n_items)
+    rng.shuffle(permutation)
+    return permutation
+
+
+class TestSliceEquivalence:
+    def test_matches_make_batch_with_permutation(self, train_set):
+        permutation = shuffled(train_set)
+        epoch = EpochBatches(train_set, permutation)
+        for start in range(0, train_set.n_items, BATCH):
+            stop = min(start + BATCH, train_set.n_items)
+            batch, targets = epoch.slice(start, stop)
+            rows = permutation[start:stop]
+            expected = make_batch(train_set, rows)
+            for name in INPUT_FIELDS:
+                np.testing.assert_array_equal(batch[name], expected[name])
+            np.testing.assert_array_equal(targets, batch_targets(train_set, rows))
+
+    def test_sequential_mode_serves_views(self, train_set):
+        epoch = EpochBatches(train_set)
+        batch, targets = epoch.slice(3, 17)
+        assert batch["sd_now"].base is train_set.sd_now
+        assert targets.base is train_set.gaps
+        np.testing.assert_array_equal(batch["sd_now"], train_set.sd_now[3:17])
+
+    def test_batches_covers_every_row_once(self, train_set):
+        permutation = shuffled(train_set)
+        epoch = EpochBatches(train_set, permutation, fields=("area_ids",))
+        seen = np.concatenate(
+            [batch["area_ids"] for batch, _ in epoch.batches(BATCH)]
+        )
+        np.testing.assert_array_equal(seen, train_set.area_ids[permutation])
+
+    def test_field_subset_gathers_only_requested(self, train_set):
+        epoch = EpochBatches(train_set, shuffled(train_set), fields=("sd_now",))
+        batch, _ = epoch.slice(0, 8)
+        assert set(batch) == {"sd_now"}
+
+    def test_rejects_nonpositive_batch_size(self, train_set):
+        with pytest.raises(ValueError):
+            list(EpochBatches(train_set).batches(0))
+
+
+class TestBufferReuse:
+    def test_reused_buffers_keep_results_identical(self, train_set):
+        buffers = {}
+        first = EpochBatches(train_set, shuffled(train_set, 1), buffers=buffers)
+        first_sd = first.slice(0, BATCH)[0]["sd_now"].copy()
+        kept = dict(buffers)
+
+        permutation = shuffled(train_set, 2)
+        second = EpochBatches(train_set, permutation, buffers=buffers)
+        assert dict(buffers) == kept  # same arrays, no reallocation
+        batch, targets = second.slice(0, BATCH)
+        rows = permutation[:BATCH]
+        np.testing.assert_array_equal(batch["sd_now"], train_set.sd_now[rows])
+        np.testing.assert_array_equal(targets, train_set.gaps[rows])
+        assert not np.array_equal(batch["sd_now"], first_sd)
+
+    def test_mismatched_buffer_is_replaced(self, train_set):
+        buffers = {"sd_now": np.empty(3, dtype=np.float32)}
+        EpochBatches(train_set, shuffled(train_set), buffers=buffers)
+        assert buffers["sd_now"].shape == train_set.sd_now.shape
+
+
+class TestModelInputFields:
+    def test_basic_skips_history_fields(self, dataset, scale):
+        model = BasicDeepSD(dataset.n_areas, scale.features.window_minutes)
+        assert "sd_now" in model.input_fields
+        assert not any("hist" in name for name in model.input_fields)
+
+    def test_flags_drop_environment_fields(self, dataset, scale):
+        model = BasicDeepSD(
+            dataset.n_areas,
+            scale.features.window_minutes,
+            use_weather=False,
+            use_traffic=False,
+        )
+        assert "traffic" not in model.input_fields
+        assert "weather_types" not in model.input_fields
+
+    def test_advanced_declares_history_fields(self, dataset, scale):
+        model = AdvancedDeepSD(dataset.n_areas, scale.features.window_minutes)
+        for signal in ("sd", "lc", "wt"):
+            assert f"{signal}_hist" in model.input_fields
+            assert f"{signal}_hist_next" in model.input_fields
+
+    def test_declared_fields_suffice_for_forward(self, dataset, scale, train_set):
+        for cls in (BasicDeepSD, AdvancedDeepSD):
+            model = cls(
+                dataset.n_areas, scale.features.window_minutes, dropout=0.0
+            )
+            model.eval()
+            batch = make_batch(
+                train_set, np.arange(4), fields=model.input_fields
+            )
+            assert model(batch).shape == (4,)
+
+
+class TestTrainerEquivalence:
+    def test_epoch_matches_legacy_loop_bitwise(self, dataset, scale, train_set):
+        """The optimized epoch reproduces the historical loop exactly.
+
+        The reference arm re-implements the pre-EpochBatches inner loop:
+        per-batch make_batch gathers of every field.  Same seeds, same RNG
+        stream — any drift in batch delivery or update arithmetic fails
+        the exact equality below.
+        """
+        config = TrainingConfig(epochs=2, best_k=1, seed=7)
+        loss_fn = losses.get(config.loss)
+
+        def fresh_model():
+            model = BasicDeepSD(
+                dataset.n_areas,
+                scale.features.window_minutes,
+                scale.embeddings,
+                dropout=0.1,
+                seed=3,
+            )
+            model.input_scales = InputScales.from_example_set(train_set)
+            model.train()
+            return model
+
+        reference = fresh_model()
+        optimizer = Adam(reference.parameters(), lr=config.learning_rate)
+        rng = np.random.default_rng(config.seed)
+        for _ in range(config.epochs):
+            for rows in iterate_minibatches(
+                train_set.n_items, config.batch_size, shuffle=True, rng=rng
+            ):
+                optimizer.zero_grad()
+                loss = loss_fn(
+                    reference(make_batch(train_set, rows)),
+                    Tensor(batch_targets(train_set, rows)),
+                )
+                loss.backward()
+                optimizer.step()
+
+        model = fresh_model()
+        trainer = Trainer(model, config)
+        optimizer = Adam(model.parameters(), lr=config.learning_rate)
+        rng = np.random.default_rng(config.seed)
+        for _ in range(config.epochs):
+            trainer._run_epoch(train_set, optimizer, rng)
+
+        for name, expected in reference.state_dict().items():
+            np.testing.assert_array_equal(
+                model.state_dict()[name], expected, err_msg=name
+            )

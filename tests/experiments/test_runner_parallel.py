@@ -1,0 +1,151 @@
+"""Parallel experiment engine: determinism and reporting guarantees.
+
+The runner's core promise is that fanning tasks across a process pool
+changes wall-clock only — every trained weight and baseline prediction is
+bitwise-identical to serial execution, for any pool size.  These tests
+run the same small task set serially and under two pool sizes in fresh
+cache directories and compare the artifacts exactly.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.config import get_scale
+from repro.exceptions import ConfigError
+from repro.experiments import runner
+from repro.experiments.context import BASELINE_SPECS, MODEL_SPECS, ExperimentContext
+from repro.experiments.runner import (
+    EXPERIMENT_TASKS,
+    ExperimentTask,
+    baseline_task,
+    model_task,
+    run_tasks,
+    tasks_for,
+)
+
+#: Small but representative: one numpy-trained model, one sklearn-style
+#: baseline, one trivial baseline.
+TASKS = (baseline_task("average"), baseline_task("gbdt"), model_task("basic"))
+
+
+def run_with_workers(tmp_path_factory, workers):
+    """Execute TASKS in a fresh cache; return comparable raw artifacts."""
+    cache = tmp_path_factory.mktemp(f"runner_cache_w{workers}")
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache)
+    try:
+        context = ExperimentContext(scale=get_scale("tiny"))
+        report = run_tasks(context, TASKS, workers=workers)
+        trained = context.trained("basic")
+        return {
+            "report": report,
+            "weights": trained.model.state_dict(),
+            "predictions": trained.test_predictions.copy(),
+            "history": tuple(trained.history.train_loss),
+            "baselines": {
+                key: context.baseline(key).test_predictions.copy()
+                for key in ("average", "gbdt")
+            },
+        }
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = old
+
+
+@pytest.fixture(scope="module")
+def runs(tmp_path_factory):
+    return {
+        workers: run_with_workers(tmp_path_factory, workers)
+        for workers in (1, 2, 3)
+    }
+
+
+def assert_same_artifacts(left, right):
+    assert left["history"] == right["history"]
+    np.testing.assert_array_equal(left["predictions"], right["predictions"])
+    assert left["weights"].keys() == right["weights"].keys()
+    for name, value in left["weights"].items():
+        np.testing.assert_array_equal(value, right["weights"][name], err_msg=name)
+    for key, value in left["baselines"].items():
+        np.testing.assert_array_equal(value, right["baselines"][key], err_msg=key)
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_bitwise(self, runs):
+        assert_same_artifacts(runs[1], runs[2])
+
+    def test_pool_size_does_not_change_results(self, runs):
+        assert_same_artifacts(runs[2], runs[3])
+
+    def test_parallel_run_used_worker_processes(self, runs):
+        pids = {result.pid for result in runs[2]["report"].results}
+        assert os.getpid() not in pids
+
+
+class TestReport:
+    def test_fresh_caches_report_misses(self, runs):
+        for workers, run in runs.items():
+            report = run["report"]
+            assert report.workers == workers
+            assert report.cache_misses == len(TASKS)
+            assert report.cache_hits == 0
+            assert report.wall_seconds > 0
+            assert report.task_seconds > 0
+
+    def test_to_metrics_shape(self, runs):
+        metrics = runs[1]["report"].to_metrics()
+        assert metrics["runner.tasks"] == len(TASKS)
+        assert set(metrics) == {
+            "runner.workers",
+            "runner.tasks",
+            "runner.cache_hits",
+            "runner.cache_misses",
+            "runner.wall_seconds",
+            "runner.prewarm_seconds",
+            "runner.task_seconds",
+        }
+
+    def test_warm_cache_reports_hits(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        context = ExperimentContext(scale=get_scale("tiny"))
+        tasks = (baseline_task("average"),)
+        assert run_tasks(context, tasks, workers=1).cache_misses == 1
+        second = ExperimentContext(scale=get_scale("tiny"))
+        assert run_tasks(second, tasks, workers=1).cache_hits == 1
+
+
+class TestTaskRegistry:
+    def test_registered_tasks_reference_known_specs(self):
+        for name, tasks in EXPERIMENT_TASKS.items():
+            assert tasks, name
+            for task in tasks:
+                known = MODEL_SPECS if task.kind == "model" else BASELINE_SPECS
+                assert task.key in known
+
+    def test_tasks_for_unknown_experiment_is_empty(self):
+        assert tasks_for("table1") == ()
+        assert tasks_for("nonsense") == ()
+
+    def test_task_identity_carries_seed_not_placement(self):
+        assert model_task("basic", seed=5).task_id == "model:basic:5"
+        assert baseline_task("gbdt").task_id == "baseline:gbdt"
+
+    def test_rejects_unknown_kind_and_key(self):
+        with pytest.raises(ConfigError):
+            ExperimentTask("oracle", "basic")
+        with pytest.raises(ConfigError):
+            ExperimentTask("model", "no_such_model")
+        with pytest.raises(ConfigError):
+            run_tasks(None, TASKS, workers=0)
+
+
+class TestRunExperiment:
+    def test_unknown_experiment_name(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        context = ExperimentContext(scale=get_scale("tiny"))
+        with pytest.raises(ConfigError):
+            runner.run_experiment("nonsense", context)
