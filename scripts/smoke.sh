@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # End-to-end observability smoke test:
-#   simulate → featurize → train → evaluate → interrupt/resume → bench → report
+#   simulate → featurize → train → evaluate → interrupt/resume → bench
+#   → serve round-trip → report
 # (tiny scale).  Fails if any stage exits non-zero, logs an ERROR event,
 # does not write its run manifest, if a training run resumed from a
 # checkpoint diverges from the uninterrupted run, or if hot-path
@@ -83,6 +84,61 @@ assert payload["metrics"]["experiment.identical"] == 1.0, \
     "parallel experiment run diverged from serial"
 print("bench schema + determinism ok")
 EOF
+
+# Online serving round-trip: start the HTTP service from the checkpoint
+# the resume flow left behind, answer 500 live queries, verify every
+# response is a 200 with a finite gap, then shut it down cleanly.
+python -m repro serve --city city.npz --checkpoint ckpt --scale tiny \
+    --port 0 --log-level debug --log-file "$LOG" > serve.out &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "^serving .* on http://" serve.out 2>/dev/null && break
+    sleep 0.1
+done
+if ! grep -q "^serving .* on http://" serve.out; then
+    echo "smoke FAILED: serve did not start" >&2
+    cat serve.out >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+PORT=$(head -1 serve.out | sed 's/.*://')
+python - "$PORT" <<'EOF'
+import json, math, sys, urllib.request
+
+base = f"http://127.0.0.1:{sys.argv[1]}"
+
+def post(path, payload):
+    req = urllib.request.Request(
+        base + path, json.dumps(payload).encode(),
+        {"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return resp.status, json.loads(resp.read())
+
+queries = [
+    (area, day, 30 + 13 * (i % 100))
+    for i, (area, day) in enumerate(
+        (i % 6, 1 + i % 9) for i in range(500)
+    )
+]
+for area, day, slot in queries:
+    status, body = post("/predict", {"area": area, "day": day, "timeslot": slot})
+    assert status == 200, (status, body)
+    assert math.isfinite(body["gap"]), body
+status, stats = 200, None
+with urllib.request.urlopen(base + "/stats", timeout=30) as resp:
+    stats = json.loads(resp.read())
+assert stats["cache"]["hits"] + stats["cache"]["misses"] >= 500, stats
+status, body = post("/shutdown", {})
+assert status == 200, (status, body)
+print(f"serving round-trip ok ({len(queries)} queries, "
+      f"{stats['cache']['hits']} cache hits)")
+EOF
+wait "$SERVE_PID"
+if [ ! -f ckpt.serve.manifest.json ]; then
+    echo "smoke FAILED: missing serve manifest" >&2
+    exit 1
+fi
 
 if grep -q "level=error" "$LOG"; then
     echo "smoke FAILED: ERROR events in $LOG:" >&2

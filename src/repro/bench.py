@@ -1,7 +1,8 @@
 """Canonical performance benchmark: the numbers behind ``BENCH_perf.json``.
 
-``repro bench`` measures the throughput of the pipeline's three hot paths
-— featurization, training epochs, inference — plus the wall-clock of a
+``repro bench`` measures the throughput of the pipeline's hot paths
+— featurization, training epochs, inference, online serving — plus the
+wall-clock of a
 multi-model experiment run serially versus through the parallel runner,
 and writes one canonical JSON file (``BENCH_perf.json`` at the repo root
 by default).  That file is the repo's perf trajectory: every optimisation
@@ -201,6 +202,84 @@ def bench_inference(scale_name: str) -> Dict[str, float]:
     }
 
 
+def bench_serving(scale_name: str) -> Dict[str, float]:
+    """Serving throughput: cold micro-batched queries and warm cache hits.
+
+    Stands up a full :class:`repro.serving.PredictionService` (untrained
+    weights — throughput does not depend on the parameter values) and
+    drives it from a few submitter threads, the same concurrency shape
+    the HTTP front-end produces.  The cold pass answers distinct queries
+    through featurize + forward; the warm pass re-asks them and must be
+    answered from the LRU cache.
+    """
+    import threading
+
+    from .core import BasicDeepSD, InputScales, Trainer
+    from .serving import PredictionService, ServingConfig
+
+    scale = get_scale(scale_name)
+    with _cache_dir():
+        from .experiments.context import ExperimentContext
+
+        context = ExperimentContext(scale=scale)
+        dataset = context.dataset
+        train_set = context.train_set
+    model = BasicDeepSD(
+        dataset.n_areas,
+        scale.features.window_minutes,
+        scale.embeddings,
+        dropout=0.0,
+        seed=1,
+    )
+    model.input_scales = InputScales.from_example_set(train_set)
+    service = PredictionService(
+        Trainer(model),
+        dataset,
+        scale.features,
+        train_set.scalers,
+        serving_config=ServingConfig(max_batch=32, max_wait_ms=2.0),
+    )
+
+    L = scale.features.window_minutes
+    slots = range(L, 1440 - scale.features.gap_minutes, 7)
+    queries = [
+        (area, day, slot)
+        for area in range(dataset.n_areas)
+        for day in range(1, dataset.n_days)
+        for slot in slots
+    ][:600]
+
+    def drive(chunk):
+        for area, day, slot in chunk:
+            service.predict(area, day, slot)
+
+    def timed_pass() -> float:
+        n_threads = 4
+        chunks = [queries[i::n_threads] for i in range(n_threads)]
+        threads = [
+            threading.Thread(target=drive, args=(chunk,)) for chunk in chunks
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return time.perf_counter() - started
+
+    service.predict(*queries[0])  # warm up imports and the first profile
+    cold_seconds = timed_pass()
+    warm_seconds = timed_pass()
+    service.close()
+    items = float(len(queries))
+    return {
+        "serving.items": items,
+        "serving.cold.seconds": cold_seconds,
+        "serving.cold.items_per_sec": items / cold_seconds if cold_seconds else 0.0,
+        "serving.warm.seconds": warm_seconds,
+        "serving.warm.items_per_sec": items / warm_seconds if warm_seconds else 0.0,
+    }
+
+
 def bench_experiment(
     scale_name: str, workers: int = 2, experiment: str = "table2"
 ) -> Dict[str, float]:
@@ -250,6 +329,7 @@ def run_bench(
         ("featurize", lambda: bench_featurization(scale_name)),
         ("train_epoch", lambda: bench_train_epoch(scale_name, epochs)),
         ("inference", lambda: bench_inference(scale_name)),
+        ("serving", lambda: bench_serving(scale_name)),
         ("experiment", lambda: bench_experiment(scale_name, workers, experiment)),
     ):
         _log.event("bench.section", section=section)

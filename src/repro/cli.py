@@ -12,6 +12,8 @@ Commands cover the full pipeline a downstream user needs:
   optionally fanning its model training across processes (``--workers``);
 - ``bench``      — measure hot-path throughput and write the canonical
   ``BENCH_perf.json`` perf-trajectory file (see ``docs/performance.md``);
+- ``serve``      — run the online gap-prediction HTTP service from a
+  checkpoint bundle (see ``docs/serving.md``);
 - ``info``       — describe a saved city or ExampleSet;
 - ``report``     — summarize one or more run manifests.
 
@@ -191,6 +193,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="committed BENCH_perf.json to gate against; exits 1 if any "
              "throughput regressed more than 2x (skipped when PATH is "
              "missing)",
+    )
+
+    serve = sub.add_parser(
+        "serve", parents=[obs],
+        help="run the online gap-prediction HTTP service",
+    )
+    serve.add_argument("--city", required=True, help="city .npz from `simulate`")
+    serve.add_argument(
+        "--checkpoint", required=True,
+        help="checkpoint dir or ckpt-*.json from `train --checkpoint-dir`",
+    )
+    serve.add_argument("--scale", default="bench", help="paper | bench | tiny")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0: pick a free port and print it)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=32, metavar="B",
+        help="largest micro-batch folded into one forward pass",
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0, metavar="MS",
+        help="how long a request waits for batch-mates",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=4096, metavar="N",
+        help="LRU prediction-cache capacity",
+    )
+    serve.add_argument(
+        "--cache-ttl", type=float, default=None, metavar="SECONDS",
+        help="prediction-cache time-to-live (default: no expiry)",
+    )
+    serve.add_argument(
+        "--max-profiles", type=int, default=None, metavar="N",
+        help="bound the warm per-(area, day) featurization cache",
     )
 
     info = sub.add_parser("info", parents=[obs], help="describe a saved artifact")
@@ -501,6 +539,66 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .city import CityDataset
+    from .serving import PredictionService, ServingConfig, build_server, serve_forever
+
+    scale = get_scale(args.scale)
+    manifest = RunManifest.begin(
+        "serve",
+        config={
+            "scale": scale.name,
+            "city": args.city,
+            "checkpoint": args.checkpoint,
+            "max_batch": args.max_batch,
+            "max_wait_ms": args.max_wait_ms,
+            "cache_size": args.cache_size,
+            "cache_ttl": args.cache_ttl,
+        },
+    )
+    with manifest.stage("load_city"):
+        dataset = CityDataset.load(args.city)
+    with manifest.stage("load_checkpoint"):
+        service = PredictionService.from_checkpoint(
+            args.checkpoint,
+            dataset,
+            scale.features,
+            serving_config=ServingConfig(
+                max_batch=args.max_batch,
+                max_wait_ms=args.max_wait_ms,
+                cache_size=args.cache_size,
+                cache_ttl_seconds=args.cache_ttl,
+                max_profiles=args.max_profiles,
+            ),
+        )
+    server = build_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    manifest.record(port=port)
+    manifest.artifacts["checkpoint"] = args.checkpoint
+    print(f"serving {service.version} on http://{host}:{port}", flush=True)
+    _log.event("serving.started", host=host, port=port, version=service.version)
+    with manifest.stage("serve"):
+        try:
+            serve_forever(server, service)
+        except KeyboardInterrupt:
+            server.server_close()
+            service.close()
+    stats = service.stats()
+    registry = get_registry()
+    requests = registry.counters.get("repro.serving.requests", 0)
+    manifest.record(
+        requests=requests,
+        cache_hits=stats["cache"]["hits"],
+        cache_misses=stats["cache"]["misses"],
+    )
+    _write_manifest(manifest, args, f"{args.checkpoint.rstrip('/')}.serve")
+    print(
+        f"served {int(requests)} requests "
+        f"({stats['cache']['hits']} cache hits); shut down cleanly"
+    )
+    return 0
+
+
 def _render_experiment(name: str, result) -> str:
     """Minimal textual rendering per experiment family."""
     if name.startswith("table") and isinstance(result, list):
@@ -588,6 +686,7 @@ _COMMANDS = {
     "evaluate": cmd_evaluate,
     "experiment": cmd_experiment,
     "bench": cmd_bench,
+    "serve": cmd_serve,
     "info": cmd_info,
     "report": cmd_report,
 }

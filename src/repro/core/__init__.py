@@ -37,9 +37,33 @@ from .trainer import (
     predict_gaps,
 )
 
+
+def build_from_spec(spec: dict):
+    """Rebuild a DeepSD model from its constructor provenance dict.
+
+    Every model instance records its constructor arguments in ``.spec``;
+    checkpoints persist that dict so a serving process can reconstruct the
+    exact architecture without the training script (see
+    :meth:`Trainer.from_checkpoint`).
+    """
+    from ..config import EmbeddingConfig
+    from ..exceptions import ConfigError
+
+    kwargs = dict(spec)
+    name = kwargs.pop("model", None)
+    classes = {"basic": BasicDeepSD, "advanced": AdvancedDeepSD}
+    if name not in classes:
+        raise ConfigError(f"unknown model spec {name!r}; known: {sorted(classes)}")
+    n_areas = kwargs.pop("n_areas")
+    window = kwargs.pop("window")
+    embeddings = EmbeddingConfig(**kwargs.pop("embeddings", {}))
+    return classes[name](n_areas, window, embeddings, **kwargs)
+
+
 __all__ = [
     "BasicDeepSD",
     "AdvancedDeepSD",
+    "build_from_spec",
     "BestSnapshots",
     "Checkpoint",
     "config_fingerprint",

@@ -113,6 +113,22 @@ class AdvancedDeepSD(Module):
             fields.append("traffic")
         self.input_fields = tuple(fields)
 
+        # Constructor provenance for `repro.core.build_from_spec` (serving).
+        self.spec = {
+            "model": "advanced",
+            "n_areas": int(n_areas),
+            "window": int(window),
+            "embeddings": dict(vars(embeddings)),
+            "projection_dim": int(projection_dim),
+            "identity_encoding": identity_encoding,
+            "residual": bool(residual),
+            "use_weather": bool(use_weather),
+            "use_traffic": bool(use_traffic),
+            "uniform_weekday_weights": bool(uniform_weekday_weights),
+            "dropout": float(dropout),
+            "seed": int(seed),
+        }
+
     def forward(self, batch: Dict[str, np.ndarray]) -> Tensor:
         """Predict the gap for each item in the batch — a (n,) tensor."""
         if self.input_scales is not None:

@@ -119,6 +119,22 @@ class BasicDeepSD(Module):
             fields.append("traffic")
         self.input_fields = tuple(fields)
 
+        # Constructor provenance: enough to rebuild this architecture from a
+        # checkpoint alone (`repro.core.build_from_spec`) — the serving layer
+        # reconstructs models this way.
+        self.spec = {
+            "model": "basic",
+            "n_areas": int(n_areas),
+            "window": int(window),
+            "embeddings": dict(vars(embeddings)),
+            "identity_encoding": identity_encoding,
+            "residual": bool(residual),
+            "use_weather": bool(use_weather),
+            "use_traffic": bool(use_traffic),
+            "dropout": float(dropout),
+            "seed": int(seed),
+        }
+
     def forward(self, batch: Dict[str, np.ndarray]) -> Tensor:
         """Predict the gap for each item in the batch — a (n,) tensor."""
         if self.input_scales is not None:

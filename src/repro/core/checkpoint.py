@@ -240,6 +240,12 @@ class Checkpoint:
     best_entries: List[dict]
     fingerprint: str
     config: Dict[str, object] = field(default_factory=dict)
+    #: Deployment metadata written by the trainer so a serving process can
+    #: rebuild the model without the training script: the model's
+    #: constructor ``spec``, its fitted input scales, the training set's
+    #: environment scalers and feature window.  Additive — bundles written
+    #: before this field existed load with an empty dict.
+    serving: Dict[str, object] = field(default_factory=dict)
     schema_version: int = CHECKPOINT_SCHEMA_VERSION
     # Set by save()/load(); not serialized.
     path: Optional[str] = None
@@ -288,6 +294,7 @@ class Checkpoint:
             "dropout_states": self.dropout_states,
             "history": self.history,
             "best": self.best_entries,
+            "serving": self.serving,
         }
         json_path = os.path.join(directory, f"{stem}.json")
         _write_json_atomic(json_path, payload)
@@ -405,7 +412,35 @@ class Checkpoint:
             best_entries=payload["best"],
             fingerprint=payload["fingerprint"],
             config=payload.get("config", {}),
+            serving=payload.get("serving", {}),
             schema_version=version,
             path=json_path,
             directory=directory,
         )
+
+    def ensemble_states(self) -> List[Dict[str, np.ndarray]]:
+        """The best-k epoch snapshots, best-first (the prediction ensemble).
+
+        Requires a loaded-from-disk bundle whose best entries were spilled
+        (always the case for checkpoints written with a checkpoint
+        directory).  Falls back to the live model state when the bundle
+        tracked no snapshots, so inference never silently loses weights.
+        """
+        if not self.best_entries:
+            return [dict(self.model_state)]
+        if self.directory is None:
+            raise ConfigError(
+                "checkpoint has no directory; load it from disk before "
+                "reading ensemble states"
+            )
+        ordered = sorted(
+            self.best_entries, key=lambda e: (e["score"], e["epoch"])
+        )
+        states = []
+        for entry in ordered:
+            if "file" not in entry:
+                raise ConfigError(
+                    f"best-k entry for epoch {entry['epoch']} has no spill file"
+                )
+            states.append(load_state(os.path.join(self.directory, entry["file"])))
+        return states

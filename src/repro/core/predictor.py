@@ -13,14 +13,16 @@ Didi's scheduling system.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..config import FeatureConfig
 from ..exceptions import DataError
-from ..features.builder import SIGNALS, ExampleSet
+from ..features.builder import SIGNALS, ExampleSet, apply_environment_scalers
 from ..features.environment import extract_environment
 from ..features.vectors import AreaDayProfile
 from .batching import make_batch
@@ -64,6 +66,8 @@ class GapPredictor:
         dataset: "CityDataset",
         config: FeatureConfig,
         scalers: Dict[str, Tuple[float, float]],
+        *,
+        max_profiles: Optional[int] = None,
     ) -> None:
         if isinstance(model, Trainer):
             self._trainer = model
@@ -75,7 +79,15 @@ class GapPredictor:
             if required not in scalers:
                 raise DataError(f"scalers must contain {required!r}")
         self.scalers = dict(scalers)
-        self._profiles: Dict[Tuple[int, int], AreaDayProfile] = {}
+        # Warm featurization state: per-(area, day) profiles, LRU-bounded
+        # when ``max_profiles`` is set (long-running serving processes) and
+        # guarded by a lock so observation ingestion can drop entries while
+        # another thread featurizes.
+        if max_profiles is not None and max_profiles <= 0:
+            raise DataError(f"max_profiles must be positive, got {max_profiles}")
+        self.max_profiles = max_profiles
+        self._profiles: "OrderedDict[Tuple[int, int], AreaDayProfile]" = OrderedDict()
+        self._profiles_lock = threading.Lock()
 
     @classmethod
     def from_training(
@@ -115,11 +127,33 @@ class GapPredictor:
 
     def _profile(self, area_id: int, day: int) -> AreaDayProfile:
         key = (area_id, day)
-        if key not in self._profiles:
-            self._profiles[key] = AreaDayProfile(
-                self.dataset, area_id, day, self.config.window_minutes
-            )
-        return self._profiles[key]
+        with self._profiles_lock:
+            profile = self._profiles.get(key)
+            if profile is not None:
+                self._profiles.move_to_end(key)
+                return profile
+        # Build outside the lock: profiles are deterministic functions of the
+        # dataset, so a racing double-build just wastes one construction.
+        profile = AreaDayProfile(
+            self.dataset, area_id, day, self.config.window_minutes
+        )
+        with self._profiles_lock:
+            self._profiles[key] = profile
+            self._profiles.move_to_end(key)
+            if self.max_profiles is not None:
+                while len(self._profiles) > self.max_profiles:
+                    self._profiles.popitem(last=False)
+        return profile
+
+    def drop_profiles(self, area_id: int, day: int) -> int:
+        """Forget cached profiles for ``(area_id, day)``.
+
+        Call after mutating the dataset's order stream for that area/day so
+        the next featurization rebuilds from the fresh data.  Returns the
+        number of entries dropped.
+        """
+        with self._profiles_lock:
+            return 1 if self._profiles.pop((area_id, day), None) is not None else 0
 
     def _validate(self, query: GapQuery) -> None:
         L = self.config.window_minutes
@@ -192,13 +226,11 @@ class GapPredictor:
         environment = extract_environment(
             self.dataset, area_ids, day_ids, time_ids, L
         )
-        temp_mean, temp_std = self.scalers["temperature"]
-        pm_mean, pm_std = self.scalers["pm25"]
 
         gaps = self.dataset.gaps(
             area_ids, day_ids, time_ids, horizon=config.gap_minutes
         )
-        return ExampleSet(
+        example_set = ExampleSet(
             area_ids=area_ids,
             time_ids=time_ids,
             week_ids=week_ids,
@@ -207,13 +239,13 @@ class GapPredictor:
             lc_now=now["lc"], lc_hist=hist["lc"], lc_hist_next=hist_next["lc"],
             wt_now=now["wt"], wt_hist=hist["wt"], wt_hist_next=hist_next["wt"],
             weather_types=environment.weather_types,
-            temperature=((environment.temperature - temp_mean) / temp_std).astype(
-                np.float32
-            ),
-            pm25=((environment.pm25 - pm_mean) / pm_std).astype(np.float32),
+            temperature=environment.temperature,
+            pm25=environment.pm25,
             traffic=environment.traffic.astype(np.float32),
             gaps=gaps.astype(np.float32),
             window=L,
             n_areas=self.dataset.n_areas,
             scalers=dict(self.scalers),
         )
+        apply_environment_scalers(example_set)
+        return example_set

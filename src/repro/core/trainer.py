@@ -36,6 +36,7 @@ from ..nn import (
     Module,
     StepDecay,
     Tensor,
+    batch_invariant,
     clip_gradients,
     losses,
 )
@@ -160,6 +161,12 @@ class Trainer:
         self.resumed_from: Optional[str] = None
         self.resumed_epoch: Optional[int] = None
         self.last_checkpoint: Optional[str] = None
+        # Training-set metadata captured by fit() and persisted into every
+        # checkpoint's `serving` extras, so a serving process can featurize
+        # queries exactly as training did (see Trainer.from_checkpoint).
+        self._train_meta: Dict[str, object] = {}
+        # Set by from_checkpoint(): the bundle's serving extras.
+        self.serving_meta: Optional[Dict[str, object]] = None
 
     def fit(
         self,
@@ -202,6 +209,14 @@ class Trainer:
         # scales from the training set unless the caller provided them.
         if getattr(self.model, "input_scales", "absent") is None:
             self.model.input_scales = InputScales.from_example_set(train_set)
+        self._train_meta = {
+            "window": int(train_set.window),
+            "n_areas": int(train_set.n_areas),
+            "feature_scalers": {
+                name: [float(mean), float(std)]
+                for name, (mean, std) in sorted(train_set.scalers.items())
+            },
+        }
         optimizer = Adam(self.model.parameters(), lr=config.learning_rate)
         scheduler = self._build_scheduler(optimizer)
         rng = np.random.default_rng(config.seed)
@@ -328,6 +343,15 @@ class Trainer:
         tracker: BestSnapshots,
         fingerprint: str,
     ) -> str:
+        serving: Dict[str, object] = dict(self._train_meta)
+        spec = getattr(self.model, "spec", None)
+        if spec is not None:
+            serving["model_spec"] = dict(spec)
+        scales = getattr(self.model, "input_scales", None)
+        if scales is not None:
+            serving["input_scales"] = {
+                name: float(value) for name, value in vars(scales).items()
+            }
         checkpoint = Checkpoint(
             epoch=epoch,
             model_state=self.model.state_dict(),
@@ -339,6 +363,7 @@ class Trainer:
             best_entries=tracker.ordered(),
             fingerprint=fingerprint,
             config=vars(self.config).copy(),
+            serving=serving,
         )
         path = checkpoint.save(checkpoint_dir)
         _log.event("train.checkpoint", level=logging.DEBUG, path=path, epoch=epoch)
@@ -406,11 +431,58 @@ class Trainer:
             return CosineDecay(optimizer, total_epochs=config.epochs)
         return ConstantSchedule(optimizer)
 
+    @classmethod
+    def from_checkpoint(
+        cls, source: "str | os.PathLike | Checkpoint"
+    ) -> "Trainer":
+        """Rebuild an inference-ready trainer from a checkpoint bundle.
+
+        The bundle must carry serving metadata (every checkpoint written by
+        :meth:`fit` does): the model's constructor spec, its input scales and
+        the best-k snapshot references.  The returned trainer predicts with
+        the same best-k ensemble the training run would have produced — the
+        serving layer (:mod:`repro.serving`) builds on this.
+
+        The training-set metadata travels on the trainer as
+        ``serving_meta`` (window, n_areas, environment scalers).
+        """
+        from . import build_from_spec
+
+        checkpoint = (
+            source if isinstance(source, Checkpoint) else Checkpoint.load(source)
+        )
+        serving = checkpoint.serving
+        spec = serving.get("model_spec")
+        if not spec:
+            raise ConfigError(
+                f"checkpoint {checkpoint.path!r} carries no serving metadata "
+                "(model_spec); re-train with a current version to serve from it"
+            )
+        model = build_from_spec(spec)
+        scales = serving.get("input_scales")
+        if scales is not None:
+            model.input_scales = InputScales(**scales)
+        try:
+            trainer = cls(model, TrainingConfig(**checkpoint.config))
+        except (TypeError, ConfigError, KeyError):
+            # Configs carrying non-roundtrippable values (e.g. a custom loss
+            # callable serialized by name) don't matter for inference.
+            trainer = cls(model, TrainingConfig())
+        trainer._ensemble_states = checkpoint.ensemble_states()
+        model.load_state_dict(trainer._ensemble_states[0])
+        model.eval()
+        trainer.serving_meta = dict(serving)
+        return trainer
+
     def predict(self, example_set: ExampleSet, batch_size: int = 1024) -> np.ndarray:
         """Gap predictions, ensembled over the best-k epoch snapshots.
 
         Before :meth:`fit` completes (or when it ran without snapshots) the
-        live weights are used directly.
+        live weights are used directly.  Predictions are independent of
+        ``batch_size`` bitwise: inference runs under
+        :func:`repro.nn.batch_invariant`, so serving the same item alone or
+        inside any micro-batch yields identical bits (the serving
+        determinism contract).
         """
         if not self._ensemble_states:
             return self._predict_current(example_set, batch_size)
@@ -436,10 +508,11 @@ class Trainer:
         outputs = np.empty(example_set.n_items)
         # Sequential order: serve zero-copy slice views of the set itself.
         epoch_batches = EpochBatches(example_set, fields=self._input_fields())
-        for start in range(0, example_set.n_items, batch_size):
-            stop = min(start + batch_size, example_set.n_items)
-            batch, _ = epoch_batches.slice(start, stop)
-            outputs[start:stop] = self.model(batch).data
+        with batch_invariant():
+            for start in range(0, example_set.n_items, batch_size):
+                stop = min(start + batch_size, example_set.n_items)
+                batch, _ = epoch_batches.slice(start, stop)
+                outputs[start:stop] = self.model(batch).data
         if was_training:
             self.model.train()
         return outputs

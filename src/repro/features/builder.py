@@ -38,6 +38,22 @@ SIGNALS = ("sd", "lc", "wt")
 _log = get_logger(__name__)
 
 
+def apply_environment_scalers(example_set: "ExampleSet") -> None:
+    """Standardize temperature/PM2.5 in place with the set's own scalers.
+
+    Shared by the bulk builder (after fitting scalers on train) and the
+    online query featurizer (:class:`repro.core.GapPredictor`), which reuses
+    the training set's scalers — both paths must transform identically for
+    online predictions to match batch predictions bitwise.
+    """
+    for name in ("temperature", "pm25"):
+        mean, std = example_set.scalers[name]
+        values = getattr(example_set, name)
+        setattr(
+            example_set, name, ((values - mean) / std).astype(np.float32)
+        )
+
+
 @dataclass
 class ExampleSet:
     """A featurized set of prediction items.
@@ -189,12 +205,9 @@ class FeatureBuilder:
         for name in ("temperature", "pm25"):
             scaler = Standardizer.fit(getattr(train, name))
             for example_set in (train, test):
-                setattr(
-                    example_set,
-                    name,
-                    scaler.transform(getattr(example_set, name)).astype(np.float32),
-                )
                 example_set.scalers[name] = (scaler.mean, scaler.std)
+        for example_set in (train, test):
+            apply_environment_scalers(example_set)
         registry.counter("repro.featurize.items", train.n_items + test.n_items)
         _log.event(
             "featurize.done",

@@ -27,7 +27,13 @@ from .optim import (
     StepDecay,
 )
 from .serialization import load_state, load_weights, save_state, save_weights
-from .tensor import Tensor, get_default_dtype, set_default_dtype
+from .tensor import (
+    Tensor,
+    batch_invariant,
+    batch_invariant_enabled,
+    get_default_dtype,
+    set_default_dtype,
+)
 from .utils import (
     check_gradient,
     clip_gradients,
@@ -72,6 +78,8 @@ __all__ = [
     "iterate_minibatches",
     "check_gradient",
     "numeric_gradient",
+    "batch_invariant",
+    "batch_invariant_enabled",
     "set_default_dtype",
     "get_default_dtype",
 ]

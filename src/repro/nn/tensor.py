@@ -14,6 +14,8 @@ primitives; there are no per-element Python loops on the hot path.
 
 from __future__ import annotations
 
+import contextlib
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
@@ -21,6 +23,65 @@ import numpy as np
 ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
 
 _DEFAULT_DTYPE = np.float64
+
+#: Row-block size of the batch-invariant matmul (see :func:`batch_invariant`).
+#: Any fixed value works; 32 keeps the padding waste of a single-row forward
+#: negligible while amortising the per-block BLAS call overhead.
+INVARIANT_BLOCK = 32
+
+_invariant_state = threading.local()
+
+
+def batch_invariant_enabled() -> bool:
+    """Whether the calling thread is inside a :func:`batch_invariant` block."""
+    return getattr(_invariant_state, "depth", 0) > 0
+
+
+@contextlib.contextmanager
+def batch_invariant():
+    """Make matmul results independent of the batch's row count.
+
+    BLAS picks kernels and accumulation orders by operand shape, so row i of
+    ``X @ W`` is *not* bitwise-identical across different numbers of rows in
+    ``X`` — a one-row forward pass and a 64-row forward pass of the same item
+    differ in the last bits.  Online serving promises the opposite: a
+    micro-batched response must be bitwise-identical to the same query served
+    alone (the serving determinism contract, see ``docs/serving.md``).
+
+    Inside this context every 2-D ``@`` runs in zero-padded row blocks of
+    exactly :data:`INVARIANT_BLOCK`, so each output row's arithmetic depends
+    only on that row, the weights and the fixed block size — never on how
+    many other rows shared the pass.  The flag is per-thread and re-entrant;
+    the training hot path never enters it and keeps full-speed BLAS calls.
+    """
+    depth = getattr(_invariant_state, "depth", 0)
+    _invariant_state.depth = depth + 1
+    try:
+        yield
+    finally:
+        _invariant_state.depth = depth
+
+
+def _blocked_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b`` computed in fixed-size zero-padded row blocks of ``a``."""
+    m = a.shape[0]
+    out = np.empty((m, b.shape[1]), dtype=np.result_type(a, b))
+    block = INVARIANT_BLOCK
+    for start in range(0, m, block):
+        rows = a[start : start + block]
+        if rows.shape[0] == block:
+            np.matmul(rows, b, out=out[start : start + block])
+        else:
+            padded = np.zeros((block, a.shape[1]), dtype=a.dtype)
+            padded[: rows.shape[0]] = rows
+            out[start : start + rows.shape[0]] = (padded @ b)[: rows.shape[0]]
+    return out
+
+
+def _matmul_data(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if batch_invariant_enabled() and a.ndim == 2 and b.ndim == 2:
+        return _blocked_matmul(a, b)
+    return a @ b
 
 
 def set_default_dtype(dtype) -> None:
@@ -307,7 +368,7 @@ class Tensor:
 
     def __matmul__(self, other: "Tensor") -> "Tensor":
         other = Tensor.ensure(other)
-        data = self.data @ other.data
+        data = _matmul_data(self.data, other.data)
 
         def backward(grad):
             return (

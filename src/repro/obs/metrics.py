@@ -21,6 +21,7 @@ from __future__ import annotations
 import functools
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
@@ -114,6 +115,9 @@ class MetricsRegistry:
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
         self.histograms: Dict[str, Histogram] = {}
+        # Serving records from request threads and the batcher concurrently;
+        # a single lock keeps read-modify-write updates exact.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Recording
@@ -122,20 +126,23 @@ class MetricsRegistry:
     def counter(self, name: str, value: float = 1.0) -> None:
         """Increment a monotonically growing counter."""
         if self.enabled:
-            self.counters[name] = self.counters.get(name, 0.0) + value
+            with self._lock:
+                self.counters[name] = self.counters.get(name, 0.0) + value
 
     def gauge(self, name: str, value: float) -> None:
         """Set a point-in-time value (last write wins)."""
         if self.enabled:
-            self.gauges[name] = float(value)
+            with self._lock:
+                self.gauges[name] = float(value)
 
     def observe(self, name: str, value: float) -> None:
         """Add one observation to a histogram."""
         if self.enabled:
-            histogram = self.histograms.get(name)
-            if histogram is None:
-                histogram = self.histograms[name] = Histogram()
-            histogram.observe(float(value))
+            with self._lock:
+                histogram = self.histograms.get(name)
+                if histogram is None:
+                    histogram = self.histograms[name] = Histogram()
+                histogram.observe(float(value))
 
     def timer(self, name: str) -> Timer:
         """A :class:`Timer` recording into histogram ``name``."""
@@ -147,22 +154,24 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict:
         """Plain-dict view of everything recorded so far."""
-        return {
-            "counters": dict(self.counters),
-            "gauges": dict(self.gauges),
-            "histograms": {
-                name: histogram.as_dict()
-                for name, histogram in self.histograms.items()
-            },
-        }
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "histograms": {
+                    name: histogram.as_dict()
+                    for name, histogram in self.histograms.items()
+                },
+            }
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 
     def reset(self) -> None:
-        self.counters.clear()
-        self.gauges.clear()
-        self.histograms.clear()
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()
 
 
 _default = MetricsRegistry(enabled=os.environ.get("REPRO_METRICS", "1") != "0")

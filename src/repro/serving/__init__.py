@@ -1,0 +1,37 @@
+"""Online inference: batched low-latency gap serving.
+
+The deployment story the paper's conclusion describes — DeepSD answering
+live "what will the gap be here, now?" queries inside a dispatch system:
+
+- :class:`PredictionService` — loads a checkpoint bundle, keeps warm
+  per-city featurization state, micro-batches concurrent requests into
+  single vectorized forwards, caches results (LRU + TTL + targeted
+  invalidation) and hot-swaps checkpoints without downtime;
+- :class:`MicroBatcher` / :class:`TTLCache` — the reusable pieces;
+- :mod:`repro.serving.http` — the stdlib JSON endpoint behind
+  ``repro serve``.
+
+Batched responses are bitwise-identical to one-at-a-time
+``Trainer.predict`` on the same checkpoint (see ``docs/serving.md``).
+"""
+
+from .batcher import MicroBatcher
+from .cache import TTLCache
+from .http import build_server, serve_forever
+from .service import (
+    ObservationKind,
+    PredictionResult,
+    PredictionService,
+    ServingConfig,
+)
+
+__all__ = [
+    "MicroBatcher",
+    "ObservationKind",
+    "PredictionResult",
+    "PredictionService",
+    "ServingConfig",
+    "TTLCache",
+    "build_server",
+    "serve_forever",
+]

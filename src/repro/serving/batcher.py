@@ -1,0 +1,147 @@
+"""Micro-batching request queue.
+
+Request threads submit items and get back futures; one daemon worker
+drains the queue — waiting at most ``max_wait_ms`` after the first item,
+collecting at most ``max_batch`` items — hands the batch to a vectorized
+handler, and fans the results back out.  Small batches amortize the
+per-forward fixed cost (featurization setup, layer dispatch) without
+adding meaningful latency at low load: a lone request waits at most
+``max_wait_ms``.
+
+Model forwards are NOT thread-safe here (the trainer's best-k ensemble
+swaps weights in and out of one model instance), so confining every
+handler call to the single worker thread is load-bearing, not just an
+optimization.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from typing import Callable, List, Optional, Sequence
+
+from ..exceptions import ConfigError
+from ..obs import MetricsRegistry, get_registry
+
+__all__ = ["MicroBatcher"]
+
+_STOP = object()
+
+
+class MicroBatcher:
+    """Collect-then-dispatch wrapper around a batch handler.
+
+    Parameters
+    ----------
+    handler:
+        ``handler(items) -> results`` — called on the worker thread with
+        1..max_batch items; must return one result per item, in order.
+    max_batch:
+        Largest batch handed to ``handler``.
+    max_wait_ms:
+        How long the worker waits for more items after the first one.
+    registry:
+        Metrics sink (defaults to the process registry).  Emits
+        ``repro.serving.queue_depth`` (gauge, sampled per dispatch) and
+        ``repro.serving.batch_size`` (histogram).
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[List[object]], Sequence[object]],
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_batch <= 0:
+            raise ConfigError(f"max_batch must be positive, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ConfigError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self._handler = handler
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_ms / 1000.0
+        self._registry = registry if registry is not None else get_registry()
+        self._queue: "queue.Queue" = queue.Queue()
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._run, name="repro-serving-batcher", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+
+    def submit(self, item: object) -> "Future":
+        """Enqueue one item; the future resolves to the handler's result."""
+        if self._closed:
+            raise RuntimeError("batcher is closed")
+        future: "Future" = Future()
+        self._queue.put((item, future))
+        return future
+
+    def close(self, timeout: Optional[float] = 5.0) -> None:
+        """Stop the worker after it drains what is already queued."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_STOP)
+        self._worker.join(timeout=timeout)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        clock = self._registry.clock
+        while True:
+            first = self._queue.get()
+            if first is _STOP:
+                return
+            batch = [first]
+            deadline = clock() + self.max_wait_s
+            stop_after = False
+            while len(batch) < self.max_batch:
+                remaining = deadline - clock()
+                if remaining <= 0:
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if item is _STOP:
+                    stop_after = True
+                    break
+                batch.append(item)
+            self._registry.gauge("repro.serving.queue_depth", self._queue.qsize())
+            self._registry.observe("repro.serving.batch_size", len(batch))
+            self._dispatch(batch)
+            if stop_after:
+                return
+
+    def _dispatch(self, batch) -> None:
+        items = [item for item, _ in batch]
+        futures = [future for _, future in batch]
+        try:
+            with self._registry.timer("repro.serving.batch_seconds"):
+                results = list(self._handler(items))
+            if len(results) != len(items):
+                raise RuntimeError(
+                    f"batch handler returned {len(results)} results "
+                    f"for {len(items)} items"
+                )
+        except BaseException as error:  # noqa: BLE001 — fanned to callers
+            for future in futures:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        for future, result in zip(futures, results):
+            if not future.done():
+                future.set_result(result)

@@ -1,0 +1,148 @@
+"""LRU + TTL cache for served predictions.
+
+Keys are ``(engine_version, area, day, timeslot, env_hash)`` tuples (see
+:mod:`repro.serving.service`), so a checkpoint hot-swap needs no explicit
+flush: the new engine version changes every key and the stale entries age
+out via LRU/TTL.  Targeted invalidation (:meth:`TTLCache.invalidate`) is
+for *data* changes — a new weather or traffic observation makes specific
+``(area, timeslot)`` windows stale before their TTL elapses.
+
+All operations are guarded by one internal lock; stats are exact even
+under the serving threads' concurrency.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Hashable, Optional, Tuple
+
+from ..exceptions import ConfigError
+
+__all__ = ["TTLCache"]
+
+_MISSING = object()
+
+
+class TTLCache:
+    """Bounded mapping with least-recently-used eviction and expiry.
+
+    Parameters
+    ----------
+    max_size:
+        Maximum number of live entries; inserting beyond it evicts the
+        least recently used entry.
+    ttl_seconds:
+        Entries older than this are treated as absent on lookup (and
+        removed).  ``None`` disables time-based expiry.
+    clock:
+        Monotonic time source — injectable so tests can step time
+        deterministically.
+    """
+
+    def __init__(
+        self,
+        max_size: int = 4096,
+        ttl_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_size <= 0:
+            raise ConfigError(f"cache max_size must be positive, got {max_size}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ConfigError(f"cache ttl_seconds must be positive, got {ttl_seconds}")
+        self.max_size = max_size
+        self.ttl_seconds = ttl_seconds
+        self.clock = clock
+        self._entries: "OrderedDict[Hashable, Tuple[object, Optional[float]]]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+        self._invalidations = 0
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    def get(self, key: Hashable, default=None):
+        """The cached value, or ``default`` on miss/expiry."""
+        with self._lock:
+            entry = self._entries.get(key, _MISSING)
+            if entry is _MISSING:
+                self._misses += 1
+                return default
+            value, expires_at = entry
+            if expires_at is not None and self.clock() >= expires_at:
+                del self._entries[key]
+                self._expirations += 1
+                self._misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert/overwrite ``key``, evicting LRU entries past ``max_size``."""
+        expires_at = (
+            self.clock() + self.ttl_seconds if self.ttl_seconds is not None else None
+        )
+        with self._lock:
+            self._entries[key] = (value, expires_at)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def invalidate(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``.
+
+        Returns the number of entries removed.  The predicate runs under
+        the cache lock — keep it cheap (tuple-field comparisons).
+        """
+        with self._lock:
+            stale = [key for key in self._entries if predicate(key)]
+            for key in stale:
+                del self._entries[key]
+            self._invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> int:
+        """Drop everything (counted as invalidations)."""
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            self._invalidations += count
+            return count
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Non-mutating membership test (no stats, no LRU touch)."""
+        with self._lock:
+            entry = self._entries.get(key, _MISSING)
+            if entry is _MISSING:
+                return False
+            _, expires_at = entry
+            return expires_at is None or self.clock() < expires_at
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "max_size": self.max_size,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "expirations": self._expirations,
+                "invalidations": self._invalidations,
+            }

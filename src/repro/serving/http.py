@@ -1,0 +1,153 @@
+"""Stdlib HTTP front-end for :class:`PredictionService`.
+
+A ``ThreadingHTTPServer`` (one thread per connection — exactly the
+concurrency shape the micro-batcher coalesces) with a small JSON API:
+
+- ``POST /predict``  ``{"area": int, "day": int, "timeslot": int}`` →
+  ``{"gap": float, "version": str, "cached": bool}``;
+- ``POST /observe``  ``{"kind": "weather"|"traffic"|"orders", "day": int,
+  "minute": int, "area": int?, "values": {...}}`` →
+  ``{"invalidated": int, "profiles_dropped": int}``;
+- ``GET /healthz``   liveness + current checkpoint version;
+- ``GET /stats``     :meth:`PredictionService.stats`;
+- ``POST /shutdown`` clean stop (used by the smoke test).
+
+Invalid inputs are 400s with an ``{"error": ...}`` body; unexpected
+failures are 500s.  No dependencies beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Tuple
+
+from ..exceptions import ConfigError, DataError
+from ..obs import get_logger
+from .service import PredictionService
+
+__all__ = ["build_server", "serve_forever"]
+
+_log = get_logger(__name__)
+
+_MAX_BODY_BYTES = 1 << 20
+
+
+def build_server(
+    service: PredictionService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """An HTTP server bound to ``host:port`` (0 picks a free port).
+
+    The caller owns the lifecycle: ``server.serve_forever()`` to run,
+    ``server.shutdown()``/``server.server_close()`` to stop.  The bound
+    address is ``server.server_address``.
+    """
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        # ------------------------------------------------------------------
+        # Routes
+        # ------------------------------------------------------------------
+
+        def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+            if self.path == "/healthz":
+                self._reply(200, {"status": "ok", "version": service.version})
+            elif self.path == "/stats":
+                self._reply(200, service.stats())
+            else:
+                self._reply(404, {"error": f"unknown path {self.path}"})
+
+        def do_POST(self) -> None:  # noqa: N802
+            try:
+                if self.path == "/predict":
+                    status, payload = self._predict()
+                elif self.path == "/observe":
+                    status, payload = self._observe()
+                elif self.path == "/shutdown":
+                    # Reply BEFORE triggering shutdown: handler threads are
+                    # daemon, so once serve_forever returns the process may
+                    # exit without waiting for this thread to finish writing.
+                    # shutdown() itself blocks until serve_forever returns,
+                    # so it must also run off this handler thread.
+                    self._reply(200, {"status": "shutting down"})
+                    threading.Thread(target=self.server.shutdown, daemon=True).start()
+                    return
+                else:
+                    status, payload = 404, {"error": f"unknown path {self.path}"}
+            except (DataError, ConfigError, ValueError, KeyError, TypeError) as error:
+                status, payload = 400, {"error": str(error)}
+            except Exception as error:  # noqa: BLE001 — last-resort 500
+                _log.event("serving.http_error", path=self.path, error=repr(error))
+                status, payload = 500, {"error": repr(error)}
+            self._reply(status, payload)
+
+        def _predict(self) -> Tuple[int, dict]:
+            body = self._read_json()
+            result = service.predict(
+                int(body["area"]), int(body["day"]), int(body["timeslot"])
+            )
+            return 200, {
+                "gap": result.gap,
+                "version": result.version,
+                "cached": result.cached,
+            }
+
+        def _observe(self) -> Tuple[int, dict]:
+            body = self._read_json()
+            area = body.get("area")
+            outcome = service.observe(
+                str(body["kind"]),
+                int(body["day"]),
+                int(body["minute"]),
+                area_id=int(area) if area is not None else None,
+                **dict(body.get("values", {})),
+            )
+            return 200, outcome
+
+        # ------------------------------------------------------------------
+        # Plumbing
+        # ------------------------------------------------------------------
+
+        def _read_json(self) -> dict:
+            length = int(self.headers.get("Content-Length", 0))
+            if length <= 0:
+                raise DataError("request body required")
+            if length > _MAX_BODY_BYTES:
+                raise DataError(f"request body larger than {_MAX_BODY_BYTES} bytes")
+            try:
+                parsed = json.loads(self.rfile.read(length))
+            except json.JSONDecodeError as error:
+                raise DataError(f"invalid JSON body: {error}") from error
+            if not isinstance(parsed, dict):
+                raise DataError("request body must be a JSON object")
+            return parsed
+
+        def _reply(self, status: int, payload: dict) -> None:
+            data = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def log_message(self, format: str, *args) -> None:  # noqa: A002
+            # Route access logs into the structured logger at debug level
+            # instead of raw stderr lines.
+            import logging
+
+            _log.event(
+                "serving.http", level=logging.DEBUG, detail=format % args
+            )
+
+    return ThreadingHTTPServer((host, port), Handler)
+
+
+def serve_forever(server: ThreadingHTTPServer, service: PredictionService) -> None:
+    """Run until ``shutdown()``, then close the socket and the service."""
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+        service.close()

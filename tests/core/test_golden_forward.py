@@ -1,0 +1,131 @@
+"""Golden regression: fixed-seed inputs, committed expected forward outputs.
+
+Guards the numerics the serving layer's bitwise contract stands on: if a
+refactor changes what either model computes — layer order, scaling,
+residual wiring, ensemble averaging — these comparisons move and the
+diff points straight at the change.  Tolerance is 1e-6 (absolute and
+relative), loose enough for BLAS accumulation-order differences across
+machines, tight enough to catch any real numeric change.
+
+Regenerate after an *intentional* numeric change with:
+
+    PYTHONPATH=src python tests/core/test_golden_forward.py
+
+which rewrites ``tests/core/golden_forward.json`` in place.
+"""
+
+import json
+import os
+
+import numpy as np
+
+from repro.config import EmbeddingConfig
+from repro.core import AdvancedDeepSD, BasicDeepSD, InputScales, Trainer
+from repro.features.builder import ExampleSet
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_forward.json")
+
+WINDOW = 5
+N_AREAS = 4
+N_ITEMS = 8
+SEED = 20170412  # the paper's conference year + a date — arbitrary but fixed
+
+
+def synthetic_example_set() -> ExampleSet:
+    """A small, fully deterministic ExampleSet (no simulator involved)."""
+    rng = np.random.default_rng(SEED)
+    L = WINDOW
+
+    def counts(*shape):
+        return rng.poisson(3.0, size=shape).astype(np.float32)
+
+    example_set = ExampleSet(
+        area_ids=rng.integers(0, N_AREAS, N_ITEMS),
+        time_ids=rng.integers(L, 1440 - 10, N_ITEMS),
+        week_ids=rng.integers(0, 7, N_ITEMS),
+        day_ids=rng.integers(0, 10, N_ITEMS),
+        sd_now=counts(N_ITEMS, 2 * L),
+        sd_hist=counts(N_ITEMS, 7, 2 * L),
+        sd_hist_next=counts(N_ITEMS, 7, 2 * L),
+        lc_now=counts(N_ITEMS, 2 * L),
+        lc_hist=counts(N_ITEMS, 7, 2 * L),
+        lc_hist_next=counts(N_ITEMS, 7, 2 * L),
+        wt_now=counts(N_ITEMS, 2 * L),
+        wt_hist=counts(N_ITEMS, 7, 2 * L),
+        wt_hist_next=counts(N_ITEMS, 7, 2 * L),
+        weather_types=rng.integers(0, 4, (N_ITEMS, L)),
+        temperature=rng.normal(0.0, 1.0, (N_ITEMS, L)).astype(np.float32),
+        pm25=rng.normal(0.0, 1.0, (N_ITEMS, L)).astype(np.float32),
+        traffic=counts(N_ITEMS, L, 4),
+        gaps=counts(N_ITEMS),
+        window=L,
+        n_areas=N_AREAS,
+        scalers={"temperature": (0.0, 1.0), "pm25": (0.0, 1.0)},
+    )
+    return example_set
+
+
+def _build(model_name: str):
+    cls = {"basic": BasicDeepSD, "advanced": AdvancedDeepSD}[model_name]
+    model = cls(N_AREAS, WINDOW, EmbeddingConfig(), dropout=0.0, seed=7)
+    model.input_scales = InputScales.from_example_set(synthetic_example_set())
+    return model
+
+
+def compute_outputs() -> dict:
+    outputs = {}
+    example_set = synthetic_example_set()
+    for name in ("basic", "advanced"):
+        model = _build(name)
+        eval_gaps = Trainer(model).predict(example_set)
+        outputs[name] = {"eval_predict": [float(v) for v in eval_gaps]}
+    return outputs
+
+
+def _load_golden() -> dict:
+    with open(GOLDEN_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def test_golden_metadata_matches():
+    golden = _load_golden()
+    assert golden["window"] == WINDOW
+    assert golden["n_areas"] == N_AREAS
+    assert golden["n_items"] == N_ITEMS
+    assert golden["seed"] == SEED
+
+
+def test_basic_forward_matches_golden():
+    golden = _load_golden()["outputs"]["basic"]
+    current = compute_outputs()["basic"]
+    np.testing.assert_allclose(
+        current["eval_predict"], golden["eval_predict"], rtol=1e-6, atol=1e-6,
+        err_msg="BasicDeepSD eval-mode predictions drifted from the golden file",
+    )
+
+
+def test_advanced_forward_matches_golden():
+    golden = _load_golden()["outputs"]["advanced"]
+    current = compute_outputs()["advanced"]
+    np.testing.assert_allclose(
+        current["eval_predict"], golden["eval_predict"], rtol=1e-6, atol=1e-6,
+        err_msg="AdvancedDeepSD eval-mode predictions drifted from the golden file",
+    )
+
+
+def _regenerate() -> None:  # pragma: no cover — manual tool
+    payload = {
+        "window": WINDOW,
+        "n_areas": N_AREAS,
+        "n_items": N_ITEMS,
+        "seed": SEED,
+        "outputs": compute_outputs(),
+    }
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _regenerate()

@@ -1,0 +1,112 @@
+"""HTTP endpoint round-trip against an in-process server on a free port."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serving import PredictionService, ServingConfig, build_server
+
+pytestmark = pytest.mark.serving
+
+
+@pytest.fixture()
+def served(checkpoint, mutable_dataset, scale):
+    service = PredictionService.from_checkpoint(
+        checkpoint,
+        mutable_dataset,
+        scale.features,
+        serving_config=ServingConfig(max_batch=8, max_wait_ms=1.0),
+    )
+    server = build_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    yield base, service
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+    service.close()
+
+
+def _post(base, path, payload):
+    request = urllib.request.Request(
+        base + path,
+        json.dumps(payload).encode(),
+        {"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def _get(base, path):
+    with urllib.request.urlopen(base + path, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def test_predict_round_trip(served):
+    base, service = served
+    status, body = _post(base, "/predict", {"area": 0, "day": 2, "timeslot": 60})
+    assert status == 200
+    assert set(body) == {"gap", "version", "cached"}
+    assert body["version"] == service.version
+    assert body["cached"] is False
+
+    status, again = _post(base, "/predict", {"area": 0, "day": 2, "timeslot": 60})
+    assert status == 200
+    assert again["cached"] is True
+    assert again["gap"] == body["gap"]
+
+
+def test_healthz_and_stats(served):
+    base, service = served
+    status, health = _get(base, "/healthz")
+    assert status == 200
+    assert health == {"status": "ok", "version": service.version}
+
+    _post(base, "/predict", {"area": 1, "day": 3, "timeslot": 120})
+    status, stats = _get(base, "/stats")
+    assert status == 200
+    assert stats["version"] == service.version
+    assert stats["cache"]["misses"] >= 1
+
+
+def test_observe_round_trip(served):
+    base, _ = served
+    _post(base, "/predict", {"area": 2, "day": 3, "timeslot": 110})
+    status, outcome = _post(
+        base,
+        "/observe",
+        {"kind": "traffic", "day": 3, "minute": 100, "area": 2,
+         "values": {"level_counts": [5, 2, 1, 0]}},
+    )
+    assert status == 200
+    assert outcome["invalidated"] == 1
+
+
+def test_bad_requests_are_400s(served):
+    base, _ = served
+    for path, payload in [
+        ("/predict", {"area": 999, "day": 2, "timeslot": 60}),
+        ("/predict", {"area": 0}),
+        ("/observe", {"kind": "nope", "day": 0, "minute": 0}),
+        ("/predict", None),  # no JSON object
+    ]:
+        request = urllib.request.Request(
+            base + path,
+            json.dumps(payload).encode(),
+            {"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        assert "error" in json.loads(excinfo.value.read())
+
+
+def test_unknown_path_is_404(served):
+    base, _ = served
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(base + "/nope", timeout=10)
+    assert excinfo.value.code == 404
