@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # End-to-end observability smoke test:
 #   simulate → featurize → train → evaluate → interrupt/resume → bench
-#   → serve round-trip → report
+#   → traced serve round-trip (/predict, /metrics scrape, clean
+#   /shutdown) → repro trace over the exported span file → report
 # (tiny scale).  Fails if any stage exits non-zero, logs an ERROR event,
 # does not write its run manifest, if a training run resumed from a
-# checkpoint diverges from the uninterrupted run, or if hot-path
+# checkpoint diverges from the uninterrupted run, if the exported trace
+# is malformed or missing expected spans, or if hot-path
 # throughput regressed more than 2x against the committed BENCH_perf.json
 # (skipped when the repo has no baseline yet).  Wired into tier-1 via the `smoke` pytest
 # marker (tests/test_smoke_pipeline.py).
@@ -85,11 +87,14 @@ assert payload["metrics"]["experiment.identical"] == 1.0, \
 print("bench schema + determinism ok")
 EOF
 
-# Online serving round-trip: start the HTTP service from the checkpoint
-# the resume flow left behind, answer 500 live queries, verify every
-# response is a 200 with a finite gap, then shut it down cleanly.
+# Online serving round-trip: start the HTTP service (traced) from the
+# checkpoint the resume flow left behind, answer 500 live queries,
+# verify every response is a 200 with a finite gap, scrape /metrics for
+# Prometheus latency quantiles, then shut it down cleanly.  The trace
+# exports to serve_trace.json on exit and is summarized below.
 python -m repro serve --city city.npz --checkpoint ckpt --scale tiny \
-    --port 0 --log-level debug --log-file "$LOG" > serve.out &
+    --port 0 --log-level debug --log-file "$LOG" \
+    --trace-file serve_trace.json > serve.out &
 SERVE_PID=$!
 for _ in $(seq 1 100); do
     grep -q "^serving .* on http://" serve.out 2>/dev/null && break
@@ -129,16 +134,49 @@ status, stats = 200, None
 with urllib.request.urlopen(base + "/stats", timeout=30) as resp:
     stats = json.loads(resp.read())
 assert stats["cache"]["hits"] + stats["cache"]["misses"] >= 500, stats
+
+# Live metrics plane: the Prometheus scrape must carry the request
+# counter and the latency-quantile summary in text exposition format.
+with urllib.request.urlopen(base + "/metrics", timeout=30) as resp:
+    assert resp.status == 200, resp.status
+    assert resp.headers["Content-Type"].startswith("text/plain"), \
+        resp.headers["Content-Type"]
+    metrics = resp.read().decode()
+for needle in (
+    "# TYPE repro_serving_requests counter",
+    "# TYPE repro_serving_request_seconds summary",
+    'repro_serving_request_seconds{quantile="0.99"}',
+    "repro_serving_request_seconds_count",
+):
+    assert needle in metrics, f"missing from /metrics: {needle}"
+
 status, body = post("/shutdown", {})
 assert status == 200, (status, body)
+assert body == {"status": "shutting down"}, body
 print(f"serving round-trip ok ({len(queries)} queries, "
-      f"{stats['cache']['hits']} cache hits)")
+      f"{stats['cache']['hits']} cache hits, /metrics scrape ok)")
 EOF
 wait "$SERVE_PID"
 if [ ! -f ckpt.serve.manifest.json ]; then
     echo "smoke FAILED: missing serve manifest" >&2
     exit 1
 fi
+
+# The traced serve must have exported a well-formed Chrome trace with a
+# complete span tree per request; `repro trace` both validates the file
+# (malformed events are a hard error) and prints the percentile table.
+if [ ! -f serve_trace.json ]; then
+    echo "smoke FAILED: serve did not export serve_trace.json" >&2
+    exit 1
+fi
+python -m repro trace serve_trace.json --quiet > trace_summary.out
+for span in http.handle serving.predict batcher.batch p95_ms; do
+    if ! grep -q "$span" trace_summary.out; then
+        echo "smoke FAILED: '$span' missing from repro trace summary:" >&2
+        cat trace_summary.out >&2
+        exit 1
+    fi
+done
 
 if grep -q "level=error" "$LOG"; then
     echo "smoke FAILED: ERROR events in $LOG:" >&2

@@ -36,7 +36,7 @@ from typing import Dict, Iterator, List, Optional
 import numpy as np
 
 from .config import get_scale
-from .obs import get_logger, get_registry
+from .obs import Histogram, MetricsRegistry, get_logger, get_registry
 
 _log = get_logger(__name__)
 
@@ -143,14 +143,19 @@ def bench_train_epoch(scale_name: str, epochs: int = 2) -> Dict[str, float]:
         _legacy_epoch(model, train_set, optimizer, loss_fn, rng, config.batch_size)
     legacy_seconds = time.perf_counter() - started
 
-    # Current path: Trainer's once-per-epoch permutation gather.
+    # Current path: Trainer's once-per-epoch permutation gather.  Each
+    # epoch is timed individually into a quantile sketch so the trajectory
+    # records tail latency, not just the mean.
     model = fresh_model()
     trainer = Trainer(model, config)
     optimizer = Adam(model.parameters(), lr=config.learning_rate)
     rng = np.random.default_rng(config.seed)
+    epoch_sketch = Histogram()
     started = time.perf_counter()
     for _ in range(epochs):
+        epoch_started = time.perf_counter()
         trainer._run_epoch(train_set, optimizer, rng)
+        epoch_sketch.observe(time.perf_counter() - epoch_started)
     gather_seconds = time.perf_counter() - started
 
     items = float(train_set.n_items * epochs)
@@ -166,7 +171,14 @@ def bench_train_epoch(scale_name: str, epochs: int = 2) -> Dict[str, float]:
         "train_epoch.speedup_vs_batch_gather": (
             legacy_seconds / gather_seconds if gather_seconds else 0.0
         ),
+        "train_epoch.p95_ms": _quantile_ms(epoch_sketch, 0.95),
     }
+
+
+def _quantile_ms(histogram: Histogram, q: float) -> float:
+    """A sketch quantile, in milliseconds (0.0 when nothing was observed)."""
+    value = histogram.quantile(q)
+    return value * 1000.0 if value is not None else 0.0
 
 
 def bench_inference(scale_name: str) -> Dict[str, float]:
@@ -232,12 +244,16 @@ def bench_serving(scale_name: str) -> Dict[str, float]:
         seed=1,
     )
     model.input_scales = InputScales.from_example_set(train_set)
+    # Private registry: per-request latency quantiles for THIS run only,
+    # resettable between the cold and warm passes.
+    registry = MetricsRegistry()
     service = PredictionService(
         Trainer(model),
         dataset,
         scale.features,
         train_set.scalers,
         serving_config=ServingConfig(max_batch=32, max_wait_ms=2.0),
+        registry=registry,
     )
 
     L = scale.features.window_minutes
@@ -266,18 +282,35 @@ def bench_serving(scale_name: str) -> Dict[str, float]:
             thread.join()
         return time.perf_counter() - started
 
+    def request_quantiles(prefix: str) -> Dict[str, float]:
+        sketch = registry.histograms.get(
+            "repro.serving.request_seconds", Histogram()
+        )
+        return {
+            f"{prefix}.p50_ms": _quantile_ms(sketch, 0.50),
+            f"{prefix}.p95_ms": _quantile_ms(sketch, 0.95),
+            f"{prefix}.p99_ms": _quantile_ms(sketch, 0.99),
+        }
+
     service.predict(*queries[0])  # warm up imports and the first profile
+    registry.reset()
     cold_seconds = timed_pass()
+    cold_quantiles = request_quantiles("serving.cold")
+    registry.reset()
     warm_seconds = timed_pass()
+    warm_quantiles = request_quantiles("serving.warm")
     service.close()
     items = float(len(queries))
-    return {
+    metrics = {
         "serving.items": items,
         "serving.cold.seconds": cold_seconds,
         "serving.cold.items_per_sec": items / cold_seconds if cold_seconds else 0.0,
         "serving.warm.seconds": warm_seconds,
         "serving.warm.items_per_sec": items / warm_seconds if warm_seconds else 0.0,
     }
+    metrics.update(cold_quantiles)
+    metrics.update(warm_quantiles)
+    return metrics
 
 
 def bench_experiment(

@@ -15,12 +15,15 @@ Commands cover the full pipeline a downstream user needs:
 - ``serve``      — run the online gap-prediction HTTP service from a
   checkpoint bundle (see ``docs/serving.md``);
 - ``info``       — describe a saved city or ExampleSet;
-- ``report``     — summarize one or more run manifests.
+- ``report``     — summarize one or more run manifests;
+- ``trace``      — summarize an exported Chrome-trace file (per-span-name
+  count / total / p50 / p95 / p99 / %-of-parent table).
 
 Every command accepts the observability group
 (``--log-level/--log-format/--log-file``, ``--quiet/--verbose``,
-``--no-metrics``, ``--manifest``) and writes a ``RunManifest`` JSON next
-to its primary artifact — see ``docs/observability.md``.
+``--no-metrics``, ``--trace/--trace-file``, ``--manifest``) and writes a
+``RunManifest`` JSON next to its primary artifact — see
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -42,8 +45,12 @@ from .obs import (
     RunManifest,
     configure_logging,
     configure_metrics,
+    configure_tracing,
     get_logger,
     get_registry,
+    get_tracer,
+    load_chrome_trace,
+    summarize_spans,
 )
 
 _log = get_logger(__name__)
@@ -76,6 +83,16 @@ def _obs_parent() -> argparse.ArgumentParser:
     group.add_argument(
         "--no-metrics", action="store_true",
         help="disable the in-process metrics registry",
+    )
+    group.add_argument(
+        "--trace", action="store_true",
+        help="record spans for this run (off by default; near-zero cost "
+             "when off)",
+    )
+    group.add_argument(
+        "--trace-file", default=None, metavar="PATH",
+        help="export recorded spans to PATH as Chrome trace_event JSON "
+             "(implies --trace; open in chrome://tracing or Perfetto)",
     )
     group.add_argument(
         "--manifest", default=None,
@@ -240,6 +257,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("manifests", nargs="+", help="*.manifest.json paths")
 
+    trace = sub.add_parser(
+        "trace", parents=[obs],
+        help="summarize an exported Chrome-trace file",
+    )
+    trace.add_argument("path", help="trace JSON written via --trace-file")
+    trace.add_argument(
+        "--sort", default="total_ms",
+        choices=["total_ms", "count", "p50_ms", "p95_ms", "p99_ms", "name"],
+        help="summary table ordering (default: total time, descending)",
+    )
+
     return parser
 
 
@@ -256,6 +284,8 @@ def _configure_observability(args) -> None:
     configure_logging(level=level, fmt=args.log_format, file=args.log_file)
     if args.no_metrics:
         configure_metrics(enabled=False)
+    if args.trace or args.trace_file:
+        configure_tracing(enabled=True)
 
 
 def _write_manifest(manifest: RunManifest, args, artifact: Optional[str]) -> None:
@@ -679,6 +709,41 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Aggregate an exported trace into a per-span-name latency table."""
+    spans = load_chrome_trace(args.path)
+    if not spans:
+        print(f"{args.path}: no spans recorded")
+        return 0
+    rows = summarize_spans(spans)
+    reverse = args.sort != "name"
+    rows.sort(key=lambda row: (row[args.sort] is None, row[args.sort]),
+              reverse=reverse)
+    table = [
+        [
+            row["name"],
+            row["count"],
+            row["total_ms"],
+            row["p50_ms"],
+            row["p95_ms"],
+            row["p99_ms"],
+            "-" if row["pct_of_parent"] is None
+            else f"{row['pct_of_parent']:.1f}",
+        ]
+        for row in rows
+    ]
+    print(
+        format_table(
+            ["span", "count", "total_ms", "p50_ms", "p95_ms", "p99_ms",
+             "% of parent"],
+            table,
+            title=f"Trace summary: {args.path} ({len(spans)} spans)",
+            float_format="{:.3f}",
+        )
+    )
+    return 0
+
+
 _COMMANDS = {
     "simulate": cmd_simulate,
     "featurize": cmd_featurize,
@@ -689,13 +754,23 @@ _COMMANDS = {
     "serve": cmd_serve,
     "info": cmd_info,
     "report": cmd_report,
+    "trace": cmd_trace,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     _configure_observability(args)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    finally:
+        if getattr(args, "trace_file", None):
+            tracer = get_tracer()
+            tracer.export(args.trace_file)
+            _log.event(
+                "trace.exported", path=args.trace_file,
+                spans=len(tracer), dropped=tracer.dropped,
+            )
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -28,7 +28,7 @@ import numpy as np
 
 from ..exceptions import ConfigError
 from ..features.builder import ExampleSet
-from ..obs import get_logger, get_registry, record_training_history
+from ..obs import get_logger, get_registry, get_tracer, record_training_history
 from ..nn import (
     Adam,
     ConstantSchedule,
@@ -261,9 +261,11 @@ class Trainer:
             batch_size=config.batch_size,
             seed=config.seed,
         )
+        tracer = get_tracer()
         for epoch in range(start_epoch, config.epochs):
             started = self.clock()
-            epoch_loss, grad_norm = self._run_epoch(train_set, optimizer, rng)
+            with tracer.span("train.epoch", epoch=epoch + 1):
+                epoch_loss, grad_norm = self._run_epoch(train_set, optimizer, rng)
             epoch_lr = optimizer.lr
             scheduler.step()
             history.train_loss.append(epoch_loss)
@@ -389,28 +391,33 @@ class Trainer:
         which gathered every ExampleSet field for every batch.
         """
         config = self.config
+        tracer = get_tracer()
         self.model.train()
         total_loss = 0.0
         n_batches = 0
         grad_norm = 0.0
         max_norm = config.grad_clip if config.grad_clip else float("inf")
-        permutation = None
-        if config.shuffle:
-            permutation = np.arange(train_set.n_items)
-            rng.shuffle(permutation)
-        epoch_batches = EpochBatches(
-            train_set, permutation, self._input_fields(), self._gather_buffers
-        )
+        with tracer.span("train.batch_gather", items=train_set.n_items):
+            permutation = None
+            if config.shuffle:
+                permutation = np.arange(train_set.n_items)
+                rng.shuffle(permutation)
+            epoch_batches = EpochBatches(
+                train_set, permutation, self._input_fields(), self._gather_buffers
+            )
         # parameters() walks the module tree; resolve it once per epoch
         # instead of once per step.
         parameters = list(self.model.parameters())
         for batch, targets in epoch_batches.batches(config.batch_size):
             optimizer.zero_grad()
-            predictions = self.model(batch)
-            loss = self._loss_fn(predictions, Tensor(targets))
-            loss.backward()
+            with tracer.span("train.forward"):
+                predictions = self.model(batch)
+                loss = self._loss_fn(predictions, Tensor(targets))
+            with tracer.span("train.backward"):
+                loss.backward()
             grad_norm = clip_gradients(parameters, max_norm)
-            optimizer.step()
+            with tracer.span("train.optim.step"):
+                optimizer.step()
             total_loss += loss.item()
             n_batches += 1
         return total_loss / max(n_batches, 1), grad_norm
@@ -508,11 +515,12 @@ class Trainer:
         outputs = np.empty(example_set.n_items)
         # Sequential order: serve zero-copy slice views of the set itself.
         epoch_batches = EpochBatches(example_set, fields=self._input_fields())
-        with batch_invariant():
-            for start in range(0, example_set.n_items, batch_size):
-                stop = min(start + batch_size, example_set.n_items)
-                batch, _ = epoch_batches.slice(start, stop)
-                outputs[start:stop] = self.model(batch).data
+        with get_tracer().span("trainer.predict", items=example_set.n_items):
+            with batch_invariant():
+                for start in range(0, example_set.n_items, batch_size):
+                    stop = min(start + batch_size, example_set.n_items)
+                    batch, _ = epoch_batches.slice(start, stop)
+                    outputs[start:stop] = self.model(batch).data
         if was_training:
             self.model.train()
         return outputs

@@ -1,12 +1,15 @@
-"""Observability: structured logging, metrics and run manifests.
+"""Observability: structured logging, metrics, tracing and run manifests.
 
-The three pillars the pipeline is instrumented with (see
+The four pillars the pipeline is instrumented with (see
 ``docs/observability.md`` for formats and the metric-name namespace):
 
 - :mod:`repro.obs.logging` — ``get_logger(name)`` structured event
   loggers, configured once via :func:`configure_logging`;
 - :mod:`repro.obs.metrics` — the process-local :class:`MetricsRegistry`
-  (counters / gauges / histograms / timers) behind :func:`get_registry`;
+  (counters / gauges / quantile-sketch histograms / timers) behind
+  :func:`get_registry`, exportable as Prometheus text;
+- :mod:`repro.obs.trace` — request-scoped :class:`Tracer` spans with a
+  bounded ring buffer and Chrome ``trace_event`` export, off by default;
 - :mod:`repro.obs.manifest` — :class:`RunManifest`, the JSON run record
   written next to every CLI artifact and read by ``repro report``.
 """
@@ -30,6 +33,17 @@ from .metrics import (
     record_training_history,
     set_registry,
 )
+from .trace import (
+    Span,
+    SpanContext,
+    Tracer,
+    configure_tracing,
+    get_tracer,
+    load_chrome_trace,
+    resolve_tracer,
+    set_tracer,
+    summarize_spans,
+)
 
 __all__ = [
     "LEVELS",
@@ -40,13 +54,22 @@ __all__ = [
     "MANIFEST_SUFFIX",
     "MetricsRegistry",
     "RunManifest",
+    "Span",
+    "SpanContext",
     "Timer",
+    "Tracer",
     "configure_logging",
     "configure_metrics",
+    "configure_tracing",
     "describe_version",
     "get_logger",
     "get_registry",
+    "get_tracer",
+    "load_chrome_trace",
     "parse_level",
     "record_training_history",
+    "resolve_tracer",
     "set_registry",
+    "set_tracer",
+    "summarize_spans",
 ]

@@ -20,10 +20,11 @@ from __future__ import annotations
 
 import functools
 import json
+import math
 import os
+import re
 import threading
 import time
-from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 __all__ = [
@@ -36,15 +37,35 @@ __all__ = [
     "set_registry",
 ]
 
+# Fixed-bucket quantile sketch geometry: log-spaced buckets covering
+# 1e-9 .. 1e9 at 20 buckets per decade, i.e. a worst-case relative
+# quantile error of 10^(1/20) ≈ 12%.  The geometry is shared by every
+# histogram, so memory is a flat 360 ints each — no per-observation
+# allocation, no unbounded value lists.
+_BUCKETS_PER_DECADE = 20
+_LOG_MIN = -9.0
+_LOG_MAX = 9.0
+_N_BUCKETS = int((_LOG_MAX - _LOG_MIN) * _BUCKETS_PER_DECADE)  # 360
 
-@dataclass
+
 class Histogram:
-    """Streaming summary of observed values (count/total/min/max)."""
+    """Streaming summary plus a fixed-bucket quantile sketch.
 
-    count: int = 0
-    total: float = 0.0
-    min: float = field(default=float("inf"))
-    max: float = field(default=float("-inf"))
+    Tracks exact count/total/min/max and a bounded log-bucket histogram
+    of the observed magnitudes, from which :meth:`quantile` (and the
+    ``p50``/``p95``/``p99`` properties) estimate percentiles to within
+    one bucket (~12% relative).  Values ≤ 0 land in the underflow
+    bucket; estimates are clamped to the exact observed ``[min, max]``.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._buckets = [0] * _N_BUCKETS
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -53,10 +74,45 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        self._buckets[self._index(value)] += 1
+
+    @staticmethod
+    def _index(value: float) -> int:
+        if value <= 0.0:
+            return 0
+        index = int((math.log10(value) - _LOG_MIN) * _BUCKETS_PER_DECADE)
+        return min(max(index, 0), _N_BUCKETS - 1)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 <= q <= 1``) of the observations."""
+        if self.count == 0:
+            return 0.0
+        target = min(max(q, 0.0), 1.0) * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self._buckets):
+            cumulative += bucket_count
+            if cumulative >= target and bucket_count:
+                # Geometric midpoint of the bucket, clamped to the exact
+                # observed range (a one-element bucket reports exactly).
+                mid = 10.0 ** (_LOG_MIN + (index + 0.5) / _BUCKETS_PER_DECADE)
+                return min(max(mid, self.min), self.max)
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
 
     def as_dict(self) -> dict:
         return {
@@ -65,6 +121,9 @@ class Histogram:
             "mean": self.mean,
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
+            "p50": self.p50 if self.count else None,
+            "p95": self.p95 if self.count else None,
+            "p99": self.p99 if self.count else None,
         }
 
 
@@ -166,6 +225,46 @@ class MetricsRegistry:
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (format 0.0.4) of every metric.
+
+        Dotted ``repro.*`` names become underscore-separated; histograms
+        export as summaries with ``quantile="0.5|0.95|0.99"`` sample
+        lines plus ``_sum``/``_count`` — the shape Prometheus scrapers
+        and ``promtool`` expect from the ``/metrics`` endpoint.
+        """
+
+        def sanitize(name: str) -> str:
+            clean = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+            return clean if not clean[:1].isdigit() else f"_{clean}"
+
+        def fmt(value: float) -> str:
+            return repr(float(value))
+
+        lines = []
+        with self._lock:
+            for name in sorted(self.counters):
+                metric = sanitize(name)
+                lines.append(f"# TYPE {metric} counter")
+                lines.append(f"{metric} {fmt(self.counters[name])}")
+            for name in sorted(self.gauges):
+                metric = sanitize(name)
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric} {fmt(self.gauges[name])}")
+            for name in sorted(self.histograms):
+                metric = sanitize(name)
+                histogram = self.histograms[name]
+                lines.append(f"# TYPE {metric} summary")
+                for label, value in (
+                    ("0.5", histogram.p50),
+                    ("0.95", histogram.p95),
+                    ("0.99", histogram.p99),
+                ):
+                    lines.append(f'{metric}{{quantile="{label}"}} {fmt(value)}')
+                lines.append(f"{metric}_sum {fmt(histogram.total)}")
+                lines.append(f"{metric}_count {histogram.count}")
+        return "\n".join(lines) + "\n"
 
     def reset(self) -> None:
         with self._lock:

@@ -1,0 +1,482 @@
+"""Request-scoped span tracing with bounded overhead.
+
+A :class:`Span` is one timed operation — ``(trace_id, span_id,
+parent_id, name, start, duration, attrs)``.  A :class:`Tracer` opens
+spans as context managers, propagates the active span through a
+:mod:`contextvars` variable (so nesting works across ``with`` blocks and,
+with explicit context capture, across thread boundaries — see
+:meth:`Tracer.current` and the ``parent=`` argument), and stores
+completed spans in a fixed-size ring buffer: sustained load overwrites
+the oldest spans instead of growing memory.
+
+Design constraints:
+
+- **off by default, near-zero when off** — a disabled tracer's
+  :meth:`~Tracer.span` is a single attribute check returning a shared
+  no-op context manager; nothing is allocated, timed or stored, so the
+  serving and training hot paths are unperturbed (the bitwise-parity
+  guarantees in ``tests/serving`` hold with tracing on *and* off —
+  tracing observes, never perturbs);
+- **bounded** — the ring never reallocates; ``dropped`` counts what
+  wrapped away;
+- **portable output** — :meth:`Tracer.export` writes Chrome
+  ``trace_event`` JSON (one event per line inside a JSON array), which
+  opens directly in ``chrome://tracing`` / https://ui.perfetto.dev, and
+  ``repro trace FILE`` summarizes the same file into a per-span-name
+  latency table (:func:`summarize_spans`).
+
+Cross-thread propagation: new threads start with an empty context, so a
+worker that serves requests submitted elsewhere (the serving
+``MicroBatcher``) captures ``tracer.current()`` at submit time and passes
+it back as ``parent=`` when it opens spans on the worker thread.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import threading
+import time
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "configure_tracing",
+    "get_tracer",
+    "load_chrome_trace",
+    "resolve_tracer",
+    "set_tracer",
+    "summarize_spans",
+]
+
+
+class SpanContext(NamedTuple):
+    """The propagatable identity of an open span."""
+
+    trace_id: str
+    span_id: str
+
+
+class Span(NamedTuple):
+    """One completed, timed operation."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    start: float
+    duration: float
+    attrs: Dict[str, object]
+    thread: int
+
+    def as_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+            "thread": self.thread,
+        }
+
+    def to_chrome_event(self) -> dict:
+        """One Chrome ``trace_event`` complete event (``"ph": "X"``)."""
+        args = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+        }
+        args.update(self.attrs)
+        return {
+            "name": self.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": round(self.start * 1e6, 3),
+            "dur": round(self.duration * 1e6, 3),
+            "pid": 1,
+            "tid": self.thread,
+            "args": args,
+        }
+
+
+class _NoopSpan:
+    """Shared do-nothing span for disabled tracers (one instance, ever)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set(self, **attrs) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+class _ActiveSpan:
+    """An open span: context manager that records itself on exit."""
+
+    __slots__ = ("_tracer", "name", "context", "parent_id", "attrs", "_start", "_token")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        context: SpanContext,
+        parent_id: Optional[str],
+        attrs: Dict[str, object],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.context = context
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self._start = 0.0
+        self._token: Optional[contextvars.Token] = None
+
+    def set(self, **attrs) -> None:
+        """Attach attributes to the span while it is open."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._token = self._tracer._current.set(self.context)
+        self._start = self._tracer.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = self._tracer.clock() - self._start
+        if self._token is not None:
+            self._tracer._current.reset(self._token)
+            self._token = None
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer._store(
+            Span(
+                trace_id=self.context.trace_id,
+                span_id=self.context.span_id,
+                parent_id=self.parent_id,
+                name=self.name,
+                start=self._start,
+                duration=duration,
+                attrs=self.attrs,
+                thread=threading.get_ident(),
+            )
+        )
+
+
+class Tracer:
+    """Opens, propagates and stores spans in a fixed-size ring buffer.
+
+    Parameters
+    ----------
+    capacity:
+        Ring size — the newest ``capacity`` completed spans are retained;
+        older ones are overwritten (counted in :attr:`dropped`).
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+    enabled:
+        Off by default; a disabled tracer records nothing and its
+        :meth:`span` costs one attribute check.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        clock: Callable[[], float] = time.perf_counter,
+        enabled: bool = False,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"tracer capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.clock = clock
+        self.enabled = enabled
+        self._ring: List[Optional[Span]] = [None] * capacity
+        self._next = 0  # total spans ever stored; write slot = _next % capacity
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._current: "contextvars.ContextVar[Optional[SpanContext]]" = (
+            contextvars.ContextVar("repro_trace_current", default=None)
+        )
+
+    # ------------------------------------------------------------------
+    # Opening spans
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, parent: Optional[SpanContext] = None, **attrs):
+        """Open a span as a context manager.
+
+        The parent is the currently active span in this context unless an
+        explicit ``parent=`` :class:`SpanContext` is given (cross-thread
+        propagation).  A span with no parent starts a new trace.
+        Disabled tracers return a shared no-op context manager.
+        """
+        if not self.enabled:
+            return _NOOP
+        if parent is None:
+            parent = self._current.get()
+        span_id = f"{next(self._ids):x}"
+        if parent is None:
+            context = SpanContext(trace_id=span_id, span_id=span_id)
+            parent_id = None
+        else:
+            context = SpanContext(trace_id=parent.trace_id, span_id=span_id)
+            parent_id = parent.span_id
+        return _ActiveSpan(self, name, context, parent_id, attrs)
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        parent: Optional[SpanContext] = None,
+        **attrs,
+    ) -> None:
+        """Store an already-measured span (e.g. a queue wait whose start
+        was captured on another thread).  No-op when disabled."""
+        if not self.enabled:
+            return
+        if parent is None:
+            parent = self._current.get()
+        span_id = f"{next(self._ids):x}"
+        trace_id = parent.trace_id if parent is not None else span_id
+        self._store(
+            Span(
+                trace_id=trace_id,
+                span_id=span_id,
+                parent_id=parent.span_id if parent is not None else None,
+                name=name,
+                start=start,
+                duration=duration,
+                attrs=attrs,
+                thread=threading.get_ident(),
+            )
+        )
+
+    def current(self) -> Optional[SpanContext]:
+        """The active span's context in this thread/context, if any."""
+        if not self.enabled:
+            return None
+        return self._current.get()
+
+    # ------------------------------------------------------------------
+    # Ring buffer
+    # ------------------------------------------------------------------
+
+    def _store(self, span: Span) -> None:
+        with self._lock:
+            self._ring[self._next % self.capacity] = span
+            self._next += 1
+
+    def spans(self, limit: Optional[int] = None) -> List[Span]:
+        """Retained spans, oldest first (newest ``limit`` when given)."""
+        with self._lock:
+            count = min(self._next, self.capacity)
+            start = self._next - count
+            out = [self._ring[i % self.capacity] for i in range(start, self._next)]
+        if limit is not None and limit >= 0:
+            out = out[-limit:] if limit else []
+        return out  # type: ignore[return-value]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return min(self._next, self.capacity)
+
+    @property
+    def dropped(self) -> int:
+        """Spans overwritten because the ring wrapped."""
+        with self._lock:
+            return max(self._next - self.capacity, 0)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring = [None] * self.capacity
+            self._next = 0
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def to_chrome_events(self) -> List[dict]:
+        return [span.to_chrome_event() for span in self.spans()]
+
+    def export(self, path: str) -> str:
+        """Write retained spans as Chrome ``trace_event`` JSON.
+
+        The file is a valid JSON array with one event per line, so it is
+        both loadable with ``json.load`` and greppable line by line; it
+        opens directly in ``chrome://tracing`` and Perfetto.  Returns the
+        path; the ring is left intact.
+        """
+        events = self.to_chrome_events()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("[\n")
+            for index, event in enumerate(events):
+                tail = "," if index < len(events) - 1 else ""
+                handle.write(json.dumps(event, sort_keys=True) + tail + "\n")
+            handle.write("]\n")
+        return path
+
+
+# ----------------------------------------------------------------------
+# Default tracer
+# ----------------------------------------------------------------------
+
+_default = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer (disabled until configured)."""
+    return _default
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the default tracer (returns the previous one)."""
+    global _default
+    previous = _default
+    _default = tracer
+    return previous
+
+
+def configure_tracing(
+    enabled: Optional[bool] = None,
+    capacity: Optional[int] = None,
+    clock: Optional[Callable[[], float]] = None,
+) -> Tracer:
+    """Adjust the default tracer in place (resizing clears the ring)."""
+    if capacity is not None and capacity != _default.capacity:
+        if capacity <= 0:
+            raise ValueError(f"tracer capacity must be positive, got {capacity}")
+        with _default._lock:
+            _default.capacity = capacity
+            _default._ring = [None] * capacity
+            _default._next = 0
+    if enabled is not None:
+        _default.enabled = enabled
+    if clock is not None:
+        _default.clock = clock
+    return _default
+
+
+def resolve_tracer(trace) -> Tracer:
+    """Normalize a ``trace=`` knob into a :class:`Tracer`.
+
+    ``None`` → the process default tracer (off unless configured);
+    ``True``/``False`` → a fresh private tracer in that state; a
+    :class:`Tracer` instance passes through.
+    """
+    if trace is None:
+        return get_tracer()
+    if isinstance(trace, Tracer):
+        return trace
+    if isinstance(trace, bool):
+        return Tracer(enabled=trace)
+    raise TypeError(f"trace must be None, bool or Tracer, got {type(trace).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Trace-file analysis (the `repro trace` subcommand)
+# ----------------------------------------------------------------------
+
+
+def load_chrome_trace(path: str) -> List[Span]:
+    """Parse a file written by :meth:`Tracer.export` back into spans.
+
+    Accepts a complete JSON array or the bracket-tolerant line format
+    (chrome://tracing itself tolerates a missing ``]``).  Raises
+    ``ValueError`` on malformed events, so tooling fails loudly.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        events = json.loads(text)
+    except json.JSONDecodeError:
+        events = []
+        for line in text.splitlines():
+            line = line.strip().rstrip(",")
+            if not line or line in ("[", "]"):
+                continue
+            events.append(json.loads(line))
+    if isinstance(events, dict):
+        events = events.get("traceEvents", [])
+    spans = []
+    for event in events:
+        if not isinstance(event, dict) or event.get("ph") != "X":
+            raise ValueError(f"not a Chrome complete event: {event!r}")
+        args = dict(event.get("args", {}))
+        span_id = args.pop("span_id", None)
+        trace_id = args.pop("trace_id", None)
+        parent_id = args.pop("parent_id", None)
+        if "name" not in event or "ts" not in event or "dur" not in event:
+            raise ValueError(f"event missing name/ts/dur: {event!r}")
+        spans.append(
+            Span(
+                trace_id=str(trace_id) if trace_id is not None else "",
+                span_id=str(span_id) if span_id is not None else "",
+                parent_id=str(parent_id) if parent_id is not None else None,
+                name=str(event["name"]),
+                start=float(event["ts"]) / 1e6,
+                duration=float(event["dur"]) / 1e6,
+                attrs=args,
+                thread=int(event.get("tid", 0)),
+            )
+        )
+    return spans
+
+
+def summarize_spans(spans: Sequence[Span]) -> List[dict]:
+    """Per-span-name latency table: count, total, p50/p95/p99, % of parent.
+
+    Percentiles are exact (computed from the sorted durations — a trace
+    file is ring-bounded, so this never blows up).  ``pct_of_parent`` is
+    the summed duration of spans with this name over the summed duration
+    of their distinct (present) parent spans — "where did the parent's
+    time go"; a parent with many children of this name counts once.
+    Empty for roots or when no parent span made it into the trace.
+    """
+    by_id = {span.span_id: span for span in spans if span.span_id}
+    groups: Dict[str, List[Span]] = {}
+    for span in spans:
+        groups.setdefault(span.name, []).append(span)
+
+    def exact_quantile(sorted_values: List[float], q: float) -> float:
+        if not sorted_values:
+            return 0.0
+        index = min(int(q * len(sorted_values)), len(sorted_values) - 1)
+        return sorted_values[index]
+
+    rows = []
+    for name in sorted(groups):
+        members = groups[name]
+        durations = sorted(span.duration for span in members)
+        total = sum(durations)
+        parent_total = 0.0
+        seen_parents = set()
+        for span in members:
+            parent = by_id.get(span.parent_id) if span.parent_id else None
+            if parent is not None and parent.span_id not in seen_parents:
+                seen_parents.add(parent.span_id)
+                parent_total += parent.duration
+        rows.append(
+            {
+                "name": name,
+                "count": len(members),
+                "total_ms": total * 1e3,
+                "p50_ms": exact_quantile(durations, 0.50) * 1e3,
+                "p95_ms": exact_quantile(durations, 0.95) * 1e3,
+                "p99_ms": exact_quantile(durations, 0.99) * 1e3,
+                "pct_of_parent": (
+                    100.0 * total / parent_total if parent_total > 0 else None
+                ),
+            }
+        )
+    rows.sort(key=lambda row: row["total_ms"], reverse=True)
+    return rows

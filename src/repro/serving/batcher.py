@@ -22,7 +22,7 @@ from concurrent.futures import Future
 from typing import Callable, List, Optional, Sequence
 
 from ..exceptions import ConfigError
-from ..obs import MetricsRegistry, get_registry
+from ..obs import MetricsRegistry, Tracer, get_registry, get_tracer
 
 __all__ = ["MicroBatcher"]
 
@@ -43,8 +43,16 @@ class MicroBatcher:
         How long the worker waits for more items after the first one.
     registry:
         Metrics sink (defaults to the process registry).  Emits
-        ``repro.serving.queue_depth`` (gauge, sampled per dispatch) and
-        ``repro.serving.batch_size`` (histogram).
+        ``repro.serving.batcher.queue_depth`` (gauge, sampled per
+        dispatch) and ``repro.serving.batch_size`` (histogram).
+    tracer:
+        Span sink (defaults to the process tracer, off unless enabled).
+        When tracing, :meth:`submit` captures the caller's active span
+        context and the worker records one ``batcher.queue_wait`` span
+        per item under it — the explicit hand-off that keeps parent/child
+        nesting intact across the thread boundary — plus one
+        ``batcher.batch`` span (parented to the first item's context)
+        around the handler call.
     """
 
     def __init__(
@@ -53,6 +61,7 @@ class MicroBatcher:
         max_batch: int = 32,
         max_wait_ms: float = 2.0,
         registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if max_batch <= 0:
             raise ConfigError(f"max_batch must be positive, got {max_batch}")
@@ -62,6 +71,7 @@ class MicroBatcher:
         self.max_batch = max_batch
         self.max_wait_s = max_wait_ms / 1000.0
         self._registry = registry if registry is not None else get_registry()
+        self._tracer = tracer if tracer is not None else get_tracer()
         self._queue: "queue.Queue" = queue.Queue()
         self._closed = False
         self._worker = threading.Thread(
@@ -78,7 +88,16 @@ class MicroBatcher:
         if self._closed:
             raise RuntimeError("batcher is closed")
         future: "Future" = Future()
-        self._queue.put((item, future))
+        tracer = self._tracer
+        if tracer.enabled:
+            # Capture the submitting context here: the worker thread has
+            # its own (empty) contextvars context, so the parent link must
+            # travel with the queue item.
+            context = tracer.current()
+            enqueued = tracer.clock()
+        else:
+            context, enqueued = None, 0.0
+        self._queue.put((item, future, context, enqueued))
         return future
 
     def close(self, timeout: Optional[float] = 5.0) -> None:
@@ -120,18 +139,35 @@ class MicroBatcher:
                     stop_after = True
                     break
                 batch.append(item)
-            self._registry.gauge("repro.serving.queue_depth", self._queue.qsize())
+            self._registry.gauge(
+                "repro.serving.batcher.queue_depth", self._queue.qsize()
+            )
             self._registry.observe("repro.serving.batch_size", len(batch))
             self._dispatch(batch)
             if stop_after:
                 return
 
     def _dispatch(self, batch) -> None:
-        items = [item for item, _ in batch]
-        futures = [future for _, future in batch]
+        items = [item for item, _, _, _ in batch]
+        futures = [future for _, future, _, _ in batch]
+        tracer = self._tracer
+        parent = None
+        if tracer.enabled:
+            now = tracer.clock()
+            for _, _, context, enqueued in batch:
+                if context is not None:
+                    tracer.record(
+                        "batcher.queue_wait",
+                        start=enqueued,
+                        duration=now - enqueued,
+                        parent=context,
+                    )
+                    if parent is None:
+                        parent = context
         try:
-            with self._registry.timer("repro.serving.batch_seconds"):
-                results = list(self._handler(items))
+            with tracer.span("batcher.batch", parent=parent, batch_size=len(items)):
+                with self._registry.timer("repro.serving.batch_seconds"):
+                    results = list(self._handler(items))
             if len(results) != len(items):
                 raise RuntimeError(
                     f"batch handler returned {len(results)} results "

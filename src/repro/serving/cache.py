@@ -19,6 +19,7 @@ from collections import OrderedDict
 from typing import Callable, Hashable, Optional, Tuple
 
 from ..exceptions import ConfigError
+from ..obs import MetricsRegistry
 
 __all__ = ["TTLCache"]
 
@@ -39,6 +40,13 @@ class TTLCache:
     clock:
         Monotonic time source — injectable so tests can step time
         deterministically.
+    registry:
+        Optional metrics sink.  When given, capacity churn is observable
+        live (not just via :meth:`stats`): ``<prefix>.evictions``,
+        ``<prefix>.expirations`` and ``<prefix>.invalidated_entries``
+        counters (prefix defaults to ``repro.serving.cache``; hits and
+        misses are counted by the owning service, which sees lookups the
+        cache itself cannot attribute).
     """
 
     def __init__(
@@ -46,6 +54,8 @@ class TTLCache:
         max_size: int = 4096,
         ttl_seconds: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
+        registry: Optional[MetricsRegistry] = None,
+        metric_prefix: str = "repro.serving.cache",
     ) -> None:
         if max_size <= 0:
             raise ConfigError(f"cache max_size must be positive, got {max_size}")
@@ -54,6 +64,8 @@ class TTLCache:
         self.max_size = max_size
         self.ttl_seconds = ttl_seconds
         self.clock = clock
+        self._registry = registry
+        self._metric_prefix = metric_prefix
         self._entries: "OrderedDict[Hashable, Tuple[object, Optional[float]]]" = (
             OrderedDict()
         )
@@ -63,6 +75,12 @@ class TTLCache:
         self._evictions = 0
         self._expirations = 0
         self._invalidations = 0
+
+    def _count(self, metric: str, value: int = 1) -> None:
+        # Called while holding self._lock; the registry has its own lock
+        # and never calls back into the cache, so the ordering is safe.
+        if self._registry is not None and value:
+            self._registry.counter(f"{self._metric_prefix}.{metric}", value)
 
     # ------------------------------------------------------------------
     # Core operations
@@ -80,6 +98,7 @@ class TTLCache:
                 del self._entries[key]
                 self._expirations += 1
                 self._misses += 1
+                self._count("expirations")
                 return default
             self._entries.move_to_end(key)
             self._hits += 1
@@ -93,9 +112,12 @@ class TTLCache:
         with self._lock:
             self._entries[key] = (value, expires_at)
             self._entries.move_to_end(key)
+            evicted = 0
             while len(self._entries) > self.max_size:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+                evicted += 1
+            self._count("evictions", evicted)
 
     def invalidate(self, predicate: Callable[[Hashable], bool]) -> int:
         """Drop every entry whose key satisfies ``predicate``.
@@ -108,6 +130,7 @@ class TTLCache:
             for key in stale:
                 del self._entries[key]
             self._invalidations += len(stale)
+            self._count("invalidated_entries", len(stale))
             return len(stale)
 
     def clear(self) -> int:
@@ -116,6 +139,7 @@ class TTLCache:
             count = len(self._entries)
             self._entries.clear()
             self._invalidations += count
+            self._count("invalidated_entries", count)
             return count
 
     # ------------------------------------------------------------------

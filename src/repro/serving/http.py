@@ -1,6 +1,6 @@
 """Stdlib HTTP front-end for :class:`PredictionService`.
 
-A ``ThreadingHTTPServer`` (one thread per connection — exactly the
+A threading HTTP server (one thread per connection — exactly the
 concurrency shape the micro-batcher coalesces) with a small JSON API:
 
 - ``POST /predict``  ``{"area": int, "day": int, "timeslot": int}`` →
@@ -10,18 +10,30 @@ concurrency shape the micro-batcher coalesces) with a small JSON API:
   ``{"invalidated": int, "profiles_dropped": int}``;
 - ``GET /healthz``   liveness + current checkpoint version;
 - ``GET /stats``     :meth:`PredictionService.stats`;
+- ``GET /metrics``   Prometheus text exposition of the service registry
+  (serving latency percentiles included — see ``docs/observability.md``);
+- ``GET /trace?limit=N`` the newest ``N`` completed spans from the
+  service tracer as JSON (empty unless tracing is enabled);
 - ``POST /shutdown`` clean stop (used by the smoke test).
 
 Invalid inputs are 400s with an ``{"error": ...}`` body; unexpected
 failures are 500s.  No dependencies beyond the standard library.
+
+Handler threads are daemons (a hung connection can never pin the
+process), but they are *tracked* and joined — with a short timeout —
+when the server closes, so an in-flight reply (the ``/shutdown``
+acknowledgement in particular) is flushed before the process exits
+rather than racing it.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from ..exceptions import ConfigError, DataError
 from ..obs import get_logger
@@ -32,6 +44,55 @@ __all__ = ["build_server", "serve_forever"]
 _log = get_logger(__name__)
 
 _MAX_BODY_BYTES = 1 << 20
+_DEFAULT_TRACE_DUMP = 256
+
+
+class _JoiningHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that joins its handler threads on close.
+
+    The stock ``ThreadingHTTPServer`` sets ``daemon_threads = True`` and
+    therefore never joins handlers: ``serve_forever`` can return (after a
+    ``shutdown()``) while a handler thread is still writing its response,
+    and a process that exits right after loses the reply — the
+    ``/shutdown`` race.  This subclass keeps the daemon property but
+    tracks live handler threads and joins each for up to
+    ``handler_join_timeout`` seconds total in :meth:`server_close`.
+    """
+
+    daemon_threads = True
+    #: Total time budget for draining handler threads at close.
+    handler_join_timeout = 5.0
+
+    def __init__(self, *args, **kwargs) -> None:
+        self._handler_threads: set = set()
+        self._handler_lock = threading.Lock()
+        super().__init__(*args, **kwargs)
+
+    def process_request(self, request, client_address) -> None:
+        thread = threading.Thread(
+            target=self.process_request_thread,
+            args=(request, client_address),
+            daemon=True,
+        )
+        with self._handler_lock:
+            self._handler_threads = {
+                t for t in self._handler_threads if t.is_alive()
+            }
+            self._handler_threads.add(thread)
+        thread.start()
+
+    def server_close(self) -> None:
+        super().server_close()
+        with self._handler_lock:
+            threads, self._handler_threads = self._handler_threads, set()
+        deadline = time.monotonic() + self.handler_join_timeout
+        for thread in threads:
+            if thread is threading.current_thread():
+                continue
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            thread.join(timeout=remaining)
 
 
 def build_server(
@@ -41,7 +102,9 @@ def build_server(
 
     The caller owns the lifecycle: ``server.serve_forever()`` to run,
     ``server.shutdown()``/``server.server_close()`` to stop.  The bound
-    address is ``server.server_address``.
+    address is ``server.server_address``.  ``server_close`` drains
+    outstanding handler threads (bounded by
+    ``_JoiningHTTPServer.handler_join_timeout``) so no reply is lost.
     """
 
     class Handler(BaseHTTPRequestHandler):
@@ -52,30 +115,42 @@ def build_server(
         # ------------------------------------------------------------------
 
         def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
-            if self.path == "/healthz":
+            parsed = urlsplit(self.path)
+            if parsed.path == "/healthz":
                 self._reply(200, {"status": "ok", "version": service.version})
-            elif self.path == "/stats":
+            elif parsed.path == "/stats":
                 self._reply(200, service.stats())
+            elif parsed.path == "/metrics":
+                self._reply_text(200, service.registry.to_prometheus())
+            elif parsed.path == "/trace":
+                try:
+                    status, payload = self._trace_dump(parse_qs(parsed.query))
+                except (ValueError, TypeError) as error:
+                    status, payload = 400, {"error": str(error)}
+                self._reply(status, payload)
             else:
                 self._reply(404, {"error": f"unknown path {self.path}"})
 
         def do_POST(self) -> None:  # noqa: N802
             try:
-                if self.path == "/predict":
-                    status, payload = self._predict()
-                elif self.path == "/observe":
-                    status, payload = self._observe()
-                elif self.path == "/shutdown":
-                    # Reply BEFORE triggering shutdown: handler threads are
-                    # daemon, so once serve_forever returns the process may
-                    # exit without waiting for this thread to finish writing.
-                    # shutdown() itself blocks until serve_forever returns,
-                    # so it must also run off this handler thread.
-                    self._reply(200, {"status": "shutting down"})
-                    threading.Thread(target=self.server.shutdown, daemon=True).start()
-                    return
-                else:
-                    status, payload = 404, {"error": f"unknown path {self.path}"}
+                with service.tracer.span("http.handle", path=self.path):
+                    if self.path == "/predict":
+                        status, payload = self._predict()
+                    elif self.path == "/observe":
+                        status, payload = self._observe()
+                    elif self.path == "/shutdown":
+                        # Reply BEFORE triggering shutdown: shutdown()
+                        # blocks until serve_forever returns, so it must
+                        # run off this handler thread.  server_close then
+                        # joins this thread, so the reply is flushed
+                        # before the process exits.
+                        self._reply(200, {"status": "shutting down"})
+                        threading.Thread(
+                            target=self.server.shutdown, daemon=True
+                        ).start()
+                        return
+                    else:
+                        status, payload = 404, {"error": f"unknown path {self.path}"}
             except (DataError, ConfigError, ValueError, KeyError, TypeError) as error:
                 status, payload = 400, {"error": str(error)}
             except Exception as error:  # noqa: BLE001 — last-resort 500
@@ -106,6 +181,19 @@ def build_server(
             )
             return 200, outcome
 
+        def _trace_dump(self, query: dict) -> Tuple[int, dict]:
+            limit = int(query.get("limit", [_DEFAULT_TRACE_DUMP])[0])
+            if limit < 0:
+                raise ValueError(f"limit must be >= 0, got {limit}")
+            tracer = service.tracer
+            spans = tracer.spans(limit=limit)
+            return 200, {
+                "enabled": tracer.enabled,
+                "capacity": tracer.capacity,
+                "dropped": tracer.dropped,
+                "spans": [span.as_dict() for span in spans],
+            }
+
         # ------------------------------------------------------------------
         # Plumbing
         # ------------------------------------------------------------------
@@ -125,9 +213,16 @@ def build_server(
             return parsed
 
         def _reply(self, status: int, payload: dict) -> None:
-            data = json.dumps(payload).encode("utf-8")
+            self._send(status, json.dumps(payload).encode("utf-8"),
+                       "application/json")
+
+        def _reply_text(self, status: int, text: str) -> None:
+            self._send(status, text.encode("utf-8"),
+                       "text/plain; version=0.0.4; charset=utf-8")
+
+        def _send(self, status: int, data: bytes, content_type: str) -> None:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(data)))
             self.end_headers()
             self.wfile.write(data)
@@ -141,11 +236,16 @@ def build_server(
                 "serving.http", level=logging.DEBUG, detail=format % args
             )
 
-    return ThreadingHTTPServer((host, port), Handler)
+    return _JoiningHTTPServer((host, port), Handler)
 
 
 def serve_forever(server: ThreadingHTTPServer, service: PredictionService) -> None:
-    """Run until ``shutdown()``, then close the socket and the service."""
+    """Run until ``shutdown()``, then close the socket and the service.
+
+    ``server_close`` joins outstanding handler threads (short timeout)
+    before returning, so the ``/shutdown`` acknowledgement is on the wire
+    by the time this function — and typically the process — exits.
+    """
     try:
         server.serve_forever()
     finally:

@@ -45,7 +45,7 @@ import numpy as np
 from ..config import FeatureConfig
 from ..core import GapPredictor, GapQuery, Trainer
 from ..exceptions import ConfigError, DataError
-from ..obs import MetricsRegistry, get_logger, get_registry
+from ..obs import MetricsRegistry, Tracer, get_logger, get_registry, resolve_tracer
 from .batcher import MicroBatcher
 from .cache import TTLCache
 
@@ -119,6 +119,12 @@ class PredictionService:
     serving_config, registry, clock:
         Batching/cache knobs, metrics sink and cache clock (injectable
         for deterministic tests).
+    trace:
+        Span tracing knob: ``None`` uses the process tracer (off unless
+        enabled via ``repro.obs.configure_tracing`` / ``--trace``),
+        ``True``/``False`` creates a private tracer in that state, or
+        pass a :class:`repro.obs.Tracer` directly.  Tracing observes
+        timings only — responses are bitwise-identical either way.
     """
 
     def __init__(
@@ -131,15 +137,18 @@ class PredictionService:
         registry: Optional[MetricsRegistry] = None,
         clock: Optional[Callable[[], float]] = None,
         version: str = "v0:in-memory",
+        trace=None,
     ) -> None:
         self.dataset = dataset
         self.config = config
         self.serving_config = serving_config or ServingConfig()
         self._registry = registry if registry is not None else get_registry()
+        self._tracer = resolve_tracer(trace)
         self.cache = TTLCache(
             max_size=self.serving_config.cache_size,
             ttl_seconds=self.serving_config.cache_ttl_seconds,
             clock=clock or time.monotonic,
+            registry=self._registry,
         )
         self._swap_count = 0
         self._engine = _Engine(
@@ -150,6 +159,7 @@ class PredictionService:
             max_batch=self.serving_config.max_batch,
             max_wait_ms=self.serving_config.max_wait_ms,
             registry=self._registry,
+            tracer=self._tracer,
         )
         self._closed = False
 
@@ -166,6 +176,7 @@ class PredictionService:
         serving_config: Optional[ServingConfig] = None,
         registry: Optional[MetricsRegistry] = None,
         clock: Optional[Callable[[], float]] = None,
+        trace=None,
     ) -> "PredictionService":
         """Stand up a service from a checkpoint bundle alone.
 
@@ -185,6 +196,7 @@ class PredictionService:
             registry=registry,
             clock=clock,
             version=f"v0:{os.path.basename(path)}",
+            trace=trace,
         )
 
     @staticmethod
@@ -235,6 +247,16 @@ class PredictionService:
         """The current engine's checkpoint version tag."""
         return self._engine.version
 
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The metrics sink this service records into (``/metrics``)."""
+        return self._registry
+
+    @property
+    def tracer(self) -> Tracer:
+        """The span sink this service records into (``/trace``)."""
+        return self._tracer
+
     def predict(self, area_id: int, day: int, timeslot: int) -> PredictionResult:
         """Predicted gap for ``[timeslot, timeslot + C)`` in one area.
 
@@ -248,14 +270,23 @@ class PredictionService:
         query = GapQuery(int(area_id), int(day), int(timeslot))
         engine.predictor._validate(query)
         self._registry.counter("repro.serving.requests")
-        with self._registry.timer("repro.serving.request_seconds"):
-            key = self._cache_key(engine.version, query)
-            value = self.cache.get(key, _MISS)
-            if value is not _MISS:
-                self._registry.counter("repro.serving.cache.hits")
-                return PredictionResult(gap=value, version=engine.version, cached=True)
-            self._registry.counter("repro.serving.cache.misses")
-            gap, version = self._batcher.submit(query).result()
+        with self._tracer.span(
+            "serving.predict", area=query.area_id, day=query.day,
+            timeslot=query.timeslot,
+        ) as span:
+            with self._registry.timer("repro.serving.request_seconds"):
+                with self._tracer.span("cache.lookup"):
+                    key = self._cache_key(engine.version, query)
+                    value = self.cache.get(key, _MISS)
+                if value is not _MISS:
+                    self._registry.counter("repro.serving.cache.hits")
+                    span.set(cached=True)
+                    return PredictionResult(
+                        gap=value, version=engine.version, cached=True
+                    )
+                self._registry.counter("repro.serving.cache.misses")
+                span.set(cached=False)
+                gap, version = self._batcher.submit(query).result()
         return PredictionResult(gap=gap, version=version, cached=False)
 
     def predict_many(
@@ -268,30 +299,31 @@ class PredictionService:
         """
         if self._closed:
             raise RuntimeError("service is closed")
-        pending: List[Tuple[Optional[object], Optional[PredictionResult]]] = []
-        for area_id, day, timeslot in queries:
-            engine = self._engine
-            query = GapQuery(int(area_id), int(day), int(timeslot))
-            engine.predictor._validate(query)
-            self._registry.counter("repro.serving.requests")
-            key = self._cache_key(engine.version, query)
-            value = self.cache.get(key, _MISS)
-            if value is not _MISS:
-                self._registry.counter("repro.serving.cache.hits")
-                pending.append(
-                    (None, PredictionResult(value, engine.version, cached=True))
-                )
-            else:
-                self._registry.counter("repro.serving.cache.misses")
-                pending.append((self._batcher.submit(query), None))
-        results: List[PredictionResult] = []
-        for future, ready in pending:
-            if ready is not None:
-                results.append(ready)
-            else:
-                gap, version = future.result()
-                results.append(PredictionResult(gap, version, cached=False))
-        return results
+        with self._tracer.span("serving.predict_many", n=len(queries)):
+            pending: List[Tuple[Optional[object], Optional[PredictionResult]]] = []
+            for area_id, day, timeslot in queries:
+                engine = self._engine
+                query = GapQuery(int(area_id), int(day), int(timeslot))
+                engine.predictor._validate(query)
+                self._registry.counter("repro.serving.requests")
+                key = self._cache_key(engine.version, query)
+                value = self.cache.get(key, _MISS)
+                if value is not _MISS:
+                    self._registry.counter("repro.serving.cache.hits")
+                    pending.append(
+                        (None, PredictionResult(value, engine.version, cached=True))
+                    )
+                else:
+                    self._registry.counter("repro.serving.cache.misses")
+                    pending.append((self._batcher.submit(query), None))
+            results: List[PredictionResult] = []
+            for future, ready in pending:
+                if ready is not None:
+                    results.append(ready)
+                else:
+                    gap, version = future.result()
+                    results.append(PredictionResult(gap, version, cached=False))
+            return results
 
     def _cache_key(self, version: str, query: GapQuery):
         return (
@@ -326,6 +358,8 @@ class PredictionService:
 
         Duplicate queries collapse to one forward row, so every duplicate
         gets the same float — bitwise equal to a one-at-a-time answer.
+        The batcher runs this under its ``batcher.batch`` span, so the
+        stage spans below nest there automatically.
         """
         engine = self._engine
         keys = [self._cache_key(engine.version, query) for query in queries]
@@ -335,10 +369,13 @@ class PredictionService:
             if key not in unique:
                 unique[key] = len(unique_queries)
                 unique_queries.append(query)
-        example_set = engine.predictor._featurize(unique_queries)
-        gaps = engine.trainer.predict(example_set)
-        for key, index in unique.items():
-            self.cache.put(key, float(gaps[index]))
+        with self._tracer.span("batch.featurize", rows=len(unique_queries)):
+            example_set = engine.predictor._featurize(unique_queries)
+        with self._tracer.span("batch.forward", rows=len(unique_queries)):
+            gaps = engine.trainer.predict(example_set)
+        with self._tracer.span("cache.fill", entries=len(unique)):
+            for key, index in unique.items():
+                self.cache.put(key, float(gaps[index]))
         self._registry.counter("repro.serving.predictions", len(unique_queries))
         return [(float(gaps[unique[key]]), engine.version) for key in keys]
 
@@ -403,6 +440,17 @@ class PredictionService:
             if not 0 <= area_id < self.dataset.n_areas:
                 raise DataError(f"area {area_id} outside the city")
 
+        with self._tracer.span("serving.observe", kind=kind):
+            return self._observe(kind, day, minute, area_id, values)
+
+    def _observe(
+        self,
+        kind: str,
+        day: int,
+        minute: int,
+        area_id: Optional[int],
+        values: Dict,
+    ) -> Dict[str, int]:
         L = self.config.window_minutes
         profiles_dropped = 0
         if kind == "weather":

@@ -60,6 +60,39 @@ class TestHistograms:
 
         assert Histogram().mean == 0.0
         assert Histogram().as_dict()["min"] is None
+        assert Histogram().as_dict()["p99"] is None
+
+    def test_quantiles_within_sketch_error(self):
+        """Log-bucket sketch: estimates within one bucket (~12% relative)."""
+        from repro.obs import Histogram
+
+        histogram = Histogram()
+        values = [0.001 * i for i in range(1, 1001)]  # 1ms .. 1s uniform
+        for value in values:
+            histogram.observe(value)
+        for q in (0.50, 0.95, 0.99):
+            exact = values[int(q * len(values)) - 1]
+            estimate = histogram.quantile(q)
+            assert abs(estimate - exact) <= 0.15 * exact, (q, estimate, exact)
+
+    def test_quantiles_clamped_to_observed_range(self):
+        from repro.obs import Histogram
+
+        histogram = Histogram()
+        histogram.observe(3.0)
+        assert histogram.p50 == 3.0
+        assert histogram.p99 == 3.0
+        assert histogram.quantile(0.0) == 3.0
+
+    def test_nonpositive_values_underflow_safely(self):
+        from repro.obs import Histogram
+
+        histogram = Histogram()
+        histogram.observe(0.0)
+        histogram.observe(-1.0)
+        assert histogram.count == 2
+        assert histogram.min == -1.0
+        assert histogram.quantile(0.5) <= 0.0  # clamped to observed max=0
 
 
 class TestTimer:
@@ -121,8 +154,39 @@ class TestExport:
     def test_reset(self):
         registry = MetricsRegistry()
         registry.counter("x")
+        registry.observe("y", 1.0)
         registry.reset()
         assert registry.counters == {}
+        assert registry.histograms == {}
+
+    def test_prometheus_exposition(self):
+        registry = MetricsRegistry(clock=FakeClock())
+        registry.counter("repro.serving.requests", 3)
+        registry.gauge("repro.serving.batcher.queue_depth", 2)
+        for value in (0.010, 0.020, 0.030):
+            registry.observe("repro.serving.request_seconds", value)
+        text = registry.to_prometheus()
+        assert text.endswith("\n")
+        assert "# TYPE repro_serving_requests counter" in text
+        assert "repro_serving_requests 3.0" in text
+        assert "# TYPE repro_serving_batcher_queue_depth gauge" in text
+        assert "# TYPE repro_serving_request_seconds summary" in text
+        assert 'repro_serving_request_seconds{quantile="0.5"}' in text
+        assert 'repro_serving_request_seconds{quantile="0.95"}' in text
+        assert 'repro_serving_request_seconds{quantile="0.99"}' in text
+        assert "repro_serving_request_seconds_count 3" in text
+        # Sum formats as a plain float, parseable by a scraper.
+        sum_line = next(
+            line for line in text.splitlines()
+            if line.startswith("repro_serving_request_seconds_sum ")
+        )
+        assert float(sum_line.split()[-1]) == pytest.approx(0.060)
+
+    def test_prometheus_sanitizes_names(self):
+        registry = MetricsRegistry()
+        registry.counter("1weird-name.with/chars", 1)
+        text = registry.to_prometheus()
+        assert "_1weird_name_with_chars 1.0" in text
 
 
 class TestDefaultRegistry:

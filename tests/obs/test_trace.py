@@ -1,0 +1,293 @@
+"""Tracer unit tests: nesting, ring bounds, disabled cost, export format."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    Span,
+    Tracer,
+    configure_tracing,
+    get_tracer,
+    load_chrome_trace,
+    resolve_tracer,
+    set_tracer,
+    summarize_spans,
+)
+
+
+class FakeClock:
+    """Monotonic clock advancing a fixed step per call."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestNesting:
+    def test_child_inherits_trace_and_parent(self):
+        tracer = Tracer(clock=FakeClock(), enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans()[0], tracer.spans()[1]
+        assert inner.name == "inner" and outer.name == "outer"
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert outer.trace_id == outer.span_id  # root starts the trace
+
+    def test_siblings_share_parent_not_ids(self):
+        tracer = Tracer(clock=FakeClock(), enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, outer = tracer.spans()
+        assert a.parent_id == b.parent_id == outer.span_id
+        assert a.span_id != b.span_id
+
+    def test_context_restored_after_exit(self):
+        tracer = Tracer(clock=FakeClock(), enabled=True)
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() == outer.context
+        assert tracer.current() is None
+
+    def test_exception_recorded_and_context_reset(self):
+        tracer = Tracer(clock=FakeClock(), enabled=True)
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        assert tracer.current() is None
+        (span,) = tracer.spans()
+        assert span.attrs["error"] == "ValueError"
+
+    def test_set_attaches_attributes(self):
+        tracer = Tracer(clock=FakeClock(), enabled=True)
+        with tracer.span("op", preset=1) as span:
+            span.set(cached=True)
+        (recorded,) = tracer.spans()
+        assert recorded.attrs == {"preset": 1, "cached": True}
+
+
+class TestCrossThread:
+    def test_explicit_parent_links_across_threads(self):
+        """The MicroBatcher pattern: capture current() at submit, pass it
+        as parent= on the worker — new threads see an empty context."""
+        tracer = Tracer(clock=FakeClock(), enabled=True)
+        captured = {}
+
+        def worker(parent):
+            captured["on_worker"] = tracer.current()
+            with tracer.span("worker.op", parent=parent):
+                pass
+
+        with tracer.span("request") as request:
+            thread = threading.Thread(target=worker, args=(tracer.current(),))
+            thread.start()
+            thread.join()
+        # The worker thread starts context-free...
+        assert captured["on_worker"] is None
+        worker_span = next(s for s in tracer.spans() if s.name == "worker.op")
+        request_span = next(s for s in tracer.spans() if s.name == "request")
+        # ...yet its span is stitched into the submitting trace.
+        assert worker_span.trace_id == request_span.trace_id
+        assert worker_span.parent_id == request_span.span_id
+        assert request.context.span_id == request_span.span_id
+
+    def test_record_premeasured_span(self):
+        tracer = Tracer(clock=FakeClock(), enabled=True)
+        with tracer.span("request") as request:
+            parent = tracer.current()
+        tracer.record("queue_wait", start=10.0, duration=2.5, parent=parent)
+        wait = next(s for s in tracer.spans() if s.name == "queue_wait")
+        assert wait.start == 10.0 and wait.duration == 2.5
+        assert wait.parent_id == request.context.span_id
+
+
+class TestRingBuffer:
+    def test_wraparound_keeps_newest_and_counts_dropped(self):
+        tracer = Tracer(capacity=4, clock=FakeClock(), enabled=True)
+        for index in range(10):
+            with tracer.span(f"op{index}"):
+                pass
+        assert len(tracer) == 4
+        assert tracer.dropped == 6
+        assert [span.name for span in tracer.spans()] == [
+            "op6", "op7", "op8", "op9",
+        ]
+
+    def test_limit_returns_newest(self):
+        tracer = Tracer(capacity=8, clock=FakeClock(), enabled=True)
+        for index in range(5):
+            with tracer.span(f"op{index}"):
+                pass
+        assert [s.name for s in tracer.spans(limit=2)] == ["op3", "op4"]
+        assert tracer.spans(limit=0) == []
+
+    def test_clear(self):
+        tracer = Tracer(capacity=4, clock=FakeClock(), enabled=True)
+        with tracer.span("op"):
+            pass
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.dropped == 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestDisabled:
+    def test_zero_side_effects(self):
+        tracer = Tracer(clock=FakeClock(), enabled=False)
+        with tracer.span("op", attr=1) as span:
+            span.set(more=2)
+            with tracer.span("inner"):
+                assert tracer.current() is None
+        tracer.record("premeasured", start=0.0, duration=1.0)
+        assert len(tracer) == 0
+        assert tracer.spans() == []
+        assert tracer.dropped == 0
+
+    def test_disabled_span_is_shared_singleton(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("a") is tracer.span("b")
+
+
+class TestExport:
+    def _traced(self):
+        tracer = Tracer(clock=FakeClock(step=0.5), enabled=True)
+        with tracer.span("outer", n=3):
+            with tracer.span("inner"):
+                pass
+        return tracer
+
+    def test_chrome_events_are_complete_events(self):
+        events = self._traced().to_chrome_events()
+        assert all(event["ph"] == "X" for event in events)
+        assert all(event["cat"] == "repro" for event in events)
+        inner = next(e for e in events if e["name"] == "inner")
+        assert inner["dur"] == 0.5e6  # FakeClock steps are 0.5s → µs
+
+    def test_export_is_valid_json_one_event_per_line(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        self._traced().export(path)
+        with open(path) as handle:
+            text = handle.read()
+        events = json.loads(text)
+        assert len(events) == 2
+        lines = text.strip().splitlines()
+        assert lines[0] == "[" and lines[-1] == "]"
+        assert len(lines) == len(events) + 2
+
+    def test_round_trip_preserves_tree(self, tmp_path):
+        tracer = self._traced()
+        path = str(tmp_path / "trace.json")
+        tracer.export(path)
+        loaded = load_chrome_trace(path)
+        by_name = {span.name: span for span in loaded}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["inner"].trace_id == by_name["outer"].trace_id
+        assert by_name["outer"].attrs == {"n": 3}
+
+    def test_load_rejects_malformed_events(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as handle:
+            json.dump([{"ph": "B", "name": "open-ended"}], handle)
+        with pytest.raises(ValueError):
+            load_chrome_trace(path)
+
+    def test_load_tolerates_missing_bracket(self, tmp_path):
+        """chrome://tracing accepts a truncated array; so do we."""
+        path = str(tmp_path / "trace.json")
+        self._traced().export(path)
+        with open(path) as handle:
+            lines = handle.read().strip().splitlines()
+        truncated = str(tmp_path / "truncated.json")
+        with open(truncated, "w") as handle:
+            handle.write("\n".join(lines[:-1]) + "\n")  # drop the "]"
+        assert len(load_chrome_trace(truncated)) == 2
+
+
+class TestSummarize:
+    def test_counts_percentiles_and_parent_share(self):
+        tracer = Tracer(clock=FakeClock(), enabled=True)
+        for _ in range(3):
+            with tracer.span("outer"):  # 3 ticks: inner + its own
+                with tracer.span("inner"):  # 1 tick each
+                    pass
+        rows = {row["name"]: row for row in summarize_spans(tracer.spans())}
+        assert rows["inner"]["count"] == 3
+        assert rows["inner"]["p50_ms"] == 1000.0  # one 1s FakeClock tick
+        assert rows["outer"]["pct_of_parent"] is None  # roots
+        assert rows["inner"]["pct_of_parent"] == pytest.approx(100 * 3 / 9)
+        # Sorted by total time, descending: outer dominates.
+        assert summarize_spans(tracer.spans())[0]["name"] == "outer"
+
+    def test_parent_counted_once_for_many_children(self):
+        """4 inner spans under ONE outer (9 FakeClock ticks end to end):
+        the shared parent must be summed once, not once per child —
+        inner is 4/9 of the outer, not 4/36."""
+        tracer = Tracer(clock=FakeClock(), enabled=True)
+        with tracer.span("outer"):  # start + 4x(start, end) + end = 9 ticks
+            for _ in range(4):
+                with tracer.span("inner"):  # 1 tick each
+                    pass
+        rows = {row["name"]: row for row in summarize_spans(tracer.spans())}
+        assert rows["inner"]["pct_of_parent"] == pytest.approx(100 * 4 / 9)
+
+    def test_empty(self):
+        assert summarize_spans([]) == []
+
+
+class TestDefaultTracer:
+    def test_swap_and_restore(self):
+        mine = Tracer()
+        previous = set_tracer(mine)
+        try:
+            assert get_tracer() is mine
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is previous
+
+    def test_configure_resize_clears_ring(self):
+        mine = Tracer(capacity=8, clock=FakeClock(), enabled=True)
+        previous = set_tracer(mine)
+        try:
+            with get_tracer().span("op"):
+                pass
+            assert len(get_tracer()) == 1
+            configure_tracing(capacity=2)
+            assert len(get_tracer()) == 0
+            assert get_tracer().capacity == 2
+            configure_tracing(enabled=False)
+            assert get_tracer().enabled is False
+        finally:
+            set_tracer(previous)
+
+
+class TestResolveTracer:
+    def test_none_is_process_default(self):
+        assert resolve_tracer(None) is get_tracer()
+
+    def test_bool_builds_private_tracer(self):
+        enabled = resolve_tracer(True)
+        disabled = resolve_tracer(False)
+        assert enabled.enabled and not disabled.enabled
+        assert enabled is not get_tracer()
+
+    def test_tracer_passes_through(self):
+        mine = Tracer()
+        assert resolve_tracer(mine) is mine
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            resolve_tracer("yes")

@@ -91,6 +91,39 @@ class TestTTLCache:
         with pytest.raises(ConfigError):
             TTLCache(max_size=4, ttl_seconds=0)
 
+    def test_registry_counters_track_churn(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        cache = TTLCache(max_size=2, ttl_seconds=10.0, clock=clock,
+                         registry=registry)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        assert registry.counters["repro.serving.cache.evictions"] == 1
+        clock.advance(11.0)
+        assert cache.get("b") is None  # expired
+        assert registry.counters["repro.serving.cache.expirations"] == 1
+        cache.put("d", 4)
+        removed = cache.invalidate(lambda key: key == "d")
+        assert removed == 1
+        assert registry.counters["repro.serving.cache.invalidated_entries"] == 1
+        cache.put("e", 5)
+        cache.clear()
+        assert registry.counters["repro.serving.cache.invalidated_entries"] >= 2
+
+    def test_no_registry_means_no_metrics(self):
+        cache = TTLCache(max_size=1)
+        cache.put("a", 1)
+        cache.put("b", 2)  # evicts without a registry — must not raise
+        assert cache.stats()["evictions"] == 1
+
+    def test_custom_metric_prefix(self):
+        registry = MetricsRegistry()
+        cache = TTLCache(max_size=1, registry=registry, metric_prefix="my.cache")
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert registry.counters["my.cache.evictions"] == 1
+
 
 class TestMicroBatcher:
     def test_coalesces_concurrent_submissions(self):

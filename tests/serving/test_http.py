@@ -7,6 +7,7 @@ import urllib.request
 
 import pytest
 
+from repro.obs import MetricsRegistry, Tracer
 from repro.serving import PredictionService, ServingConfig, build_server
 
 pytestmark = pytest.mark.serving
@@ -19,6 +20,8 @@ def served(checkpoint, mutable_dataset, scale):
         mutable_dataset,
         scale.features,
         serving_config=ServingConfig(max_batch=8, max_wait_ms=1.0),
+        registry=MetricsRegistry(),
+        trace=Tracer(enabled=True),
     )
     server = build_server(service, host="127.0.0.1", port=0)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
@@ -110,3 +113,72 @@ def test_unknown_path_is_404(served):
     with pytest.raises(urllib.error.HTTPError) as excinfo:
         urllib.request.urlopen(base + "/nope", timeout=10)
     assert excinfo.value.code == 404
+
+
+def test_metrics_endpoint_serves_prometheus_text(served):
+    base, _ = served
+    _post(base, "/predict", {"area": 0, "day": 2, "timeslot": 90})
+    with urllib.request.urlopen(base + "/metrics", timeout=10) as response:
+        assert response.status == 200
+        assert response.headers["Content-Type"].startswith("text/plain")
+        text = response.read().decode()
+    assert "# TYPE repro_serving_requests counter" in text
+    assert "# TYPE repro_serving_request_seconds summary" in text
+    assert 'repro_serving_request_seconds{quantile="0.99"}' in text
+    assert "repro_serving_request_seconds_count 1" in text
+
+
+def test_trace_endpoint_returns_span_tree(served):
+    base, service = served
+    _post(base, "/predict", {"area": 1, "day": 2, "timeslot": 90})
+    status, body = _get(base, "/trace")
+    assert status == 200
+    assert body["enabled"] is True
+    names = {span["name"] for span in body["spans"]}
+    assert {"http.handle", "serving.predict", "batcher.batch"} <= names
+    handle = next(s for s in body["spans"] if s["name"] == "http.handle")
+    predict = next(s for s in body["spans"] if s["name"] == "serving.predict")
+    assert predict["parent_id"] == handle["span_id"]
+
+    status, limited = _get(base, "/trace?limit=2")
+    assert status == 200 and len(limited["spans"]) == 2
+
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(base + "/trace?limit=-1", timeout=10)
+    assert excinfo.value.code == 400
+
+
+def test_shutdown_replies_cleanly_and_drains_handlers(
+    checkpoint, mutable_dataset, scale
+):
+    """The /shutdown acknowledgement must be on the wire before the server
+    exits: the reply is sent, serve_forever returns, and server_close joins
+    the outstanding handler thread instead of racing it."""
+    service = PredictionService.from_checkpoint(
+        checkpoint,
+        mutable_dataset,
+        scale.features,
+        serving_config=ServingConfig(max_batch=8, max_wait_ms=1.0),
+    )
+    server = build_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(
+        target=lambda: (server.serve_forever(), server.server_close()),
+        daemon=True,
+    )
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    try:
+        status, body = _post(base, "/shutdown", {})
+        assert status == 200
+        assert body == {"status": "shutting down"}
+        with server._handler_lock:
+            handlers = list(server._handler_threads)
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        # server_close drained every tracked handler thread (the snapshot
+        # may already be empty if close won the race — also a clean drain).
+        for handler in handlers:
+            assert not handler.is_alive()
+        assert not server._handler_threads
+    finally:
+        service.close()

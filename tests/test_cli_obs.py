@@ -6,7 +6,7 @@ import logging
 import pytest
 
 from repro.cli import main
-from repro.obs import RunManifest
+from repro.obs import RunManifest, configure_tracing, get_tracer, load_chrome_trace
 from repro.obs.logging import ROOT_LOGGER
 
 
@@ -128,6 +128,49 @@ class TestManifests:
         assert "Stage timings" in out
         assert "Final metrics" in out
         assert "rmse" in out
+
+
+class TestTracing:
+    def test_train_trace_export_and_summary(self, pipeline, tmp_path, capsys):
+        trace_file = tmp_path / "train_trace.json"
+        try:
+            assert main(
+                ["train", "--model", "basic", "--scale", "tiny",
+                 "--train", str(pipeline["train"]), "--epochs", "1",
+                 "--quiet", "--trace-file", str(trace_file)]
+            ) == 0
+        finally:
+            # --trace-file flips the process tracer on; restore it so
+            # later tests see the documented off-by-default state.
+            configure_tracing(enabled=False)
+            get_tracer().clear()
+        spans = load_chrome_trace(str(trace_file))
+        names = {span.name for span in spans}
+        assert {"train.epoch", "train.batch_gather", "train.forward",
+                "train.backward", "train.optim.step"} <= names
+        by_id = {span.span_id: span for span in spans}
+        forward = next(s for s in reversed(spans) if s.name == "train.forward")
+        assert by_id[forward.parent_id].name == "train.epoch"
+
+        capsys.readouterr()
+        assert main(["trace", str(trace_file), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "train.epoch" in out
+        assert "p95_ms" in out and "% of parent" in out
+
+    def test_trace_flag_without_file_records_but_writes_nothing(
+        self, pipeline, tmp_path
+    ):
+        try:
+            assert main(
+                ["train", "--model", "basic", "--scale", "tiny",
+                 "--train", str(pipeline["train"]), "--epochs", "1",
+                 "--quiet", "--trace"]
+            ) == 0
+            assert len(get_tracer()) > 0
+        finally:
+            configure_tracing(enabled=False)
+            get_tracer().clear()
 
 
 class TestQuietVerbose:
