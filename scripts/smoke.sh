@@ -2,7 +2,10 @@
 # End-to-end observability smoke test:
 #   simulate → featurize → train → evaluate → interrupt/resume → bench
 #   → traced serve round-trip (/predict, /metrics scrape, clean
-#   /shutdown) → repro trace over the exported span file → report
+#   /shutdown) → repro trace over the exported span file
+#   → 2-worker sharded fleet under loadtest with a mid-load worker
+#     SIGKILL (zero failed requests, supervised respawn, clean
+#     /shutdown) → report
 # (tiny scale).  Fails if any stage exits non-zero, logs an ERROR event,
 # does not write its run manifest, if a training run resumed from a
 # checkpoint diverges from the uninterrupted run, if the exported trace
@@ -177,6 +180,69 @@ for span in http.handle serving.predict batcher.batch p95_ms; do
         exit 1
     fi
 done
+
+# Sharded fleet under fire: two supervised workers behind a router,
+# driven by a short mixed loadtest while one worker is SIGKILLed
+# mid-load.  The run must see zero failed requests (router retry +
+# journal replay), the supervisor must respawn the worker, and the
+# fleet must acknowledge a clean /shutdown.
+python -m repro serve --city city.npz --checkpoint ckpt --scale tiny \
+    --workers 2 --shard-by area-slot --port 0 --fleet-run-dir fleet_run \
+    --log-level debug --log-file "$LOG" > fleet.out &
+FLEET_PID=$!
+for _ in $(seq 1 300); do
+    grep -q "^serving fleet" fleet.out 2>/dev/null && break
+    sleep 0.1
+done
+if ! grep -q "^serving fleet" fleet.out; then
+    echo "smoke FAILED: fleet did not start" >&2
+    cat fleet.out fleet_run/*.err >&2 2>/dev/null
+    kill "$FLEET_PID" 2>/dev/null || true
+    exit 1
+fi
+FLEET_PORT=$(head -1 fleet.out | sed 's/.*://')
+WORKER_PID=$(pgrep -f "fleet_run/worker-0.manifest.json" | head -1)
+if [ -z "$WORKER_PID" ]; then
+    echo "smoke FAILED: could not find fleet worker 0 pid" >&2
+    exit 1
+fi
+( sleep 1; kill -9 "$WORKER_PID" 2>/dev/null || true ) &
+KILLER_PID=$!
+# Exits 1 if any of the 400 concurrent requests fails — the kill must
+# cost latency, never a request.
+run loadtest --url "http://127.0.0.1:$FLEET_PORT" --scale tiny \
+    --requests 400 --concurrency 4 --observe-fraction 0.2 \
+    --bench-out fleet_bench.json
+wait "$KILLER_PID"
+python - "$FLEET_PORT" <<'EOF'
+import json, sys, time, urllib.request
+
+base = f"http://127.0.0.1:{sys.argv[1]}"
+deadline = time.monotonic() + 60
+while True:
+    with urllib.request.urlopen(base + "/stats", timeout=30) as resp:
+        stats = json.loads(resp.read())
+    fleet = stats["fleet"]
+    if fleet["respawns"] >= 1 and all(w["ready"] for w in stats["workers"]):
+        break
+    assert time.monotonic() < deadline, f"no respawn within 60s: {stats}"
+    time.sleep(0.5)
+assert fleet["workers"] == 2, stats
+
+bench = json.load(open("fleet_bench.json"))["metrics"]
+assert bench["serving.fleet.errors"] == 0.0, bench
+assert bench["serving.fleet.requests"] == 400.0, bench
+assert bench["serving.fleet.items_per_sec"] > 0, bench
+
+req = urllib.request.Request(base + "/shutdown", b"{}",
+                             {"Content-Type": "application/json"})
+with urllib.request.urlopen(req, timeout=30) as resp:
+    assert resp.status == 200
+    assert json.loads(resp.read()) == {"status": "shutting down"}
+print(f"fleet ok (400 loadtest requests, 0 errors, "
+      f"{fleet['respawns']} respawn(s) after SIGKILL)")
+EOF
+wait "$FLEET_PID"
 
 if grep -q "level=error" "$LOG"; then
     echo "smoke FAILED: ERROR events in $LOG:" >&2

@@ -13,7 +13,11 @@ Commands cover the full pipeline a downstream user needs:
 - ``bench``      — measure hot-path throughput and write the canonical
   ``BENCH_perf.json`` perf-trajectory file (see ``docs/performance.md``);
 - ``serve``      — run the online gap-prediction HTTP service from a
-  checkpoint bundle (see ``docs/serving.md``);
+  checkpoint bundle; ``--workers N`` scales it out to a supervised
+  sharded fleet behind a front router (see ``docs/serving.md``);
+- ``loadtest``   — drive concurrent mixed predict/observe load at a
+  serving endpoint (or a self-hosted fleet) and record
+  ``serving.fleet.*`` latency/throughput into ``BENCH_perf.json``;
 - ``info``       — describe a saved city or ExampleSet;
 - ``report``     — summarize one or more run manifests;
 - ``trace``      — summarize an exported Chrome-trace file (per-span-name
@@ -246,6 +250,72 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-profiles", type=int, default=None, metavar="N",
         help="bound the warm per-(area, day) featurization cache",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes; >1 runs a sharded fleet behind a router",
+    )
+    serve.add_argument(
+        "--shard-by", default="area-slot", choices=["area-slot", "area"],
+        help="fleet query partitioning (default: hash of area and timeslot)",
+    )
+    serve.add_argument(
+        "--watch-checkpoint", type=float, default=0.0, metavar="SECONDS",
+        help="poll the checkpoint dir at this cadence and hot-swap new "
+             "bundles (0 disables)",
+    )
+    serve.add_argument(
+        "--fleet-run-dir", default=None, metavar="DIR",
+        help="fleet worker logs/manifests directory (default: temp dir)",
+    )
+
+    loadtest = sub.add_parser(
+        "loadtest", parents=[obs],
+        help="drive concurrent mixed predict/observe load at a serving "
+             "endpoint and record serving.fleet.* bench metrics",
+    )
+    loadtest.add_argument(
+        "--url", default=None,
+        help="serving endpoint (http://host:port); omit to self-host a "
+             "fleet from --city/--checkpoint for the duration of the run",
+    )
+    loadtest.add_argument("--city", default=None, help="city .npz (self-host)")
+    loadtest.add_argument(
+        "--checkpoint", default=None, help="checkpoint bundle (self-host)"
+    )
+    loadtest.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="self-hosted fleet size (default 2)",
+    )
+    loadtest.add_argument(
+        "--shard-by", default="area-slot", choices=["area-slot", "area"],
+    )
+    loadtest.add_argument("--scale", default="tiny", help="paper | bench | tiny")
+    loadtest.add_argument(
+        "--requests", type=int, default=2000, metavar="N",
+        help="total requests to issue",
+    )
+    loadtest.add_argument(
+        "--concurrency", type=int, default=8, metavar="N",
+        help="concurrent client threads",
+    )
+    loadtest.add_argument(
+        "--observe-fraction", type=float, default=0.2, metavar="F",
+        help="fraction of requests that are observations (default 0.2)",
+    )
+    loadtest.add_argument("--seed", type=int, default=0)
+    loadtest.add_argument(
+        "--bench-out", default=None, metavar="PATH",
+        help="merge results into this bench trajectory "
+             "(default: BENCH_perf.json; use --no-bench to skip)",
+    )
+    loadtest.add_argument(
+        "--no-bench", action="store_true",
+        help="print results only; do not touch the bench trajectory",
+    )
+    loadtest.add_argument(
+        "--bench-prefix", default="serving.fleet", metavar="PREFIX",
+        help="metric-name prefix for the recorded keys",
     )
 
     info = sub.add_parser("info", parents=[obs], help="describe a saved artifact")
@@ -571,7 +641,16 @@ def cmd_bench(args) -> int:
 
 def cmd_serve(args) -> int:
     from .city import CityDataset
-    from .serving import PredictionService, ServingConfig, build_server, serve_forever
+    from .serving import (
+        CheckpointWatcher,
+        PredictionService,
+        ServingConfig,
+        build_server,
+        serve_forever,
+    )
+
+    if args.workers > 1:
+        return _serve_fleet(args)
 
     scale = get_scale(args.scale)
     manifest = RunManifest.begin(
@@ -601,6 +680,15 @@ def cmd_serve(args) -> int:
                 max_profiles=args.max_profiles,
             ),
         )
+    watcher = None
+    if args.watch_checkpoint > 0:
+        watch_dir = (
+            args.checkpoint if os.path.isdir(args.checkpoint)
+            else os.path.dirname(args.checkpoint) or "."
+        )
+        watcher = CheckpointWatcher(
+            service, watch_dir, interval_seconds=args.watch_checkpoint
+        ).start()
     server = build_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     manifest.record(port=port)
@@ -613,6 +701,9 @@ def cmd_serve(args) -> int:
         except KeyboardInterrupt:
             server.server_close()
             service.close()
+        finally:
+            if watcher is not None:
+                watcher.stop()
     stats = service.stats()
     registry = get_registry()
     requests = registry.counters.get("repro.serving.requests", 0)
@@ -626,6 +717,156 @@ def cmd_serve(args) -> int:
         f"served {int(requests)} requests "
         f"({stats['cache']['hits']} cache hits); shut down cleanly"
     )
+    return 0
+
+
+def _serve_fleet(args) -> int:
+    """``repro serve --workers N``: supervised sharded fleet + router."""
+    from .serving import FleetConfig, FleetSupervisor, build_router
+
+    scale = get_scale(args.scale)
+    config = FleetConfig(
+        city=args.city,
+        checkpoint=args.checkpoint,
+        scale=scale.name,
+        workers=args.workers,
+        shard_by=args.shard_by,
+        host=args.host,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        cache_size=args.cache_size,
+        watch_interval=args.watch_checkpoint,
+        run_dir=args.fleet_run_dir,
+    )
+    manifest = RunManifest.begin(
+        "serve",
+        config={
+            "scale": scale.name,
+            "city": args.city,
+            "checkpoint": args.checkpoint,
+            "workers": args.workers,
+            "shard_by": args.shard_by,
+        },
+    )
+    fleet = FleetSupervisor(config)
+    with manifest.stage("start_fleet"):
+        fleet.start()
+    server = build_router(fleet, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    manifest.record(port=port, run_dir=fleet.run_dir)
+    manifest.artifacts["checkpoint"] = args.checkpoint
+    # Keep the port after the last colon: tooling (smoke.sh) parses it
+    # from this banner exactly as in the single-process case.
+    print(
+        f"serving {fleet.label} on http://{host}:{port}", flush=True
+    )
+    _log.event(
+        "fleet.router_started", host=host, port=port, workers=args.workers
+    )
+    with manifest.stage("serve"):
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+            fleet.shutdown()
+    registry = get_registry()
+    requests = registry.counters.get("repro.fleet.router.requests", 0)
+    manifest.record(requests=requests, respawns=fleet.respawns)
+    _write_manifest(manifest, args, f"{args.checkpoint.rstrip('/')}.fleet")
+    print(
+        f"served {int(requests)} routed requests across {args.workers} "
+        f"workers ({fleet.respawns} respawns); shut down cleanly"
+    )
+    return 0
+
+
+def cmd_loadtest(args) -> int:
+    from .bench import DEFAULT_BENCH_PATH
+    from .serving import (
+        FleetConfig,
+        FleetSupervisor,
+        build_router,
+        merge_bench,
+        run_loadtest,
+    )
+
+    scale = get_scale(args.scale)
+    manifest = RunManifest.begin(
+        "loadtest",
+        config={
+            "scale": scale.name,
+            "url": args.url,
+            "requests": args.requests,
+            "concurrency": args.concurrency,
+            "observe_fraction": args.observe_fraction,
+            "seed": args.seed,
+        },
+    )
+    fleet = None
+    server = None
+    server_thread = None
+    if args.url:
+        url = args.url
+    else:
+        if not (args.city and args.checkpoint):
+            print(
+                "loadtest needs --url, or --city and --checkpoint to "
+                "self-host a fleet",
+                file=sys.stderr,
+            )
+            return 2
+        with manifest.stage("start_fleet"):
+            fleet = FleetSupervisor(
+                FleetConfig(
+                    city=args.city,
+                    checkpoint=args.checkpoint,
+                    scale=scale.name,
+                    workers=args.workers,
+                    shard_by=args.shard_by,
+                )
+            ).start()
+            server = build_router(fleet)
+            host, port = server.server_address[:2]
+            import threading as _threading
+
+            server_thread = _threading.Thread(
+                target=server.serve_forever, daemon=True
+            )
+            server_thread.start()
+            url = f"http://{host}:{port}"
+            print(f"self-hosted fleet of {args.workers} workers at {url}")
+    try:
+        with manifest.stage("loadtest"):
+            result = run_loadtest(
+                url,
+                scale,
+                n_requests=args.requests,
+                concurrency=args.concurrency,
+                observe_fraction=args.observe_fraction,
+                seed=args.seed,
+            )
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+            server_thread.join(timeout=10.0)
+        if fleet is not None:
+            fleet.shutdown()
+    metrics = result.metrics(args.bench_prefix)
+    for name in sorted(metrics):
+        print(f"{name}: {metrics[name]:.4f}")
+    manifest.record(**{k.rsplit(".", 1)[-1]: v for k, v in metrics.items()})
+    if not args.no_bench:
+        bench_path = args.bench_out or DEFAULT_BENCH_PATH
+        merge_bench(metrics, bench_path, scale_name=scale.name)
+        print(f"merged {len(metrics)} {args.bench_prefix}.* keys into {bench_path}")
+        manifest.artifacts["bench"] = bench_path
+    _write_manifest(manifest, args, "loadtest")
+    if result.errors:
+        print(f"loadtest FAILED: {result.errors} errored requests", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -752,6 +993,7 @@ _COMMANDS = {
     "experiment": cmd_experiment,
     "bench": cmd_bench,
     "serve": cmd_serve,
+    "loadtest": cmd_loadtest,
     "info": cmd_info,
     "report": cmd_report,
     "trace": cmd_trace,

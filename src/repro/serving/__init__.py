@@ -9,16 +9,35 @@ live "what will the gap be here, now?" queries inside a dispatch system:
   invalidation) and hot-swaps checkpoints without downtime;
 - :class:`MicroBatcher` / :class:`TTLCache` — the reusable pieces;
 - :mod:`repro.serving.http` — the stdlib JSON endpoint behind
-  ``repro serve``.
+  ``repro serve``;
+- :class:`FleetSupervisor` / :mod:`repro.serving.router` — the sharded
+  multi-worker fleet behind ``repro serve --workers N``: supervised
+  worker processes, hash-partitioned queries, broadcast observations,
+  retry-on-reconnect and aggregated metrics;
+- :class:`CheckpointWatcher` — per-process checkpoint-directory polling
+  for zero-touch hot-swaps (``repro serve --watch-checkpoint``);
+- :func:`run_loadtest` — the ``repro loadtest`` concurrency driver that
+  records ``serving.fleet.*`` latency/throughput into the bench
+  trajectory.
 
 Batched responses are bitwise-identical to one-at-a-time
-``Trainer.predict`` on the same checkpoint (see ``docs/serving.md``).
+``Trainer.predict`` on the same checkpoint — and a sharded fleet is
+bitwise-identical to one process (see ``docs/serving.md``).
 """
 
 from .batcher import MicroBatcher
 from .cache import TTLCache
+from .fleet import FleetConfig, FleetSupervisor
 from .http import build_server, serve_forever
+from .loadtest import LoadTestResult, generate_ops, merge_bench, run_loadtest
+from .router import (
+    SHARD_STRATEGIES,
+    aggregate_prometheus,
+    build_router,
+    shard_for,
+)
 from .service import (
+    CheckpointWatcher,
     ObservationKind,
     PredictionResult,
     PredictionService,
@@ -26,12 +45,23 @@ from .service import (
 )
 
 __all__ = [
+    "SHARD_STRATEGIES",
+    "CheckpointWatcher",
+    "FleetConfig",
+    "FleetSupervisor",
+    "LoadTestResult",
     "MicroBatcher",
     "ObservationKind",
     "PredictionResult",
     "PredictionService",
     "ServingConfig",
     "TTLCache",
+    "aggregate_prometheus",
+    "build_router",
     "build_server",
+    "generate_ops",
+    "merge_bench",
+    "run_loadtest",
     "serve_forever",
+    "shard_for",
 ]

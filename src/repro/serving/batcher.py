@@ -74,6 +74,10 @@ class MicroBatcher:
         self._tracer = tracer if tracer is not None else get_tracer()
         self._queue: "queue.Queue" = queue.Queue()
         self._closed = False
+        # Guards the closed-check + enqueue in submit() against close():
+        # without it a submit that passed the check could enqueue after
+        # the _STOP sentinel and its future would never resolve.
+        self._lifecycle_lock = threading.Lock()
         self._worker = threading.Thread(
             target=self._run, name="repro-serving-batcher", daemon=True
         )
@@ -85,8 +89,6 @@ class MicroBatcher:
 
     def submit(self, item: object) -> "Future":
         """Enqueue one item; the future resolves to the handler's result."""
-        if self._closed:
-            raise RuntimeError("batcher is closed")
         future: "Future" = Future()
         tracer = self._tracer
         if tracer.enabled:
@@ -97,15 +99,19 @@ class MicroBatcher:
             enqueued = tracer.clock()
         else:
             context, enqueued = None, 0.0
-        self._queue.put((item, future, context, enqueued))
+        with self._lifecycle_lock:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            self._queue.put((item, future, context, enqueued))
         return future
 
     def close(self, timeout: Optional[float] = 5.0) -> None:
         """Stop the worker after it drains what is already queued."""
-        if self._closed:
-            return
-        self._closed = True
-        self._queue.put(_STOP)
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put(_STOP)
         self._worker.join(timeout=timeout)
 
     def __enter__(self) -> "MicroBatcher":
@@ -123,6 +129,7 @@ class MicroBatcher:
         while True:
             first = self._queue.get()
             if first is _STOP:
+                self._drain_closed()
                 return
             batch = [first]
             deadline = clock() + self.max_wait_s
@@ -145,7 +152,28 @@ class MicroBatcher:
             self._registry.observe("repro.serving.batch_size", len(batch))
             self._dispatch(batch)
             if stop_after:
+                self._drain_closed()
                 return
+
+    def _drain_closed(self) -> None:
+        """Fail anything still queued when the worker exits.
+
+        The lifecycle lock means nothing should ever follow the ``_STOP``
+        sentinel, but a hung future is the worst failure mode a batcher
+        can have, so the worker sweeps the queue anyway and resolves any
+        stragglers with a loud error instead of leaving them pending
+        forever.
+        """
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is _STOP:
+                continue
+            _, future, _, _ = item
+            if not future.done():
+                future.set_exception(RuntimeError("batcher closed"))
 
     def _dispatch(self, batch) -> None:
         items = [item for item, _, _, _ in batch]

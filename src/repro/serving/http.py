@@ -14,7 +14,10 @@ concurrency shape the micro-batcher coalesces) with a small JSON API:
   (serving latency percentiles included — see ``docs/observability.md``);
 - ``GET /trace?limit=N`` the newest ``N`` completed spans from the
   service tracer as JSON (empty unless tracing is enabled);
-- ``POST /shutdown`` clean stop (used by the smoke test).
+- ``POST /reload``   ``{"checkpoint": path}`` → hot-swap the engine to
+  that checkpoint bundle and return the new ``{"version": str}``;
+- ``POST /shutdown`` clean stop (used by the smoke test and the fleet
+  supervisor).
 
 Invalid inputs are 400s with an ``{"error": ...}`` body; unexpected
 failures are 500s.  No dependencies beyond the standard library.
@@ -132,31 +135,36 @@ def build_server(
                 self._reply(404, {"error": f"unknown path {self.path}"})
 
         def do_POST(self) -> None:  # noqa: N802
-            try:
-                with service.tracer.span("http.handle", path=self.path):
+            # The reply is sent inside the http.handle span for every
+            # route, so traced request latency uniformly covers
+            # serialization + socket write (it used to exclude them on
+            # error paths and /shutdown only).
+            shutting_down = False
+            with service.tracer.span("http.handle", path=self.path):
+                try:
                     if self.path == "/predict":
                         status, payload = self._predict()
                     elif self.path == "/observe":
                         status, payload = self._observe()
+                    elif self.path == "/reload":
+                        status, payload = self._reload()
                     elif self.path == "/shutdown":
-                        # Reply BEFORE triggering shutdown: shutdown()
-                        # blocks until serve_forever returns, so it must
-                        # run off this handler thread.  server_close then
-                        # joins this thread, so the reply is flushed
-                        # before the process exits.
-                        self._reply(200, {"status": "shutting down"})
-                        threading.Thread(
-                            target=self.server.shutdown, daemon=True
-                        ).start()
-                        return
+                        status, payload = 200, {"status": "shutting down"}
+                        shutting_down = True
                     else:
                         status, payload = 404, {"error": f"unknown path {self.path}"}
-            except (DataError, ConfigError, ValueError, KeyError, TypeError) as error:
-                status, payload = 400, {"error": str(error)}
-            except Exception as error:  # noqa: BLE001 — last-resort 500
-                _log.event("serving.http_error", path=self.path, error=repr(error))
-                status, payload = 500, {"error": repr(error)}
-            self._reply(status, payload)
+                except (DataError, ConfigError, ValueError, KeyError, TypeError) as error:
+                    status, payload = 400, {"error": str(error)}
+                except Exception as error:  # noqa: BLE001 — last-resort 500
+                    _log.event("serving.http_error", path=self.path, error=repr(error))
+                    status, payload = 500, {"error": repr(error)}
+                self._reply(status, payload)
+            if shutting_down:
+                # Reply BEFORE triggering shutdown: shutdown() blocks
+                # until serve_forever returns, so it must run off this
+                # handler thread.  server_close then joins this thread,
+                # so the reply is flushed before the process exits.
+                threading.Thread(target=self.server.shutdown, daemon=True).start()
 
         def _predict(self) -> Tuple[int, dict]:
             body = self._read_json()
@@ -181,6 +189,11 @@ def build_server(
             )
             return 200, outcome
 
+        def _reload(self) -> Tuple[int, dict]:
+            body = self._read_json()
+            version = service.load_checkpoint(str(body["checkpoint"]))
+            return 200, {"version": version}
+
         def _trace_dump(self, query: dict) -> Tuple[int, dict]:
             limit = int(query.get("limit", [_DEFAULT_TRACE_DUMP])[0])
             if limit < 0:
@@ -204,8 +217,22 @@ def build_server(
                 raise DataError("request body required")
             if length > _MAX_BODY_BYTES:
                 raise DataError(f"request body larger than {_MAX_BODY_BYTES} bytes")
+            # A single read() may return fewer bytes than Content-Length
+            # (slow client, small socket buffers); loop until the full
+            # body arrives or the connection ends short.
+            chunks = []
+            remaining = length
+            while remaining > 0:
+                chunk = self.rfile.read(remaining)
+                if not chunk:
+                    raise DataError(
+                        f"truncated request body: got {length - remaining} "
+                        f"of {length} bytes"
+                    )
+                chunks.append(chunk)
+                remaining -= len(chunk)
             try:
-                parsed = json.loads(self.rfile.read(length))
+                parsed = json.loads(b"".join(chunks))
             except json.JSONDecodeError as error:
                 raise DataError(f"invalid JSON body: {error}") from error
             if not isinstance(parsed, dict):

@@ -1,0 +1,406 @@
+"""Front router for the prediction fleet: shard, proxy, aggregate.
+
+The router is the fleet's single public endpoint.  It speaks exactly the
+same JSON API as a lone :mod:`repro.serving.http` service — clients
+cannot tell a 4-shard fleet from one process — and owns three jobs:
+
+- **Routing.**  ``POST /predict`` hashes the query's ``(area, timeslot)``
+  (or ``area`` alone, with ``shard_by="area"``) onto one worker with
+  :func:`shard_for` — a process-stable BLAKE2b hash, never the builtin
+  randomized ``hash()`` — and proxies the request there.  The same query
+  always lands on the same shard, so each cached gap lives on exactly
+  one worker and the fleet-wide cache is a partition, not a mirror.
+- **Fan-out.**  ``POST /observe`` must reach every worker (each replica
+  owns a full copy of the city state), so it broadcasts through the
+  supervisor's observation journal and returns the summed invalidation
+  counts — the single-process exact-set invariant, preserved across
+  processes.  ``POST /reload`` broadcasts a checkpoint hot-swap.
+- **Retry-on-reconnect.**  A proxy attempt that dies on a transport
+  error reports the failure to the supervisor (which respawns dead
+  workers) and retries against the shard's next live address until
+  ``retry_timeout`` — a SIGKILLed worker costs latency, never a failed
+  request.  Predictions are pure, so replay is always safe.
+
+``GET /stats``, ``/healthz`` and ``/metrics`` aggregate per-worker state
+through the router (see :func:`aggregate_prometheus` for the merge
+semantics).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import http.client
+import json
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from ..exceptions import ConfigError, DataError
+from ..obs import get_logger
+from .http import _JoiningHTTPServer
+
+from http.server import BaseHTTPRequestHandler
+
+__all__ = [
+    "SHARD_STRATEGIES",
+    "aggregate_prometheus",
+    "build_router",
+    "request_json",
+    "request_text",
+    "shard_for",
+]
+
+_log = get_logger(__name__)
+
+_MAX_BODY_BYTES = 1 << 20
+
+#: Supported ``shard_by`` strategies: ``area-slot`` spreads a single
+#: area's timeslots across the fleet (finest balance), ``area`` pins an
+#: area to one worker (best cache/invalidation locality for
+#: area-scoped observations).
+SHARD_STRATEGIES = ("area-slot", "area")
+
+#: Transport-level failures that mean "this worker connection is gone" —
+#: retriable against a respawned worker, unlike an HTTP-level error.
+TRANSPORT_ERRORS = (OSError, http.client.HTTPException)
+
+
+def shard_for(
+    area_id: int, timeslot: int, n_shards: int, by: str = "area-slot"
+) -> int:
+    """Deterministic worker index for one query.
+
+    Uses an 8-byte BLAKE2b digest so the mapping is identical in every
+    process and across runs (the builtin ``hash()`` is randomized per
+    process for strings and must never leak into routing).
+    """
+    if n_shards <= 0:
+        raise ConfigError(f"n_shards must be positive, got {n_shards}")
+    if by == "area":
+        key = b"%d" % int(area_id)
+    elif by == "area-slot":
+        key = b"%d:%d" % (int(area_id), int(timeslot))
+    else:
+        raise ConfigError(f"unknown shard_by {by!r}; known: {SHARD_STRATEGIES}")
+    digest = hashlib.blake2b(key, digest_size=8).digest()
+    return int.from_bytes(digest, "big") % n_shards
+
+
+# ----------------------------------------------------------------------
+# Worker-facing HTTP client (thread-local keep-alive connections)
+# ----------------------------------------------------------------------
+
+_local = threading.local()
+
+
+def _connection(address: str, timeout: float) -> http.client.HTTPConnection:
+    pool: Dict[str, http.client.HTTPConnection] = getattr(_local, "pool", None)
+    if pool is None:
+        pool = _local.pool = {}
+    connection = pool.get(address)
+    if connection is None:
+        host, _, port = address.rpartition(":")
+        connection = http.client.HTTPConnection(host, int(port), timeout=timeout)
+        pool[address] = connection
+    return connection
+
+
+def drop_connection(address: str) -> None:
+    """Discard this thread's cached connection to ``address`` (if any)."""
+    pool = getattr(_local, "pool", None)
+    if pool:
+        connection = pool.pop(address, None)
+        if connection is not None:
+            connection.close()
+
+
+def _roundtrip(
+    address: str, method: str, path: str, body: Optional[dict], timeout: float
+) -> Tuple[int, bytes, str]:
+    """One request on this thread's keep-alive connection to ``address``.
+
+    A stale keep-alive connection (worker restarted between requests)
+    fails on the *first* byte, so one reconnect-and-replay is safe for
+    every method we proxy; a failure on the fresh connection propagates
+    to the caller's retry/failure handling.
+    """
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    headers = {"Content-Type": "application/json"} if data is not None else {}
+    for attempt in (0, 1):
+        connection = _connection(address, timeout)
+        try:
+            connection.request(method, path, body=data, headers=headers)
+            response = connection.getresponse()
+            payload = response.read()
+            return response.status, payload, response.headers.get("Content-Type", "")
+        except TRANSPORT_ERRORS:
+            drop_connection(address)
+            if attempt:
+                raise
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def request_json(
+    address: str,
+    method: str,
+    path: str,
+    body: Optional[dict] = None,
+    timeout: float = 30.0,
+) -> Tuple[int, dict]:
+    """JSON round-trip to ``host:port``; raises ``TRANSPORT_ERRORS`` on
+    connection-level failure, returns ``(status, payload)`` otherwise."""
+    status, raw, _ = _roundtrip(address, method, path, body, timeout)
+    try:
+        payload = json.loads(raw) if raw else {}
+    except ValueError:
+        payload = {"error": raw.decode("utf-8", errors="replace")}
+    return status, payload
+
+
+def request_text(
+    address: str, path: str, timeout: float = 30.0
+) -> Tuple[int, str, str]:
+    """Plain-text GET (the ``/metrics`` exposition); returns
+    ``(status, text, content_type)``."""
+    status, raw, content_type = _roundtrip(address, "GET", path, None, timeout)
+    return status, raw.decode("utf-8", errors="replace"), content_type
+
+
+# ----------------------------------------------------------------------
+# Metrics aggregation
+# ----------------------------------------------------------------------
+
+
+def aggregate_prometheus(texts: List[str]) -> str:
+    """Merge per-worker Prometheus expositions into one fleet view.
+
+    Merge semantics per metric kind:
+
+    - **counter** samples and summary ``_sum``/``_count`` samples sum
+      across workers (fleet totals);
+    - **gauge** samples sum (e.g. queue depths add up to fleet backlog);
+    - **summary** ``quantile=...`` samples take the **max** across
+      workers — quantile sketches cannot be merged from exposition text,
+      and the worst per-worker percentile is the honest conservative
+      bound for "how slow can a request be somewhere in the fleet".
+    """
+    kinds: Dict[str, str] = {}
+    order: List[str] = []
+    samples: Dict[str, List[str]] = {}
+    values: Dict[Tuple[str, str], float] = {}
+
+    def base_metric(sample_name: str) -> str:
+        name = sample_name.split("{", 1)[0]
+        for suffix in ("_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in kinds:
+                return name[: -len(suffix)]
+        return name
+
+    for text in texts:
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line.split()
+                if len(parts) >= 4 and parts[1] == "TYPE":
+                    metric, kind = parts[2], parts[3]
+                    if metric not in kinds:
+                        kinds[metric] = kind
+                        order.append(metric)
+                        samples[metric] = []
+                continue
+            name, _, value_text = line.rpartition(" ")
+            try:
+                value = float(value_text)
+            except ValueError:
+                continue
+            metric = base_metric(name)
+            if metric not in kinds:  # sample with no TYPE line — skip
+                continue
+            key = (metric, name)
+            if key not in values:
+                samples[metric].append(name)
+                values[key] = value
+            elif kinds[metric] == "summary" and "quantile=" in name:
+                values[key] = max(values[key], value)
+            else:
+                values[key] += value
+
+    lines: List[str] = []
+    for metric in order:
+        lines.append(f"# TYPE {metric} {kinds[metric]}")
+        for name in samples[metric]:
+            value = values[(metric, name)]
+            if name.endswith("_count"):
+                lines.append(f"{name} {int(value)}")
+            else:
+                lines.append(f"{name} {repr(float(value))}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# The router server
+# ----------------------------------------------------------------------
+
+
+def build_router(
+    fleet, host: str = "127.0.0.1", port: int = 0
+) -> _JoiningHTTPServer:
+    """An HTTP front router bound to ``host:port`` proxying ``fleet``.
+
+    ``fleet`` is a :class:`repro.serving.fleet.FleetSupervisor` (anything
+    with its routing/broadcast surface works).  The caller owns the
+    lifecycle exactly as with :func:`repro.serving.http.build_server`;
+    ``POST /shutdown`` stops the workers first, then the router.
+    """
+    registry = fleet.registry
+
+    class RouterHandler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        # ------------------------------------------------------------------
+        # Routes
+        # ------------------------------------------------------------------
+
+        def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+            parsed = urlsplit(self.path)
+            try:
+                if parsed.path == "/healthz":
+                    status, payload = fleet.healthz()
+                elif parsed.path == "/stats":
+                    status, payload = 200, fleet.stats()
+                elif parsed.path == "/metrics":
+                    self._reply_text(200, fleet.metrics_text())
+                    return
+                else:
+                    status, payload = 404, {"error": f"unknown path {self.path}"}
+            except Exception as error:  # noqa: BLE001 — last-resort 500
+                _log.event("fleet.router_error", path=self.path, error=repr(error))
+                status, payload = 500, {"error": repr(error)}
+            self._reply(status, payload)
+
+        def do_POST(self) -> None:  # noqa: N802
+            shutting_down = False
+            registry.counter("repro.fleet.router.requests")
+            with registry.timer("repro.fleet.router.request_seconds"):
+                try:
+                    if self.path == "/predict":
+                        status, payload = self._predict()
+                    elif self.path == "/observe":
+                        status, payload = fleet.broadcast_observe(self._read_json())
+                    elif self.path == "/reload":
+                        body = self._read_json()
+                        status, payload = fleet.broadcast_reload(
+                            str(body["checkpoint"])
+                        )
+                    elif self.path == "/shutdown":
+                        status, payload = 200, {"status": "shutting down"}
+                        shutting_down = True
+                    else:
+                        status, payload = 404, {"error": f"unknown path {self.path}"}
+                except (DataError, ConfigError, ValueError, KeyError, TypeError) as error:
+                    status, payload = 400, {"error": str(error)}
+                except TimeoutError as error:
+                    registry.counter("repro.fleet.router.unavailable")
+                    status, payload = 503, {"error": str(error)}
+                except Exception as error:  # noqa: BLE001
+                    _log.event(
+                        "fleet.router_error", path=self.path, error=repr(error)
+                    )
+                    status, payload = 500, {"error": repr(error)}
+                self._reply(status, payload)
+            if shutting_down:
+                # Reply first; stopping the fleet and the router blocks
+                # until serve_forever returns, so it runs off-thread (the
+                # same shape as the single-service /shutdown).
+                threading.Thread(target=self._stop_everything, daemon=True).start()
+
+        def _stop_everything(self) -> None:
+            try:
+                fleet.shutdown()
+            finally:
+                self.server.shutdown()
+
+        def _predict(self) -> Tuple[int, dict]:
+            body = self._read_json()
+            shard = fleet.shard_for_query(
+                int(body["area"]), int(body["timeslot"])
+            )
+            deadline = time.monotonic() + fleet.retry_timeout
+            attempt = 0
+            while True:
+                address = fleet.address_of(shard, deadline)
+                try:
+                    return request_json(
+                        address, "POST", "/predict", body,
+                        timeout=fleet.retry_timeout,
+                    )
+                except TRANSPORT_ERRORS as error:
+                    # The worker died mid-request (or between requests).
+                    # Predictions are pure, so replaying the query against
+                    # the respawned shard is always correct.
+                    attempt += 1
+                    registry.counter("repro.fleet.router.retries")
+                    fleet.report_failure(shard, address)
+                    if time.monotonic() >= deadline:
+                        registry.counter("repro.fleet.router.unavailable")
+                        return 503, {
+                            "error": f"shard {shard} unavailable after "
+                                     f"{attempt} attempts: {error!r}"
+                        }
+                    time.sleep(min(0.05 * attempt, 0.5))
+
+        # ------------------------------------------------------------------
+        # Plumbing (same wire behavior as the worker handler)
+        # ------------------------------------------------------------------
+
+        def _read_json(self) -> dict:
+            length = int(self.headers.get("Content-Length", 0))
+            if length <= 0:
+                raise DataError("request body required")
+            if length > _MAX_BODY_BYTES:
+                raise DataError(f"request body larger than {_MAX_BODY_BYTES} bytes")
+            chunks = []
+            remaining = length
+            while remaining > 0:
+                chunk = self.rfile.read(remaining)
+                if not chunk:
+                    raise DataError(
+                        f"truncated request body: got {length - remaining} "
+                        f"of {length} bytes"
+                    )
+                chunks.append(chunk)
+                remaining -= len(chunk)
+            try:
+                parsed = json.loads(b"".join(chunks))
+            except json.JSONDecodeError as error:
+                raise DataError(f"invalid JSON body: {error}") from error
+            if not isinstance(parsed, dict):
+                raise DataError("request body must be a JSON object")
+            return parsed
+
+        def _reply(self, status: int, payload: dict) -> None:
+            self._send(status, json.dumps(payload).encode("utf-8"),
+                       "application/json")
+
+        def _reply_text(self, status: int, text: str) -> None:
+            self._send(status, text.encode("utf-8"),
+                       "text/plain; version=0.0.4; charset=utf-8")
+
+        def _send(self, status: int, data: bytes, content_type: str) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def log_message(self, format: str, *args) -> None:  # noqa: A002
+            import logging
+
+            _log.event(
+                "fleet.router_http", level=logging.DEBUG, detail=format % args
+            )
+
+    return _JoiningHTTPServer((host, port), RouterHandler)

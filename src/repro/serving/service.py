@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
@@ -52,7 +53,13 @@ from .cache import TTLCache
 if TYPE_CHECKING:  # pragma: no cover
     from ..city.dataset import CityDataset
 
-__all__ = ["ObservationKind", "PredictionResult", "PredictionService", "ServingConfig"]
+__all__ = [
+    "CheckpointWatcher",
+    "ObservationKind",
+    "PredictionResult",
+    "PredictionService",
+    "ServingConfig",
+]
 
 _log = get_logger(__name__)
 
@@ -562,3 +569,80 @@ class PredictionService:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+
+class CheckpointWatcher:
+    """Hot-swap the service whenever a new bundle lands in a directory.
+
+    This is the fleet's checkpoint-distribution mechanism: a trainer (or
+    the continuous-learning loop, someday) writes a new atomic bundle
+    into the shared checkpoint directory, and every worker's watcher
+    notices the ``latest.json`` pointer move and swaps its engine
+    snapshot independently — no coordination, no downtime, and never a
+    torn read, because bundles are written tmp+rename with the pointer
+    updated last.
+
+    A failed swap (e.g. a bundle trained for a different window) is
+    logged and retried on the next poll; the worker keeps serving its
+    current engine.
+    """
+
+    def __init__(
+        self,
+        service: PredictionService,
+        directory: str,
+        interval_seconds: float = 2.0,
+    ) -> None:
+        from ..core.checkpoint import Checkpoint
+
+        if interval_seconds <= 0:
+            raise ConfigError(
+                f"interval_seconds must be positive, got {interval_seconds}"
+            )
+        self._checkpoint_cls = Checkpoint
+        self._service = service
+        self.directory = os.fspath(directory)
+        self.interval_seconds = interval_seconds
+        self._stem = Checkpoint.latest_stem(self.directory)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serving-ckpt-watcher", daemon=True
+        )
+
+    def start(self) -> "CheckpointWatcher":
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: Optional[float] = 5.0) -> None:
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=timeout)
+
+    def poll_once(self) -> Optional[str]:
+        """Check the pointer; swap if it moved.  Returns the new version."""
+        try:
+            stem = self._checkpoint_cls.latest_stem(self.directory)
+        except OSError:
+            return None
+        if stem is None or stem == self._stem:
+            return None
+        try:
+            version = self._service.load_checkpoint(self.directory)
+        except Exception as error:  # noqa: BLE001 — keep serving old engine
+            _log.event(
+                "serving.watch_swap_failed",
+                directory=self.directory,
+                stem=stem,
+                error=repr(error),
+            )
+            return None
+        self._stem = stem
+        _log.event(
+            "serving.watch_swapped", directory=self.directory,
+            stem=stem, version=version,
+        )
+        return version
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_seconds):
+            self.poll_once()

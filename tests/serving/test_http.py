@@ -1,6 +1,7 @@
 """HTTP endpoint round-trip against an in-process server on a free port."""
 
 import json
+import socket
 import threading
 import urllib.error
 import urllib.request
@@ -106,6 +107,40 @@ def test_bad_requests_are_400s(served):
             urllib.request.urlopen(request, timeout=10)
         assert excinfo.value.code == 400
         assert "error" in json.loads(excinfo.value.read())
+
+
+def test_truncated_content_length_is_400_not_hang(served):
+    """A client advertising more body than it sends must get a clean 400.
+
+    The old single ``rfile.read(length)`` could also return *fewer* bytes
+    and silently parse a prefix; the read loop either gets every
+    advertised byte or fails loudly when the connection ends short."""
+    base, _ = served
+    port = int(base.rsplit(":", 1)[1])
+    body = b'{"area": 0, '  # 12 bytes of a valid-looking prefix
+    request = (
+        b"POST /predict HTTP/1.1\r\n"
+        b"Host: 127.0.0.1\r\n"
+        b"Content-Type: application/json\r\n"
+        b"Content-Length: 100\r\n"
+        b"Connection: close\r\n"
+        b"\r\n"
+    ) + body
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        sock.sendall(request)
+        sock.shutdown(socket.SHUT_WR)  # connection ends 88 bytes short
+        sock.settimeout(10)
+        raw = b""
+        while True:
+            chunk = sock.recv(4096)
+            if not chunk:
+                break
+            raw += chunk
+    head, _, payload = raw.partition(b"\r\n\r\n")
+    assert b"400" in head.split(b"\r\n", 1)[0]
+    error = json.loads(payload)["error"]
+    assert "truncated" in error
+    assert "12 of 100" in error
 
 
 def test_unknown_path_is_404(served):
