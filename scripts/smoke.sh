@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # End-to-end observability smoke test:
-#   simulate → featurize → train → evaluate → interrupt/resume → bench
-#   → traced serve round-trip (/predict, /metrics scrape, clean
-#   /shutdown) → repro trace over the exported span file
-#   → 2-worker sharded fleet under loadtest with a mid-load worker
-#     SIGKILL (zero failed requests, supervised respawn, clean
-#     /shutdown) → report
+#   simulate → featurize → train → evaluate → taped-vs-module training
+#   diff → interrupt/resume → bench → traced serve round-trip
+#   (/predict, /metrics scrape, clean /shutdown) → repro trace over the
+#   exported span file → taped-vs---no-tape serving diff (200 queries,
+#   bitwise) → 2-worker sharded fleet under loadtest with a mid-load
+#   worker SIGKILL (zero failed requests, supervised respawn, clean
+#   /shutdown) → report
 # (tiny scale).  Fails if any stage exits non-zero, logs an ERROR event,
 # does not write its run manifest, if a training run resumed from a
 # checkpoint diverges from the uninterrupted run, if the exported trace
@@ -36,6 +37,23 @@ run train     --model basic --scale tiny --train train.npz --test test.npz \
               --epochs 2 --save model.npz
 run evaluate  --model basic --scale tiny --weights model.npz \
               --train train.npz --test test.npz
+
+# Execution-tape training equivalence: one epoch on the taped engine
+# (the default) must write bitwise the same weights as --no-tape module
+# dispatch.
+run train     --model basic --scale tiny --train train.npz --test test.npz \
+              --epochs 1 --save model_tape_on.npz
+run train     --model basic --scale tiny --train train.npz --test test.npz \
+              --epochs 1 --no-tape --save model_tape_off.npz
+python - <<'EOF'
+import numpy as np
+a = np.load("model_tape_on.npz")
+b = np.load("model_tape_off.npz")
+assert set(a.files) == set(b.files), "weight keys differ"
+for key in a.files:
+    np.testing.assert_array_equal(a[key], b[key], err_msg=key)
+print("taped training equivalence ok")
+EOF
 
 # Fault-injected checkpoint/resume: train 3 epochs straight, then "kill"
 # an identical run after epoch 1 and resume it from its checkpoint dir.
@@ -180,6 +198,60 @@ for span in http.handle serving.predict batcher.batch p95_ms; do
         exit 1
     fi
 done
+
+# Execution-tape serving equivalence: the same 200 queries served with
+# the tape on (default) and with --no-tape must match bit for bit.
+for mode in tape_on tape_off; do
+    EXTRA=""
+    [ "$mode" = tape_off ] && EXTRA="--no-tape"
+    python -m repro serve --city city.npz --checkpoint ckpt --scale tiny \
+        --port 0 --log-level debug --log-file "$LOG" $EXTRA \
+        > "serve_$mode.out" &
+    TAPE_PID=$!
+    for _ in $(seq 1 100); do
+        grep -q "^serving .* on http://" "serve_$mode.out" 2>/dev/null && break
+        sleep 0.1
+    done
+    if ! grep -q "^serving .* on http://" "serve_$mode.out"; then
+        echo "smoke FAILED: serve ($mode) did not start" >&2
+        cat "serve_$mode.out" >&2
+        kill "$TAPE_PID" 2>/dev/null || true
+        exit 1
+    fi
+    TAPE_PORT=$(head -1 "serve_$mode.out" | sed 's/.*://')
+    python - "$TAPE_PORT" "gaps_$mode.json" <<'EOF'
+import json, sys, urllib.request
+
+base = f"http://127.0.0.1:{sys.argv[1]}"
+
+def post(path, payload):
+    req = urllib.request.Request(
+        base + path, json.dumps(payload).encode(),
+        {"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return resp.status, json.loads(resp.read())
+
+gaps = []
+for i in range(200):
+    area, day, slot = i % 6, 1 + i % 9, 30 + 13 * (i % 100)
+    status, body = post("/predict", {"area": area, "day": day, "timeslot": slot})
+    assert status == 200, (status, body)
+    gaps.append(body["gap"])
+with open(sys.argv[2], "w") as handle:
+    json.dump(gaps, handle)
+status, body = post("/shutdown", {})
+assert status == 200 and body == {"status": "shutting down"}, (status, body)
+EOF
+    wait "$TAPE_PID"
+done
+python - <<'EOF'
+import json
+taped = json.load(open("gaps_tape_on.json"))
+untaped = json.load(open("gaps_tape_off.json"))
+assert taped == untaped, "taped serving diverged from --no-tape serving"
+print(f"taped serving equivalence ok ({len(taped)} queries, bitwise)")
+EOF
 
 # Sharded fleet under fire: two supervised workers behind a router,
 # driven by a short mixed loadtest while one worker is SIGKILLed

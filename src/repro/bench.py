@@ -14,7 +14,14 @@ The train-epoch section times the same model/optimizer arithmetic under
 both batch-delivery strategies — the historical per-batch fancy indexing
 (:func:`repro.core.make_batch` per step) and the current once-per-epoch
 permutation gather (:class:`repro.core.batching.EpochBatches`) — so the
-batching change's effect stays visible in the trajectory.  The experiment
+batching change's effect stays visible in the trajectory.  The
+train-epoch, inference and serving sections additionally run a taped leg
+(``*.taped.*`` metric families) through the execution tape
+(:mod:`repro.nn.tape`), recording the speedup ratio and a bitwise
+``identical`` cross-check against the untaped leg; the serving taped leg
+also enables the vectorized featurizer and the eager batcher flush, i.e.
+the full current serving defaults, while the untaped leg replicates the
+historical stack.  The experiment
 section re-runs the same task set in fresh caches both ways and records
 whether the results matched bitwise, making every bench run also a
 determinism check.
@@ -103,10 +110,12 @@ def _legacy_epoch(model, train_set, optimizer, loss_fn, rng, batch_size):
 
 
 def bench_train_epoch(scale_name: str, epochs: int = 2) -> Dict[str, float]:
-    """Train-epoch throughput, new epoch-gather path vs the legacy loop.
+    """Train-epoch throughput: legacy loop, epoch-gather, and taped.
 
-    Both paths run identical arithmetic (same model seed, same shuffle
-    stream), so the delta is purely the batch-delivery cost.
+    All three paths run identical arithmetic (same model seed, same
+    shuffle stream); the ``identical`` metric asserts that by comparing
+    the untaped and taped runs' final weights bitwise.  The taped leg's
+    time includes the one-off trace cost — honest for short runs.
     """
     from .core import BasicDeepSD, InputScales, Trainer, TrainingConfig
     from .nn import Adam, losses
@@ -143,20 +152,30 @@ def bench_train_epoch(scale_name: str, epochs: int = 2) -> Dict[str, float]:
         _legacy_epoch(model, train_set, optimizer, loss_fn, rng, config.batch_size)
     legacy_seconds = time.perf_counter() - started
 
-    # Current path: Trainer's once-per-epoch permutation gather.  Each
-    # epoch is timed individually into a quantile sketch so the trajectory
-    # records tail latency, not just the mean.
-    model = fresh_model()
-    trainer = Trainer(model, config)
-    optimizer = Adam(model.parameters(), lr=config.learning_rate)
-    rng = np.random.default_rng(config.seed)
-    epoch_sketch = Histogram()
-    started = time.perf_counter()
-    for _ in range(epochs):
-        epoch_started = time.perf_counter()
-        trainer._run_epoch(train_set, optimizer, rng)
-        epoch_sketch.observe(time.perf_counter() - epoch_started)
-    gather_seconds = time.perf_counter() - started
+    def trainer_run(use_tape: bool):
+        """Trainer epochs, each timed into a quantile sketch so the
+        trajectory records tail latency, not just the mean."""
+        model = fresh_model()
+        trainer = Trainer(model, config, use_tape=use_tape)
+        optimizer = Adam(model.parameters(), lr=config.learning_rate)
+        rng = np.random.default_rng(config.seed)
+        sketch = Histogram()
+        started = time.perf_counter()
+        for _ in range(epochs):
+            epoch_started = time.perf_counter()
+            trainer._run_epoch(train_set, optimizer, rng)
+            sketch.observe(time.perf_counter() - epoch_started)
+        return model, time.perf_counter() - started, sketch
+
+    # Current module-dispatch path: once-per-epoch permutation gather.
+    model, gather_seconds, epoch_sketch = trainer_run(use_tape=False)
+    # Taped path: same gathers, forward/backward/optimizer replayed
+    # through the execution tape.
+    taped_model, taped_seconds, taped_sketch = trainer_run(use_tape=True)
+    state, taped_state = model.state_dict(), taped_model.state_dict()
+    identical = all(
+        np.array_equal(state[name], taped_state[name]) for name in state
+    )
 
     items = float(train_set.n_items * epochs)
     return {
@@ -172,6 +191,15 @@ def bench_train_epoch(scale_name: str, epochs: int = 2) -> Dict[str, float]:
             legacy_seconds / gather_seconds if gather_seconds else 0.0
         ),
         "train_epoch.p95_ms": _quantile_ms(epoch_sketch, 0.95),
+        "train_epoch.taped.seconds": taped_seconds,
+        "train_epoch.taped.items_per_sec": (
+            items / taped_seconds if taped_seconds else 0.0
+        ),
+        "train_epoch.taped.speedup": (
+            gather_seconds / taped_seconds if taped_seconds else 0.0
+        ),
+        "train_epoch.taped.p95_ms": _quantile_ms(taped_sketch, 0.95),
+        "train_epoch.taped.identical": float(identical),
     }
 
 
@@ -182,7 +210,11 @@ def _quantile_ms(histogram: Histogram, q: float) -> float:
 
 
 def bench_inference(scale_name: str) -> Dict[str, float]:
-    """Single-pass prediction throughput over the train set."""
+    """Single-pass prediction throughput over the train set.
+
+    Module dispatch vs the forward execution tape, with a bitwise
+    ``identical`` cross-check of the two output arrays.
+    """
     from .core import BasicDeepSD, InputScales, Trainer
 
     scale = get_scale(scale_name)
@@ -200,17 +232,31 @@ def bench_inference(scale_name: str) -> Dict[str, float]:
         seed=1,
     )
     model.input_scales = InputScales.from_example_set(example_set)
-    trainer = Trainer(model)
+    trainer = Trainer(model, use_tape=False)
     trainer._predict_current(example_set)  # warm up
     started = time.perf_counter()
-    trainer._predict_current(example_set)
+    outputs = trainer._predict_current(example_set)
     seconds = time.perf_counter() - started
+
+    taped_trainer = Trainer(model, use_tape=True)
+    taped_trainer._predict_current(example_set)  # warm up (traces the tape)
+    started = time.perf_counter()
+    taped_outputs = taped_trainer._predict_current(example_set)
+    taped_seconds = time.perf_counter() - started
     return {
         "inference.items": float(example_set.n_items),
         "inference.seconds": seconds,
         "inference.items_per_sec": (
             example_set.n_items / seconds if seconds else 0.0
         ),
+        "inference.taped.seconds": taped_seconds,
+        "inference.taped.items_per_sec": (
+            example_set.n_items / taped_seconds if taped_seconds else 0.0
+        ),
+        "inference.taped.speedup": (
+            seconds / taped_seconds if taped_seconds else 0.0
+        ),
+        "inference.taped.identical": float(np.array_equal(outputs, taped_outputs)),
     }
 
 
@@ -223,6 +269,13 @@ def bench_serving(scale_name: str) -> Dict[str, float]:
     the HTTP front-end produces.  The cold pass answers distinct queries
     through featurize + forward; the warm pass re-asks them and must be
     answered from the LRU cache.
+
+    Two legs: the base ``serving.*`` family replicates the historical
+    stack (module dispatch, per-row featurization, lingering batcher);
+    ``serving.*.taped.*`` runs the current defaults — forward tape,
+    vectorized featurizer, eager flush.  ``serving.taped.identical``
+    asserts both legs returned bitwise-identical predictions for every
+    query.
     """
     import threading
 
@@ -236,25 +289,6 @@ def bench_serving(scale_name: str) -> Dict[str, float]:
         context = ExperimentContext(scale=scale)
         dataset = context.dataset
         train_set = context.train_set
-    model = BasicDeepSD(
-        dataset.n_areas,
-        scale.features.window_minutes,
-        scale.embeddings,
-        dropout=0.0,
-        seed=1,
-    )
-    model.input_scales = InputScales.from_example_set(train_set)
-    # Private registry: per-request latency quantiles for THIS run only,
-    # resettable between the cold and warm passes.
-    registry = MetricsRegistry()
-    service = PredictionService(
-        Trainer(model),
-        dataset,
-        scale.features,
-        train_set.scalers,
-        serving_config=ServingConfig(max_batch=32, max_wait_ms=2.0),
-        registry=registry,
-    )
 
     L = scale.features.window_minutes
     slots = range(L, 1440 - scale.features.gap_minutes, 7)
@@ -265,51 +299,104 @@ def bench_serving(scale_name: str) -> Dict[str, float]:
         for slot in slots
     ][:600]
 
-    def drive(chunk):
-        for area, day, slot in chunk:
-            service.predict(area, day, slot)
-
-    def timed_pass() -> float:
-        n_threads = 4
-        chunks = [queries[i::n_threads] for i in range(n_threads)]
-        threads = [
-            threading.Thread(target=drive, args=(chunk,)) for chunk in chunks
-        ]
-        started = time.perf_counter()
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-        return time.perf_counter() - started
-
-    def request_quantiles(prefix: str) -> Dict[str, float]:
-        sketch = registry.histograms.get(
-            "repro.serving.request_seconds", Histogram()
+    def build_service(taped: bool):
+        model = BasicDeepSD(
+            dataset.n_areas,
+            scale.features.window_minutes,
+            scale.embeddings,
+            dropout=0.0,
+            seed=1,
         )
-        return {
-            f"{prefix}.p50_ms": _quantile_ms(sketch, 0.50),
-            f"{prefix}.p95_ms": _quantile_ms(sketch, 0.95),
-            f"{prefix}.p99_ms": _quantile_ms(sketch, 0.99),
-        }
+        model.input_scales = InputScales.from_example_set(train_set)
+        # Private registry: per-request latency quantiles for THIS leg
+        # only, resettable between the cold and warm passes.
+        registry = MetricsRegistry()
+        service = PredictionService(
+            Trainer(model, use_tape=taped),
+            dataset,
+            scale.features,
+            train_set.scalers,
+            serving_config=ServingConfig(
+                max_batch=32, max_wait_ms=2.0, eager_flush=taped
+            ),
+            registry=registry,
+        )
+        if not taped:
+            service._engine.predictor.vectorized_featurize = False
+        return service, registry
 
-    service.predict(*queries[0])  # warm up imports and the first profile
-    registry.reset()
-    cold_seconds = timed_pass()
-    cold_quantiles = request_quantiles("serving.cold")
-    registry.reset()
-    warm_seconds = timed_pass()
-    warm_quantiles = request_quantiles("serving.warm")
-    service.close()
-    items = float(len(queries))
-    metrics = {
-        "serving.items": items,
-        "serving.cold.seconds": cold_seconds,
-        "serving.cold.items_per_sec": items / cold_seconds if cold_seconds else 0.0,
-        "serving.warm.seconds": warm_seconds,
-        "serving.warm.items_per_sec": items / warm_seconds if warm_seconds else 0.0,
-    }
-    metrics.update(cold_quantiles)
-    metrics.update(warm_quantiles)
+    def run_leg(taped: bool, cold_name: str, warm_name: str):
+        service, registry = build_service(taped)
+        results: Dict[tuple, float] = {}
+
+        def drive(chunk):
+            for query in chunk:
+                results[query] = service.predict(*query)
+
+        def timed_pass() -> float:
+            n_threads = 4
+            chunks = [queries[i::n_threads] for i in range(n_threads)]
+            threads = [
+                threading.Thread(target=drive, args=(chunk,)) for chunk in chunks
+            ]
+            started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            return time.perf_counter() - started
+
+        def request_quantiles(prefix: str) -> Dict[str, float]:
+            sketch = registry.histograms.get(
+                "repro.serving.request_seconds", Histogram()
+            )
+            return {
+                f"{prefix}.p50_ms": _quantile_ms(sketch, 0.50),
+                f"{prefix}.p95_ms": _quantile_ms(sketch, 0.95),
+                f"{prefix}.p99_ms": _quantile_ms(sketch, 0.99),
+            }
+
+        service.predict(*queries[0])  # warm up imports and the first profile
+        registry.reset()
+        cold_seconds = timed_pass()
+        metrics = request_quantiles(cold_name)
+        registry.reset()
+        warm_seconds = timed_pass()
+        metrics.update(request_quantiles(warm_name))
+        service.close()
+        items = float(len(queries))
+        metrics.update(
+            {
+                f"{cold_name}.seconds": cold_seconds,
+                f"{cold_name}.items_per_sec": (
+                    items / cold_seconds if cold_seconds else 0.0
+                ),
+                f"{warm_name}.seconds": warm_seconds,
+                f"{warm_name}.items_per_sec": (
+                    items / warm_seconds if warm_seconds else 0.0
+                ),
+            }
+        )
+        return metrics, results
+
+    base, base_results = run_leg(False, "serving.cold", "serving.warm")
+    taped, taped_results = run_leg(
+        True, "serving.cold.taped", "serving.warm.taped"
+    )
+    metrics = {"serving.items": float(len(queries))}
+    metrics.update(base)
+    metrics.update(taped)
+    metrics["serving.cold.taped.speedup"] = (
+        base["serving.cold.seconds"] / taped["serving.cold.taped.seconds"]
+        if taped["serving.cold.taped.seconds"]
+        else 0.0
+    )
+    metrics["serving.warm.taped.speedup"] = (
+        base["serving.warm.seconds"] / taped["serving.warm.taped.seconds"]
+        if taped["serving.warm.taped.seconds"]
+        else 0.0
+    )
+    metrics["serving.taped.identical"] = float(base_results == taped_results)
     return metrics
 
 
@@ -392,18 +479,27 @@ def load_bench(path: str) -> dict:
         return json.load(handle)
 
 
+#: Latency metrics gated by :func:`find_regressions` — these fail in the
+#: opposite direction from throughput: current must not EXCEED baseline
+#: by more than the factor.
+LATENCY_GATES = ("serving.cold.p99_ms", "serving.warm.p99_ms")
+
+
 def find_regressions(
     current: dict, baseline: dict, factor: float = REGRESSION_FACTOR
 ) -> List[str]:
-    """Throughput metrics that dropped more than ``factor``× vs baseline.
+    """Metrics that regressed more than ``factor``× against baseline.
 
-    Only ``*.items_per_sec`` metrics gate — absolute seconds vary with
-    scale/epoch knobs, and the experiment speedup varies with core count.
-    Returns human-readable findings (empty = no regression).
+    ``*.items_per_sec`` metrics gate on throughput drops; the
+    :data:`LATENCY_GATES` tail-latency metrics gate on increases.
+    Absolute seconds vary with scale/epoch knobs and the experiment
+    speedup varies with core count, so neither is gated.  Returns
+    human-readable findings (empty = no regression).
     """
     findings = []
     base_metrics = baseline.get("metrics", {})
-    for name, value in current.get("metrics", {}).items():
+    current_metrics = current.get("metrics", {})
+    for name, value in current_metrics.items():
         if not name.endswith("items_per_sec"):
             continue
         reference = base_metrics.get(name)
@@ -413,5 +509,15 @@ def find_regressions(
             findings.append(
                 f"{name}: {value:.1f} items/s is more than {factor:g}x below "
                 f"baseline {reference:.1f} items/s"
+            )
+    for name in LATENCY_GATES:
+        value = current_metrics.get(name)
+        reference = base_metrics.get(name)
+        if not value or not reference or reference <= 0:
+            continue
+        if value > reference * factor:
+            findings.append(
+                f"{name}: {value:.2f} ms is more than {factor:g}x above "
+                f"baseline {reference:.2f} ms"
             )
     return findings

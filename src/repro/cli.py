@@ -138,6 +138,11 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--dropout", type=float, default=0.1)
     train.add_argument("--seed", type=int, default=1)
     train.add_argument("--save", default=None, help="save trained weights (.npz)")
+    train.add_argument(
+        "--no-tape", action="store_true",
+        help="disable the execution tape (taped training is bitwise-"
+             "identical to module dispatch; this forces the slower path)",
+    )
     ckpt = train.add_argument_group("checkpointing")
     ckpt.add_argument(
         "--checkpoint-dir", default=None, metavar="DIR",
@@ -250,6 +255,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-profiles", type=int, default=None, metavar="N",
         help="bound the warm per-(area, day) featurization cache",
+    )
+    serve.add_argument(
+        "--no-tape", action="store_true",
+        help="serve through module dispatch instead of the execution "
+             "tape (responses are bitwise-identical either way)",
+    )
+    serve.add_argument(
+        "--no-eager-flush", action="store_true",
+        help="restore the lingering micro-batcher: wait up to "
+             "--max-wait-ms for batch-mates instead of dispatching "
+             "whatever is queued",
     )
     serve.add_argument(
         "--workers", type=int, default=1, metavar="N",
@@ -475,7 +491,9 @@ def cmd_train(args) -> int:
 
     model = _build_model(args.model, scale, train_set.n_areas, args.dropout, args.seed)
     trainer = Trainer(
-        model, TrainingConfig(epochs=epochs, best_k=min(10, epochs), seed=args.seed)
+        model,
+        TrainingConfig(epochs=epochs, best_k=min(10, epochs), seed=args.seed),
+        use_tape=False if args.no_tape else None,
     )
     with manifest.stage("fit"):
         history = trainer.fit(
@@ -675,9 +693,11 @@ def cmd_serve(args) -> int:
             serving_config=ServingConfig(
                 max_batch=args.max_batch,
                 max_wait_ms=args.max_wait_ms,
+                eager_flush=not args.no_eager_flush,
                 cache_size=args.cache_size,
                 cache_ttl_seconds=args.cache_ttl,
                 max_profiles=args.max_profiles,
+                use_tape=False if args.no_tape else None,
             ),
         )
     watcher = None
@@ -735,6 +755,8 @@ def _serve_fleet(args) -> int:
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         cache_size=args.cache_size,
+        use_tape=not args.no_tape,
+        eager_flush=not args.no_eager_flush,
         watch_interval=args.watch_checkpoint,
         run_dir=args.fleet_run_dir,
     )

@@ -59,6 +59,11 @@ class AdvancedDeepSD(Module):
         self.residual = residual
         self.use_weather = use_weather
         self.use_traffic = use_traffic
+        # One-hot identity and uniform weekday weights both allocate fresh
+        # arrays per forward; the execution tape cannot replay either.
+        self.tape_safe = (
+            identity_encoding == "embedding" and not uniform_weekday_weights
+        )
 
         if identity_encoding == "embedding":
             self.identity = IdentityBlock(n_areas, embeddings, rng)

@@ -80,6 +80,9 @@ class BasicDeepSD(Module):
         self.residual = residual
         self.use_weather = use_weather
         self.use_traffic = use_traffic
+        # One-hot identity encoding allocates fresh arrays per forward, which
+        # the execution tape (repro.nn.tape) cannot replay.
+        self.tape_safe = identity_encoding == "embedding"
 
         if identity_encoding == "embedding":
             self.identity = IdentityBlock(n_areas, embeddings, rng)

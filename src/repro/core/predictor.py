@@ -88,6 +88,18 @@ class GapPredictor:
         self.max_profiles = max_profiles
         self._profiles: "OrderedDict[Tuple[int, int], AreaDayProfile]" = OrderedDict()
         self._profiles_lock = threading.Lock()
+        # Vectorized featurization: group queries by (area, day) and
+        # extract signal vectors through the batched AreaDayProfile APIs.
+        # Bitwise-identical to the historical row loop on every field it
+        # fills; set False to force the row loop.
+        self.vectorized_featurize = True
+        # Which signal arrays _featurize fills: "all" keeps the builder-
+        # parity contract (every signal array populated); "model" fills
+        # only the arrays named in the model's ``input_fields`` and leaves
+        # the rest zero — predictions are unaffected (the model never
+        # reads them) and a model without history inputs skips prior-day
+        # profile builds entirely.  The serving layer opts into "model".
+        self.feature_fields = "all"
 
     @classmethod
     def from_training(
@@ -194,20 +206,21 @@ class GapPredictor:
             return profile.last_call_vector(timeslot)
         return profile.waiting_time_vector(timeslot)
 
-    def _featurize(self, queries: Sequence[GapQuery]) -> ExampleSet:
-        for query in queries:
-            self._validate(query)
+    @staticmethod
+    def _signal_vectors(
+        profile: AreaDayProfile, timeslots: np.ndarray, signal: str
+    ) -> np.ndarray:
+        if signal == "sd":
+            return profile.supply_demand_vectors(timeslots)
+        if signal == "lc":
+            return profile.last_call_vectors(timeslots)
+        return profile.waiting_time_vectors(timeslots)
+
+    def _signals_per_row(self, queries: Sequence[GapQuery]):
+        """The historical row-at-a-time extraction — every signal array."""
         config = self.config
         L = config.window_minutes
         n = len(queries)
-        area_ids = np.array([q.area_id for q in queries], dtype=np.int64)
-        day_ids = np.array([q.day for q in queries], dtype=np.int64)
-        time_ids = np.array([q.timeslot for q in queries], dtype=np.int64)
-        week_ids = np.array(
-            [self.dataset.calendar.day_of_week(q.day) for q in queries],
-            dtype=np.int64,
-        )
-
         now = {name: np.empty((n, 2 * L), dtype=np.float32) for name in SIGNALS}
         hist = {name: np.empty((n, 7, 2 * L), dtype=np.float32) for name in SIGNALS}
         hist_next = {name: np.empty((n, 7, 2 * L), dtype=np.float32) for name in SIGNALS}
@@ -222,6 +235,101 @@ class GapPredictor:
                 hist_next[name][i] = self._history(
                     query.area_id, query.day, shifted, name
                 )
+        return now, hist, hist_next
+
+    def _signals_grouped(self, queries: Sequence[GapQuery], time_ids: np.ndarray):
+        """Batched extraction: group by (area, day).
+
+        In ``feature_fields="model"`` mode, only arrays named in the
+        model's ``input_fields`` are computed; the rest stay zero (the
+        model never reads them, so predictions are unaffected).  A model
+        that reads no history arrays — the basic network — then never
+        touches prior-day profiles at all, which is the bulk of the
+        cold-path cost.
+
+        Each computed element is bitwise-identical to the per-row path:
+        the batched vector extractions are pure gathers (row-independent),
+        and ``np.mean`` over the leading axis of a stacked ``(k, T, 2L)``
+        array reduces in the same sequential order as over ``(k, 2L)``.
+        """
+        config = self.config
+        L = config.window_minutes
+        n = len(queries)
+        if self.feature_fields == "model":
+            fields = set(self._trainer._input_fields())
+        else:
+            fields = {
+                f"{name}_{part}"
+                for name in SIGNALS
+                for part in ("now", "hist", "hist_next")
+            }
+        need = {
+            name: (
+                f"{name}_now" in fields,
+                f"{name}_hist" in fields,
+                f"{name}_hist_next" in fields,
+            )
+            for name in SIGNALS
+        }
+        now = {name: np.zeros((n, 2 * L), dtype=np.float32) for name in SIGNALS}
+        hist = {name: np.zeros((n, 7, 2 * L), dtype=np.float32) for name in SIGNALS}
+        hist_next = {
+            name: np.zeros((n, 7, 2 * L), dtype=np.float32) for name in SIGNALS
+        }
+        history_signals = [
+            name for name in SIGNALS if need[name][1] or need[name][2]
+        ]
+
+        groups: Dict[Tuple[int, int], List[int]] = {}
+        for i, query in enumerate(queries):
+            groups.setdefault((query.area_id, query.day), []).append(i)
+
+        calendar = self.dataset.calendar
+        for (area_id, day), indices in groups.items():
+            rows = np.array(indices, dtype=np.int64)
+            ts = time_ids[rows]
+            profile = self._profile(area_id, day)
+            for name in SIGNALS:
+                if need[name][0]:
+                    now[name][rows] = self._signal_vectors(profile, ts, name)
+            if not history_signals:
+                continue
+            # hist wants vectors at t, hist_next at t + C; one batched
+            # extraction over the concatenation serves both.
+            ts_both = np.concatenate([ts, ts + config.gap_minutes])
+            for weekday in range(7):
+                prior = calendar.days_with_weekday(weekday, before=day)
+                if not prior:
+                    continue
+                profiles = [self._profile(area_id, m) for m in prior]
+                for name in history_signals:
+                    stack = np.stack(
+                        [self._signal_vectors(p, ts_both, name) for p in profiles]
+                    )
+                    mean = np.mean(stack, axis=0)
+                    if need[name][1]:
+                        hist[name][rows, weekday] = mean[: len(rows)]
+                    if need[name][2]:
+                        hist_next[name][rows, weekday] = mean[len(rows):]
+        return now, hist, hist_next
+
+    def _featurize(self, queries: Sequence[GapQuery]) -> ExampleSet:
+        for query in queries:
+            self._validate(query)
+        config = self.config
+        L = config.window_minutes
+        area_ids = np.array([q.area_id for q in queries], dtype=np.int64)
+        day_ids = np.array([q.day for q in queries], dtype=np.int64)
+        time_ids = np.array([q.timeslot for q in queries], dtype=np.int64)
+        week_ids = np.array(
+            [self.dataset.calendar.day_of_week(q.day) for q in queries],
+            dtype=np.int64,
+        )
+
+        if self.vectorized_featurize:
+            now, hist, hist_next = self._signals_grouped(queries, time_ids)
+        else:
+            now, hist, hist_next = self._signals_per_row(queries)
 
         environment = extract_environment(
             self.dataset, area_ids, day_ids, time_ids, L

@@ -30,12 +30,16 @@ from ..exceptions import ConfigError
 from ..features.builder import ExampleSet
 from ..obs import get_logger, get_registry, get_tracer, record_training_history
 from ..nn import (
+    INVARIANT_BLOCK,
     Adam,
     ConstantSchedule,
     CosineDecay,
+    ForwardTape,
     Module,
     StepDecay,
+    TapeUnsupported,
     Tensor,
+    TrainingTape,
     batch_invariant,
     clip_gradients,
     losses,
@@ -48,7 +52,7 @@ from .checkpoint import (
     dropout_rng_states,
     restore_dropout_rng_states,
 )
-from .normalization import InputScales
+from .normalization import _SCALED_KEYS, InputScales
 
 _log = get_logger(__name__)
 
@@ -149,11 +153,32 @@ class Trainer:
         config: Optional[TrainingConfig] = None,
         *,
         clock: Optional[Callable[[], float]] = None,
+        use_tape: Optional[bool] = None,
+        tape_dtype: str = "float64",
     ):
         self.model = model
         self.config = config or TrainingConfig()
         self.clock = clock or time.perf_counter
         self._loss_fn = losses.get(self.config.loss)
+        # Taped execution (repro.nn.tape): trace one minibatch / inference
+        # block, replay as flat preallocated numpy.  ``None`` auto-enables
+        # for models that declare themselves tape-safe; float64 tapes are
+        # bitwise-identical to module dispatch, so this is purely a speed
+        # knob.  ``tape_dtype="float32"`` opts inference into reduced
+        # precision (training tapes stay float64 regardless).
+        if use_tape is None:
+            use_tape = bool(getattr(model, "tape_safe", False))
+        if tape_dtype not in ("float64", "float32"):
+            raise ConfigError(
+                f"tape_dtype must be 'float64' or 'float32', got {tape_dtype!r}"
+            )
+        self.use_tape = bool(use_tape)
+        self.tape_dtype = tape_dtype
+        # rows -> TrainingTape; set to None permanently on TapeUnsupported.
+        self._train_tapes: Optional[Dict[int, TrainingTape]] = {}
+        # n_rows -> ForwardTape; set to None permanently on TapeUnsupported.
+        self._eval_tapes: Optional[Dict[int, ForwardTape]] = {}
+        self._eval_tape_scales = None
         self._ensemble_states: List[Dict[str, np.ndarray]] = []
         # Reused epoch-gather destinations (see EpochBatches ``buffers``).
         self._gather_buffers: Dict[str, np.ndarray] = {}
@@ -209,6 +234,10 @@ class Trainer:
         # scales from the training set unless the caller provided them.
         if getattr(self.model, "input_scales", "absent") is None:
             self.model.input_scales = InputScales.from_example_set(train_set)
+        # Input scales are folded into the tapes' refill step; retrace now
+        # that they are final for this run.
+        self._train_tapes = {}
+        self._eval_tapes = {}
         self._train_meta = {
             "window": int(train_set.window),
             "n_areas": int(train_set.n_areas),
@@ -409,6 +438,22 @@ class Trainer:
         # instead of once per step.
         parameters = list(self.model.parameters())
         for batch, targets in epoch_batches.batches(config.batch_size):
+            tape = self._train_tape(batch, targets) if self.use_tape else None
+            if tape is not None:
+                # Taped replay: bitwise-identical to the module-dispatch
+                # path below (same arithmetic, same dropout RNG stream,
+                # same gradient accumulation order), minus the dispatch.
+                with tracer.span("train.forward"):
+                    batch_loss = tape.run_forward(batch, targets)
+                with tracer.span("train.backward"):
+                    tape.run_backward()
+                grad_norm = tape.run_clip(parameters, max_norm)
+                with tracer.span("train.optim.step"):
+                    if not tape.run_optim(optimizer):
+                        optimizer.step()
+                total_loss += batch_loss
+                n_batches += 1
+                continue
             optimizer.zero_grad()
             with tracer.span("train.forward"):
                 predictions = self.model(batch)
@@ -421,6 +466,92 @@ class Trainer:
             total_loss += loss.item()
             n_batches += 1
         return total_loss / max(n_batches, 1), grad_norm
+
+    def _tape_divisors(self) -> Dict[str, float]:
+        """Per-field divisors equivalent to ``InputScales.apply``, folded
+        into the tapes' input-refill step."""
+        scales = getattr(self.model, "input_scales", None)
+        if scales is None:
+            return {}
+        divisors: Dict[str, float] = {}
+        for key, fields in _SCALED_KEYS.items():
+            factor = float(getattr(scales, key))
+            if factor != 1.0:
+                for name in fields:
+                    divisors[name] = factor
+        return divisors
+
+    def _train_tape(self, batch, targets) -> Optional[TrainingTape]:
+        """Cached per-row-count training tape; None => module dispatch."""
+        if self._train_tapes is None:
+            return None
+        rows = len(targets)
+        tape = self._train_tapes.get(rows)
+        if tape is not None and not tape.is_valid(self.model):
+            tape = None
+        if tape is None:
+            try:
+                tape = TrainingTape.trace(
+                    self.model,
+                    self._loss_fn,
+                    batch,
+                    targets,
+                    divisors=self._tape_divisors(),
+                )
+            except TapeUnsupported as exc:
+                _log.info("training tape disabled", reason=str(exc))
+                self._train_tapes = None
+                return None
+            self._train_tapes[rows] = tape
+        return tape
+
+    def _forward_tape(
+        self, template, n_rows: int = INVARIANT_BLOCK
+    ) -> Optional[ForwardTape]:
+        """Cached inference tape traced at ``n_rows`` rows.
+
+        One tape per block size: big batches replay INVARIANT_BLOCK-row
+        blocks; short serving batches use the smallest power-of-two block
+        that fits (see :meth:`_predict_current`).
+        """
+        if self._eval_tapes is None:
+            return None
+        scales = getattr(self.model, "input_scales", None)
+        if self._eval_tape_scales is not scales:
+            # Scales are folded into every tape's refill step; a new
+            # scales object invalidates them all.
+            self._eval_tapes = {}
+            self._eval_tape_scales = scales
+        tape = self._eval_tapes.get(n_rows)
+        if tape is not None and (
+            not tape.matches(template) or not tape.params_bound()
+        ):
+            tape = None
+        if tape is None:
+            dtype = None if self.tape_dtype == "float64" else self.tape_dtype
+            # Trace in inference mode (no dropout); replay never consults
+            # module modes, so the caller's mode is restored right away.
+            was_training = self.model.training
+            if was_training:
+                self.model.eval()
+            try:
+                tape = ForwardTape.trace(
+                    self.model,
+                    template,
+                    n_rows=n_rows,
+                    divisors=self._tape_divisors(),
+                    dtype=dtype,
+                )
+            except TapeUnsupported as exc:
+                _log.info("inference tape disabled", reason=str(exc))
+                self._eval_tapes = None
+                return None
+            finally:
+                if was_training:
+                    self.model.train()
+            self._eval_tapes[n_rows] = tape
+        tape.refresh_params()  # no-op for float64 tapes
+        return tape
 
     def _input_fields(self):
         """The batch fields to gather: what the model says it reads.
@@ -510,19 +641,52 @@ class Trainer:
         inference on a trained model does not leave dropout active for a
         later direct ``model(batch)`` call.
         """
-        was_training = self.model.training
-        self.model.eval()
-        outputs = np.empty(example_set.n_items)
+        n_items = example_set.n_items
+        outputs = np.empty(n_items)
+        if n_items == 0:
+            return outputs
         # Sequential order: serve zero-copy slice views of the set itself.
         epoch_batches = EpochBatches(example_set, fields=self._input_fields())
-        with get_tracer().span("trainer.predict", items=example_set.n_items):
-            with batch_invariant():
-                for start in range(0, example_set.n_items, batch_size):
-                    stop = min(start + batch_size, example_set.n_items)
+        tape = None
+        if self.use_tape:
+            # Short batches replay on a tape traced at the smallest
+            # power-of-two block that fits (min 4): a sub-block plain
+            # matmul is exactly what batch_invariant() computes for a
+            # partial block, so every row's bits are unchanged — only the
+            # padding work shrinks.
+            block = INVARIANT_BLOCK
+            if n_items < INVARIANT_BLOCK:
+                block = 4
+                while block < n_items:
+                    block *= 2
+            template, _ = epoch_batches.slice(0, min(n_items, block))
+            tape = self._forward_tape(template, block)
+        with get_tracer().span("trainer.predict", items=n_items):
+            if tape is not None:
+                # Taped replay in INVARIANT_BLOCK-row blocks: a full plain
+                # block matmul is bitwise-identical to the blocked
+                # batch_invariant() matmul, so padding short batches inside
+                # the tape preserves the serving determinism contract.
+                # The tape was traced in inference mode and replay never
+                # consults module state, so no eval()/train() tree walks
+                # are needed here (they dominate small-batch latency).
+                block = tape.n_rows
+                for start in range(0, n_items, block):
+                    stop = min(start + block, n_items)
                     batch, _ = epoch_batches.slice(start, stop)
-                    outputs[start:stop] = self.model(batch).data
-        if was_training:
-            self.model.train()
+                    outputs[start:stop] = tape.replay(batch)
+            else:
+                was_training = self.model.training
+                self.model.eval()
+                try:
+                    with batch_invariant():
+                        for start in range(0, n_items, batch_size):
+                            stop = min(start + batch_size, n_items)
+                            batch, _ = epoch_batches.slice(start, stop)
+                            outputs[start:stop] = self.model(batch).data
+                finally:
+                    if was_training:
+                        self.model.train()
         return outputs
 
 

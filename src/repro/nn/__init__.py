@@ -27,12 +27,15 @@ from .optim import (
     StepDecay,
 )
 from .serialization import load_state, load_weights, save_state, save_weights
+from .tape import ForwardTape, TapeUnsupported, TrainingTape
 from .tensor import (
+    INVARIANT_BLOCK,
     Tensor,
     batch_invariant,
     batch_invariant_enabled,
     get_default_dtype,
     set_default_dtype,
+    trace_ops,
 )
 from .utils import (
     check_gradient,
@@ -82,4 +85,9 @@ __all__ = [
     "batch_invariant_enabled",
     "set_default_dtype",
     "get_default_dtype",
+    "trace_ops",
+    "INVARIANT_BLOCK",
+    "TrainingTape",
+    "ForwardTape",
+    "TapeUnsupported",
 ]

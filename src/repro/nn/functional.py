@@ -13,6 +13,7 @@ from typing import Optional
 import numpy as np
 
 from .tensor import Tensor, concat  # re-exported: concat is a functional op
+from .tensor import _record
 
 __all__ = [
     "leaky_relu",
@@ -35,7 +36,9 @@ def leaky_relu(x: Tensor, negative_slope: float = 0.001) -> Tensor:
     def backward(grad):
         return ((x, grad * slope),)
 
-    return Tensor._from_op(data, (x,), backward, "leaky_relu")
+    out = Tensor._from_op(data, (x,), backward, "leaky_relu")
+    _record("leaky_relu", out, (x,), negative_slope=negative_slope)
+    return out
 
 
 def linear_activation(x: Tensor) -> Tensor:
@@ -58,7 +61,9 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
         dot = (grad * out).sum(axis=axis, keepdims=True)
         return ((x, out * (grad - dot)),)
 
-    return Tensor._from_op(out, (x,), backward, "softmax")
+    result = Tensor._from_op(out, (x,), backward, "softmax")
+    _record("softmax", result, (x,), axis=axis)
+    return result
 
 
 def dropout(
@@ -85,4 +90,6 @@ def dropout(
     def backward(grad):
         return ((x, grad * mask),)
 
-    return Tensor._from_op(x.data * mask, (x,), backward, "dropout")
+    out = Tensor._from_op(x.data * mask, (x,), backward, "dropout")
+    _record("dropout", out, (x,), p=p, rng=rng)
+    return out

@@ -134,4 +134,7 @@ class Module:
                     f"shape mismatch for {name!r}: "
                     f"checkpoint {value.shape} vs model {param.data.shape}"
                 )
-            param.data = value.astype(param.data.dtype).copy()
+            # Copy in place: execution tapes and allocation-free optimizers
+            # hold references to the parameter arrays, which must survive
+            # checkpoint loads and ensemble state swaps.
+            np.copyto(param.data, value, casting="unsafe")

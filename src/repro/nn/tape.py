@@ -1,0 +1,1167 @@
+"""Taped execution: trace a model once, replay it as flat preallocated numpy calls.
+
+The module-dispatch forward pass (``model(batch)``) spends most of its time in
+Python object churn — Tensor wrappers, closure allocation, broadcasting checks —
+rather than in the underlying BLAS/ufunc work.  For fixed input shapes the
+sequence of numpy calls is identical every minibatch, so we record it once (via
+the op recorder in :mod:`repro.nn.tensor`) and compile it into an
+*execution tape*: an ordered list of zero-argument callables, each performing
+one preallocated numpy operation (``np.matmul(a, b, out=o)``, in-place
+activations, masked copies).  Replay allocates nothing and builds no graph.
+
+Two tapes are provided:
+
+* :class:`TrainingTape` — forward + backward + gradient binding for one
+  minibatch shape.  Float64 only, bitwise-identical to module dispatch
+  (including dropout RNG consumption and gradient accumulation order).
+* :class:`ForwardTape` — inference-only forward at a fixed row count
+  (:data:`~repro.nn.tensor.INVARIANT_BLOCK` for serving).  Supports an opt-in
+  ``dtype="float32"`` mode that trades bitwise parity for throughput.
+
+Bitwise parity is achieved by *mirroring*, not re-deriving: every emitted step
+performs the exact numpy expression the module path performs, in the same
+evaluation order, merely redirected into a preallocated output buffer.  Models
+whose forward allocates fresh non-constant arrays per call (e.g. one-hot
+identity encodings) cannot be taped and raise :class:`TapeUnsupported`;
+callers fall back to module dispatch.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from .layers.dropout import Dropout
+from .tensor import INVARIANT_BLOCK, Tensor, batch_invariant_enabled, trace_ops
+
+__all__ = ["TapeUnsupported", "TrainingTape", "ForwardTape"]
+
+
+class TapeUnsupported(RuntimeError):
+    """The traced graph contains something the tape compiler cannot replay."""
+
+
+def _root(array):
+    """Walk the view chain to the array that owns the memory."""
+    while isinstance(array.base, np.ndarray):
+        array = array.base
+    return array
+
+
+def _pow_step(base, exponent, out):
+    """Mirror numpy's fast scalar-power paths so results stay bitwise equal."""
+    if exponent == 2.0:
+        return lambda: np.square(base, out=out)
+    if exponent == 1.0:
+        return lambda: np.copyto(out, base)
+    if exponent == 0.5:
+        return lambda: np.sqrt(base, out=out)
+    if exponent == -1.0:
+        return lambda: np.reciprocal(base, out=out)
+    if exponent == 0.0:
+        return lambda: out.fill(1.0)
+    return lambda: np.power(base, exponent, out=out)
+
+
+class _Ready:
+    """A slot whose pre-broadcast gradient already exists as ``array``."""
+
+    __slots__ = ("array",)
+
+    def __init__(self, array):
+        self.array = array
+
+
+class _EmitSlot:
+    """A slot whose pre-broadcast gradient must be computed into a buffer."""
+
+    __slots__ = ("shape", "emit")
+
+    def __init__(self, shape, emit):
+        self.shape = shape
+        self.emit = emit
+
+
+class _Compiler:
+    """Compile a list of :class:`OpRecord` into flat forward/backward steps."""
+
+    def __init__(self, records, owned_buffers, *, dtype=None, training=False):
+        self.records = records
+        self.owned_ids = {id(buf) for buf in owned_buffers}
+        self.dtype = np.dtype(dtype) if dtype is not None else None
+        self.training = training
+        self.fwd = []
+        self.bwd = []
+        # id(traced array-or-scalar) -> array used on replay.  In float64 mode
+        # traced arrays are reused in place; float32 mode re-materializes every
+        # float64 intermediate at reduced precision.
+        self.amap = {}
+        self.param_arrays = []  # (param Tensor, replay array) in trace order
+        self.param_binds = []  # (param Tensor, grad buffer) after backward
+        self.rngs = []  # dropout generators consumed on replay
+        self._gbufs = {}  # id(tensor) -> gradient buffer (backward compile)
+        # Leaf gradients are packed into one contiguous arena so the
+        # optimizer can update every parameter with a handful of flat
+        # ufunc calls instead of ~10 tiny ones per parameter.
+        self.grad_arena = None
+        self.grad_slices = []  # (leaf Tensor, offset, size) in packing order
+        self._leaf_views = {}
+        self._seen_params = set()
+        # Keep traced outputs alive: amap keys are id()s of these objects.
+        self._pins = [r.out.data for r in records]
+
+    # ------------------------------------------------------------------
+    # buffer resolution
+
+    def _out_buffer(self, rec):
+        data = rec.out.data
+        if isinstance(data, np.ndarray):
+            if self.dtype is not None and data.dtype == np.float64:
+                buf = np.empty(data.shape, dtype=self.dtype)
+            else:
+                buf = data
+        else:
+            # Full reductions store numpy scalars; replay needs a writable
+            # 0-d buffer (scalar-vs-0-d arithmetic is bitwise identical).
+            target = np.asarray(data).dtype
+            if self.dtype is not None and target == np.float64:
+                target = self.dtype
+            buf = np.empty((), dtype=target)
+        self.amap[id(data)] = buf
+        return buf
+
+    def _resolve(self, tensor):
+        data = tensor.data
+        key = id(data)
+        if key in self.amap:
+            return self.amap[key]
+        if tensor.requires_grad:
+            # Parameter leaf: replay reads the live parameter array (float64)
+            # or a refreshable reduced-precision copy (float32 mode).
+            if self.dtype is not None and data.dtype == np.float64:
+                arr = data.astype(self.dtype)
+            else:
+                arr = data
+            self.amap[key] = arr
+            if id(tensor) not in self._seen_params:
+                self._seen_params.add(id(tensor))
+                self.param_arrays.append((tensor, arr))
+            return arr
+        if isinstance(data, np.ndarray) and id(_root(data)) in self.owned_ids:
+            # View of an input buffer the tape owns and refills.
+            self.amap[key] = data
+            return data
+        if np.size(data) == 1:
+            # Single-element leaf: a frozen constant baked into the tape.
+            arr = np.asarray(data)
+            if self.dtype is not None and arr.dtype == np.float64:
+                arr = arr.astype(self.dtype)
+            self.amap[key] = arr
+            return arr
+        raise TapeUnsupported(
+            "forward pass consumed a non-constant array the tape does not "
+            f"own (shape {np.shape(data)}); cannot replay safely"
+        )
+
+    def _replay(self, tensor):
+        """Replay array for a tensor already resolved during forward compile."""
+        return self.amap[id(tensor.data)]
+
+    # ------------------------------------------------------------------
+    # forward compile
+
+    def compile_forward(self):
+        for rec in self.records:
+            emitter = getattr(self, "_fwd_" + rec.kind, None)
+            if emitter is None:
+                raise TapeUnsupported(f"unsupported traced op {rec.kind!r}")
+            emitter(rec)
+
+    def _binary(self, rec, ufunc):
+        a = self._resolve(rec.parents[0])
+        b = self._resolve(rec.parents[1])
+        o = self._out_buffer(rec)
+        self.fwd.append(lambda u=ufunc, a=a, b=b, o=o: u(a, b, out=o))
+        return a, b, o
+
+    def _unary(self, rec, ufunc):
+        a = self._resolve(rec.parents[0])
+        o = self._out_buffer(rec)
+        self.fwd.append(lambda u=ufunc, a=a, o=o: u(a, out=o))
+        return a, o
+
+    def _fwd_add(self, rec):
+        self._binary(rec, np.add)
+
+    def _fwd_sub(self, rec):
+        self._binary(rec, np.subtract)
+
+    def _fwd_mul(self, rec):
+        self._binary(rec, np.multiply)
+
+    def _fwd_div(self, rec):
+        self._binary(rec, np.divide)
+
+    def _fwd_neg(self, rec):
+        self._unary(rec, np.negative)
+
+    def _fwd_exp(self, rec):
+        self._unary(rec, np.exp)
+
+    def _fwd_log(self, rec):
+        self._unary(rec, np.log)
+
+    def _fwd_abs(self, rec):
+        a, o = self._unary(rec, np.absolute)
+        if self.training:
+            sign = np.empty(np.shape(a), dtype=np.asarray(a).dtype)
+            self.fwd.append(lambda a=a, s=sign: np.sign(a, out=s))
+            self._aux(rec)["sign"] = sign
+
+    def _fwd_pow(self, rec):
+        a = self._resolve(rec.parents[0])
+        o = self._out_buffer(rec)
+        self.fwd.append(_pow_step(a, float(rec.params["exponent"]), o))
+
+    def _fwd_clip_min(self, rec):
+        a = self._resolve(rec.parents[0])
+        o = self._out_buffer(rec)
+        minimum = rec.params["minimum"]
+        self.fwd.append(lambda a=a, m=minimum, o=o: np.maximum(a, m, out=o))
+        if self.training:
+            mask = np.empty(np.shape(a), dtype=np.asarray(a).dtype)
+            cond = np.empty(np.shape(a), dtype=bool)
+
+            def step(a=a, m=minimum, mask=mask, cond=cond):
+                np.greater(a, m, out=cond)
+                np.copyto(mask, cond, casting="unsafe")
+
+            self.fwd.append(step)
+            self._aux(rec)["mask"] = mask
+
+    def _fwd_matmul(self, rec):
+        a = self._resolve(rec.parents[0])
+        b = self._resolve(rec.parents[1])
+        if np.ndim(a) != 2 or np.ndim(b) != 2:
+            raise TapeUnsupported("only 2-D matmul can be taped")
+        o = self._out_buffer(rec)
+        self.fwd.append(lambda a=a, b=b, o=o: np.matmul(a, b, out=o))
+
+    def _map_view(self, rec, make_view):
+        """Map a view-producing op's output to a live view of the replay array.
+
+        If re-applying the view op copies (non-contiguous reshape), emit a
+        per-replay copy step instead.
+        """
+        parent = rec.parents[0]
+        a = self._resolve(parent)
+        produced = make_view(a)
+        data = rec.out.data
+        if not np.shares_memory(produced, a):
+            self.fwd.append(lambda a=a, o=produced, mv=make_view: np.copyto(o, mv(a)))
+        self.amap[id(data)] = produced
+
+    def _fwd_reshape(self, rec):
+        shape = rec.params["shape"]
+        self._map_view(rec, lambda arr, s=shape: arr.reshape(s))
+
+    def _fwd_transpose(self, rec):
+        self._map_view(rec, lambda arr: arr.T)
+
+    def _fwd_slice_cols(self, rec):
+        start, stop = rec.params["start"], rec.params["stop"]
+        self._map_view(rec, lambda arr, a=start, b=stop: arr[:, a:b])
+
+    def _fwd_gather_rows(self, rec):
+        indices = rec.params["indices"]
+        if id(_root(indices)) not in self.owned_ids:
+            raise TapeUnsupported(
+                "gather_rows indices are not a view of a tape-owned input buffer"
+            )
+        table = self._resolve(rec.parents[0])
+        o = self._out_buffer(rec)
+        self.fwd.append(lambda t=table, i=indices, o=o: np.take(t, i, axis=0, out=o))
+
+    def _fwd_sum(self, rec):
+        a = self._resolve(rec.parents[0])
+        o = self._out_buffer(rec)
+        axis = rec.params["axis"]
+        keepdims = rec.params["keepdims"]
+        self.fwd.append(
+            lambda a=a, o=o, ax=axis, kd=keepdims: np.sum(a, axis=ax, keepdims=kd, out=o)
+        )
+
+    def _fwd_concat(self, rec):
+        axis = rec.params["axis"]
+        offsets = rec.params["offsets"]
+        parts = [self._resolve(p) for p in rec.parents]
+        o = self._out_buffer(rec)
+        pairs = []
+        for part, start, stop in zip(parts, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * o.ndim
+            index[axis] = slice(start, stop)
+            pairs.append((o[tuple(index)], part))
+
+        def step(pairs=tuple(pairs)):
+            for dest, src in pairs:
+                np.copyto(dest, src)
+
+        self.fwd.append(step)
+
+    def _fwd_leaky_relu(self, rec):
+        a = self._resolve(rec.parents[0])
+        o = self._out_buffer(rec)
+        slope = rec.params["negative_slope"]
+        positive = np.empty(np.shape(a), dtype=bool)
+
+        def step(a=a, o=o, s=slope, pos=positive):
+            np.multiply(a, s, out=o)
+            np.greater(a, 0, out=pos)
+            np.copyto(o, a, where=pos)
+
+        self.fwd.append(step)
+        if self.training:
+            # np.where(x > 0, 1.0, slope) is float64 regardless of x.dtype.
+            sbuf = np.empty(np.shape(a), dtype=np.float64)
+
+            def slope_step(s=slope, sbuf=sbuf, pos=positive):
+                sbuf.fill(s)
+                np.copyto(sbuf, 1.0, where=pos)
+
+            self.fwd.append(slope_step)
+            self._aux(rec)["slope"] = sbuf
+
+    def _fwd_softmax(self, rec):
+        a = self._resolve(rec.parents[0])
+        o = self._out_buffer(rec)
+        axis = rec.params["axis"]
+        red_shape = list(o.shape)
+        red_shape[axis] = 1
+        mx = np.empty(red_shape, dtype=o.dtype)
+        sm = np.empty(red_shape, dtype=o.dtype)
+
+        def step(a=a, o=o, ax=axis, mx=mx, sm=sm):
+            np.amax(a, axis=ax, keepdims=True, out=mx)
+            np.subtract(a, mx, out=o)
+            np.exp(o, out=o)
+            np.sum(o, axis=ax, keepdims=True, out=sm)
+            np.divide(o, sm, out=o)
+
+        self.fwd.append(step)
+
+    def _fwd_dropout(self, rec):
+        if self.dtype is not None:
+            raise TapeUnsupported("float32 tapes do not support dropout")
+        a = self._resolve(rec.parents[0])
+        o = self._out_buffer(rec)
+        p = rec.params["p"]
+        rng = rec.params["rng"]
+        keep = 1.0 - p
+        raw = np.empty(np.shape(a), dtype=np.float64)
+        below = np.empty(np.shape(a), dtype=bool)
+        mask = np.empty(np.shape(a), dtype=np.asarray(a).dtype)
+
+        def step(a=a, o=o, k=keep, rng=rng, raw=raw, below=below, mask=mask):
+            rng.random(out=raw)
+            np.less(raw, k, out=below)
+            np.copyto(mask, below, casting="unsafe")
+            np.divide(mask, k, out=mask)
+            np.multiply(a, mask, out=o)
+
+        self.fwd.append(step)
+        self.rngs.append(rng)
+        self._aux(rec)["mask"] = mask
+
+    def _aux(self, rec):
+        key = id(rec.out.data)
+        store = getattr(self, "_aux_store", None)
+        if store is None:
+            store = self._aux_store = {}
+        return store.setdefault(key, {})
+
+    def _get_aux(self, rec):
+        return getattr(self, "_aux_store", {}).get(id(rec.out.data), {})
+
+    # ------------------------------------------------------------------
+    # backward compile
+
+    def compile_backward(self, loss):
+        order = loss._topological_order()
+        rec_by_out = {id(r.out): r for r in self.records}
+
+        # Pass 1: count gradient contributions per tensor so single-use
+        # interior views can alias their consumer's buffer safely.
+        counts = {}
+        reachable = {id(loss)}
+        for node in order:
+            if id(node) not in reachable:
+                continue
+            rec = rec_by_out.get(id(node))
+            if rec is None:
+                continue
+            for parent in rec.parents:
+                if parent.requires_grad:
+                    counts[id(parent)] = counts.get(id(parent), 0) + 1
+                    reachable.add(id(parent))
+
+        # Pack every reachable leaf's gradient into one contiguous arena.
+        # The views are the same shape and C-order as dedicated buffers, so
+        # every emitted step (and clip/Adam afterwards) is bitwise
+        # unaffected — only the memory layout is consolidated.
+        leaves = [
+            node
+            for node in order
+            if counts.get(id(node)) and rec_by_out.get(id(node)) is None
+        ]
+        total = int(sum(np.size(node.data) for node in leaves))
+        self.grad_arena = np.empty(total, dtype=np.float64)
+        offset = 0
+        for node in leaves:
+            size = int(np.size(node.data))
+            view = self.grad_arena[offset:offset + size].reshape(
+                np.shape(node.data)
+            )
+            self._leaf_views[id(node)] = view
+            self.grad_slices.append((node, offset, size))
+            offset += size
+
+        seed = np.ones(np.shape(loss.data), dtype=np.float64)
+        self._gbufs[id(loss)] = seed
+        for node in order:
+            g = self._gbufs.get(id(node))
+            if g is None:
+                continue
+            rec = rec_by_out.get(id(node))
+            if rec is None:
+                continue  # leaf; parameter grads are bound after the loop
+            slots = self._slots(rec, g)
+            for parent, spec in zip(rec.parents, slots):
+                if not parent.requires_grad:
+                    continue
+                # Aliasing a view of the consumer's buffer is safe only for
+                # interior nodes receiving exactly one contribution: leaves
+                # need dedicated buffers (optimizers mutate .grad in place).
+                alias_ok = (
+                    counts.get(id(parent), 0) == 1
+                    and rec_by_out.get(id(parent)) is not None
+                )
+                self._contribute(parent, spec, alias_ok)
+
+        for node in order:
+            if node.requires_grad and rec_by_out.get(id(node)) is None:
+                grad = self._gbufs.get(id(node))
+                self.param_binds.append((node, grad))
+
+    def _grad_buffer(self, key, shape):
+        """First-contribution destination: the packed arena view for leaves,
+        a dedicated buffer for interior nodes."""
+        view = self._leaf_views.get(key)
+        return view if view is not None else np.empty(shape, dtype=np.float64)
+
+    def _contribute(self, parent, spec, alias_ok):
+        key = id(parent)
+        pshape = np.shape(parent.data)
+        first = key not in self._gbufs
+        if isinstance(spec, _Ready):
+            arr = spec.array
+            if first:
+                if arr.shape == pshape and alias_ok:
+                    self._gbufs[key] = arr
+                    return
+                dest = self._grad_buffer(key, pshape)
+                self._gbufs[key] = dest
+                if arr.shape == pshape:
+                    self.bwd.append(lambda d=dest, s=arr: np.copyto(d, s))
+                else:
+                    self._emit_unbroadcast(arr, pshape, dest)
+            else:
+                dest = self._gbufs[key]
+                if arr.shape == pshape:
+                    self.bwd.append(lambda d=dest, s=arr: np.add(d, s, out=d))
+                else:
+                    scratch = np.empty(pshape, dtype=np.float64)
+                    self._emit_unbroadcast(arr, pshape, scratch)
+                    self.bwd.append(lambda d=dest, s=scratch: np.add(d, s, out=d))
+            return
+        # computed slot
+        if first:
+            dest = self._grad_buffer(key, pshape)
+            self._gbufs[key] = dest
+            target = dest
+        else:
+            target = np.empty(pshape, dtype=np.float64)
+        if spec.shape == pshape:
+            spec.emit(target)
+        else:
+            pre = np.empty(spec.shape, dtype=np.float64)
+            spec.emit(pre)
+            self._emit_unbroadcast(pre, pshape, target)
+        if not first:
+            dest = self._gbufs[key]
+            self.bwd.append(lambda d=dest, s=target: np.add(d, s, out=d))
+
+    def _emit_unbroadcast(self, src, shape, dest):
+        """Mirror ``Tensor._unbroadcast``: staged axis sums into ``dest``."""
+        extra = src.ndim - len(shape)
+        if extra > 0:
+            inter_shape = src.shape[extra:]
+            lead_axes = tuple(range(extra))
+            rest_axes = tuple(
+                i for i, n in enumerate(shape) if n == 1 and inter_shape[i] != 1
+            )
+            if rest_axes:
+                stage = np.empty(inter_shape, dtype=np.float64)
+                self.bwd.append(
+                    lambda s=src, a=lead_axes, o=stage: np.sum(s, axis=a, out=o)
+                )
+                kd_shape = tuple(
+                    1 if i in rest_axes else n for i, n in enumerate(inter_shape)
+                )
+                view = dest.reshape(kd_shape)
+                self.bwd.append(
+                    lambda s=stage, a=rest_axes, o=view: np.sum(
+                        s, axis=a, keepdims=True, out=o
+                    )
+                )
+            else:
+                view = dest.reshape(inter_shape)
+                self.bwd.append(
+                    lambda s=src, a=lead_axes, o=view: np.sum(s, axis=a, out=o)
+                )
+            return
+        rest_axes = tuple(
+            i for i, n in enumerate(shape) if n == 1 and src.shape[i] != 1
+        )
+        if rest_axes:
+            kd_shape = tuple(1 if i in rest_axes else n for i, n in enumerate(src.shape))
+            view = dest.reshape(kd_shape)
+            self.bwd.append(
+                lambda s=src, a=rest_axes, o=view: np.sum(s, axis=a, keepdims=True, out=o)
+            )
+        else:
+            # Same size, possibly different ndim: copy through a contiguous
+            # view of dest so a non-contiguous src never forces a compile-time
+            # copy.
+            view = dest.reshape(src.shape)
+            self.bwd.append(lambda d=view, s=src: np.copyto(d, s))
+
+    # ---- per-op slot specs (pre-broadcast gradients, in parent order) ----
+
+    def _slots(self, rec, g):
+        return getattr(self, "_bwd_" + rec.kind)(rec, g)
+
+    def _bwd_add(self, rec, g):
+        return [_Ready(g), _Ready(g)]
+
+    def _bwd_sub(self, rec, g):
+        return [
+            _Ready(g),
+            _EmitSlot(g.shape, lambda d, g=g: self.bwd.append(
+                lambda g=g, d=d: np.negative(g, out=d)
+            )),
+        ]
+
+    def _bwd_mul(self, rec, g):
+        a = self._replay(rec.parents[0])
+        b = self._replay(rec.parents[1])
+        return [
+            _EmitSlot(g.shape, lambda d, g=g, b=b: self.bwd.append(
+                lambda g=g, b=b, d=d: np.multiply(g, b, out=d)
+            )),
+            _EmitSlot(g.shape, lambda d, g=g, a=a: self.bwd.append(
+                lambda g=g, a=a, d=d: np.multiply(g, a, out=d)
+            )),
+        ]
+
+    def _bwd_div(self, rec, g):
+        a = self._replay(rec.parents[0])
+        b = self._replay(rec.parents[1])
+
+        def emit_other(d, g=g, a=a, b=b):
+            bsq = np.empty(np.shape(b), dtype=np.float64)
+
+            def step(g=g, a=a, b=b, d=d, bsq=bsq):
+                np.negative(g, out=d)
+                np.multiply(d, a, out=d)
+                np.square(b, out=bsq)
+                np.divide(d, bsq, out=d)
+
+            self.bwd.append(step)
+
+        return [
+            _EmitSlot(g.shape, lambda d, g=g, b=b: self.bwd.append(
+                lambda g=g, b=b, d=d: np.divide(g, b, out=d)
+            )),
+            _EmitSlot(g.shape, emit_other),
+        ]
+
+    def _bwd_neg(self, rec, g):
+        return [
+            _EmitSlot(g.shape, lambda d, g=g: self.bwd.append(
+                lambda g=g, d=d: np.negative(g, out=d)
+            )),
+        ]
+
+    def _bwd_pow(self, rec, g):
+        a = self._replay(rec.parents[0])
+        exponent = float(rec.params["exponent"])
+
+        def emit(d, g=g, a=a, e=exponent):
+            powered = np.empty(np.shape(a), dtype=np.float64)
+            self.bwd.append(_pow_step(a, e - 1.0, powered))
+
+            def step(g=g, e=e, p=powered, d=d):
+                np.multiply(g, e, out=d)
+                np.multiply(d, p, out=d)
+
+            self.bwd.append(step)
+
+        return [_EmitSlot(g.shape, emit)]
+
+    def _bwd_matmul(self, rec, g):
+        a = self._replay(rec.parents[0])
+        b = self._replay(rec.parents[1])
+        bT, aT = b.T, a.T
+        return [
+            _EmitSlot(np.shape(a), lambda d, g=g, bT=bT: self.bwd.append(
+                lambda g=g, bT=bT, d=d: np.matmul(g, bT, out=d)
+            )),
+            _EmitSlot(np.shape(b), lambda d, g=g, aT=aT: self.bwd.append(
+                lambda aT=aT, g=g, d=d: np.matmul(aT, g, out=d)
+            )),
+        ]
+
+    def _bwd_reshape(self, rec, g):
+        original = rec.params["original"]
+        view = g.reshape(original)
+        if np.shares_memory(view, g):
+            return [_Ready(view)]
+
+        # g is a non-contiguous alias; reshape copied.  Copy live each replay
+        # through a contiguous view of the destination instead.
+        def emit(d, g=g):
+            dview = d.reshape(g.shape)
+            self.bwd.append(lambda o=dview, s=g: np.copyto(o, s))
+
+        return [_EmitSlot(original, emit)]
+
+    def _bwd_transpose(self, rec, g):
+        return [_Ready(g.T)]
+
+    def _bwd_slice_cols(self, rec, g):
+        start, stop = rec.params["start"], rec.params["stop"]
+
+        def emit(d, g=g, start=start, stop=stop):
+            window = d[:, start:stop]
+
+            def step(d=d, w=window, g=g):
+                d.fill(0.0)
+                np.copyto(w, g)
+
+            self.bwd.append(step)
+
+        return [_EmitSlot(np.shape(rec.parents[0].data), emit)]
+
+    def _bwd_gather_rows(self, rec, g):
+        indices = rec.params["indices"]
+
+        def emit(d, g=g, idx=indices):
+            def step(d=d, idx=idx, g=g):
+                d.fill(0.0)
+                np.add.at(d, idx, g)
+
+            self.bwd.append(step)
+
+        return [_EmitSlot(np.shape(rec.parents[0].data), emit)]
+
+    def _bwd_sum(self, rec, g):
+        axis = rec.params["axis"]
+        keepdims = rec.params["keepdims"]
+        parent_shape = np.shape(rec.parents[0].data)
+
+        def emit(d, g=g, axis=axis, keepdims=keepdims):
+            src = np.asarray(g)
+            if axis is not None and not keepdims:
+                expanded = list(src.shape)
+                for ax in (axis,) if np.isscalar(axis) else sorted(axis):
+                    expanded.insert(ax if ax >= 0 else len(expanded) + 1 + ax, 1)
+                src = src.reshape(expanded)
+            self.bwd.append(lambda d=d, s=src: np.copyto(d, s))
+
+        return [_EmitSlot(parent_shape, emit)]
+
+    def _bwd_abs(self, rec, g):
+        sign = self._get_aux(rec)["sign"]
+        return [
+            _EmitSlot(g.shape, lambda d, g=g, s=sign: self.bwd.append(
+                lambda g=g, s=s, d=d: np.multiply(g, s, out=d)
+            )),
+        ]
+
+    def _bwd_exp(self, rec, g):
+        out = self._replay(rec.out)
+        return [
+            _EmitSlot(g.shape, lambda d, g=g, o=out: self.bwd.append(
+                lambda g=g, o=o, d=d: np.multiply(g, o, out=d)
+            )),
+        ]
+
+    def _bwd_log(self, rec, g):
+        a = self._replay(rec.parents[0])
+        return [
+            _EmitSlot(g.shape, lambda d, g=g, a=a: self.bwd.append(
+                lambda g=g, a=a, d=d: np.divide(g, a, out=d)
+            )),
+        ]
+
+    def _bwd_clip_min(self, rec, g):
+        mask = self._get_aux(rec)["mask"]
+        return [
+            _EmitSlot(g.shape, lambda d, g=g, m=mask: self.bwd.append(
+                lambda g=g, m=m, d=d: np.multiply(g, m, out=d)
+            )),
+        ]
+
+    def _bwd_concat(self, rec, g):
+        axis = rec.params["axis"]
+        offsets = rec.params["offsets"]
+        slots = []
+        for start, stop in zip(offsets[:-1], offsets[1:]):
+            index = [slice(None)] * g.ndim
+            index[axis] = slice(start, stop)
+            slots.append(_Ready(g[tuple(index)]))
+        return slots
+
+    def _bwd_leaky_relu(self, rec, g):
+        slope = self._get_aux(rec)["slope"]
+        return [
+            _EmitSlot(g.shape, lambda d, g=g, s=slope: self.bwd.append(
+                lambda g=g, s=s, d=d: np.multiply(g, s, out=d)
+            )),
+        ]
+
+    def _bwd_softmax(self, rec, g):
+        out = self._replay(rec.out)
+        axis = rec.params["axis"]
+
+        def emit(d, g=g, out=out, axis=axis):
+            scratch = np.empty(out.shape, dtype=np.float64)
+            red_shape = list(out.shape)
+            red_shape[axis] = 1
+            dot = np.empty(red_shape, dtype=np.float64)
+
+            def step(g=g, o=out, ax=axis, t=scratch, dot=dot, d=d):
+                np.multiply(g, o, out=t)
+                np.sum(t, axis=ax, keepdims=True, out=dot)
+                np.subtract(g, dot, out=t)
+                np.multiply(o, t, out=d)
+
+            self.bwd.append(step)
+
+        return [_EmitSlot(out.shape, emit)]
+
+    def _bwd_dropout(self, rec, g):
+        mask = self._get_aux(rec)["mask"]
+        return [
+            _EmitSlot(g.shape, lambda d, g=g, m=mask: self.bwd.append(
+                lambda g=g, m=m, d=d: np.multiply(g, m, out=d)
+            )),
+        ]
+
+
+def _build_refills(template, buffers, divisors):
+    """Compile the per-replay input refill: copy (or scale-copy) each field."""
+    steps = []
+    for name in template:
+        buf = buffers[name]
+        factor = (divisors or {}).get(name)
+        if factor is not None and float(factor) != 1.0:
+            steps.append((name, buf, float(factor)))
+        else:
+            steps.append((name, buf, None))
+    return steps
+
+
+def _run_refills(steps, batch, rows=None):
+    for name, buf, factor in steps:
+        src = batch[name]
+        dest = buf if rows is None else buf[:rows]
+        if factor is None:
+            np.copyto(dest, src)
+        else:
+            np.divide(src, factor, out=dest)
+
+
+class _FusedAdam:
+    """Flat-arena mirror of :class:`repro.nn.optim.Adam`.
+
+    The tape packs every leaf gradient into one contiguous float64 arena;
+    this runs the textbook Adam update as ~10 ufunc calls over matching
+    moment/scratch arenas instead of ~10 calls per parameter.  Every
+    operation is elementwise, so each parameter's update is bitwise
+    identical to ``Adam.step()`` — only the call count changes.
+
+    The real optimizer's ``_m``/``_v`` entries are rebound to views of the
+    moment arenas, so ``state_dict()`` checkpointing (and a later unfused
+    ``step()``) keeps working on live values.  ``lr`` and ``_step_count``
+    are read from / written to the real optimizer on every step, so
+    schedulers and checkpoint resume behave exactly as without fusion.
+    """
+
+    def __init__(self, optimizer, arena, slices):
+        self.opt = optimizer
+        self._garena = arena
+        self._m = np.empty_like(arena)
+        self._v = np.empty_like(arena)
+        self._a = np.empty_like(arena)
+        self._b = np.empty_like(arena)
+        self._m_binds = []  # (optimizer index, m view, v view)
+        self._applies = []  # (param data, update view)
+        self._wd = []  # (param data, grad view, wd scratch view)
+        by_id = {id(param): (offset, size) for param, offset, size in slices}
+        for index, param in enumerate(optimizer.params):
+            placement = by_id.get(id(param))
+            if placement is None:
+                continue
+            offset, size = placement
+            shape = param.data.shape
+            flat = slice(offset, offset + size)
+            m_view = self._m[flat].reshape(shape)
+            v_view = self._v[flat].reshape(shape)
+            np.copyto(m_view, optimizer._m[index])
+            np.copyto(v_view, optimizer._v[index])
+            optimizer._m[index] = m_view
+            optimizer._v[index] = v_view
+            self._m_binds.append((index, m_view, v_view))
+            self._applies.append((param.data, self._a[flat].reshape(shape)))
+            self._wd.append(
+                (param.data, arena[flat], self._b[flat].reshape(shape))
+            )
+
+    @classmethod
+    def build(cls, optimizer, arena, slices, views_by_param):
+        """A fused stepper, or None when fusion would change semantics."""
+        from .optim import Adam
+
+        if type(optimizer) is not Adam or arena is None or arena.size == 0:
+            return None
+        for param in optimizer.params:
+            if id(param) not in views_by_param and param.grad is not None:
+                # A managed parameter outside the tape still carries a
+                # gradient; the unfused step would consume it, so bail.
+                return None
+        return cls(optimizer, arena, slices)
+
+    def is_valid(self):
+        """Fusion holds while the optimizer's moment buffers are still the
+        arena views (``load_state_dict`` replaces them)."""
+        opt = self.opt
+        return all(
+            opt._m[index] is m_view and opt._v[index] is v_view
+            for index, m_view, v_view in self._m_binds
+        )
+
+    def step(self):
+        opt = self.opt
+        opt._step_count += 1
+        t = opt._step_count
+        bias1 = 1.0 - opt.beta1 ** t
+        bias2 = 1.0 - opt.beta2 ** t
+        grad = self._garena
+        m, v, a, b = self._m, self._v, self._a, self._b
+        if opt.weight_decay:
+            for data, g_flat, wd_scratch in self._wd:
+                np.multiply(data, opt.weight_decay, out=wd_scratch)
+                np.add(
+                    g_flat.reshape(wd_scratch.shape), wd_scratch, out=wd_scratch
+                )
+            grad = self._b
+        m *= opt.beta1
+        np.multiply(grad, 1.0 - opt.beta1, out=a)
+        m += a
+        v *= opt.beta2
+        np.multiply(grad, 1.0 - opt.beta2, out=a)
+        a *= grad
+        v += a
+        np.divide(m, bias1, out=a)
+        a *= opt.lr
+        np.divide(v, bias2, out=b)
+        np.sqrt(b, out=b)
+        b += opt.eps
+        a /= b
+        for data, update in self._applies:
+            data -= update
+
+
+class TrainingTape:
+    """Replay one minibatch's forward + backward as flat preallocated numpy.
+
+    Trace once per (model, loss, batch-row-count); afterwards :meth:`step`
+    refills the owned input buffers, runs the taped forward and backward, and
+    binds ``param.grad`` — bitwise identical to ``loss = loss_fn(model(batch),
+    targets); loss.backward()`` with module dispatch, including dropout RNG
+    stream consumption.  The caller still runs gradient clipping and the
+    optimizer step (both already allocation-free).
+
+    The trace itself *is* the first rehearsal: dropout RNG states are
+    snapshotted before tracing and restored afterwards, so the first
+    :meth:`step` replay consumes the exact random numbers the trace observed.
+    """
+
+    def __init__(self):
+        raise TypeError("use TrainingTape.trace(...)")
+
+    @classmethod
+    def trace(cls, model, loss_fn, batch, targets, divisors=None):
+        if batch_invariant_enabled():
+            raise TapeUnsupported("cannot trace a training tape under batch_invariant()")
+        buffers = {name: np.zeros_like(value) for name, value in batch.items()}
+        refills = _build_refills(batch, buffers, divisors)
+        _run_refills(refills, batch)
+        target_buf = np.zeros_like(np.asarray(targets, dtype=np.float64))
+        np.copyto(target_buf, targets)
+
+        dropouts = [m for m in model.modules() if isinstance(m, Dropout)]
+        rng_states = [copy.deepcopy(m.rng_state) for m in dropouts]
+        had_scales = hasattr(model, "input_scales")
+        saved_scales = getattr(model, "input_scales", None)
+        try:
+            if had_scales:
+                model.input_scales = None
+            with trace_ops() as records:
+                predictions = model(buffers)
+                loss = loss_fn(predictions, Tensor(target_buf))
+        finally:
+            if had_scales:
+                model.input_scales = saved_scales
+            for module, state in zip(dropouts, rng_states):
+                module.rng_state = state
+
+        owned = list(buffers.values()) + [target_buf]
+        compiler = _Compiler(records, owned, training=True)
+        compiler.compile_forward()
+        compiler.compile_backward(loss)
+
+        self = cls.__new__(cls)
+        self.n_rows = len(target_buf)
+        self._refills = refills
+        self._target_buf = target_buf
+        self._fwd = compiler.fwd
+        self._bwd = compiler.bwd
+        self._param_binds = compiler.param_binds
+        self._loss_buf = compiler.amap[id(loss.data)]
+        self._param_ids = {id(p.data) for p, _ in compiler.param_arrays}
+        self._grad_arena = compiler.grad_arena
+        self._grad_slices = compiler.grad_slices
+        self._grad_views = {
+            id(p): g for p, g in compiler.param_binds if g is not None
+        }
+        self._clip_scratch = {}  # id(grad view) -> same-shape scratch
+        self._fused = None  # _FusedAdam | None (untried) | False (unsupported)
+        self._records = records  # pins traced arrays referenced by id in amap
+        return self
+
+    def step(self, batch, targets):
+        """Run one taped minibatch; returns the loss as a float.
+
+        Equivalent to ``optimizer.zero_grad(); loss = loss_fn(model(batch),
+        Tensor(targets)); loss.backward()`` — every parameter's ``.grad`` is
+        rebound (or set to ``None`` if unreached), so ``zero_grad`` is not
+        needed before calling.
+        """
+        self.run_forward(batch, targets)
+        self.run_backward()
+        return float(self._loss_buf)
+
+    def run_forward(self, batch, targets):
+        """Refill inputs and run the taped forward; returns the loss float."""
+        _run_refills(self._refills, batch)
+        np.copyto(self._target_buf, targets)
+        for step in self._fwd:
+            step()
+        return float(self._loss_buf)
+
+    def run_backward(self):
+        """Run the taped backward and rebind every parameter's ``.grad``."""
+        for step in self._bwd:
+            step()
+        for param, grad in self._param_binds:
+            param.grad = grad
+
+    def run_clip(self, parameters, max_norm):
+        """Bitwise mirror of :func:`repro.nn.clip_gradients` without the
+        per-parameter temporaries.
+
+        After :meth:`run_backward`, each parameter's ``.grad`` is a view of
+        the packed gradient arena; squaring into cached same-shape scratch
+        buffers and accumulating the per-parameter sums in the same order
+        reproduces the legacy norm (and in-place scaling) exactly.
+        """
+        if max_norm <= 0:
+            raise ValueError(f"max_norm must be positive, got {max_norm}")
+        grads = [p.grad for p in parameters if p.grad is not None]
+        if not grads:
+            return 0.0
+        acc = 0.0
+        scratch_map = self._clip_scratch
+        for grad in grads:
+            scratch = scratch_map.get(id(grad))
+            if scratch is None:
+                scratch = scratch_map[id(grad)] = np.empty_like(grad)
+            np.multiply(grad, grad, out=scratch)
+            acc += float(scratch.sum())
+        total = float(np.sqrt(acc))
+        if total > max_norm:
+            scale = max_norm / (total + 1e-12)
+            for grad in grads:
+                grad *= scale
+        return total
+
+    def run_optim(self, optimizer):
+        """Apply one fused optimizer step; False => caller must step itself.
+
+        Fusion currently covers :class:`~repro.nn.optim.Adam`; anything
+        else (or an optimizer whose state was swapped out underneath, e.g.
+        by ``load_state_dict``) falls back to the unfused path, which stays
+        correct because gradients are bound to ``param.grad`` either way.
+        """
+        fused = self._fused
+        if fused is False:
+            return False
+        if fused is not None and (
+            fused.opt is not optimizer or not fused.is_valid()
+        ):
+            fused = self._fused = None
+        if fused is None:
+            fused = _FusedAdam.build(
+                optimizer, self._grad_arena, self._grad_slices, self._grad_views
+            )
+            if fused is None:
+                self._fused = False
+                return False
+            self._fused = fused
+        fused.step()
+        return True
+
+    def is_valid(self, model):
+        """Replay stays valid while the model's parameter arrays are the same
+        objects the tape was traced against (in-place optimizers preserve
+        them; ``load_state_dict`` copies in place)."""
+        return all(id(p.data) in self._param_ids for p in model.parameters())
+
+
+class ForwardTape:
+    """Inference-only tape at a fixed row count (padding-tolerant replay).
+
+    Traced at ``n_rows`` (default :data:`INVARIANT_BLOCK`) *without*
+    ``batch_invariant()``: a full-block plain matmul is bitwise identical to
+    the blocked invariant matmul, so replaying full 32-row blocks (padding
+    short batches with stale-but-valid rows) reproduces the serving path's
+    batch-invariant guarantee exactly, while folding the padding into the tape.
+
+    ``dtype="float32"`` re-materializes every float64 intermediate and
+    parameter at reduced precision; call :meth:`refresh_params` after weights
+    change.  Float32 replay is *not* bitwise — callers opt in per deployment.
+    """
+
+    def __init__(self):
+        raise TypeError("use ForwardTape.trace(...)")
+
+    @classmethod
+    def trace(cls, model, batch, *, n_rows=INVARIANT_BLOCK, divisors=None, dtype=None):
+        if batch_invariant_enabled():
+            raise TapeUnsupported("cannot trace a forward tape under batch_invariant()")
+        if getattr(model, "training", False):
+            raise TapeUnsupported("forward tapes require the model in eval mode")
+        buffers = {
+            name: np.zeros((n_rows,) + np.shape(value)[1:], dtype=np.asarray(value).dtype)
+            for name, value in batch.items()
+        }
+        refills = _build_refills(batch, buffers, divisors)
+        seed_rows = min(n_rows, len(next(iter(batch.values()))))
+        _run_refills(refills, {k: np.asarray(v)[:seed_rows] for k, v in batch.items()},
+                     rows=seed_rows)
+
+        had_scales = hasattr(model, "input_scales")
+        saved_scales = getattr(model, "input_scales", None)
+        try:
+            if had_scales:
+                model.input_scales = None
+            with trace_ops() as records:
+                output = model(buffers)
+        finally:
+            if had_scales:
+                model.input_scales = saved_scales
+
+        compiler = _Compiler(records, buffers.values(), dtype=dtype, training=False)
+        compiler.compile_forward()
+        out = compiler.amap[id(output.data)]
+        if np.shape(out)[:1] != (n_rows,):
+            raise TapeUnsupported("model output does not have one row per input row")
+
+        self = cls.__new__(cls)
+        self.n_rows = n_rows
+        self.dtype = np.dtype(dtype) if dtype is not None else np.dtype(np.float64)
+        self._refills = refills
+        self._fwd = compiler.fwd
+        self._out = out
+        self._param_arrays = compiler.param_arrays
+        self._shapes = {name: buf.shape[1:] for name, buf in buffers.items()}
+        self._records = records  # pins traced arrays referenced by id in amap
+        return self
+
+    def matches(self, batch):
+        """True if every field's trailing shape matches the traced shapes."""
+        if set(batch) != set(self._shapes):
+            return False
+        return all(
+            np.shape(batch[name])[1:] == shape for name, shape in self._shapes.items()
+        )
+
+    def replay(self, batch):
+        """Run the taped forward on ``batch`` (≤ ``n_rows`` rows).
+
+        Rows past the batch keep their previous (stale but valid) contents;
+        every forward op is row-independent, so padded rows cannot contaminate
+        live rows.  Returns a view of the first ``len(batch)`` output rows.
+        """
+        rows = len(next(iter(batch.values())))
+        if rows > self.n_rows:
+            raise ValueError(f"batch has {rows} rows; tape was traced at {self.n_rows}")
+        _run_refills(self._refills, batch, rows=rows)
+        for step in self._fwd:
+            step()
+        return self._out[:rows]
+
+    def refresh_params(self):
+        """Re-copy model parameters into the tape's reduced-precision buffers.
+
+        No-op in float64 mode (the tape reads the live parameter arrays)."""
+        for param, array in self._param_arrays:
+            if array is not param.data:
+                np.copyto(array, param.data)
+
+    def is_valid(self, model):
+        """Float64 tapes read parameter arrays by identity; invalidated if any
+        parameter array was replaced (float32 copies are refreshable instead)."""
+        live = {id(p.data) for p in model.parameters()}
+        return all(
+            id(param.data) in live and (array is param.data or self.dtype != np.float64)
+            for param, array in self._param_arrays
+        )
+
+    def params_bound(self):
+        """Cheap per-replay validity: every traced parameter tensor still
+        owns the array the tape reads (float32 tapes re-copy instead, so
+        they are always refreshable).
+
+        Unlike :meth:`is_valid` this does not walk the model tree, so it
+        cannot see parameters *added* to the model after tracing — no
+        in-repo flow grows a model in place (fine-tuning builds a new
+        instance), and :meth:`is_valid` still guards the full contract
+        when a tape enters a cache.
+        """
+        if self.dtype != np.float64:
+            return True
+        return all(array is param.data for param, array in self._param_arrays)

@@ -24,6 +24,52 @@ ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
 
 _DEFAULT_DTYPE = np.float64
 
+# ---------------------------------------------------------------------------
+# Op recording (the execution tape's trace hook)
+# ---------------------------------------------------------------------------
+#
+# ``repro.nn.tape`` compiles a recorded forward pass into a flat list of
+# preallocated numpy calls.  Recording is a per-thread list of OpRecord
+# entries appended by every tensor op while a trace is active; the normal
+# (untraced) path pays one thread-local attribute read per op.
+
+_trace_state = threading.local()
+
+
+class OpRecord:
+    """One recorded tensor op: kind, output tensor, parents and op params."""
+
+    __slots__ = ("kind", "out", "parents", "params")
+
+    def __init__(self, kind, out, parents, params):
+        self.kind = kind
+        self.out = out
+        self.parents = tuple(parents)
+        self.params = params
+
+
+def _record(kind, out, parents, **params):
+    records = getattr(_trace_state, "records", None)
+    if records is not None:
+        records.append(OpRecord(kind, out, parents, params))
+
+
+@contextlib.contextmanager
+def trace_ops():
+    """Record every tensor op executed by this thread into a list.
+
+    Yields the (live) list of :class:`OpRecord` entries, in execution
+    order.  Traces do not nest — the tape compiler owns the whole pass.
+    """
+    if getattr(_trace_state, "records", None) is not None:
+        raise RuntimeError("tensor op tracing does not nest")
+    records: list = []
+    _trace_state.records = records
+    try:
+        yield records
+    finally:
+        _trace_state.records = None
+
 #: Row-block size of the batch-invariant matmul (see :func:`batch_invariant`).
 #: Any fixed value works; 32 keeps the padding waste of a single-row forward
 #: negligible while amortising the per-block BLAS call overhead.
@@ -302,7 +348,9 @@ class Tensor:
                 (other, _unbroadcast(grad, other.shape)),
             )
 
-        return Tensor._from_op(data, (self, other), backward, "add")
+        out = Tensor._from_op(data, (self, other), backward, "add")
+        _record("add", out, (self, other))
+        return out
 
     __radd__ = __add__
 
@@ -316,7 +364,9 @@ class Tensor:
                 (other, _unbroadcast(-grad, other.shape)),
             )
 
-        return Tensor._from_op(data, (self, other), backward, "sub")
+        out = Tensor._from_op(data, (self, other), backward, "sub")
+        _record("sub", out, (self, other))
+        return out
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
         return Tensor.ensure(other).__sub__(self)
@@ -331,7 +381,9 @@ class Tensor:
                 (other, _unbroadcast(grad * self.data, other.shape)),
             )
 
-        return Tensor._from_op(data, (self, other), backward, "mul")
+        out = Tensor._from_op(data, (self, other), backward, "mul")
+        _record("mul", out, (self, other))
+        return out
 
     __rmul__ = __mul__
 
@@ -345,7 +397,9 @@ class Tensor:
                 (other, _unbroadcast(-grad * self.data / (other.data ** 2), other.shape)),
             )
 
-        return Tensor._from_op(data, (self, other), backward, "div")
+        out = Tensor._from_op(data, (self, other), backward, "div")
+        _record("div", out, (self, other))
+        return out
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return Tensor.ensure(other).__truediv__(self)
@@ -354,7 +408,9 @@ class Tensor:
         def backward(grad):
             return ((self, -grad),)
 
-        return Tensor._from_op(-self.data, (self,), backward, "neg")
+        out = Tensor._from_op(-self.data, (self,), backward, "neg")
+        _record("neg", out, (self,))
+        return out
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
@@ -364,7 +420,9 @@ class Tensor:
         def backward(grad):
             return ((self, grad * exponent * self.data ** (exponent - 1)),)
 
-        return Tensor._from_op(data, (self,), backward, "pow")
+        out = Tensor._from_op(data, (self,), backward, "pow")
+        _record("pow", out, (self,), exponent=exponent)
+        return out
 
     def __matmul__(self, other: "Tensor") -> "Tensor":
         other = Tensor.ensure(other)
@@ -376,7 +434,9 @@ class Tensor:
                 (other, self.data.T @ grad),
             )
 
-        return Tensor._from_op(data, (self, other), backward, "matmul")
+        out = Tensor._from_op(data, (self, other), backward, "matmul")
+        _record("matmul", out, (self, other))
+        return out
 
     # ------------------------------------------------------------------
     # Shape ops
@@ -391,7 +451,9 @@ class Tensor:
         def backward(grad):
             return ((self, grad.reshape(original)),)
 
-        return Tensor._from_op(data, (self,), backward, "reshape")
+        out = Tensor._from_op(data, (self,), backward, "reshape")
+        _record("reshape", out, (self,), shape=data.shape, original=original)
+        return out
 
     def transpose(self) -> "Tensor":
         data = self.data.T
@@ -399,7 +461,9 @@ class Tensor:
         def backward(grad):
             return ((self, grad.T),)
 
-        return Tensor._from_op(data, (self,), backward, "transpose")
+        out = Tensor._from_op(data, (self,), backward, "transpose")
+        _record("transpose", out, (self,))
+        return out
 
     @property
     def T(self) -> "Tensor":
@@ -415,7 +479,9 @@ class Tensor:
             full[:, start:stop] = grad
             return ((self, full),)
 
-        return Tensor._from_op(data, (self,), backward, "slice_cols")
+        out = Tensor._from_op(data, (self,), backward, "slice_cols")
+        _record("slice_cols", out, (self,), start=start, stop=stop)
+        return out
 
     def gather_rows(self, indices: np.ndarray) -> "Tensor":
         """Differentiable row gather ``self[indices]`` (embedding lookup).
@@ -432,7 +498,9 @@ class Tensor:
             np.add.at(full, indices, grad)
             return ((self, full),)
 
-        return Tensor._from_op(data, (self,), backward, "gather_rows")
+        out = Tensor._from_op(data, (self,), backward, "gather_rows")
+        _record("gather_rows", out, (self,), indices=indices)
+        return out
 
     # ------------------------------------------------------------------
     # Reductions and elementwise nonlinearities
@@ -450,7 +518,9 @@ class Tensor:
                 g = np.expand_dims(g, axis)
             return ((self, np.broadcast_to(g, shape).copy()),)
 
-        return Tensor._from_op(data, (self,), backward, "sum")
+        out = Tensor._from_op(data, (self,), backward, "sum")
+        _record("sum", out, (self,), axis=axis, keepdims=keepdims)
+        return out
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -466,7 +536,9 @@ class Tensor:
         def backward(grad):
             return ((self, grad * sign),)
 
-        return Tensor._from_op(data, (self,), backward, "abs")
+        out = Tensor._from_op(data, (self,), backward, "abs")
+        _record("abs", out, (self,))
+        return out
 
     def exp(self) -> "Tensor":
         data = np.exp(self.data)
@@ -474,7 +546,9 @@ class Tensor:
         def backward(grad):
             return ((self, grad * data),)
 
-        return Tensor._from_op(data, (self,), backward, "exp")
+        out = Tensor._from_op(data, (self,), backward, "exp")
+        _record("exp", out, (self,))
+        return out
 
     def log(self) -> "Tensor":
         data = np.log(self.data)
@@ -482,7 +556,9 @@ class Tensor:
         def backward(grad):
             return ((self, grad / self.data),)
 
-        return Tensor._from_op(data, (self,), backward, "log")
+        out = Tensor._from_op(data, (self,), backward, "log")
+        _record("log", out, (self,))
+        return out
 
     def sqrt(self) -> "Tensor":
         return self ** 0.5
@@ -495,7 +571,9 @@ class Tensor:
         def backward(grad):
             return ((self, grad * mask),)
 
-        return Tensor._from_op(data, (self,), backward, "clip_min")
+        out = Tensor._from_op(data, (self,), backward, "clip_min")
+        _record("clip_min", out, (self,), minimum=minimum)
+        return out
 
 
 def concat(tensors: Sequence[Tensor], axis: int = 1) -> Tensor:
@@ -519,4 +597,6 @@ def concat(tensors: Sequence[Tensor], axis: int = 1) -> Tensor:
             pieces.append((tensor, grad[tuple(index)]))
         return tuple(pieces)
 
-    return Tensor._from_op(data, tensors, backward, "concat")
+    out = Tensor._from_op(data, tensors, backward, "concat")
+    _record("concat", out, tensors, axis=axis, offsets=tuple(int(o) for o in offsets))
+    return out

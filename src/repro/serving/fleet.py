@@ -71,6 +71,9 @@ class FleetConfig:
     max_batch: int = 32
     max_wait_ms: float = 2.0
     cache_size: int = 4096
+    #: Forwarded to workers as ``--no-tape`` / ``--no-eager-flush``.
+    use_tape: bool = True
+    eager_flush: bool = True
     #: Seconds between checkpoint-directory polls in each worker
     #: (0 disables the per-worker watcher).
     watch_interval: float = 0.0
@@ -228,6 +231,10 @@ class FleetSupervisor:
             os.path.join(self.run_dir, f"worker-{worker.index}.manifest.json"),
             "--quiet",
         ]
+        if not cfg.use_tape:
+            cmd.append("--no-tape")
+        if not cfg.eager_flush:
+            cmd.append("--no-eager-flush")
         if cfg.watch_interval > 0:
             cmd += ["--watch-checkpoint", str(cfg.watch_interval)]
         return cmd

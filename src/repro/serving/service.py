@@ -5,9 +5,10 @@ conclusion sketches (DeepSD inside Didi's scheduling system).  It loads a
 trained model from a checkpoint bundle (:meth:`from_checkpoint`), keeps
 warm per-city featurization state (the :class:`~repro.core.GapPredictor`
 profile cache), and answers ``predict(area, day, timeslot)`` queries
-through a micro-batching queue: concurrent requests are collected for up
-to ``max_wait_ms`` (or ``max_batch`` items), featurized and forwarded in
-one vectorized pass, and fanned back out.
+through a micro-batching queue: concurrent requests accumulate while the
+previous batch is in flight (eager flush, the default) or for up to
+``max_wait_ms`` (``eager_flush=False``), then are featurized and
+forwarded in one vectorized pass and fanned back out.
 
 Correctness contract
 --------------------
@@ -77,9 +78,14 @@ class ServingConfig:
 
     max_batch: int = 32
     max_wait_ms: float = 2.0
+    eager_flush: bool = True
     cache_size: int = 4096
     cache_ttl_seconds: Optional[float] = None
     max_profiles: Optional[int] = None
+    #: Execution-tape forwards: None defers to the trainer/model default
+    #: (on for tape-safe models); False forces module dispatch.  Applied
+    #: to every engine, including hot-swapped checkpoints.
+    use_tape: Optional[bool] = None
 
 
 @dataclass(frozen=True)
@@ -158,6 +164,7 @@ class PredictionService:
             registry=self._registry,
         )
         self._swap_count = 0
+        self._apply_tape_policy(trainer)
         self._engine = _Engine(
             trainer, self._make_predictor(trainer, scalers), version
         )
@@ -167,6 +174,7 @@ class PredictionService:
             max_wait_ms=self.serving_config.max_wait_ms,
             registry=self._registry,
             tracer=self._tracer,
+            eager_flush=self.serving_config.eager_flush,
         )
         self._closed = False
 
@@ -234,16 +242,25 @@ class PredictionService:
             )
         return {name: (float(pair[0]), float(pair[1])) for name, pair in raw.items()}
 
+    def _apply_tape_policy(self, trainer: Trainer) -> None:
+        if self.serving_config.use_tape is not None:
+            trainer.use_tape = bool(self.serving_config.use_tape)
+
     def _make_predictor(
         self, trainer: Trainer, scalers: Dict[str, Tuple[float, float]]
     ) -> GapPredictor:
-        return GapPredictor(
+        predictor = GapPredictor(
             trainer,
             self.dataset,
             self.config,
             scalers,
             max_profiles=self.serving_config.max_profiles,
         )
+        # Serving only ever consumes predictions, so featurize just the
+        # arrays the model reads — a model without history inputs then
+        # skips prior-day profile builds, the bulk of the cold-path cost.
+        predictor.feature_fields = "model"
+        return predictor
 
     # ------------------------------------------------------------------
     # Serving
@@ -403,6 +420,7 @@ class PredictionService:
         scalers = self._check_serving_meta(
             trainer, self.dataset, self.config, source=path
         )
+        self._apply_tape_policy(trainer)
         self._swap_count += 1
         version = f"v{self._swap_count}:{os.path.basename(path)}"
         self._engine = _Engine(trainer, self._make_predictor(trainer, scalers), version)
@@ -555,6 +573,7 @@ class PredictionService:
             "cache": self.cache.stats(),
             "max_batch": self.serving_config.max_batch,
             "max_wait_ms": self.serving_config.max_wait_ms,
+            "eager_flush": self.serving_config.eager_flush,
         }
 
     def close(self) -> None:

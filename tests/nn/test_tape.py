@@ -1,0 +1,252 @@
+"""Taped execution must be indistinguishable from module dispatch.
+
+The tape (``repro.nn.tape``) records one forward/backward at fixed shapes
+and replays it as flat preallocated numpy.  Its whole value rests on one
+claim: float64 replay is *bitwise* identical to the module path — same
+loss, same gradients, same optimizer trajectory, same dropout RNG stream,
+same serving bits.  These tests attack that claim from every side the
+trainer exercises: random shapes, dropout, losses, gradient clipping,
+partial trailing batches, and the small-block inference tapes.
+
+Float32 tapes trade the bitwise guarantee for speed; they get a tolerance
+check here and a golden-file regression in ``tests/core``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import EmbeddingConfig
+from repro.core import AdvancedDeepSD, BasicDeepSD, InputScales, Trainer, TrainingConfig
+from repro.core.batching import EpochBatches
+from repro.features.builder import ExampleSet
+from repro.nn.tape import ForwardTape, TapeUnsupported, TrainingTape
+
+WINDOW = 5
+N_AREAS = 4
+
+MODELS = {"basic": BasicDeepSD, "advanced": AdvancedDeepSD}
+
+
+def synthetic_set(n_items: int, seed: int) -> ExampleSet:
+    """A fully deterministic ExampleSet — no simulator, millisecond-cheap."""
+    rng = np.random.default_rng(seed)
+    L = WINDOW
+
+    def counts(*shape):
+        return rng.poisson(3.0, size=shape).astype(np.float32)
+
+    return ExampleSet(
+        area_ids=rng.integers(0, N_AREAS, n_items),
+        time_ids=rng.integers(L, 1440 - 10, n_items),
+        week_ids=rng.integers(0, 7, n_items),
+        day_ids=rng.integers(0, 10, n_items),
+        sd_now=counts(n_items, 2 * L),
+        sd_hist=counts(n_items, 7, 2 * L),
+        sd_hist_next=counts(n_items, 7, 2 * L),
+        lc_now=counts(n_items, 2 * L),
+        lc_hist=counts(n_items, 7, 2 * L),
+        lc_hist_next=counts(n_items, 7, 2 * L),
+        wt_now=counts(n_items, 2 * L),
+        wt_hist=counts(n_items, 7, 2 * L),
+        wt_hist_next=counts(n_items, 7, 2 * L),
+        weather_types=rng.integers(0, 4, (n_items, L)),
+        temperature=rng.normal(0.0, 1.0, (n_items, L)).astype(np.float32),
+        pm25=rng.normal(0.0, 1.0, (n_items, L)).astype(np.float32),
+        traffic=counts(n_items, L, 4),
+        gaps=counts(n_items),
+        window=L,
+        n_areas=N_AREAS,
+        scalers={"temperature": (0.0, 1.0), "pm25": (0.0, 1.0)},
+    )
+
+
+def build_model(name: str, *, dropout: float, seed: int):
+    model = MODELS[name](N_AREAS, WINDOW, EmbeddingConfig(), dropout=dropout, seed=seed)
+    return model
+
+
+def assert_states_identical(a, b):
+    sa, sb = a.state_dict(), b.state_dict()
+    assert set(sa) == set(sb)
+    for key in sa:
+        assert np.array_equal(sa[key], sb[key]), f"parameter {key} diverged"
+
+
+# ---------------------------------------------------------------------------
+# Training parity: tape on vs tape off must produce the same bits.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    name=st.sampled_from(["basic", "advanced"]),
+    n_items=st.integers(6, 20),
+    batch_size=st.integers(4, 8),
+    dropout=st.sampled_from([0.0, 0.3]),
+    grad_clip=st.sampled_from([0.0, 1.0]),
+    loss=st.sampled_from(["mse", "mae", "huber"]),
+    seed=st.integers(0, 10_000),
+)
+def test_taped_training_bitwise_identical(
+    name, n_items, batch_size, dropout, grad_clip, loss, seed
+):
+    """Full fit (forward, dropout, backward, clip, Adam) is bitwise equal."""
+    example_set = synthetic_set(n_items, seed)
+    config = TrainingConfig(
+        epochs=2,
+        batch_size=batch_size,
+        best_k=1,
+        seed=seed,
+        grad_clip=grad_clip,
+        loss=loss,
+    )
+    trainers = {}
+    for taped in (False, True):
+        model = build_model(name, dropout=dropout, seed=seed)
+        trainer = Trainer(model, config, use_tape=taped)
+        trainer.fit(example_set)
+        trainers[taped] = trainer
+
+    assert_states_identical(trainers[False].model, trainers[True].model)
+    base = trainers[False].predict(example_set)
+    taped = trainers[True].predict(example_set)
+    assert np.array_equal(base, taped)
+
+
+def test_taped_predict_matches_module_across_sizes():
+    """Small-block and full-block inference tapes keep the serving bits."""
+    example_set = synthetic_set(40, seed=3)
+    model = build_model("basic", dropout=0.0, seed=3)
+    model.input_scales = InputScales.from_example_set(example_set)
+    model.eval()
+    module = Trainer(model, use_tape=False)
+    taped = Trainer(model, use_tape=True)
+    for n in (1, 2, 3, 4, 5, 7, 8, 16, 17, 31, 32, 33, 40):
+        subset = synthetic_set(n, seed=100 + n)
+        assert np.array_equal(module.predict(subset), taped.predict(subset)), n
+
+
+def test_training_tape_direct_step_parity():
+    """TrainingTape.step binds the exact grads module backward produces."""
+    from repro.nn import Tensor
+    from repro.nn.losses import mse_loss
+
+    example_set = synthetic_set(8, seed=5)
+    taped_model = build_model("basic", dropout=0.2, seed=5)
+    plain_model = build_model("basic", dropout=0.2, seed=5)
+    taped_model.train()
+    plain_model.train()
+
+    # Build the batch the way the trainer does: every input field, full set.
+    batch, targets = EpochBatches(example_set).slice(0, 8)
+    tape = TrainingTape.trace(taped_model, mse_loss, batch, targets)
+    taped_loss = tape.step(batch, targets)
+
+    loss = mse_loss(plain_model(batch), Tensor(np.asarray(targets, dtype=np.float64)))
+    loss.backward()
+
+    assert taped_loss == float(loss.data)
+    plain = {name: p for name, p in plain_model.named_parameters()}
+    for name, param in taped_model.named_parameters():
+        ref = plain[name].grad
+        if ref is None:
+            assert param.grad is None or not np.any(param.grad)
+        else:
+            assert param.grad is not None and np.array_equal(param.grad, ref), name
+
+
+# ---------------------------------------------------------------------------
+# ForwardTape mechanics: shape guard, padding, invalidation, float32.
+# ---------------------------------------------------------------------------
+
+
+def _eval_model_and_batch(n_rows=8, seed=11):
+    # No input_scales here: direct ForwardTape.trace(...) leaves scale
+    # folding to the caller (the trainer passes them as refill divisors),
+    # so the module reference must be unscaled too.
+    example_set = synthetic_set(n_rows, seed=seed)
+    model = build_model("basic", dropout=0.0, seed=seed)
+    model.eval()
+    batch, _ = EpochBatches(example_set).slice(0, n_rows)
+    return model, batch, example_set
+
+
+def test_forward_tape_pads_short_batches():
+    model, batch, example_set = _eval_model_and_batch()
+    tape = ForwardTape.trace(model, batch, n_rows=8)
+    reference = model(batch).data
+    assert np.array_equal(tape.replay(batch), reference)
+    # Replay a 3-row slice on the 8-row tape: stale padding rows must not
+    # contaminate the live rows.
+    short, _ = EpochBatches(example_set).slice(0, 3)
+    assert np.array_equal(tape.replay(short), reference[:3])
+
+
+def test_forward_tape_rejects_oversized_batch():
+    model, batch, example_set = _eval_model_and_batch()
+    tape = ForwardTape.trace(model, batch, n_rows=4)
+    big, _ = EpochBatches(example_set).slice(0, 8)
+    with pytest.raises(ValueError):
+        tape.replay(big)
+
+
+def test_forward_tape_shape_guard():
+    model, batch, _ = _eval_model_and_batch()
+    tape = ForwardTape.trace(model, batch)
+    assert tape.matches(batch)
+    narrowed = dict(batch)
+    narrowed["sd_now"] = np.asarray(batch["sd_now"])[:, :-1]
+    assert not tape.matches(narrowed)
+    missing = dict(batch)
+    del missing["sd_now"]
+    assert not tape.matches(missing)
+
+
+def test_forward_tape_params_bound_detects_rebinding():
+    model, batch, _ = _eval_model_and_batch()
+    tape = ForwardTape.trace(model, batch)
+    assert tape.params_bound() and tape.is_valid(model)
+    param = next(iter(model.parameters()))
+    param.data = param.data.copy()  # rebind: tape now reads a dead array
+    assert not tape.params_bound()
+    assert not tape.is_valid(model)
+
+
+def test_forward_tape_requires_eval_mode():
+    model, batch, _ = _eval_model_and_batch()
+    model.train()
+    with pytest.raises(TapeUnsupported):
+        ForwardTape.trace(model, batch)
+
+
+def test_forward_tape_float32_close_and_refreshable():
+    model, batch, _ = _eval_model_and_batch()
+    reference = model(batch).data
+    tape = ForwardTape.trace(model, batch, dtype="float32")
+    out = tape.replay(batch)
+    assert out.dtype == np.float32
+    np.testing.assert_allclose(out, reference, rtol=1e-4, atol=1e-4)
+    # float32 tapes copy parameters: edits are invisible until refresh.
+    param = next(iter(model.parameters()))
+    param.data += 0.25
+    assert tape.params_bound()  # refreshable, not identity-bound
+    stale = tape.replay(batch).copy()
+    tape.refresh_params()
+    refreshed = tape.replay(batch)
+    updated_reference = model(batch).data
+    np.testing.assert_allclose(refreshed, updated_reference, rtol=1e-4, atol=1e-4)
+    assert not np.array_equal(stale, refreshed)
+
+
+def test_training_tape_rejected_under_batch_invariant():
+    from repro.nn import batch_invariant
+    from repro.nn.losses import mse_loss
+    example_set = synthetic_set(8, seed=13)
+    model = build_model("basic", dropout=0.0, seed=13)
+    model.train()
+    batch, targets = EpochBatches(example_set).slice(0, 8)
+    with batch_invariant():
+        with pytest.raises(TapeUnsupported):
+            TrainingTape.trace(model, mse_loss, batch, targets)

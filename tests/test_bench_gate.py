@@ -1,0 +1,45 @@
+"""The bench regression gate: throughput floors plus tail-latency ceilings."""
+
+from repro.bench import LATENCY_GATES, find_regressions
+
+
+def _report(**metrics):
+    return {"metrics": metrics}
+
+
+def test_throughput_drop_flagged():
+    baseline = _report(**{"train_epoch.items_per_sec": 1000.0})
+    current = _report(**{"train_epoch.items_per_sec": 400.0})
+    findings = find_regressions(current, baseline, factor=2.0)
+    assert len(findings) == 1 and "train_epoch.items_per_sec" in findings[0]
+
+
+def test_latency_increase_flagged():
+    baseline = _report(**{"serving.cold.p99_ms": 10.0, "serving.warm.p99_ms": 1.0})
+    current = _report(**{"serving.cold.p99_ms": 25.0, "serving.warm.p99_ms": 1.1})
+    findings = find_regressions(current, baseline, factor=2.0)
+    assert len(findings) == 1
+    assert "serving.cold.p99_ms" in findings[0]
+    assert "above" in findings[0]
+
+
+def test_latency_within_factor_passes():
+    baseline = _report(**{name: 5.0 for name in LATENCY_GATES})
+    current = _report(**{name: 9.0 for name in LATENCY_GATES})
+    assert find_regressions(current, baseline, factor=2.0) == []
+
+
+def test_faster_and_lower_latency_passes():
+    baseline = _report(
+        **{"serving.cold.items_per_sec": 700.0, "serving.cold.p99_ms": 50.0}
+    )
+    current = _report(
+        **{"serving.cold.items_per_sec": 8000.0, "serving.cold.p99_ms": 5.0}
+    )
+    assert find_regressions(current, baseline) == []
+
+
+def test_missing_metrics_ignored():
+    assert find_regressions(_report(), _report()) == []
+    baseline = _report(**{"serving.cold.p99_ms": 5.0})
+    assert find_regressions(_report(), baseline) == []
