@@ -4,9 +4,10 @@
 #   diff → interrupt/resume → bench → traced serve round-trip
 #   (/predict, /metrics scrape, clean /shutdown) → repro trace over the
 #   exported span file → taped-vs---no-tape serving diff (200 queries,
-#   bitwise) → 2-worker sharded fleet under loadtest with a mid-load
-#   worker SIGKILL (zero failed requests, supervised respawn, clean
-#   /shutdown) → report
+#   bitwise) → 2-worker sharded fleet under loadtest (single-item +
+#   batched /predict_batch legs) with a mid-load worker SIGKILL (zero
+#   failed requests, supervised respawn, router batch-vs-single bitwise
+#   parity, clean /shutdown) → report
 # (tiny scale).  Fails if any stage exits non-zero, logs an ERROR event,
 # does not write its run manifest, if a training run resumed from a
 # checkpoint diverges from the uninterrupted run, if the exported trace
@@ -281,11 +282,45 @@ fi
 ( sleep 1; kill -9 "$WORKER_PID" 2>/dev/null || true ) &
 KILLER_PID=$!
 # Exits 1 if any of the 400 concurrent requests fails — the kill must
-# cost latency, never a request.
+# cost latency, never a request.  --batch 32 adds a second leg that
+# folds the same stream into /predict_batch wire calls (recorded as
+# serving.fleet.batch.*) plus a bitwise batch-vs-single cross-check
+# (serving.batch.identical must be 1.0 or loadtest exits 1).
 run loadtest --url "http://127.0.0.1:$FLEET_PORT" --scale tiny \
     --requests 400 --concurrency 4 --observe-fraction 0.2 \
-    --bench-out fleet_bench.json
+    --batch 32 --bench-out fleet_bench.json
 wait "$KILLER_PID"
+
+# Batch transport parity through the router: one /predict_batch call
+# spanning both shards must answer bitwise what per-item /predict says
+# for every item (JSON round-trips doubles exactly, so == is bitwise).
+python - "$FLEET_PORT" <<'EOF'
+import json, sys, urllib.request
+
+base = f"http://127.0.0.1:{sys.argv[1]}"
+
+def post(path, payload):
+    req = urllib.request.Request(
+        base + path, json.dumps(payload).encode(),
+        {"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=60) as resp:
+        return resp.status, json.loads(resp.read())
+
+items = [
+    {"area": i % 6, "day": 1 + i % 9, "timeslot": 30 + 17 * i}
+    for i in range(48)
+]
+status, batch = post("/predict_batch", {"items": items})
+assert status == 200, (status, batch)
+assert batch["count"] == len(items), batch
+for item, got in zip(items, batch["results"]):
+    status, single = post("/predict", item)
+    assert status == 200, (status, single)
+    assert single["gap"] == got["gap"], (item, single, got)
+    assert single["version"] == got["version"], (item, single, got)
+print(f"router batch parity ok ({len(items)} items, bitwise)")
+EOF
 python - "$FLEET_PORT" <<'EOF'
 import json, sys, time, urllib.request
 
@@ -305,6 +340,10 @@ bench = json.load(open("fleet_bench.json"))["metrics"]
 assert bench["serving.fleet.errors"] == 0.0, bench
 assert bench["serving.fleet.requests"] == 400.0, bench
 assert bench["serving.fleet.items_per_sec"] > 0, bench
+assert bench["serving.fleet.batch.errors"] == 0.0, bench
+assert bench["serving.fleet.batch.items"] == 400.0, bench
+assert bench["serving.fleet.batch.items_per_sec"] > 0, bench
+assert bench["serving.batch.identical"] == 1.0, bench
 
 req = urllib.request.Request(base + "/shutdown", b"{}",
                              {"Content-Type": "application/json"})

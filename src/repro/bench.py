@@ -482,7 +482,15 @@ def load_bench(path: str) -> dict:
 #: Latency metrics gated by :func:`find_regressions` — these fail in the
 #: opposite direction from throughput: current must not EXCEED baseline
 #: by more than the factor.
-LATENCY_GATES = ("serving.cold.p99_ms", "serving.warm.p99_ms")
+LATENCY_GATES = (
+    "serving.cold.p99_ms",
+    "serving.warm.p99_ms",
+    # End-to-end single-item fleet latency through the router: the batch
+    # transport plane must never buy its throughput with p99 (gated
+    # alongside serving.fleet.items_per_sec, which the items_per_sec
+    # sweep below picks up once the baseline records it).
+    "serving.fleet.p99_ms",
+)
 
 
 def find_regressions(

@@ -284,6 +284,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--fleet-run-dir", default=None, metavar="DIR",
         help="fleet worker logs/manifests directory (default: temp dir)",
     )
+    serve.add_argument(
+        "--io-loop", default="threaded", choices=["threaded", "selector"],
+        help="HTTP connection model: thread-per-connection (default) or "
+             "one selector event loop multiplexing keep-alive sockets",
+    )
 
     loadtest = sub.add_parser(
         "loadtest", parents=[obs],
@@ -332,6 +337,23 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument(
         "--bench-prefix", default="serving.fleet", metavar="PREFIX",
         help="metric-name prefix for the recorded keys",
+    )
+    loadtest.add_argument(
+        "--batch", type=int, default=1, metavar="N",
+        help="also run a batched leg folding predictions into "
+             "/predict_batch requests of up to N items, recorded under "
+             "PREFIX.batch.*, plus a bitwise batch-vs-single cross-check "
+             "recorded as serving.batch.identical",
+    )
+    loadtest.add_argument(
+        "--pipeline", type=int, default=1, metavar="K",
+        help="keep K requests in flight per connection (raw pipelined "
+             "keep-alive clients instead of request/response lockstep)",
+    )
+    loadtest.add_argument(
+        "--io-loop", default="threaded", choices=["threaded", "selector"],
+        help="connection model for the self-hosted fleet's router and "
+             "workers (ignored with --url)",
     )
 
     info = sub.add_parser("info", parents=[obs], help="describe a saved artifact")
@@ -709,7 +731,9 @@ def cmd_serve(args) -> int:
         watcher = CheckpointWatcher(
             service, watch_dir, interval_seconds=args.watch_checkpoint
         ).start()
-    server = build_server(service, host=args.host, port=args.port)
+    server = build_server(
+        service, host=args.host, port=args.port, io_loop=args.io_loop
+    )
     host, port = server.server_address[:2]
     manifest.record(port=port)
     manifest.artifacts["checkpoint"] = args.checkpoint
@@ -757,6 +781,7 @@ def _serve_fleet(args) -> int:
         cache_size=args.cache_size,
         use_tape=not args.no_tape,
         eager_flush=not args.no_eager_flush,
+        io_loop=args.io_loop,
         watch_interval=args.watch_checkpoint,
         run_dir=args.fleet_run_dir,
     )
@@ -773,7 +798,9 @@ def _serve_fleet(args) -> int:
     fleet = FleetSupervisor(config)
     with manifest.stage("start_fleet"):
         fleet.start()
-    server = build_router(fleet, host=args.host, port=args.port)
+    server = build_router(
+        fleet, host=args.host, port=args.port, io_loop=args.io_loop
+    )
     host, port = server.server_address[:2]
     manifest.record(port=port, run_dir=fleet.run_dir)
     manifest.artifacts["checkpoint"] = args.checkpoint
@@ -812,6 +839,7 @@ def cmd_loadtest(args) -> int:
         build_router,
         merge_bench,
         run_loadtest,
+        verify_batch_identical,
     )
 
     scale = get_scale(args.scale)
@@ -824,6 +852,9 @@ def cmd_loadtest(args) -> int:
             "concurrency": args.concurrency,
             "observe_fraction": args.observe_fraction,
             "seed": args.seed,
+            "batch": args.batch,
+            "pipeline": args.pipeline,
+            "io_loop": args.io_loop,
         },
     )
     fleet = None
@@ -847,9 +878,10 @@ def cmd_loadtest(args) -> int:
                     scale=scale.name,
                     workers=args.workers,
                     shard_by=args.shard_by,
+                    io_loop=args.io_loop,
                 )
             ).start()
-            server = build_router(fleet)
+            server = build_router(fleet, io_loop=args.io_loop)
             host, port = server.server_address[:2]
             import threading as _threading
 
@@ -859,7 +891,11 @@ def cmd_loadtest(args) -> int:
             server_thread.start()
             url = f"http://{host}:{port}"
             print(f"self-hosted fleet of {args.workers} workers at {url}")
+    metrics = {}
+    batch_result = None
     try:
+        # Single-item leg first: the PREFIX.* keys (and the p99 the
+        # regression gate watches) always describe unbatched transport.
         with manifest.stage("loadtest"):
             result = run_loadtest(
                 url,
@@ -868,7 +904,26 @@ def cmd_loadtest(args) -> int:
                 concurrency=args.concurrency,
                 observe_fraction=args.observe_fraction,
                 seed=args.seed,
+                pipeline=args.pipeline,
             )
+        metrics.update(result.metrics(args.bench_prefix))
+        if args.batch > 1:
+            with manifest.stage("loadtest_batch"):
+                batch_result = run_loadtest(
+                    url,
+                    scale,
+                    n_requests=args.requests,
+                    concurrency=args.concurrency,
+                    observe_fraction=args.observe_fraction,
+                    seed=args.seed + 1,
+                    batch=args.batch,
+                    pipeline=args.pipeline,
+                )
+            metrics.update(batch_result.metrics(f"{args.bench_prefix}.batch"))
+            with manifest.stage("verify_batch"):
+                metrics.update(
+                    verify_batch_identical(url, scale, seed=args.seed + 2)
+                )
     finally:
         if server is not None:
             server.shutdown()
@@ -876,18 +931,27 @@ def cmd_loadtest(args) -> int:
             server_thread.join(timeout=10.0)
         if fleet is not None:
             fleet.shutdown()
-    metrics = result.metrics(args.bench_prefix)
     for name in sorted(metrics):
         print(f"{name}: {metrics[name]:.4f}")
-    manifest.record(**{k.rsplit(".", 1)[-1]: v for k, v in metrics.items()})
+    # Full keys (dots to underscores): the batch leg repeats every
+    # per-leg suffix, so bare suffixes would collide in the manifest.
+    manifest.record(**{k.replace(".", "_"): v for k, v in metrics.items()})
     if not args.no_bench:
         bench_path = args.bench_out or DEFAULT_BENCH_PATH
         merge_bench(metrics, bench_path, scale_name=scale.name)
-        print(f"merged {len(metrics)} {args.bench_prefix}.* keys into {bench_path}")
+        print(f"merged {len(metrics)} keys into {bench_path}")
         manifest.artifacts["bench"] = bench_path
     _write_manifest(manifest, args, "loadtest")
-    if result.errors:
-        print(f"loadtest FAILED: {result.errors} errored requests", file=sys.stderr)
+    errors = result.errors + (batch_result.errors if batch_result else 0)
+    if errors:
+        print(f"loadtest FAILED: {errors} errored requests", file=sys.stderr)
+        return 1
+    if args.batch > 1 and metrics.get("serving.batch.identical") != 1.0:
+        print(
+            "loadtest FAILED: /predict_batch results not identical to "
+            "per-item /predict",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

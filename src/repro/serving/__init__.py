@@ -8,8 +8,13 @@ live "what will the gap be here, now?" queries inside a dispatch system:
   single vectorized forwards, caches results (LRU + TTL + targeted
   invalidation) and hot-swaps checkpoints without downtime;
 - :class:`MicroBatcher` / :class:`TTLCache` — the reusable pieces;
-- :mod:`repro.serving.http` — the stdlib JSON endpoint behind
+- :class:`ServiceApp` (:mod:`repro.serving.app`) — the transport-
+  agnostic route layer both server front-ends share;
+- :mod:`repro.serving.http` — the threaded stdlib JSON endpoint behind
   ``repro serve``;
+- :class:`SelectorHTTPServer` (:mod:`repro.serving.aio`) — the selector
+  event-loop front-end behind ``repro serve --io-loop selector``:
+  persistent keep-alive connections, pipelining, one loop thread;
 - :class:`FleetSupervisor` / :mod:`repro.serving.router` — the sharded
   multi-worker fleet behind ``repro serve --workers N``: supervised
   worker processes, hash-partitioned queries, broadcast observations,
@@ -25,15 +30,27 @@ Batched responses are bitwise-identical to one-at-a-time
 bitwise-identical to one process (see ``docs/serving.md``).
 """
 
+from .aio import SelectorHTTPServer
+from .app import ServiceApp
 from .batcher import MicroBatcher
 from .cache import TTLCache
 from .fleet import FleetConfig, FleetSupervisor
-from .http import build_server, serve_forever
-from .loadtest import LoadTestResult, generate_ops, merge_bench, run_loadtest
+from .http import IO_LOOPS, build_server, serve_forever
+from .loadtest import (
+    LoadTestResult,
+    generate_ops,
+    group_batches,
+    merge_bench,
+    run_loadtest,
+    verify_batch_identical,
+)
 from .router import (
     SHARD_STRATEGIES,
+    PredictCoalescer,
+    RouterApp,
     aggregate_prometheus,
     build_router,
+    close_pools,
     shard_for,
 )
 from .service import (
@@ -45,6 +62,7 @@ from .service import (
 )
 
 __all__ = [
+    "IO_LOOPS",
     "SHARD_STRATEGIES",
     "CheckpointWatcher",
     "FleetConfig",
@@ -52,16 +70,23 @@ __all__ = [
     "LoadTestResult",
     "MicroBatcher",
     "ObservationKind",
+    "PredictCoalescer",
     "PredictionResult",
     "PredictionService",
+    "RouterApp",
+    "SelectorHTTPServer",
+    "ServiceApp",
     "ServingConfig",
     "TTLCache",
     "aggregate_prometheus",
     "build_router",
     "build_server",
+    "close_pools",
     "generate_ops",
+    "group_batches",
     "merge_bench",
     "run_loadtest",
     "serve_forever",
     "shard_for",
+    "verify_batch_identical",
 ]

@@ -1,0 +1,429 @@
+"""Selector-based non-blocking HTTP server (``--io-loop selector``).
+
+The threaded front-end pays one OS thread per connection — fine for a
+handful of clients, painful for a fleet router holding hundreds of
+persistent keep-alive sockets on a small box.  This module multiplexes
+every connection on ONE event loop built from stdlib ``selectors``:
+
+- the loop owns all socket I/O: accept, non-blocking reads into a
+  per-connection buffer, incremental HTTP/1.1 parsing, and buffered
+  writes;
+- complete requests are handed to a small worker pool that runs the
+  same :class:`repro.serving.app.ServiceApp`/``RouterApp`` object the
+  threaded server runs (responses are byte-identical), because
+  application handlers block — on the micro-batcher, on upstream shard
+  calls — and must never stall the loop;
+- per-connection requests are strictly single-flight and FIFO, so
+  pipelined clients get replies in request order.
+
+Parsing keeps PR 7's short-read hardening: a body is dispatched only
+once every ``Content-Length`` byte has arrived — a prefix is never
+parsed — and a connection that ends mid-body is dropped without ever
+reaching the application.  Oversized or malformed requests get a loud
+400 and the connection is closed (framing can no longer be trusted).
+
+The public surface mirrors ``ThreadingHTTPServer`` where the serving
+stack touches it: ``server_address``, ``serve_forever()``,
+``shutdown()``, ``server_close()``, plus the ``shutdown_action``
+attribute the app-level ``POST /shutdown`` runs after its reply is
+flushed.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Deque, Optional, Tuple
+
+from ..exceptions import ConfigError
+from ..obs import get_logger
+from .app import MAX_BODY_BYTES, Response, json_response
+
+__all__ = ["SelectorHTTPServer"]
+
+_log = get_logger(__name__)
+
+_MAX_HEADER_BYTES = 64 * 1024
+_RECV_SIZE = 1 << 16
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _BadRequest(Exception):
+    """Framing-level request error; replied as a 400, then close."""
+
+
+class _Conn:
+    """One client connection's loop-side state."""
+
+    __slots__ = (
+        "sock", "inbuf", "outbuf", "pending", "busy",
+        "close_after_flush", "after_flush", "closed",
+    )
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.inbuf = bytearray()
+        self.outbuf = bytearray()
+        #: Parsed requests waiting their (strictly ordered) turn.
+        self.pending: Deque[Tuple[str, str, bytes, bool]] = deque()
+        #: A request is in the worker pool; replies stay FIFO because
+        #: the next one is dispatched only after this one's reply is
+        #: queued.
+        self.busy = False
+        self.close_after_flush = False
+        self.after_flush = None
+        self.closed = False
+
+
+def _parse_one(conn: _Conn):
+    """Pop one complete request off ``conn.inbuf``, or return ``None``.
+
+    Raises :class:`_BadRequest` for malformed or oversized framing.  A
+    request is returned only when the FULL advertised body has arrived —
+    the selector-loop equivalent of the threaded adapter's short-read
+    loop.
+    """
+    buf = conn.inbuf
+    head_end = buf.find(b"\r\n\r\n")
+    if head_end < 0:
+        if len(buf) > _MAX_HEADER_BYTES:
+            raise _BadRequest("request headers too large")
+        return None
+    head = bytes(buf[:head_end]).decode("latin-1", errors="replace")
+    lines = head.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise _BadRequest(f"malformed request line: {lines[0]!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/"):
+        raise _BadRequest(f"malformed HTTP version: {version!r}")
+    headers = {}
+    for line in lines[1:]:
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise _BadRequest(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError as error:
+        raise _BadRequest(f"malformed Content-Length: {error}") from error
+    if length < 0:
+        raise _BadRequest(f"negative Content-Length: {length}")
+    if length > MAX_BODY_BYTES:
+        raise _BadRequest(f"request body larger than {MAX_BODY_BYTES} bytes")
+    total = head_end + 4 + length
+    if len(buf) < total:
+        return None  # short read — wait for the rest of the body
+    body = bytes(buf[head_end + 4:total])
+    del buf[:total]
+    keep_alive = (
+        headers.get("connection", "").lower() != "close"
+        and version != "HTTP/1.0"
+    )
+    return method, target, body, keep_alive
+
+
+def _frame(response: Response, keep_alive: bool) -> bytes:
+    reason = _REASONS.get(response.status, "OK")
+    head = (
+        f"HTTP/1.1 {response.status} {reason}\r\n"
+        f"Content-Type: {response.content_type}\r\n"
+        f"Content-Length: {len(response.data)}\r\n"
+    )
+    if not keep_alive:
+        head += "Connection: close\r\n"
+    head += "\r\n"
+    return head.encode("latin-1") + response.data
+
+
+class SelectorHTTPServer:
+    """One event loop, many keep-alive connections, a small app pool.
+
+    Parameters
+    ----------
+    app:
+        Anything with ``handle(method, target, body) -> Response`` —
+        the same application objects the threaded server runs.
+    host, port:
+        Bind address (port 0 picks a free port; see ``server_address``).
+    max_workers:
+        Worker-pool width for application handlers.  The loop itself
+        never blocks on the application; this bounds how many requests
+        can be *computing* concurrently (queued requests wait FIFO).
+    """
+
+    def __init__(
+        self,
+        app,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: int = 8,
+    ) -> None:
+        if max_workers <= 0:
+            raise ConfigError(f"max_workers must be positive, got {max_workers}")
+        self._app = app
+        self._selector = selectors.DefaultSelector()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(128)
+        self._listener.setblocking(False)
+        self.server_address = self._listener.getsockname()
+        self._selector.register(self._listener, selectors.EVENT_READ, None)
+        # Self-pipe: worker threads (and shutdown()) wake the loop.
+        self._wake_recv, self._wake_send = socket.socketpair()
+        self._wake_recv.setblocking(False)
+        self._selector.register(self._wake_recv, selectors.EVENT_READ, "wake")
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-aio"
+        )
+        self._completions: Deque[Tuple[_Conn, bytes, Optional[object], bool]] = (
+            deque()
+        )
+        self._completions_lock = threading.Lock()
+        self._conns: set = set()
+        self._stopping = threading.Event()
+        self._closed = False
+        #: Run after a ``Response.shutdown`` reply is flushed (the CLI
+        #: and ``build_router`` point this at fleet/server teardown).
+        self.shutdown_action = self.shutdown
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        try:
+            while not self._stopping.is_set():
+                try:
+                    events = self._selector.select(timeout=0.5)
+                except OSError:
+                    # server_close() may close the selector while this
+                    # thread is parked in select(); that is an ordinary
+                    # stop, not an error.
+                    if self._stopping.is_set() or self._closed:
+                        break
+                    raise
+                for key, mask in events:
+                    if key.data is None:
+                        self._accept()
+                    elif key.data == "wake":
+                        self._drain_wakeups()
+                    else:
+                        conn = key.data
+                        if mask & selectors.EVENT_READ:
+                            self._on_readable(conn)
+                        if mask & selectors.EVENT_WRITE and not conn.closed:
+                            self._on_writable(conn)
+                self._apply_completions()
+        finally:
+            # Bounded final flush: replies already queued (the /shutdown
+            # acknowledgement in particular) go out before the loop dies.
+            self._flush_remaining(timeout=2.0)
+
+    def shutdown(self) -> None:
+        self._stopping.set()
+        self._wakeup()
+
+    def server_close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._stopping.set()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        for conn in list(self._conns):
+            self._close_conn(conn)
+        for sock in (self._listener, self._wake_recv, self._wake_send):
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._selector.close()
+
+    # ------------------------------------------------------------------
+    # Loop-side I/O
+    # ------------------------------------------------------------------
+
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, _ = self._listener.accept()
+            except (BlockingIOError, OSError):
+                return
+            sock.setblocking(False)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn = _Conn(sock)
+            self._conns.add(conn)
+            self._selector.register(sock, selectors.EVENT_READ, conn)
+
+    def _on_readable(self, conn: _Conn) -> None:
+        try:
+            chunk = conn.sock.recv(_RECV_SIZE)
+        except BlockingIOError:
+            return
+        except OSError:
+            self._close_conn(conn)
+            return
+        if not chunk:
+            # EOF.  A partial request in the buffer is a truncated body /
+            # truncated headers — it never reaches the application.
+            if conn.inbuf and not conn.busy and not conn.pending:
+                _log.event(
+                    "serving.aio_truncated", buffered=len(conn.inbuf)
+                )
+            self._close_conn(conn)
+            return
+        conn.inbuf += chunk
+        while True:
+            try:
+                request = _parse_one(conn)
+            except _BadRequest as error:
+                response = json_response(400, {"error": str(error)})
+                conn.outbuf += _frame(response, keep_alive=False)
+                conn.close_after_flush = True
+                conn.inbuf.clear()
+                self._update_interest(conn)
+                return
+            if request is None:
+                break
+            conn.pending.append(request)
+        self._pump(conn)
+
+    def _on_writable(self, conn: _Conn) -> None:
+        if conn.outbuf:
+            try:
+                sent = conn.sock.send(conn.outbuf)
+            except BlockingIOError:
+                return
+            except OSError:
+                self._close_conn(conn)
+                return
+            del conn.outbuf[:sent]
+        if not conn.outbuf:
+            if conn.after_flush is not None:
+                action, conn.after_flush = conn.after_flush, None
+                # The action (server/fleet shutdown) blocks until
+                # serve_forever returns — run it off the loop thread.
+                threading.Thread(target=action, daemon=True).start()
+            if conn.close_after_flush:
+                self._close_conn(conn)
+            else:
+                self._update_interest(conn)
+
+    def _pump(self, conn: _Conn) -> None:
+        """Dispatch the next pending request if the connection is idle."""
+        if conn.busy or conn.closed or not conn.pending:
+            return
+        request = conn.pending.popleft()
+        conn.busy = True
+        self._pool.submit(self._run_app, conn, request)
+
+    def _close_conn(self, conn: _Conn) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        self._conns.discard(conn)
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+    def _update_interest(self, conn: _Conn) -> None:
+        if conn.closed:
+            return
+        events = selectors.EVENT_READ
+        if conn.outbuf:
+            events |= selectors.EVENT_WRITE
+        try:
+            self._selector.modify(conn.sock, events, conn)
+        except (KeyError, ValueError, OSError):
+            pass
+
+    # ------------------------------------------------------------------
+    # Worker-pool side
+    # ------------------------------------------------------------------
+
+    def _run_app(self, conn: _Conn, request) -> None:
+        method, target, body, keep_alive = request
+        try:
+            response = self._app.handle(method, target, body)
+        except Exception as error:  # noqa: BLE001 — the app's own last
+            # resort failed; never lose the reply slot (FIFO would hang).
+            _log.event("serving.aio_app_error", target=target, error=repr(error))
+            response = json_response(500, {"error": repr(error)})
+        data = _frame(response, keep_alive=keep_alive)
+        after = (
+            getattr(self, "shutdown_action", None) if response.shutdown else None
+        )
+        with self._completions_lock:
+            self._completions.append((conn, data, after, keep_alive))
+        self._wakeup()
+
+    def _wakeup(self) -> None:
+        try:
+            self._wake_send.send(b"x")
+        except (BlockingIOError, OSError):
+            pass  # pipe already saturated — the loop is awake anyway
+
+    def _drain_wakeups(self) -> None:
+        try:
+            while self._wake_recv.recv(1024):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    def _apply_completions(self) -> None:
+        while True:
+            with self._completions_lock:
+                if not self._completions:
+                    return
+                conn, data, after, keep_alive = self._completions.popleft()
+            if conn.closed:
+                # The client is gone; a shutdown request still counts.
+                if after is not None:
+                    threading.Thread(target=after, daemon=True).start()
+                continue
+            conn.outbuf += data
+            conn.busy = False
+            if after is not None:
+                conn.after_flush = after
+            if not keep_alive:
+                conn.close_after_flush = True
+            # Opportunistic immediate write: most replies fit the socket
+            # buffer, saving a full selector round-trip per request.
+            self._on_writable(conn)
+            if not conn.closed:
+                self._update_interest(conn)
+                self._pump(conn)
+
+    def _flush_remaining(self, timeout: float) -> None:
+        import time as _time
+
+        deadline = _time.monotonic() + timeout
+        self._apply_completions()
+        while _time.monotonic() < deadline:
+            dirty = [
+                conn for conn in list(self._conns)
+                if conn.outbuf and not conn.closed
+            ]
+            if not dirty:
+                return
+            for conn in dirty:
+                self._on_writable(conn)
+            self._apply_completions()
+            _time.sleep(0.01)

@@ -104,6 +104,17 @@ class TTLCache:
             self._hits += 1
             return value
 
+    def note_hit(self) -> None:
+        """Count a hit served outside the cache proper.
+
+        ``predict_batch`` resolves a within-batch duplicate from the
+        batch's own pending results — sequentially that lookup would
+        have been a cache hit, so the stats must say so without the
+        entry existing yet.
+        """
+        with self._lock:
+            self._hits += 1
+
     def put(self, key: Hashable, value) -> None:
         """Insert/overwrite ``key``, evicting LRU entries past ``max_size``."""
         expires_at = (

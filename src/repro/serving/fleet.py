@@ -42,10 +42,12 @@ from typing import Dict, List, Optional, Tuple
 
 from ..exceptions import ConfigError
 from ..obs import MetricsRegistry, get_logger, get_registry
+from .http import IO_LOOPS
 from .router import (
     SHARD_STRATEGIES,
     TRANSPORT_ERRORS,
     aggregate_prometheus,
+    close_pools,
     request_json,
     request_text,
     shard_for,
@@ -74,6 +76,9 @@ class FleetConfig:
     #: Forwarded to workers as ``--no-tape`` / ``--no-eager-flush``.
     use_tape: bool = True
     eager_flush: bool = True
+    #: Connection model for each worker's HTTP front-end (forwarded as
+    #: ``--io-loop``): ``threaded`` or ``selector``.
+    io_loop: str = "threaded"
     #: Seconds between checkpoint-directory polls in each worker
     #: (0 disables the per-worker watcher).
     watch_interval: float = 0.0
@@ -94,6 +99,10 @@ class FleetConfig:
         if self.shard_by not in SHARD_STRATEGIES:
             raise ConfigError(
                 f"unknown shard_by {self.shard_by!r}; known: {SHARD_STRATEGIES}"
+            )
+        if self.io_loop not in IO_LOOPS:
+            raise ConfigError(
+                f"unknown io_loop {self.io_loop!r}; known: {IO_LOOPS}"
             )
 
 
@@ -198,6 +207,9 @@ class FleetSupervisor:
                 except subprocess.TimeoutExpired:
                     worker.proc.kill()
                     worker.proc.wait(timeout=5.0)
+        # Release every pooled keep-alive connection to the (now dead)
+        # workers, whichever thread opened it.
+        close_pools()
         _log.event("fleet.stopped", respawns=self.respawns)
 
     def __enter__(self) -> "FleetSupervisor":
@@ -227,6 +239,7 @@ class FleetSupervisor:
             "--max-batch", str(cfg.max_batch),
             "--max-wait-ms", str(cfg.max_wait_ms),
             "--cache-size", str(cfg.cache_size),
+            "--io-loop", cfg.io_loop,
             "--manifest",
             os.path.join(self.run_dir, f"worker-{worker.index}.manifest.json"),
             "--quiet",

@@ -1,10 +1,14 @@
-"""Stdlib HTTP front-end for :class:`PredictionService`.
+"""Threaded stdlib HTTP front-end for :class:`PredictionService`.
 
 A threading HTTP server (one thread per connection — exactly the
-concurrency shape the micro-batcher coalesces) with a small JSON API:
+concurrency shape the micro-batcher coalesces) framing the routes of
+:class:`repro.serving.app.ServiceApp`:
 
 - ``POST /predict``  ``{"area": int, "day": int, "timeslot": int}`` →
   ``{"gap": float, "version": str, "cached": bool}``;
+- ``POST /predict_batch``  ``{"items": [{area, day, timeslot}, ...]}`` →
+  ``{"results": [...], "count": int}`` — bitwise-identical to issuing
+  the items as sequential ``/predict`` calls;
 - ``POST /observe``  ``{"kind": "weather"|"traffic"|"orders", "day": int,
   "minute": int, "area": int?, "values": {...}}`` →
   ``{"invalidated": int, "profiles_dropped": int}``;
@@ -20,7 +24,10 @@ concurrency shape the micro-batcher coalesces) with a small JSON API:
   supervisor).
 
 Invalid inputs are 400s with an ``{"error": ...}`` body; unexpected
-failures are 500s.  No dependencies beyond the standard library.
+failures are 500s.  No dependencies beyond the standard library.  The
+same application also runs behind the selector event loop
+(:mod:`repro.serving.aio`, ``repro serve --io-loop selector``) with
+byte-identical responses.
 
 Handler threads are daemons (a hung connection can never pin the
 process), but they are *tracked* and joined — with a short timeout —
@@ -35,19 +42,18 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Tuple
-from urllib.parse import parse_qs, urlsplit
 
 from ..exceptions import ConfigError, DataError
 from ..obs import get_logger
+from .aio import SelectorHTTPServer
+from .app import MAX_BODY_BYTES, Response, ServiceApp
 from .service import PredictionService
 
-__all__ = ["build_server", "serve_forever"]
+__all__ = ["build_server", "make_threaded_handler", "serve_forever"]
 
 _log = get_logger(__name__)
 
-_MAX_BODY_BYTES = 1 << 20
-_DEFAULT_TRACE_DUMP = 256
+IO_LOOPS = ("threaded", "selector")
 
 
 class _JoiningHTTPServer(ThreadingHTTPServer):
@@ -98,125 +104,61 @@ class _JoiningHTTPServer(ThreadingHTTPServer):
             thread.join(timeout=remaining)
 
 
-def build_server(
-    service: PredictionService, host: str = "127.0.0.1", port: int = 0
-) -> ThreadingHTTPServer:
-    """An HTTP server bound to ``host:port`` (0 picks a free port).
+def make_threaded_handler(app, logger, log_event: str):
+    """A ``BaseHTTPRequestHandler`` subclass framing ``app``'s responses.
 
-    The caller owns the lifecycle: ``server.serve_forever()`` to run,
-    ``server.shutdown()``/``server.server_close()`` to stop.  The bound
-    address is ``server.server_address``.  ``server_close`` drains
-    outstanding handler threads (bounded by
-    ``_JoiningHTTPServer.handler_join_timeout``) so no reply is lost.
+    The adapter owns the wire only: it collects the request body with the
+    short-read-hardened loop (a truncated ``Content-Length`` is a loud
+    400, never a silently parsed prefix), hands ``(method, target,
+    body)`` to the app, writes the framed reply, and — for responses
+    flagged ``shutdown`` — runs the server's ``shutdown_action`` on a
+    separate thread *after* the reply is on its way (``server_close``
+    joins this handler thread, so the acknowledgement is flushed before
+    the process exits).
     """
 
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
 
-        # ------------------------------------------------------------------
-        # Routes
-        # ------------------------------------------------------------------
-
         def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
-            parsed = urlsplit(self.path)
-            if parsed.path == "/healthz":
-                self._reply(200, {"status": "ok", "version": service.version})
-            elif parsed.path == "/stats":
-                self._reply(200, service.stats())
-            elif parsed.path == "/metrics":
-                self._reply_text(200, service.registry.to_prometheus())
-            elif parsed.path == "/trace":
-                try:
-                    status, payload = self._trace_dump(parse_qs(parsed.query))
-                except (ValueError, TypeError) as error:
-                    status, payload = 400, {"error": str(error)}
-                self._reply(status, payload)
-            else:
-                self._reply(404, {"error": f"unknown path {self.path}"})
+            self._dispatch("GET")
 
         def do_POST(self) -> None:  # noqa: N802
-            # The reply is sent inside the http.handle span for every
-            # route, so traced request latency uniformly covers
-            # serialization + socket write (it used to exclude them on
-            # error paths and /shutdown only).
-            shutting_down = False
-            with service.tracer.span("http.handle", path=self.path):
-                try:
-                    if self.path == "/predict":
-                        status, payload = self._predict()
-                    elif self.path == "/observe":
-                        status, payload = self._observe()
-                    elif self.path == "/reload":
-                        status, payload = self._reload()
-                    elif self.path == "/shutdown":
-                        status, payload = 200, {"status": "shutting down"}
-                        shutting_down = True
-                    else:
-                        status, payload = 404, {"error": f"unknown path {self.path}"}
-                except (DataError, ConfigError, ValueError, KeyError, TypeError) as error:
-                    status, payload = 400, {"error": str(error)}
-                except Exception as error:  # noqa: BLE001 — last-resort 500
-                    _log.event("serving.http_error", path=self.path, error=repr(error))
-                    status, payload = 500, {"error": repr(error)}
-                self._reply(status, payload)
-            if shutting_down:
-                # Reply BEFORE triggering shutdown: shutdown() blocks
+            self._dispatch("POST")
+
+        def _dispatch(self, method: str) -> None:
+            try:
+                body = self._read_body()
+            except (DataError, ConfigError) as error:
+                self._send(Response(
+                    400, json.dumps({"error": str(error)}).encode("utf-8")
+                ))
+                return
+            response = app.handle(method, self.path, body)
+            self._send(response)
+            if response.shutdown:
+                # Reply BEFORE triggering shutdown: the action blocks
                 # until serve_forever returns, so it must run off this
                 # handler thread.  server_close then joins this thread,
                 # so the reply is flushed before the process exits.
-                threading.Thread(target=self.server.shutdown, daemon=True).start()
+                action = getattr(self.server, "shutdown_action", None)
+                threading.Thread(
+                    target=action if action is not None else self.server.shutdown,
+                    daemon=True,
+                ).start()
 
-        def _predict(self) -> Tuple[int, dict]:
-            body = self._read_json()
-            result = service.predict(
-                int(body["area"]), int(body["day"]), int(body["timeslot"])
-            )
-            return 200, {
-                "gap": result.gap,
-                "version": result.version,
-                "cached": result.cached,
-            }
-
-        def _observe(self) -> Tuple[int, dict]:
-            body = self._read_json()
-            area = body.get("area")
-            outcome = service.observe(
-                str(body["kind"]),
-                int(body["day"]),
-                int(body["minute"]),
-                area_id=int(area) if area is not None else None,
-                **dict(body.get("values", {})),
-            )
-            return 200, outcome
-
-        def _reload(self) -> Tuple[int, dict]:
-            body = self._read_json()
-            version = service.load_checkpoint(str(body["checkpoint"]))
-            return 200, {"version": version}
-
-        def _trace_dump(self, query: dict) -> Tuple[int, dict]:
-            limit = int(query.get("limit", [_DEFAULT_TRACE_DUMP])[0])
-            if limit < 0:
-                raise ValueError(f"limit must be >= 0, got {limit}")
-            tracer = service.tracer
-            spans = tracer.spans(limit=limit)
-            return 200, {
-                "enabled": tracer.enabled,
-                "capacity": tracer.capacity,
-                "dropped": tracer.dropped,
-                "spans": [span.as_dict() for span in spans],
-            }
-
-        # ------------------------------------------------------------------
+        # --------------------------------------------------------------
         # Plumbing
-        # ------------------------------------------------------------------
+        # --------------------------------------------------------------
 
-        def _read_json(self) -> dict:
+        def _read_body(self) -> bytes:
             length = int(self.headers.get("Content-Length", 0))
             if length <= 0:
-                raise DataError("request body required")
-            if length > _MAX_BODY_BYTES:
-                raise DataError(f"request body larger than {_MAX_BODY_BYTES} bytes")
+                return b""
+            if length > MAX_BODY_BYTES:
+                raise DataError(
+                    f"request body larger than {MAX_BODY_BYTES} bytes"
+                )
             # A single read() may return fewer bytes than Content-Length
             # (slow client, small socket buffers); loop until the full
             # body arrives or the connection ends short.
@@ -231,47 +173,62 @@ def build_server(
                     )
                 chunks.append(chunk)
                 remaining -= len(chunk)
-            try:
-                parsed = json.loads(b"".join(chunks))
-            except json.JSONDecodeError as error:
-                raise DataError(f"invalid JSON body: {error}") from error
-            if not isinstance(parsed, dict):
-                raise DataError("request body must be a JSON object")
-            return parsed
+            return b"".join(chunks)
 
-        def _reply(self, status: int, payload: dict) -> None:
-            self._send(status, json.dumps(payload).encode("utf-8"),
-                       "application/json")
-
-        def _reply_text(self, status: int, text: str) -> None:
-            self._send(status, text.encode("utf-8"),
-                       "text/plain; version=0.0.4; charset=utf-8")
-
-        def _send(self, status: int, data: bytes, content_type: str) -> None:
-            self.send_response(status)
-            self.send_header("Content-Type", content_type)
-            self.send_header("Content-Length", str(len(data)))
+        def _send(self, response: Response) -> None:
+            self.send_response(response.status)
+            self.send_header("Content-Type", response.content_type)
+            self.send_header("Content-Length", str(len(response.data)))
             self.end_headers()
-            self.wfile.write(data)
+            self.wfile.write(response.data)
 
         def log_message(self, format: str, *args) -> None:  # noqa: A002
             # Route access logs into the structured logger at debug level
             # instead of raw stderr lines.
             import logging
 
-            _log.event(
-                "serving.http", level=logging.DEBUG, detail=format % args
-            )
+            logger.event(log_event, level=logging.DEBUG, detail=format % args)
 
-    return _JoiningHTTPServer((host, port), Handler)
+    return Handler
 
 
-def serve_forever(server: ThreadingHTTPServer, service: PredictionService) -> None:
+def build_server(
+    service: PredictionService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    io_loop: str = "threaded",
+):
+    """An HTTP server bound to ``host:port`` (0 picks a free port).
+
+    ``io_loop`` selects the connection model: ``"threaded"`` (default)
+    is the thread-per-connection stdlib server; ``"selector"`` is the
+    single event loop multiplexing persistent keep-alive connections
+    (:class:`repro.serving.aio.SelectorHTTPServer`).  Both run the same
+    :class:`~repro.serving.app.ServiceApp`, so responses are
+    byte-identical.
+
+    The caller owns the lifecycle: ``server.serve_forever()`` to run,
+    ``server.shutdown()``/``server.server_close()`` to stop.  The bound
+    address is ``server.server_address``.  Closing drains outstanding
+    replies so none is lost.
+    """
+    if io_loop not in IO_LOOPS:
+        raise ConfigError(f"unknown io_loop {io_loop!r}; known: {IO_LOOPS}")
+    app = ServiceApp(service)
+    if io_loop == "selector":
+        return SelectorHTTPServer(app, host=host, port=port)
+    handler = make_threaded_handler(app, _log, "serving.http")
+    server = _JoiningHTTPServer((host, port), handler)
+    server.shutdown_action = server.shutdown
+    return server
+
+
+def serve_forever(server, service: PredictionService) -> None:
     """Run until ``shutdown()``, then close the socket and the service.
 
-    ``server_close`` joins outstanding handler threads (short timeout)
-    before returning, so the ``/shutdown`` acknowledgement is on the wire
-    by the time this function — and typically the process — exits.
+    Closing joins outstanding handler work (short timeout), so the
+    ``/shutdown`` acknowledgement is on the wire by the time this
+    function — and typically the process — exits.
     """
     try:
         server.serve_forever()

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 import os
+import socket
 import threading
 import time
 from dataclasses import dataclass
@@ -33,7 +34,13 @@ from ..exceptions import ConfigError
 from ..obs import Histogram, get_logger
 from .router import TRANSPORT_ERRORS, request_json
 
-__all__ = ["LoadTestResult", "generate_ops", "run_loadtest", "merge_bench"]
+__all__ = [
+    "LoadTestResult",
+    "generate_ops",
+    "merge_bench",
+    "run_loadtest",
+    "verify_batch_identical",
+]
 
 _log = get_logger(__name__)
 
@@ -42,7 +49,12 @@ _MINUTES_PER_DAY = 1440
 
 @dataclass
 class LoadTestResult:
-    """Outcome of one load-test run."""
+    """Outcome of one load-test run.
+
+    ``requests`` counts HTTP round-trips; ``items`` counts logical
+    operations (a ``/predict_batch`` of 32 is one request, 32 items).
+    The two are equal in single-item mode.
+    """
 
     requests: int
     errors: int
@@ -51,15 +63,23 @@ class LoadTestResult:
     p50_ms: float
     p95_ms: float
     p99_ms: float
+    items: int = 0
+    batch: int = 1
+    pipeline: int = 1
+
+    def __post_init__(self) -> None:
+        if self.items <= 0:
+            self.items = self.requests
 
     @property
     def items_per_sec(self) -> float:
-        return self.requests / self.seconds if self.seconds > 0 else 0.0
+        return self.items / self.seconds if self.seconds > 0 else 0.0
 
     def metrics(self, prefix: str = "serving.fleet") -> Dict[str, float]:
         """Flat metric dict for the ``BENCH_perf.json`` trajectory."""
         return {
             f"{prefix}.requests": float(self.requests),
+            f"{prefix}.items": float(self.items),
             f"{prefix}.errors": float(self.errors),
             f"{prefix}.seconds": self.seconds,
             f"{prefix}.concurrency": float(self.concurrency),
@@ -150,6 +170,98 @@ def _address_of(url: str) -> str:
     return stripped.split("/", 1)[0]
 
 
+def group_batches(
+    ops: List[Tuple[str, dict]], batch: int
+) -> List[Tuple[str, dict, int]]:
+    """Fold runs of ``/predict`` ops into ``/predict_batch`` wire ops.
+
+    Consecutive predictions (up to ``batch`` of them) become one
+    ``{"items": [...]}`` request; an ``/observe`` in the stream flushes
+    the run so the observe/predict interleaving the seed generated is
+    preserved.  Returns ``(path, body, n_items)`` triples.
+    """
+    if batch <= 1:
+        return [(path, body, 1) for path, body in ops]
+    wire: List[Tuple[str, dict, int]] = []
+    run: List[dict] = []
+
+    def flush() -> None:
+        if not run:
+            return
+        if len(run) == 1:
+            wire.append(("/predict", run[0], 1))
+        else:
+            wire.append(("/predict_batch", {"items": list(run)}, len(run)))
+        run.clear()
+
+    for path, body in ops:
+        if path == "/predict":
+            run.append(body)
+            if len(run) >= batch:
+                flush()
+        else:
+            flush()
+            wire.append((path, body, 1))
+    flush()
+    return wire
+
+
+class _RawClient:
+    """Minimal pipelining HTTP/1.1 client on one keep-alive socket.
+
+    ``http.client`` refuses to send a second request before the first
+    response is read, so the pipelined load mode frames requests by hand:
+    write a whole window of requests, then read the same number of
+    responses back (the server — selector loop or threaded — replies in
+    order).
+    """
+
+    def __init__(self, address: str, timeout: float) -> None:
+        host, _, port = address.rpartition(":")
+        self._sock = socket.create_connection((host, int(port)), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._file = self._sock.makefile("rb")
+        self._host = address
+
+    def format_request(self, path: str, body: dict) -> bytes:
+        data = json.dumps(body).encode("utf-8")
+        head = (
+            f"POST {path} HTTP/1.1\r\n"
+            f"Host: {self._host}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n\r\n"
+        )
+        return head.encode("latin-1") + data
+
+    def send(self, blob: bytes) -> None:
+        self._sock.sendall(blob)
+
+    def read_response(self) -> Tuple[int, bytes]:
+        status_line = self._file.readline()
+        if not status_line:
+            raise OSError("connection closed mid-pipeline")
+        status = int(status_line.split()[1])
+        length = 0
+        while True:
+            line = self._file.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.partition(b":")
+            if name.strip().lower() == b"content-length":
+                length = int(value.strip())
+        body = self._file.read(length) if length > 0 else b""
+        return status, body
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+
 def run_loadtest(
     url: str,
     scale: ExperimentScale,
@@ -158,9 +270,19 @@ def run_loadtest(
     observe_fraction: float = 0.2,
     seed: int = 0,
     timeout: float = 60.0,
+    batch: int = 1,
+    pipeline: int = 1,
 ) -> LoadTestResult:
     """Drive ``n_requests`` mixed ops at ``url`` from ``concurrency``
     threads; every thread keeps its own keep-alive connection.
+
+    ``batch > 1`` folds runs of predictions into ``/predict_batch``
+    requests of up to that many items (:func:`group_batches`), measuring
+    the batched transport plane; ``n_requests`` still counts *items*.
+    ``pipeline > 1`` switches threads to raw pipelined sockets that keep
+    that many requests on the wire at once — in that mode each recorded
+    latency covers one full pipeline window, an honest upper bound per
+    request.
 
     A request counts as an error when it returns a non-200 status or
     dies on a transport error (the fleet router's retry loop makes the
@@ -169,8 +291,13 @@ def run_loadtest(
     """
     if concurrency <= 0:
         raise ConfigError(f"concurrency must be positive, got {concurrency}")
+    if batch <= 0:
+        raise ConfigError(f"batch must be positive, got {batch}")
+    if pipeline <= 0:
+        raise ConfigError(f"pipeline must be positive, got {pipeline}")
     address = _address_of(url)
     ops = generate_ops(scale, n_requests, observe_fraction, seed)
+    wire_ops = group_batches(ops, batch)
     latencies = Histogram()
     histogram_lock = threading.Lock()
     errors = [0] * concurrency
@@ -181,10 +308,10 @@ def run_loadtest(
         while True:
             with cursor_lock:
                 index = cursor["next"]
-                if index >= len(ops):
+                if index >= len(wire_ops):
                     return
                 cursor["next"] = index + 1
-            path, body = ops[index]
+            path, body, n_items = wire_ops[index]
             started = time.perf_counter()
             try:
                 status, _ = request_json(
@@ -194,12 +321,50 @@ def run_loadtest(
                 status = -1
             elapsed = time.perf_counter() - started
             if status != 200:
-                errors[thread_index] += 1
+                errors[thread_index] += n_items
             with histogram_lock:
                 latencies.observe(elapsed)
 
+    def drive_pipelined(thread_index: int) -> None:
+        client: Optional[_RawClient] = None
+        try:
+            while True:
+                with cursor_lock:
+                    index = cursor["next"]
+                    if index >= len(wire_ops):
+                        return
+                    take = min(pipeline, len(wire_ops) - index)
+                    cursor["next"] = index + take
+                window = wire_ops[index:index + take]
+                started = time.perf_counter()
+                try:
+                    if client is None:
+                        client = _RawClient(address, timeout)
+                    client.send(b"".join(
+                        client.format_request(path, body)
+                        for path, body, _ in window
+                    ))
+                    statuses = [
+                        client.read_response()[0] for _ in window
+                    ]
+                except (OSError, ValueError, IndexError):
+                    statuses = [-1] * len(window)
+                    if client is not None:
+                        client.close()
+                        client = None
+                elapsed = time.perf_counter() - started
+                for (_, _, n_items), status in zip(window, statuses):
+                    if status != 200:
+                        errors[thread_index] += n_items
+                with histogram_lock:
+                    latencies.observe(elapsed)
+        finally:
+            if client is not None:
+                client.close()
+
+    target = drive_pipelined if pipeline > 1 else drive
     threads = [
-        threading.Thread(target=drive, args=(i,), daemon=True,
+        threading.Thread(target=target, args=(i,), daemon=True,
                          name=f"repro-loadtest-{i}")
         for i in range(concurrency)
     ]
@@ -211,7 +376,10 @@ def run_loadtest(
     seconds = time.perf_counter() - started
 
     result = LoadTestResult(
-        requests=len(ops),
+        requests=len(wire_ops),
+        items=len(ops),
+        batch=batch,
+        pipeline=pipeline,
         errors=sum(errors),
         seconds=seconds,
         concurrency=concurrency,
@@ -222,12 +390,115 @@ def run_loadtest(
     _log.event(
         "loadtest.finished",
         requests=result.requests,
+        items=result.items,
+        batch=batch,
+        pipeline=pipeline,
         errors=result.errors,
         seconds=round(result.seconds, 3),
         items_per_sec=round(result.items_per_sec, 1),
         p99_ms=round(result.p99_ms, 2),
     )
     return result
+
+
+def verify_batch_identical(
+    url: str,
+    scale: ExperimentScale,
+    n_items: int = 64,
+    seed: int = 7_777,
+    timeout: float = 60.0,
+) -> Dict[str, float]:
+    """Cross-check ``/predict_batch`` against per-item ``/predict``.
+
+    Issues one set of fresh queries per item first and then as one
+    batch, and a second disjoint set batch-first — so both the
+    single-computed-then-batch-read and batch-computed-then-single-read
+    directions are exercised end to end through whatever (router, fleet,
+    cache) sits behind ``url``.  Gaps are compared with ``==`` on the
+    JSON-decoded floats, which is bitwise equality for doubles (JSON
+    round-trips them exactly).
+
+    Returns ``{"serving.batch.identical": 0|1,
+    "serving.batch.checked": n, "serving.batch.mismatches": k}`` ready
+    to merge into the bench trajectory.
+    """
+    if n_items < 2:
+        raise ConfigError(f"n_items must be >= 2, got {n_items}")
+    address = _address_of(url)
+    rng = np.random.default_rng(seed)
+    n_areas = scale.simulation.n_areas
+    n_days = scale.features.n_days
+    slot_lo = scale.features.window_minutes
+    slot_hi = _MINUTES_PER_DAY - scale.features.gap_minutes
+    seen = set()
+    items: List[dict] = []
+    while len(items) < n_items:
+        triple = (
+            int(rng.integers(n_areas)),
+            int(rng.integers(n_days)),
+            int(rng.integers(slot_lo, slot_hi + 1)),
+        )
+        if triple in seen:
+            continue
+        seen.add(triple)
+        items.append(
+            {"area": triple[0], "day": triple[1], "timeslot": triple[2]}
+        )
+    half = len(items) // 2
+    mismatches = 0
+    checked = 0
+
+    def single(body: dict) -> dict:
+        status, payload = request_json(
+            address, "POST", "/predict", body, timeout=timeout
+        )
+        if status != 200:
+            raise RuntimeError(f"/predict -> {status}: {payload}")
+        return payload
+
+    def batched(bodies: List[dict]) -> List[dict]:
+        status, payload = request_json(
+            address, "POST", "/predict_batch", {"items": bodies},
+            timeout=timeout,
+        )
+        if status != 200:
+            raise RuntimeError(f"/predict_batch -> {status}: {payload}")
+        results = payload.get("results", [])
+        if len(results) != len(bodies):
+            raise RuntimeError(
+                f"/predict_batch returned {len(results)} results "
+                f"for {len(bodies)} items"
+            )
+        return results
+
+    # Direction 1: compute per item, read back as one batch.
+    first = items[:half]
+    singles = [single(body) for body in first]
+    for expected, got in zip(singles, batched(first)):
+        checked += 1
+        if expected["gap"] != got["gap"] or expected["version"] != got["version"]:
+            mismatches += 1
+    # Direction 2: compute as one batch, read back per item.
+    second = items[half:]
+    batch_results = batched(second)
+    for expected, body in zip(batch_results, second):
+        got = single(body)
+        checked += 1
+        if expected["gap"] != got["gap"] or expected["version"] != got["version"]:
+            mismatches += 1
+
+    identical = 1.0 if mismatches == 0 else 0.0
+    _log.event(
+        "loadtest.batch_verified",
+        checked=checked,
+        mismatches=mismatches,
+        identical=bool(identical),
+    )
+    return {
+        "serving.batch.identical": identical,
+        "serving.batch.checked": float(checked),
+        "serving.batch.mismatches": float(mismatches),
+    }
 
 
 def merge_bench(

@@ -1,8 +1,8 @@
-"""Front router for the prediction fleet: shard, proxy, aggregate.
+"""Front router for the prediction fleet: shard, coalesce, proxy, aggregate.
 
 The router is the fleet's single public endpoint.  It speaks exactly the
 same JSON API as a lone :mod:`repro.serving.http` service — clients
-cannot tell a 4-shard fleet from one process — and owns three jobs:
+cannot tell a 4-shard fleet from one process — and owns four jobs:
 
 - **Routing.**  ``POST /predict`` hashes the query's ``(area, timeslot)``
   (or ``area`` alone, with ``shard_by="area"``) onto one worker with
@@ -10,6 +10,14 @@ cannot tell a 4-shard fleet from one process — and owns three jobs:
   randomized ``hash()`` — and proxies the request there.  The same query
   always lands on the same shard, so each cached gap lives on exactly
   one worker and the fleet-wide cache is a partition, not a mirror.
+- **Coalescing.**  Concurrent in-flight ``/predict`` requests bound for
+  the same shard ride ONE upstream ``POST /predict_batch`` call instead
+  of N sequential round-trips (:class:`PredictCoalescer`).  The gather
+  window is the eager-flush micro-batcher's natural one: whatever
+  arrives while the previous upstream call is in flight goes out
+  together, and a lone request is proxied immediately with zero added
+  latency.  ``POST /predict_batch`` at the router splits its items
+  across shards the same way and reassembles the results in order.
 - **Fan-out.**  ``POST /observe`` must reach every worker (each replica
   owns a full copy of the city state), so it broadcasts through the
   supervisor's observation journal and returns the summed invalidation
@@ -19,11 +27,13 @@ cannot tell a 4-shard fleet from one process — and owns three jobs:
   error reports the failure to the supervisor (which respawns dead
   workers) and retries against the shard's next live address until
   ``retry_timeout`` — a SIGKILLed worker costs latency, never a failed
-  request.  Predictions are pure, so replay is always safe.
+  request.  Predictions are pure, so replay is always safe, batched or
+  not.
 
 ``GET /stats``, ``/healthz`` and ``/metrics`` aggregate per-worker state
 through the router (see :func:`aggregate_prometheus` for the merge
-semantics).
+semantics).  Like the worker front-end, the router runs on either the
+threaded server or the selector event loop (``io_loop="selector"``).
 """
 
 from __future__ import annotations
@@ -34,26 +44,33 @@ import json
 import threading
 import time
 from typing import Dict, List, Optional, Tuple
-from urllib.parse import urlsplit
 
-from ..exceptions import ConfigError, DataError
+from ..exceptions import ConfigError
 from ..obs import get_logger
-from .http import _JoiningHTTPServer
-
-from http.server import BaseHTTPRequestHandler
+from .app import (
+    BAD_REQUEST_ERRORS,
+    Response,
+    json_response,
+    parse_batch_items,
+    parse_json_body,
+    text_response,
+)
+from .batcher import MicroBatcher
+from .http import IO_LOOPS, _JoiningHTTPServer, make_threaded_handler
 
 __all__ = [
     "SHARD_STRATEGIES",
+    "PredictCoalescer",
+    "RouterApp",
     "aggregate_prometheus",
     "build_router",
+    "close_pools",
     "request_json",
     "request_text",
     "shard_for",
 ]
 
 _log = get_logger(__name__)
-
-_MAX_BODY_BYTES = 1 << 20
 
 #: Supported ``shard_by`` strategies: ``area-slot`` spreads a single
 #: area's timeslots across the fleet (finest balance), ``area`` pins an
@@ -93,11 +110,20 @@ def shard_for(
 
 _local = threading.local()
 
+#: Every thread-local pool ever created, so :func:`close_pools` can close
+#: keep-alive connections owned by threads other than the caller's.  A
+#: handler thread that exits leaves its (empty, tiny) dict here; the
+#: sockets themselves are what must not leak, and they are reachable.
+_all_pools: List[Dict[str, http.client.HTTPConnection]] = []
+_all_pools_lock = threading.Lock()
+
 
 def _connection(address: str, timeout: float) -> http.client.HTTPConnection:
     pool: Dict[str, http.client.HTTPConnection] = getattr(_local, "pool", None)
     if pool is None:
         pool = _local.pool = {}
+        with _all_pools_lock:
+            _all_pools.append(pool)
     connection = pool.get(address)
     if connection is None:
         host, _, port = address.rpartition(":")
@@ -113,6 +139,37 @@ def drop_connection(address: str) -> None:
         connection = pool.pop(address, None)
         if connection is not None:
             connection.close()
+
+
+def close_pools() -> int:
+    """Close every cached worker connection held by ANY thread.
+
+    The keep-alive pools are thread-local by design (an
+    ``HTTPConnection`` is not thread-safe), which used to mean only each
+    owning thread could close its own sockets — and router handler
+    threads never did, so every router shutdown leaked one ESTABLISHED
+    connection per (handler thread x worker) until process exit.  The
+    router's shutdown action now calls this instead.  Returns the number
+    of connections closed.  Racing an in-flight request on another
+    thread is acceptable at the one call site (teardown: the workers are
+    stopping anyway and a closed socket surfaces as a normal transport
+    error).
+    """
+    with _all_pools_lock:
+        pools = list(_all_pools)
+    closed = 0
+    for pool in pools:
+        for address in list(pool):
+            connection = pool.pop(address, None)
+            if connection is not None:
+                try:
+                    connection.close()
+                except Exception:  # noqa: BLE001 — best-effort teardown
+                    pass
+                closed += 1
+    if closed:
+        _log.event("fleet.router_pools_closed", connections=closed)
+    return closed
 
 
 def _roundtrip(
@@ -241,166 +298,272 @@ def aggregate_prometheus(texts: List[str]) -> str:
 
 
 # ----------------------------------------------------------------------
-# The router server
+# Predict coalescing
 # ----------------------------------------------------------------------
 
 
+class PredictCoalescer:
+    """Coalesce concurrent per-shard predicts into upstream batch calls.
+
+    One eager-flush :class:`MicroBatcher` per shard: requests that pile
+    up while the previous upstream call is in flight are dispatched
+    together as a single ``POST /predict_batch``; a lone request is
+    proxied as a plain ``POST /predict`` with no extra hop or wait.  The
+    worker's fixed-block batch-invariant forward guarantees the batched
+    reply is bitwise-identical to per-item replies, so coalescing is
+    invisible to clients.
+
+    Failure semantics per item, not per batch:
+
+    - transport errors retry the whole upstream batch against the
+      shard's next live address (``fleet.report_failure`` +
+      ``fleet.address_of``) until the deadline — a SIGKILLed worker
+      never fails a coalesced request;
+    - an HTTP-level batch rejection (one malformed item 400s the whole
+      upstream batch) falls back to per-item ``/predict`` replays so a
+      bad query cannot poison its batch-mates.
+
+    Each future resolves to ``(status, payload)`` exactly as
+    :func:`request_json` returns for a single proxied predict.
+    """
+
+    def __init__(self, fleet, max_batch: int = 256) -> None:
+        self._fleet = fleet
+        self._registry = fleet.registry
+        self._batchers = [
+            MicroBatcher(
+                handler=(lambda bodies, shard=shard: self._handle(shard, bodies)),
+                max_batch=max_batch,
+                max_wait_ms=0.0,
+                eager_flush=True,
+                registry=fleet.registry,
+            )
+            for shard in range(len(fleet.workers))
+        ]
+
+    def submit(self, body: dict):
+        """Future resolving to ``(status, payload)`` for one predict body."""
+        shard = self._fleet.shard_for_query(
+            int(body["area"]), int(body["timeslot"])
+        )
+        return self._batchers[shard].submit(body)
+
+    def predict(self, body: dict) -> Tuple[int, dict]:
+        return self.submit(body).result()
+
+    def close(self) -> None:
+        for batcher in self._batchers:
+            batcher.close()
+
+    # ------------------------------------------------------------------
+    # Worker-thread side (one thread per shard)
+    # ------------------------------------------------------------------
+
+    def _handle(self, shard: int, bodies: List[dict]) -> List[Tuple[int, dict]]:
+        deadline = time.monotonic() + self._fleet.retry_timeout
+        if len(bodies) == 1:
+            return [self._single(shard, bodies[0], deadline)]
+        attempt = 0
+        while True:
+            address = self._fleet.address_of(shard, deadline)
+            try:
+                status, payload = request_json(
+                    address, "POST", "/predict_batch",
+                    {"items": bodies}, timeout=self._fleet.retry_timeout,
+                )
+            except TRANSPORT_ERRORS:
+                attempt += 1
+                self._registry.counter("repro.fleet.router.retries")
+                self._fleet.report_failure(shard, address)
+                if time.monotonic() >= deadline:
+                    self._registry.counter(
+                        "repro.fleet.router.unavailable", len(bodies)
+                    )
+                    error = {
+                        "error": f"shard {shard} unavailable after "
+                                 f"{attempt} attempts"
+                    }
+                    return [(503, error)] * len(bodies)
+                time.sleep(min(0.05 * attempt, 0.5))
+                continue
+            results = payload.get("results") if status == 200 else None
+            if not isinstance(results, list) or len(results) != len(bodies):
+                # Batch-level rejection (a malformed item 400s the whole
+                # upstream batch) — replay per item for error isolation.
+                return [
+                    self._single(shard, body, deadline) for body in bodies
+                ]
+            self._registry.counter(
+                "repro.fleet.router.coalesced_items", len(bodies)
+            )
+            self._registry.counter("repro.fleet.router.coalesced_batches")
+            return [(200, result) for result in results]
+
+    def _single(
+        self, shard: int, body: dict, deadline: float
+    ) -> Tuple[int, dict]:
+        attempt = 0
+        while True:
+            address = self._fleet.address_of(shard, deadline)
+            try:
+                return request_json(
+                    address, "POST", "/predict", body,
+                    timeout=self._fleet.retry_timeout,
+                )
+            except TRANSPORT_ERRORS as error:
+                # The worker died mid-request (or between requests).
+                # Predictions are pure, so replaying the query against
+                # the respawned shard is always correct.
+                attempt += 1
+                self._registry.counter("repro.fleet.router.retries")
+                self._fleet.report_failure(shard, address)
+                if time.monotonic() >= deadline:
+                    self._registry.counter("repro.fleet.router.unavailable")
+                    return 503, {
+                        "error": f"shard {shard} unavailable after "
+                                 f"{attempt} attempts: {error!r}"
+                    }
+                time.sleep(min(0.05 * attempt, 0.5))
+
+
+# ----------------------------------------------------------------------
+# The router application + server
+# ----------------------------------------------------------------------
+
+
+class RouterApp:
+    """The fleet-facing twin of :class:`repro.serving.app.ServiceApp`.
+
+    Same ``handle(method, target, body) -> Response`` interface, same
+    routes, so both server front-ends (threaded, selector) can drive it.
+    """
+
+    def __init__(self, fleet, coalescer: PredictCoalescer) -> None:
+        self.fleet = fleet
+        self.registry = fleet.registry
+        self.coalescer = coalescer
+
+    def handle(self, method: str, target: str, body: bytes) -> Response:
+        path = target.split("?", 1)[0]
+        try:
+            if method == "GET":
+                return self._get(path)
+            if method == "POST":
+                return self._post(path, body)
+            return json_response(405, {"error": f"method {method} not allowed"})
+        except BAD_REQUEST_ERRORS as error:
+            return json_response(400, {"error": str(error)})
+        except TimeoutError as error:
+            self.registry.counter("repro.fleet.router.unavailable")
+            return json_response(503, {"error": str(error)})
+        except Exception as error:  # noqa: BLE001 — last-resort 500
+            _log.event("fleet.router_error", path=path, error=repr(error))
+            return json_response(500, {"error": repr(error)})
+
+    def _get(self, path: str) -> Response:
+        if path == "/healthz":
+            return json_response(*self.fleet.healthz())
+        if path == "/stats":
+            return json_response(200, self.fleet.stats())
+        if path == "/metrics":
+            return text_response(200, self.fleet.metrics_text())
+        return json_response(404, {"error": f"unknown path {path}"})
+
+    def _post(self, path: str, body: bytes) -> Response:
+        self.registry.counter("repro.fleet.router.requests")
+        with self.registry.timer("repro.fleet.router.request_seconds"):
+            if path == "/predict":
+                return json_response(
+                    *self.coalescer.predict(parse_json_body(body))
+                )
+            if path == "/predict_batch":
+                return self._predict_batch(parse_json_body(body))
+            if path == "/observe":
+                return json_response(
+                    *self.fleet.broadcast_observe(parse_json_body(body))
+                )
+            if path == "/reload":
+                parsed = parse_json_body(body)
+                return json_response(
+                    *self.fleet.broadcast_reload(str(parsed["checkpoint"]))
+                )
+            if path == "/shutdown":
+                return json_response(
+                    200, {"status": "shutting down"}, shutdown=True
+                )
+            return json_response(404, {"error": f"unknown path {path}"})
+
+    def _predict_batch(self, parsed: dict) -> Response:
+        """Scatter items across shards, gather replies in request order.
+
+        Submitting every item through the coalescer scatters the batch
+        into at most one upstream ``/predict_batch`` per shard (items
+        for the same shard ride together) while the per-shard calls run
+        concurrently on their batcher threads.  Futures are resolved in
+        submission order, so the reassembled ``results`` list matches
+        the request's item order exactly.  Mirroring the worker's
+        all-or-nothing batch semantics, the first failed item fails the
+        whole batch with its status.
+        """
+        triples = parse_batch_items(parsed)
+        futures = [
+            self.coalescer.submit(
+                {"area": area, "day": day, "timeslot": timeslot}
+            )
+            for area, day, timeslot in triples
+        ]
+        results = []
+        for future in futures:
+            status, payload = future.result()
+            if status != 200:
+                return json_response(status, payload)
+            results.append(payload)
+        return json_response(
+            200, {"results": results, "count": len(results)}
+        )
+
+
 def build_router(
-    fleet, host: str = "127.0.0.1", port: int = 0
-) -> _JoiningHTTPServer:
+    fleet,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    io_loop: str = "threaded",
+    coalesce_batch: int = 256,
+):
     """An HTTP front router bound to ``host:port`` proxying ``fleet``.
 
     ``fleet`` is a :class:`repro.serving.fleet.FleetSupervisor` (anything
     with its routing/broadcast surface works).  The caller owns the
     lifecycle exactly as with :func:`repro.serving.http.build_server`;
-    ``POST /shutdown`` stops the workers first, then the router.
+    ``POST /shutdown`` drains the coalescer, stops the workers, closes
+    every keep-alive worker connection (:func:`close_pools`), then stops
+    the router itself.
     """
-    registry = fleet.registry
+    if io_loop not in IO_LOOPS:
+        raise ConfigError(f"unknown io_loop {io_loop!r}; known: {IO_LOOPS}")
+    coalescer = PredictCoalescer(fleet, max_batch=coalesce_batch)
+    app = RouterApp(fleet, coalescer)
+    if io_loop == "selector":
+        from .aio import SelectorHTTPServer
 
-    class RouterHandler(BaseHTTPRequestHandler):
-        protocol_version = "HTTP/1.1"
+        server = SelectorHTTPServer(app, host=host, port=port)
+    else:
+        handler = make_threaded_handler(app, _log, "fleet.router_http")
+        server = _JoiningHTTPServer((host, port), handler)
 
-        # ------------------------------------------------------------------
-        # Routes
-        # ------------------------------------------------------------------
-
-        def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
-            parsed = urlsplit(self.path)
-            try:
-                if parsed.path == "/healthz":
-                    status, payload = fleet.healthz()
-                elif parsed.path == "/stats":
-                    status, payload = 200, fleet.stats()
-                elif parsed.path == "/metrics":
-                    self._reply_text(200, fleet.metrics_text())
-                    return
-                else:
-                    status, payload = 404, {"error": f"unknown path {self.path}"}
-            except Exception as error:  # noqa: BLE001 — last-resort 500
-                _log.event("fleet.router_error", path=self.path, error=repr(error))
-                status, payload = 500, {"error": repr(error)}
-            self._reply(status, payload)
-
-        def do_POST(self) -> None:  # noqa: N802
-            shutting_down = False
-            registry.counter("repro.fleet.router.requests")
-            with registry.timer("repro.fleet.router.request_seconds"):
-                try:
-                    if self.path == "/predict":
-                        status, payload = self._predict()
-                    elif self.path == "/observe":
-                        status, payload = fleet.broadcast_observe(self._read_json())
-                    elif self.path == "/reload":
-                        body = self._read_json()
-                        status, payload = fleet.broadcast_reload(
-                            str(body["checkpoint"])
-                        )
-                    elif self.path == "/shutdown":
-                        status, payload = 200, {"status": "shutting down"}
-                        shutting_down = True
-                    else:
-                        status, payload = 404, {"error": f"unknown path {self.path}"}
-                except (DataError, ConfigError, ValueError, KeyError, TypeError) as error:
-                    status, payload = 400, {"error": str(error)}
-                except TimeoutError as error:
-                    registry.counter("repro.fleet.router.unavailable")
-                    status, payload = 503, {"error": str(error)}
-                except Exception as error:  # noqa: BLE001
-                    _log.event(
-                        "fleet.router_error", path=self.path, error=repr(error)
-                    )
-                    status, payload = 500, {"error": repr(error)}
-                self._reply(status, payload)
-            if shutting_down:
-                # Reply first; stopping the fleet and the router blocks
-                # until serve_forever returns, so it runs off-thread (the
-                # same shape as the single-service /shutdown).
-                threading.Thread(target=self._stop_everything, daemon=True).start()
-
-        def _stop_everything(self) -> None:
+    def stop_everything() -> None:
+        # Drain in-flight coalesced predicts against live workers first,
+        # then stop the fleet, then release every pooled connection —
+        # the fix for the router's keep-alive socket leak.
+        try:
+            coalescer.close()
+        finally:
             try:
                 fleet.shutdown()
             finally:
-                self.server.shutdown()
+                close_pools()
+                server.shutdown()
 
-        def _predict(self) -> Tuple[int, dict]:
-            body = self._read_json()
-            shard = fleet.shard_for_query(
-                int(body["area"]), int(body["timeslot"])
-            )
-            deadline = time.monotonic() + fleet.retry_timeout
-            attempt = 0
-            while True:
-                address = fleet.address_of(shard, deadline)
-                try:
-                    return request_json(
-                        address, "POST", "/predict", body,
-                        timeout=fleet.retry_timeout,
-                    )
-                except TRANSPORT_ERRORS as error:
-                    # The worker died mid-request (or between requests).
-                    # Predictions are pure, so replaying the query against
-                    # the respawned shard is always correct.
-                    attempt += 1
-                    registry.counter("repro.fleet.router.retries")
-                    fleet.report_failure(shard, address)
-                    if time.monotonic() >= deadline:
-                        registry.counter("repro.fleet.router.unavailable")
-                        return 503, {
-                            "error": f"shard {shard} unavailable after "
-                                     f"{attempt} attempts: {error!r}"
-                        }
-                    time.sleep(min(0.05 * attempt, 0.5))
-
-        # ------------------------------------------------------------------
-        # Plumbing (same wire behavior as the worker handler)
-        # ------------------------------------------------------------------
-
-        def _read_json(self) -> dict:
-            length = int(self.headers.get("Content-Length", 0))
-            if length <= 0:
-                raise DataError("request body required")
-            if length > _MAX_BODY_BYTES:
-                raise DataError(f"request body larger than {_MAX_BODY_BYTES} bytes")
-            chunks = []
-            remaining = length
-            while remaining > 0:
-                chunk = self.rfile.read(remaining)
-                if not chunk:
-                    raise DataError(
-                        f"truncated request body: got {length - remaining} "
-                        f"of {length} bytes"
-                    )
-                chunks.append(chunk)
-                remaining -= len(chunk)
-            try:
-                parsed = json.loads(b"".join(chunks))
-            except json.JSONDecodeError as error:
-                raise DataError(f"invalid JSON body: {error}") from error
-            if not isinstance(parsed, dict):
-                raise DataError("request body must be a JSON object")
-            return parsed
-
-        def _reply(self, status: int, payload: dict) -> None:
-            self._send(status, json.dumps(payload).encode("utf-8"),
-                       "application/json")
-
-        def _reply_text(self, status: int, text: str) -> None:
-            self._send(status, text.encode("utf-8"),
-                       "text/plain; version=0.0.4; charset=utf-8")
-
-        def _send(self, status: int, data: bytes, content_type: str) -> None:
-            self.send_response(status)
-            self.send_header("Content-Type", content_type)
-            self.send_header("Content-Length", str(len(data)))
-            self.end_headers()
-            self.wfile.write(data)
-
-        def log_message(self, format: str, *args) -> None:  # noqa: A002
-            import logging
-
-            _log.event(
-                "fleet.router_http", level=logging.DEBUG, detail=format % args
-            )
-
-    return _JoiningHTTPServer((host, port), RouterHandler)
+    server.shutdown_action = stop_everything
+    server.router_coalescer = coalescer
+    return server

@@ -1,0 +1,271 @@
+"""The selector event-loop HTTP server: framing, pipelining, hardening.
+
+These tests drive :class:`SelectorHTTPServer` with a tiny scripted app
+over raw sockets — no service, no fixtures — so they pin down the wire
+behavior itself: persistent keep-alive connections, pipelined requests
+answered strictly in order, the short-read body hardening (a partial
+``Content-Length`` body is NEVER dispatched), oversized/malformed
+framing rejected with a loud 400, and the shutdown reply flushed before
+the loop dies.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.serving import SelectorHTTPServer
+from repro.serving.app import Response, json_response
+
+pytestmark = pytest.mark.serving
+
+
+class ScriptedApp:
+    """Echo app recording every dispatched request."""
+
+    def __init__(self):
+        self.calls = []
+        self.lock = threading.Lock()
+
+    def handle(self, method, target, body):
+        with self.lock:
+            self.calls.append((method, target, bytes(body)))
+        if target == "/shutdown":
+            return json_response(200, {"status": "bye"}, shutdown=True)
+        if target == "/boom":
+            raise RuntimeError("scripted explosion")
+        if target == "/slow":
+            time.sleep(0.2)
+        return json_response(
+            200, {"method": method, "target": target, "len": len(body)}
+        )
+
+
+@pytest.fixture()
+def server():
+    app = ScriptedApp()
+    srv = SelectorHTTPServer(app, host="127.0.0.1", port=0, max_workers=4)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv, app
+    srv.shutdown()
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+    srv.server_close()
+
+
+def _connect(srv) -> socket.socket:
+    sock = socket.create_connection(srv.server_address, timeout=10)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock
+
+
+def _request_bytes(target, body=b"", method="POST", extra="") -> bytes:
+    head = (
+        f"{method} {target} HTTP/1.1\r\n"
+        "Host: test\r\n"
+        f"Content-Length: {len(body)}\r\n{extra}\r\n"
+    )
+    return head.encode() + body
+
+
+def _read_response(fh):
+    status_line = fh.readline()
+    if not status_line:
+        return None, None, {}
+    status = int(status_line.split()[1])
+    headers = {}
+    while True:
+        line = fh.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.partition(b":")
+        headers[name.strip().lower().decode()] = value.strip().decode()
+    length = int(headers.get("content-length", 0))
+    body = fh.read(length) if length else b""
+    return status, body, headers
+
+
+def test_keep_alive_serves_many_requests_on_one_connection(server):
+    srv, app = server
+    sock = _connect(srv)
+    fh = sock.makefile("rb")
+    try:
+        for i in range(5):
+            payload = json.dumps({"i": i}).encode()
+            sock.sendall(_request_bytes(f"/echo/{i}", payload))
+            status, body, _ = _read_response(fh)
+            assert status == 200
+            parsed = json.loads(body)
+            assert parsed["target"] == f"/echo/{i}"
+            assert parsed["len"] == len(payload)
+    finally:
+        sock.close()
+    assert len(app.calls) == 5
+
+
+def test_pipelined_requests_answered_in_order(server):
+    srv, app = server
+    sock = _connect(srv)
+    fh = sock.makefile("rb")
+    try:
+        # /slow first: replies must still come back in request order
+        # even though later requests finish computing earlier.
+        blob = _request_bytes("/slow") + b"".join(
+            _request_bytes(f"/fast/{i}") for i in range(4)
+        )
+        sock.sendall(blob)
+        targets = []
+        for _ in range(5):
+            status, body, _ = _read_response(fh)
+            assert status == 200
+            targets.append(json.loads(body)["target"])
+        assert targets == ["/slow"] + [f"/fast/{i}" for i in range(4)]
+    finally:
+        sock.close()
+
+
+def test_truncated_body_is_never_dispatched(server):
+    srv, app = server
+    sock = _connect(srv)
+    try:
+        head = b"POST /p HTTP/1.1\r\nHost: t\r\nContent-Length: 100\r\n\r\n"
+        sock.sendall(head + b"only twelve!")  # 12 of 100 bytes
+        sock.shutdown(socket.SHUT_WR)  # client gives up mid-body
+        # Server must close without ever handing the prefix to the app.
+        fh = sock.makefile("rb")
+        assert fh.read() == b""
+    finally:
+        sock.close()
+    assert app.calls == []  # the short-read never reached the app
+
+
+def test_oversized_body_rejected_with_400(server):
+    srv, app = server
+    sock = _connect(srv)
+    fh = sock.makefile("rb")
+    try:
+        sock.sendall(
+            b"POST /p HTTP/1.1\r\nHost: t\r\nContent-Length: 9999999999\r\n\r\n"
+        )
+        status, body, _ = _read_response(fh)
+        assert status == 400
+        assert b"larger than" in body
+        assert fh.read() == b""  # framing poisoned: connection closed
+    finally:
+        sock.close()
+    assert app.calls == []
+
+
+@pytest.mark.parametrize("blob", [
+    b"GARBAGE\r\n\r\n",
+    b"POST /p HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+    b"POST /p HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+])
+def test_malformed_framing_rejected_with_400(server, blob):
+    srv, app = server
+    sock = _connect(srv)
+    fh = sock.makefile("rb")
+    try:
+        sock.sendall(blob)
+        status, body, _ = _read_response(fh)
+        assert status == 400 and b"error" in body
+    finally:
+        sock.close()
+    assert app.calls == []
+
+
+def test_app_exception_becomes_500_and_connection_survives(server):
+    srv, app = server
+    sock = _connect(srv)
+    fh = sock.makefile("rb")
+    try:
+        sock.sendall(_request_bytes("/boom"))
+        status, body, _ = _read_response(fh)
+        assert status == 500
+        assert b"scripted explosion" in body
+        # The reply slot was not lost: the next request still answers.
+        sock.sendall(_request_bytes("/after"))
+        status, body, _ = _read_response(fh)
+        assert status == 200 and json.loads(body)["target"] == "/after"
+    finally:
+        sock.close()
+
+
+def test_connection_close_header_is_honored(server):
+    srv, app = server
+    sock = _connect(srv)
+    fh = sock.makefile("rb")
+    try:
+        sock.sendall(_request_bytes("/bye", extra="Connection: close\r\n"))
+        status, _, headers = _read_response(fh)
+        assert status == 200
+        assert headers.get("connection") == "close"
+        assert fh.read() == b""  # server closed after the reply
+    finally:
+        sock.close()
+
+
+def test_shutdown_reply_is_flushed_before_loop_exits():
+    app = ScriptedApp()
+    srv = SelectorHTTPServer(app, host="127.0.0.1", port=0)
+    stopped = []
+    action_done = threading.Event()
+
+    def action():
+        stopped.append(True)
+        srv.shutdown()
+        action_done.set()
+
+    srv.shutdown_action = action
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    sock = _connect(srv)
+    fh = sock.makefile("rb")
+    try:
+        sock.sendall(_request_bytes("/shutdown"))
+        status, body, _ = _read_response(fh)
+        # The acknowledgement arrived — the action must not race it away.
+        assert status == 200 and json.loads(body)["status"] == "bye"
+        assert action_done.wait(timeout=10)
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert stopped == [True]
+    finally:
+        sock.close()
+        srv.server_close()
+
+
+def test_concurrent_connections_share_the_loop(server):
+    srv, app = server
+    results = []
+    lock = threading.Lock()
+
+    def client(i):
+        sock = _connect(srv)
+        fh = sock.makefile("rb")
+        try:
+            for j in range(3):
+                sock.sendall(_request_bytes(f"/c{i}/{j}"))
+                status, body, _ = _read_response(fh)
+                with lock:
+                    results.append((status, json.loads(body)["target"]))
+        finally:
+            sock.close()
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+        assert not t.is_alive()
+    assert len(results) == 24
+    assert all(status == 200 for status, _ in results)
+
+
+def test_rejects_nonpositive_workers():
+    with pytest.raises(ConfigError):
+        SelectorHTTPServer(ScriptedApp(), max_workers=0)

@@ -1,0 +1,152 @@
+"""The ``/predict_batch`` endpoint over both server front-ends.
+
+Parametrized over ``io_loop`` so the threaded stdlib server and the
+selector event loop are proven to serve the same application with
+byte-identical response bodies — including the batch endpoint's
+bitwise-equality contract against per-item ``/predict`` calls.
+"""
+
+import copy
+import json
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.serving import PredictionService, ServingConfig, build_server
+from repro.serving.router import request_json
+
+pytestmark = pytest.mark.serving
+
+
+@pytest.fixture(params=["threaded", "selector"])
+def endpoint(request, checkpoint, dataset, scale):
+    service = PredictionService.from_checkpoint(
+        str(checkpoint),
+        copy.deepcopy(dataset),
+        scale.features,
+        serving_config=ServingConfig(max_batch=8, max_wait_ms=0.0,
+                                     eager_flush=True),
+        registry=MetricsRegistry(),
+    )
+    server = build_server(service, io_loop=request.param)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    address = "127.0.0.1:%d" % server.server_address[1]
+    yield address, service
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+    service.close()
+
+
+def _items(scale, n, offset=0):
+    L = scale.features.window_minutes
+    return [
+        {"area": i % 2, "day": 1 + i % 3, "timeslot": L + 10 * i + offset}
+        for i in range(n)
+    ]
+
+
+def test_predict_batch_matches_per_item_predicts(endpoint, scale):
+    address, _ = endpoint
+    items = _items(scale, 6)
+    status, batch = request_json(
+        address, "POST", "/predict_batch", {"items": items}
+    )
+    assert status == 200
+    assert batch["count"] == 6 and len(batch["results"]) == 6
+    for item, result in zip(items, batch["results"]):
+        assert result["cached"] is False  # all cold
+        status, single = request_json(address, "POST", "/predict", item)
+        assert status == 200
+        # JSON round-trips doubles exactly: == here is bitwise equality.
+        assert single["gap"] == result["gap"]
+        assert single["version"] == result["version"]
+        assert single["cached"] is True  # the batch filled the cache
+
+
+def test_predict_batch_duplicate_items_report_cached(endpoint, scale):
+    address, _ = endpoint
+    item = _items(scale, 1, offset=640)[0]
+    status, batch = request_json(
+        address, "POST", "/predict_batch", {"items": [item, item]}
+    )
+    assert status == 200
+    first, second = batch["results"]
+    assert first["cached"] is False and second["cached"] is True
+    assert first["gap"] == second["gap"]
+
+
+@pytest.mark.parametrize("body,fragment", [
+    ({}, "items"),
+    ({"items": []}, "empty"),
+    ({"items": "nope"}, "items"),
+    ({"items": [{"area": 0}]}, "day"),
+    ({"items": [[1, 2, 3]]}, "object"),
+    ({"items": [{"area": 99999, "day": 0, "timeslot": 700}]}, "area"),
+])
+def test_predict_batch_rejects_bad_payloads(endpoint, body, fragment):
+    address, _ = endpoint
+    status, payload = request_json(address, "POST", "/predict_batch", body)
+    assert status == 400
+    assert fragment in payload["error"]
+
+
+def test_predict_batch_size_limit(endpoint, scale):
+    address, _ = endpoint
+    from repro.serving.app import MAX_BATCH_ITEMS
+
+    items = [{"area": 0, "day": 1, "timeslot": 700}] * (MAX_BATCH_ITEMS + 1)
+    status, payload = request_json(
+        address, "POST", "/predict_batch", {"items": items}
+    )
+    assert status == 400 and "limit" in payload["error"]
+
+
+def test_front_ends_serve_byte_identical_bodies(checkpoint, dataset, scale):
+    """The same service behind both io_loops answers every route with
+    the exact same bytes (headers differ — the stdlib server stamps
+    Date/Server — but the payload is the application's alone)."""
+    items = _items(scale, 4)
+    bodies = {}
+    for io_loop in ("threaded", "selector"):
+        service = PredictionService.from_checkpoint(
+            str(checkpoint),
+            copy.deepcopy(dataset),
+            scale.features,
+            serving_config=ServingConfig(max_batch=8, max_wait_ms=0.0,
+                                         eager_flush=True),
+            registry=MetricsRegistry(),
+        )
+        server = build_server(service, io_loop=io_loop)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        address = "127.0.0.1:%d" % server.server_address[1]
+        try:
+            collected = []
+            status, payload = request_json(
+                address, "POST", "/predict_batch", {"items": items}
+            )
+            assert status == 200
+            collected.append(payload)
+            status, payload = request_json(
+                address, "POST", "/predict", items[0]
+            )
+            assert status == 200
+            collected.append(payload)
+            status, payload = request_json(address, "GET", "/healthz")
+            assert status == 200
+            collected.append(payload)
+            status, payload = request_json(
+                address, "POST", "/predict_batch", {"items": "bad"}
+            )
+            assert status == 400
+            collected.append(payload)
+            bodies[io_loop] = json.dumps(collected, sort_keys=True)
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+            service.close()
+    assert bodies["threaded"] == bodies["selector"]

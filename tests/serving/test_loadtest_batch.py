@@ -1,0 +1,61 @@
+"""Unit tests for the loadtest batching plan: ``group_batches``."""
+
+import pytest
+
+from repro.serving import group_batches
+from repro.serving.loadtest import LoadTestResult
+
+pytestmark = pytest.mark.serving
+
+
+def _predict(i):
+    return ("/predict", {"area": 0, "day": 1, "timeslot": 400 + i})
+
+
+def _observe(i):
+    return ("/observe", {"kind": "orders", "day": 1, "minute": i,
+                         "area": 0, "values": {"valid": 1, "invalid": 0}})
+
+
+def test_singles_pass_through_untouched():
+    ops = [_predict(0), _observe(1), _predict(2)]
+    assert group_batches(ops, 1) == [(p, b, 1) for p, b in ops]
+    assert group_batches(ops, 0) == [(p, b, 1) for p, b in ops]
+
+
+def test_consecutive_predicts_fold_up_to_batch():
+    ops = [_predict(i) for i in range(7)]
+    wire = group_batches(ops, 3)
+    assert [n for _, _, n in wire] == [3, 3, 1]
+    assert all(path == "/predict_batch" for path, _, n in wire if n > 1)
+    # Every original item survives, in order.
+    flat = []
+    for path, body, n in wire:
+        flat.extend(body["items"] if path == "/predict_batch" else [body])
+    assert flat == [b for _, b in ops]
+
+
+def test_observes_flush_the_run():
+    ops = [_predict(0), _predict(1), _observe(2), _predict(3), _predict(4)]
+    wire = group_batches(ops, 8)
+    paths = [path for path, _, _ in wire]
+    assert paths == ["/predict_batch", "/observe", "/predict_batch"]
+    # The observe sits between the two batches it split, order preserved.
+    assert wire[0][1]["items"] == [ops[0][1], ops[1][1]]
+    assert wire[2][1]["items"] == [ops[3][1], ops[4][1]]
+    assert sum(n for _, _, n in wire) == len(ops)
+
+
+def test_result_items_and_rates():
+    result = LoadTestResult(
+        requests=10, errors=0, seconds=2.0, concurrency=4,
+        p50_ms=1.0, p95_ms=1.0, p99_ms=1.0, items=320, batch=32,
+    )
+    assert result.items_per_sec == 160.0
+    metrics = result.metrics("serving.fleet.batch")
+    assert metrics["serving.fleet.batch.items"] == 320.0
+    assert metrics["serving.fleet.batch.items_per_sec"] == 160.0
+    # Default: one item per request.
+    plain = LoadTestResult(requests=5, errors=0, seconds=1.0, concurrency=1,
+                           p50_ms=1.0, p95_ms=1.0, p99_ms=1.0)
+    assert plain.items == 5

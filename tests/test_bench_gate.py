@@ -39,6 +39,29 @@ def test_faster_and_lower_latency_passes():
     assert find_regressions(current, baseline) == []
 
 
+def test_fleet_latency_gate_flagged():
+    baseline = _report(**{"serving.fleet.p99_ms": 20.0})
+    current = _report(**{"serving.fleet.p99_ms": 90.0})
+    findings = find_regressions(current, baseline, factor=2.0)
+    assert len(findings) == 1 and "serving.fleet.p99_ms" in findings[0]
+
+
+def test_fleet_items_per_sec_drop_flagged():
+    """The batched legs ride the generic items_per_sec sweep — any
+    ``*.items_per_sec`` present in both reports is gated."""
+    baseline = _report(**{
+        "serving.fleet.items_per_sec": 150.0,
+        "serving.fleet.batch.items_per_sec": 2000.0,
+    })
+    current = _report(**{
+        "serving.fleet.items_per_sec": 148.0,
+        "serving.fleet.batch.items_per_sec": 600.0,
+    })
+    findings = find_regressions(current, baseline, factor=2.0)
+    assert len(findings) == 1
+    assert "serving.fleet.batch.items_per_sec" in findings[0]
+
+
 def test_missing_metrics_ignored():
     assert find_regressions(_report(), _report()) == []
     baseline = _report(**{"serving.cold.p99_ms": 5.0})
