@@ -2,9 +2,11 @@
 
 The paper's motivation (Section I): "Based on the prediction, we can
 balance the supply-demands by scheduling the drivers in advance."  This
-example trains an advanced DeepSD model, predicts the next-interval gap for
-every area at a rush-hour timeslot, and greedily proposes driver moves from
-surplus areas to the areas with the largest predicted gaps.
+example trains an advanced DeepSD model plus a P10/P50/P90 quantile head,
+predicts the next-interval gap for every area at a rush-hour timeslot, and
+greedily proposes driver moves from surplus areas to the riskiest areas —
+ranked by the P90 upper bound, not the point estimate, because stranding a
+passenger (gap above forecast) costs more than an idle driver (gap below).
 
     python examples/fleet_rebalancing.py
 """
@@ -13,7 +15,7 @@ import numpy as np
 
 from repro.city import format_timeslot, simulate_city
 from repro.config import tiny_scale
-from repro.core import AdvancedDeepSD, Trainer, TrainingConfig
+from repro.core import AdvancedDeepSD, Trainer, TrainingConfig, fit_quantile_head
 from repro.eval import format_table
 from repro.features import FeatureBuilder
 
@@ -22,7 +24,8 @@ def propose_moves(predicted_gaps: np.ndarray, n_drivers: int = 20) -> list:
     """Greedy dispatch: send idle drivers to the largest predicted gaps.
 
     Each move covers one predicted unserved request, sourced from the areas
-    with the smallest predicted gaps (the relative surplus).
+    with the smallest predicted gaps (the relative surplus).  Pass the P90
+    series to dispatch against risk instead of the median outcome.
     """
     gaps = np.maximum(predicted_gaps, 0.0).copy()
     sources = [int(a) for a in np.argsort(gaps)[: max(1, len(gaps) // 2)]]
@@ -49,6 +52,7 @@ def main() -> None:
     )
     trainer = Trainer(model, TrainingConfig(epochs=6, best_k=3, seed=0))
     trainer.fit(train_set, eval_set=test_set)
+    head = fit_quantile_head(trainer, train_set, epochs=80)
     predictions = trainer.predict(test_set)
 
     # Pick the busiest evening timeslot on the first test day.
@@ -60,13 +64,21 @@ def main() -> None:
     area_ids = test_set.area_ids[mask]
     predicted = predictions[mask]
     actual = test_set.gaps[mask]
+    bands = [head.intervals(float(gap), int(evening)) for gap in predicted]
+    p90 = np.array([band["p90"] for band in bands])
 
-    order = np.argsort(predicted)[::-1]
+    order = np.argsort(p90)[::-1]
     print(
         format_table(
-            ["Area", "Predicted gap", "Actual gap"],
+            ["Area", "P10", "Predicted gap", "P90", "Actual gap"],
             [
-                [f"A{int(area_ids[i])}", float(predicted[i]), float(actual[i])]
+                [
+                    f"A{int(area_ids[i])}",
+                    bands[i]["p10"],
+                    float(predicted[i]),
+                    bands[i]["p90"],
+                    float(actual[i]),
+                ]
                 for i in order
             ],
             title=(
@@ -76,8 +88,10 @@ def main() -> None:
         )
     )
 
-    moves = propose_moves(predicted, n_drivers=15)
-    print(f"\nProposed {len(moves)} pre-emptive driver moves:")
+    # Dispatch against the P90 upper bound: cover the worst plausible gap,
+    # not the median one.
+    moves = propose_moves(p90, n_drivers=15)
+    print(f"\nProposed {len(moves)} pre-emptive driver moves (P90 risk dispatch):")
     for source, target in moves:
         print(f"  move one idle driver: A{area_ids[source]} -> A{area_ids[target]}")
 

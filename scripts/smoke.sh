@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # End-to-end observability smoke test:
 #   simulate → featurize → train → evaluate → taped-vs-module training
-#   diff → interrupt/resume → bench → traced serve round-trip
+#   diff → interrupt/resume → bench → scenario robustness matrix →
+#   quantile-head train + risk-interval serve → traced serve round-trip
 #   (/predict, /metrics scrape, clean /shutdown) → repro trace over the
 #   exported span file → taped-vs---no-tape serving diff (200 queries,
 #   bitwise) → 2-worker sharded fleet under loadtest (single-item +
@@ -108,6 +109,72 @@ assert payload["metrics"]["experiment.identical"] == 1.0, \
     "parallel experiment run diverged from serial"
 print("bench schema + determinism ok")
 EOF
+
+# Robustness matrix: a small-scale scenario sweep through the parallel
+# engine.  The report is asserted well-formed here and uploaded as a CI
+# artifact; byte-identity across worker counts is pinned by
+# tests/scenarios/.
+run scenarios --scale tiny --models average,lasso \
+    --packs storm,supply_shock --workers 2 --out robustness.json
+python - <<'EOF'
+import json
+report = json.load(open("robustness.json"))
+assert report["schema_version"] == 1, report
+rows = report["results"]
+assert {r["scenario"] for r in rows} == {"steady", "storm", "supply_shock"}
+steady = [r for r in rows if r["scenario"] == "steady"]
+assert steady and all(r["degradation"] == 1.0 for r in steady), rows
+assert all(r["worst_case_mae"] >= r["mae"] for r in rows), rows
+print(f"scenario matrix ok ({len(rows)} rows)")
+EOF
+
+# Risk-aware serving: a --quantiles training run attaches a P10/P50/P90
+# head to its checkpoint; /predict on that checkpoint must return
+# monotone intervals alongside the point gap.
+run train --model basic --scale tiny --train train.npz --test test.npz \
+    --epochs 2 --checkpoint-dir ckpt_q --quantiles
+python -m repro serve --city city.npz --checkpoint ckpt_q --scale tiny \
+    --port 0 --log-level debug --log-file "$LOG" > serve_q.out &
+QSERVE_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "^serving .* on http://" serve_q.out 2>/dev/null && break
+    sleep 0.1
+done
+if ! grep -q "^serving .* on http://" serve_q.out; then
+    echo "smoke FAILED: quantile serve did not start" >&2
+    cat serve_q.out >&2
+    kill "$QSERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+QPORT=$(head -1 serve_q.out | sed 's/.*://')
+python - "$QPORT" <<'EOF'
+import json, sys, urllib.request
+
+base = f"http://127.0.0.1:{sys.argv[1]}"
+
+def post(path, payload):
+    req = urllib.request.Request(
+        base + path, json.dumps(payload).encode(),
+        {"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return resp.status, json.loads(resp.read())
+
+for i in range(20):
+    status, body = post(
+        "/predict", {"area": i % 6, "day": 1 + i % 9, "timeslot": 30 + 40 * i}
+    )
+    assert status == 200, (status, body)
+    assert body["p10"] <= body["p50"] <= body["p90"], body
+status, stats = 200, None
+with urllib.request.urlopen(base + "/stats", timeout=30) as resp:
+    stats = json.loads(resp.read())
+assert stats["quantiles"] is True, stats
+status, body = post("/shutdown", {})
+assert status == 200 and body == {"status": "shutting down"}, (status, body)
+print("quantile serving ok (20 queries, monotone intervals)")
+EOF
+wait "$QSERVE_PID"
 
 # Online serving round-trip: start the HTTP service (traced) from the
 # checkpoint the resume flow left behind, answer 500 live queries,

@@ -139,6 +139,12 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--seed", type=int, default=1)
     train.add_argument("--save", default=None, help="save trained weights (.npz)")
     train.add_argument(
+        "--quantiles", action="store_true",
+        help="fit a P10/P50/P90 residual quantile head after training and "
+             "attach it to the final checkpoint (needs --checkpoint-dir); "
+             "serving then returns risk intervals alongside the point gap",
+    )
+    train.add_argument(
         "--no-tape", action="store_true",
         help="disable the execution tape (taped training is bitwise-"
              "identical to module dispatch; this forces the slower path)",
@@ -191,6 +197,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan the experiment's model/baseline training across N worker "
              "processes (results are bitwise-identical to --workers 1; "
              "see docs/performance.md)",
+    )
+
+    scenarios = sub.add_parser(
+        "scenarios", parents=[obs],
+        help="robustness matrix: every model × every scenario pack",
+    )
+    scenarios.add_argument("--scale", default="tiny", help="paper | bench | tiny")
+    scenarios.add_argument("--seed", type=int, default=None)
+    scenarios.add_argument(
+        "--models", default="basic,advanced,average", metavar="SPEC",
+        help="comma-separated NN variants and/or baselines, or 'all' "
+             "(default: basic,advanced,average)",
+    )
+    scenarios.add_argument(
+        "--packs", default="all", metavar="SPEC",
+        help="comma-separated scenario names and/or inline pack stacks "
+             "(name[:key=value...][+name...]); 'all' runs every default "
+             "scenario; steady is always included (default: all)",
+    )
+    scenarios.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="train the models across N worker processes (the report is "
+             "bitwise-identical for any N)",
+    )
+    scenarios.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the robustness report JSON to PATH",
     )
 
     bench = sub.add_parser(
@@ -550,6 +583,20 @@ def cmd_train(args) -> int:
             )
         manifest.record(mae=report.mae, rmse=report.rmse)
         print(f"  ensembled test MAE {report.mae:.3f}  RMSE {report.rmse:.3f}")
+    if args.quantiles:
+        from .core import attach_quantile_head, fit_quantile_head
+
+        with manifest.stage("quantiles"):
+            head = fit_quantile_head(trainer, train_set)
+            if trainer.last_checkpoint:
+                attach_quantile_head(trainer.last_checkpoint, head)
+                print(f"attached quantile head to {trainer.last_checkpoint}")
+            else:
+                print(
+                    "warning: --quantiles without --checkpoint-dir fits the "
+                    "head but has no checkpoint to attach it to"
+                )
+        manifest.record(quantile_levels=len(head.levels))
     if args.save:
         with manifest.stage("save"):
             save_weights(model, args.save)
@@ -628,6 +675,44 @@ def cmd_experiment(args) -> int:
     if args.manifest:
         _write_manifest(manifest, args, None)
     print(_render_experiment(args.name, result))
+    return 0
+
+
+def cmd_scenarios(args) -> int:
+    from .scenarios import render_report, run_matrix, save_report
+
+    manifest = RunManifest.begin(
+        "scenarios",
+        config={
+            "scale": args.scale,
+            "models": args.models,
+            "packs": args.packs,
+            "workers": args.workers,
+            "out": args.out,
+        },
+        seed=args.seed,
+    )
+    with manifest.stage("matrix"):
+        report, runner_report = run_matrix(
+            scale_name=args.scale,
+            seed=args.seed,
+            models=args.models,
+            packs=args.packs,
+            workers=args.workers,
+        )
+    manifest.record(
+        scenarios=len(report["scenarios"]),
+        models=len(report["models"]),
+        results=len(report["results"]),
+        **runner_report.to_metrics(),
+    )
+    if args.out:
+        with manifest.stage("save"):
+            save_report(report, args.out)
+        manifest.artifacts["report"] = args.out
+        print(f"wrote {args.out}")
+    _write_manifest(manifest, args, args.out)
+    print(render_report(report))
     return 0
 
 
@@ -1077,6 +1162,7 @@ _COMMANDS = {
     "train": cmd_train,
     "evaluate": cmd_evaluate,
     "experiment": cmd_experiment,
+    "scenarios": cmd_scenarios,
     "bench": cmd_bench,
     "serve": cmd_serve,
     "loadtest": cmd_loadtest,

@@ -30,6 +30,12 @@ from .blocks import (
 from .extended import ExtendedBlock, combine_history
 from .normalization import InputScales
 from .predictor import GapPredictor, GapQuery
+from .quantiles import (
+    DEFAULT_LEVELS,
+    QuantileHead,
+    attach_quantile_head,
+    fit_quantile_head,
+)
 from .trainer import (
     Trainer,
     TrainingConfig,
@@ -83,6 +89,10 @@ __all__ = [
     "InputScales",
     "GapPredictor",
     "GapQuery",
+    "DEFAULT_LEVELS",
+    "QuantileHead",
+    "attach_quantile_head",
+    "fit_quantile_head",
     "BLOCK_WIDTH",
     "HIDDEN_WIDTH",
     "INPUT_FIELDS",

@@ -1,0 +1,179 @@
+"""Risk heads: P10/P50/P90 gap intervals on top of a trained point model.
+
+DeepSD predicts the conditional mean gap; a dispatcher acting on that point
+estimate is blind to regime risk (storms, event surges — see
+``repro.scenarios``).  This module trains a small *quantile head* on the
+residuals of a fitted :class:`~repro.core.trainer.Trainer`: per
+time-of-day bucket, a learned offset per quantile level, optimised with the
+pinball loss from :mod:`repro.nn.losses` (dormant until now) through the
+real autograd engine.
+
+The head is deliberately tiny — ``(n_buckets, n_levels)`` parameters — so
+
+* it serializes losslessly into the checkpoint bundle's ``serving`` extras
+  (plain JSON floats round-trip exactly → bitwise-stable intervals),
+* serving adds intervals with a table lookup, preserving every latency and
+  batch-invariance contract of the point path untouched, and
+* monotonicity (P10 ≤ P50 ≤ P90) is *guaranteed*, not hoped for: after
+  training, each bucket's offsets are sorted ascending, and adding the same
+  gap to sorted offsets preserves the order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigError
+from ..features.builder import ExampleSet
+from ..nn import Adam, Module, Parameter, Tensor
+from ..nn.losses import pinball_loss
+from ..obs import get_logger
+
+_log = get_logger(__name__)
+
+DEFAULT_LEVELS: Tuple[float, ...] = (0.1, 0.5, 0.9)
+MINUTES_PER_DAY = 1440
+
+__all__ = [
+    "DEFAULT_LEVELS",
+    "QuantileHead",
+    "fit_quantile_head",
+    "attach_quantile_head",
+]
+
+
+class QuantileHead(Module):
+    """Per-time-bucket residual quantile offsets.
+
+    ``forward(bucket_ids)`` gathers the ``(n_levels,)`` offset row for each
+    bucket, differentiably (``gather_rows`` scatter-adds gradients), so the
+    head trains with plain :class:`~repro.nn.Adam` + pinball loss.
+    """
+
+    def __init__(
+        self,
+        levels: Sequence[float] = DEFAULT_LEVELS,
+        bucket_minutes: int = 60,
+    ) -> None:
+        super().__init__()
+        levels = tuple(float(q) for q in levels)
+        if not levels or any(not 0.0 < q < 1.0 for q in levels):
+            raise ConfigError(f"quantile levels must be in (0, 1), got {levels!r}")
+        if sorted(levels) != list(levels):
+            raise ConfigError(f"quantile levels must be ascending, got {levels!r}")
+        if bucket_minutes < 1 or MINUTES_PER_DAY % bucket_minutes != 0:
+            raise ConfigError(
+                f"bucket_minutes must divide {MINUTES_PER_DAY}, got {bucket_minutes}"
+            )
+        self.levels = levels
+        self.bucket_minutes = int(bucket_minutes)
+        self.n_buckets = MINUTES_PER_DAY // self.bucket_minutes
+        self.offsets = Parameter(np.zeros((self.n_buckets, len(levels))))
+
+    def bucket_ids(self, time_ids: np.ndarray) -> np.ndarray:
+        """Map minute-of-day slot ids to bucket rows (clipped to the day)."""
+        ids = np.asarray(time_ids, dtype=np.int64)
+        return np.clip(ids, 0, MINUTES_PER_DAY - 1) // self.bucket_minutes
+
+    def forward(self, bucket_ids: np.ndarray) -> Tensor:
+        return self.offsets.gather_rows(np.asarray(bucket_ids, dtype=np.int64))
+
+    def sort_levels(self) -> None:
+        """Enforce monotone offsets (P10 ≤ P50 ≤ P90) after training."""
+        self.offsets.data.sort(axis=1)
+
+    def intervals(self, gap: float, timeslot: int) -> Dict[str, float]:
+        """``{"p10": …, "p50": …, "p90": …}`` for one point prediction.
+
+        The gap shifts every level identically, so sorted offsets keep the
+        interval monotone for any gap.
+        """
+        row = self.offsets.data[int(self.bucket_ids(np.asarray([timeslot]))[0])]
+        return {
+            f"p{round(q * 100):d}": float(gap) + float(offset)
+            for q, offset in zip(self.levels, row)
+        }
+
+    # -- checkpoint serialization (plain JSON; floats round-trip exactly) --
+
+    def to_config(self) -> Dict[str, object]:
+        return {
+            "levels": list(self.levels),
+            "bucket_minutes": self.bucket_minutes,
+            "offsets": [[float(x) for x in row] for row in self.offsets.data],
+        }
+
+    @classmethod
+    def from_config(cls, payload: Dict[str, object]) -> "QuantileHead":
+        head = cls(
+            levels=tuple(payload["levels"]),
+            bucket_minutes=int(payload["bucket_minutes"]),
+        )
+        offsets = np.asarray(payload["offsets"], dtype=np.float64)
+        if offsets.shape != head.offsets.data.shape:
+            raise ConfigError(
+                f"quantile offsets shape {offsets.shape} does not match "
+                f"head shape {head.offsets.data.shape}"
+            )
+        head.offsets.data[...] = offsets
+        return head
+
+
+def fit_quantile_head(
+    trainer,
+    train_set: ExampleSet,
+    *,
+    levels: Sequence[float] = DEFAULT_LEVELS,
+    bucket_minutes: int = 60,
+    epochs: int = 200,
+    learning_rate: float = 0.05,
+) -> QuantileHead:
+    """Train a quantile head on the trainer's residuals and attach it.
+
+    Full-batch Adam over the pinball losses of every level jointly; fully
+    deterministic (no shuffling, no dropout), so re-fitting on the same
+    trainer + train set is bitwise-reproducible.
+    """
+    residuals = train_set.gaps.astype(np.float64) - trainer.predict(train_set)
+    head = QuantileHead(levels=levels, bucket_minutes=bucket_minutes)
+    buckets = head.bucket_ids(train_set.time_ids)
+    target = residuals.reshape(-1, 1)
+    optimizer = Adam(head.parameters(), lr=learning_rate)
+    for _ in range(max(1, epochs)):
+        optimizer.zero_grad()
+        out = head(buckets)
+        loss = None
+        for k, q in enumerate(head.levels):
+            term = pinball_loss(out.slice_cols(k, k + 1), target, q)
+            loss = term if loss is None else loss + term
+        loss.backward()
+        optimizer.step()
+    head.sort_levels()
+    trainer.quantile_head = head
+    _log.event(
+        "quantiles.fit",
+        items=train_set.n_items,
+        buckets=head.n_buckets,
+        levels=",".join(f"{q:g}" for q in head.levels),
+        loss=loss.item(),
+    )
+    return head
+
+
+def attach_quantile_head(checkpoint_path, head: QuantileHead) -> str:
+    """Patch a saved checkpoint bundle with a quantile head, in place.
+
+    Loads the bundle, adds ``serving["quantiles"]`` and re-saves the same
+    stem atomically — the training fingerprint, weights, optimizer state and
+    ``latest.json`` pointer are untouched, so resume semantics are
+    unaffected and old readers simply ignore the extra key.
+    """
+    from .checkpoint import Checkpoint
+
+    checkpoint = Checkpoint.load(checkpoint_path)
+    checkpoint.serving = dict(checkpoint.serving)
+    checkpoint.serving["quantiles"] = head.to_config()
+    return checkpoint.save(checkpoint.directory)

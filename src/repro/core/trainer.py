@@ -192,6 +192,9 @@ class Trainer:
         self._train_meta: Dict[str, object] = {}
         # Set by from_checkpoint(): the bundle's serving extras.
         self.serving_meta: Optional[Dict[str, object]] = None
+        # Optional P10/P50/P90 residual head (repro.core.quantiles); rides
+        # along in the checkpoint serving extras when present.
+        self.quantile_head = None
 
     def fit(
         self,
@@ -383,6 +386,8 @@ class Trainer:
             serving["input_scales"] = {
                 name: float(value) for name, value in vars(scales).items()
             }
+        if self.quantile_head is not None:
+            serving["quantiles"] = self.quantile_head.to_config()
         checkpoint = Checkpoint(
             epoch=epoch,
             model_state=self.model.state_dict(),
@@ -610,6 +615,11 @@ class Trainer:
         model.load_state_dict(trainer._ensemble_states[0])
         model.eval()
         trainer.serving_meta = dict(serving)
+        quantiles = serving.get("quantiles")
+        if quantiles:
+            from .quantiles import QuantileHead
+
+            trainer.quantile_head = QuantileHead.from_config(quantiles)
         return trainer
 
     def predict(self, example_set: ExampleSet, batch_size: int = 1024) -> np.ndarray:

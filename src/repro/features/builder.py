@@ -217,6 +217,24 @@ class FeatureBuilder:
         )
         return train, test
 
+    def build_test(self, scalers: Dict[str, Tuple[float, float]]) -> ExampleSet:
+        """Build only the test split, standardized with *given* scalers.
+
+        The scenario matrix runner (:mod:`repro.scenarios`) backtests models
+        trained on the steady city against transformed cities; like serving,
+        it must featurize with the *training* run's environment scalers, not
+        scalers refit on the shifted distribution — a model never sees refit
+        scalers in production.
+        """
+        registry = get_registry()
+        with registry.timer("repro.featurize.test_seconds"):
+            test = self._build_items(self._test_items())
+        for name in ("temperature", "pm25"):
+            test.scalers[name] = (float(scalers[name][0]), float(scalers[name][1]))
+        apply_environment_scalers(test)
+        registry.counter("repro.featurize.items", test.n_items)
+        return test
+
     def _train_items(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         days = np.arange(self.config.train_days)
         slots = np.array(list(self.config.train_timeslots()))

@@ -70,10 +70,28 @@ _NAMED = {"mse": mse_loss, "mae": mae_loss, "huber": huber_loss}
 
 
 def get(name_or_fn):
-    """Resolve a loss by name ('mse', 'mae', 'huber') or pass callables through."""
+    """Resolve a loss by name or pass callables through.
+
+    Names are ``"mse"`` / ``"mae"`` / ``"huber"``, or ``"pinball@<q>"``
+    (e.g. ``"pinball@0.9"``) for a quantile loss that survives config
+    round-trips — a ``quantile_loss(q)`` callable serializes only by name,
+    so checkpoints store the spelled-out form instead.
+    """
     if callable(name_or_fn):
         return name_or_fn
+    if isinstance(name_or_fn, str) and name_or_fn.startswith("pinball@"):
+        try:
+            quantile = float(name_or_fn[len("pinball@"):])
+        except ValueError:
+            raise ValueError(
+                f"malformed pinball loss name {name_or_fn!r}; "
+                "expected 'pinball@<quantile>' like 'pinball@0.9'"
+            ) from None
+        return quantile_loss(quantile)
     try:
         return _NAMED[name_or_fn]
     except KeyError:
-        raise ValueError(f"unknown loss {name_or_fn!r}; known: {sorted(_NAMED)}") from None
+        raise ValueError(
+            f"unknown loss {name_or_fn!r}; known: {sorted(_NAMED)} "
+            "or 'pinball@<quantile>'"
+        ) from None

@@ -1,0 +1,55 @@
+"""Scenario packs and the robustness matrix runner.
+
+See ``docs/scenarios.md`` for the pack config format, the ``repro
+scenarios`` CLI and the robustness report schema.
+"""
+
+from .matrix import (
+    DEFAULT_SCENARIOS,
+    REPORT_SCHEMA_VERSION,
+    STEADY,
+    render_report,
+    resolve_scenarios,
+    run_matrix,
+    save_report,
+    split_model_keys,
+)
+from .packs import (
+    CHANNELS,
+    PACK_TYPES,
+    AirportPack,
+    ArchetypeMixPack,
+    ConcertPack,
+    HolidayPack,
+    ScenarioPack,
+    StormPack,
+    SupplyShockPack,
+    apply_packs,
+    build_pack,
+    pack_rng,
+    parse_pack_stack,
+)
+
+__all__ = [
+    "CHANNELS",
+    "PACK_TYPES",
+    "DEFAULT_SCENARIOS",
+    "REPORT_SCHEMA_VERSION",
+    "STEADY",
+    "ScenarioPack",
+    "HolidayPack",
+    "ConcertPack",
+    "StormPack",
+    "SupplyShockPack",
+    "AirportPack",
+    "ArchetypeMixPack",
+    "apply_packs",
+    "build_pack",
+    "pack_rng",
+    "parse_pack_stack",
+    "render_report",
+    "resolve_scenarios",
+    "run_matrix",
+    "save_report",
+    "split_model_keys",
+]

@@ -1,0 +1,311 @@
+"""Robustness matrix: every model × every scenario pack, worst case first.
+
+Backtests the registered DeepSD variants and classical baselines — all
+trained/fit on the *steady* city — against each scenario-transformed city,
+and reports per-(model, scenario):
+
+- overall MAE/RMSE on the scenario test split,
+- a per-regime breakdown (hour-of-day slices),
+- the worst-case slice MAE (the number a dispatcher actually fears), and
+- degradation vs. the same model's steady-state MAE.
+
+Determinism contract (the test suite asserts it): the heavy lifting —
+training each NN variant — runs through the PR 3 process-pool engine
+(:func:`repro.experiments.runner.run_tasks`), whose per-task seeds and
+fingerprint-keyed cache make results bitwise-identical for any worker
+count; scenario transforms (:func:`repro.scenarios.apply_packs`),
+featurization and baseline refits all run deterministically in the parent,
+so the emitted report is byte-identical for any ``--workers N``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..eval import breakdown
+from ..eval.metrics import evaluate
+from ..eval.report import format_table
+from ..exceptions import ConfigError
+from ..experiments.context import (
+    BASELINE_SPECS,
+    MODEL_SPECS,
+    ExperimentContext,
+    get_context,
+)
+from ..experiments.runner import (
+    RunnerReport,
+    baseline_task,
+    model_task,
+    run_tasks,
+)
+from ..features.builder import ExampleSet, FeatureBuilder
+from ..obs import get_logger
+from .packs import ScenarioPack, apply_packs, parse_pack_stack
+
+_log = get_logger(__name__)
+
+REPORT_SCHEMA_VERSION = 1
+
+#: The named scenarios of ``--packs all``: one per pack with default
+#: parameters, plus a compound stress stack (a storm front landing on an
+#: evening supply shock — the worst realistic Friday).
+DEFAULT_SCENARIOS: Dict[str, str] = {
+    "holiday": "holiday",
+    "concert": "concert",
+    "storm": "storm",
+    "supply_shock": "supply_shock",
+    "airport": "airport",
+    "archetype_mix": "archetype_mix",
+    "storm_rush": "storm+supply_shock",
+}
+
+#: The steady (untransformed) scenario every degradation ratio is
+#: measured against; always present in a matrix run.
+STEADY = "steady"
+
+__all__ = [
+    "DEFAULT_SCENARIOS",
+    "REPORT_SCHEMA_VERSION",
+    "STEADY",
+    "render_report",
+    "resolve_scenarios",
+    "run_matrix",
+    "save_report",
+    "split_model_keys",
+]
+
+
+def resolve_scenarios(spec: str) -> Dict[str, List[ScenarioPack]]:
+    """Map a ``--packs`` spec to ``{scenario name: pack stack}``.
+
+    ``"all"`` expands to :data:`DEFAULT_SCENARIOS`; otherwise the spec is
+    a comma-separated list of default scenario names and/or inline stacks
+    (``name[:key=value…][+name…]``, see
+    :func:`repro.scenarios.parse_pack_stack`).  The steady scenario is
+    implicit and always included.
+    """
+    scenarios: Dict[str, List[ScenarioPack]] = {STEADY: []}
+    spec = spec.strip()
+    names = sorted(DEFAULT_SCENARIOS) if spec == "all" else [
+        chunk.strip() for chunk in spec.split(",") if chunk.strip()
+    ]
+    if not names:
+        raise ConfigError(f"empty scenario spec {spec!r}")
+    for name in names:
+        if name == STEADY:
+            continue
+        stack_spec = DEFAULT_SCENARIOS.get(name, name)
+        scenarios[name] = parse_pack_stack(stack_spec)
+    return scenarios
+
+
+def split_model_keys(spec: str) -> Tuple[List[str], List[str]]:
+    """Split ``--models`` into (NN variant keys, baseline keys)."""
+    keys = [chunk.strip() for chunk in spec.split(",") if chunk.strip()]
+    if spec.strip() == "all":
+        keys = ["basic", "advanced", *sorted(BASELINE_SPECS)]
+    if not keys:
+        raise ConfigError(f"empty model spec {spec!r}")
+    nn_keys = [k for k in keys if k in MODEL_SPECS]
+    baseline_keys = [k for k in keys if k in BASELINE_SPECS]
+    unknown = [k for k in keys if k not in MODEL_SPECS and k not in BASELINE_SPECS]
+    if unknown:
+        raise ConfigError(
+            f"unknown models {unknown}; known NN variants: "
+            f"{sorted(MODEL_SPECS)}, baselines: {sorted(BASELINE_SPECS)}"
+        )
+    return nn_keys, baseline_keys
+
+
+def _baseline_predictions(
+    context: ExperimentContext, key: str, test_set: ExampleSet
+) -> np.ndarray:
+    """Fit a baseline on the steady train split, predict ``test_set``.
+
+    Refit per scenario in-process: the classical baselines are cheap and
+    seeded (:data:`BASELINE_SPECS`), so this is deterministic regardless
+    of pool size — and unlike the NN path there is no trained artifact to
+    reuse (``BaselineResult`` keeps only steady-test predictions).
+    """
+    from ..baselines import (
+        EmpiricalAverage,
+        GradientBoostingRegressor,
+        LassoRegressor,
+        RandomForestRegressor,
+    )
+    from ..features import linear_design_matrix, tree_design_matrix
+
+    train = context.train_set
+    targets = train.gaps.astype(np.float64)
+    spec = BASELINE_SPECS[key]
+    if key == "average":
+        return EmpiricalAverage().fit(train).predict(test_set)
+    if key == "lasso":
+        x_train, x_test, _ = linear_design_matrix(train, test_set)
+        return LassoRegressor(**spec).fit(x_train, targets).predict(x_test)
+    if key in ("gbdt", "rf"):
+        x_train, _ = tree_design_matrix(train)
+        x_test, _ = tree_design_matrix(test_set)
+        cls = GradientBoostingRegressor if key == "gbdt" else RandomForestRegressor
+        return cls(**spec).fit(x_train, targets).predict(x_test)
+    raise ConfigError(f"unknown baseline {key!r}")
+
+
+def _slice_rows(
+    predictions: np.ndarray, test_set: ExampleSet
+) -> List[Dict[str, object]]:
+    rows = breakdown.by_hour(predictions, test_set)
+    return [
+        {
+            "kind": "hour",
+            "key": row.key,
+            "mae": row.mae,
+            "rmse": row.rmse,
+            "n_items": row.n_items,
+        }
+        for row in rows
+    ]
+
+
+def _result_entry(
+    model: str,
+    scenario: str,
+    predictions: np.ndarray,
+    test_set: ExampleSet,
+    steady_mae: Optional[float],
+) -> Dict[str, object]:
+    report = evaluate(predictions, test_set.gaps.astype(np.float64))
+    slices = _slice_rows(predictions, test_set)
+    occupied = [s for s in slices if s["n_items"] > 0] or slices
+    worst = max(occupied, key=lambda s: s["mae"])
+    entry: Dict[str, object] = {
+        "model": model,
+        "scenario": scenario,
+        "mae": report.mae,
+        "rmse": report.rmse,
+        "n_items": report.n_items,
+        "worst_case_mae": worst["mae"],
+        "worst_slice": {"kind": worst["kind"], "key": worst["key"], "mae": worst["mae"]},
+        "degradation": (
+            report.mae / steady_mae if steady_mae else 1.0
+        ),
+        "slices": slices,
+    }
+    return entry
+
+
+def run_matrix(
+    *,
+    scale_name: str = "tiny",
+    seed: Optional[int] = None,
+    models: str = "basic,advanced,average",
+    packs: str = "all",
+    workers: Optional[int] = None,
+    context: Optional[ExperimentContext] = None,
+) -> Tuple[Dict[str, object], RunnerReport]:
+    """Run the full robustness matrix; returns ``(report dict, runner report)``.
+
+    The report dict is JSON-ready and stable: same inputs → byte-identical
+    ``json.dumps`` output for any ``workers``.
+    """
+    scenarios = resolve_scenarios(packs)
+    nn_keys, baseline_keys = split_model_keys(models)
+    if context is None:
+        context = get_context(scale_name, seed)
+    scenario_seed = int(context.scale.simulation.seed)
+
+    # Phase 1 — steady-city training through the process-pool engine.
+    tasks = [model_task(key) for key in nn_keys]
+    tasks += [baseline_task(key) for key in baseline_keys]
+    runner_report = run_tasks(context, tasks, workers=workers)
+
+    # Phase 2 — transform, featurize and score each scenario serially
+    # (deterministic; the expensive phase above is already parallel).
+    model_order = [*nn_keys, *baseline_keys]
+    steady_mae: Dict[str, float] = {}
+    results: List[Dict[str, object]] = []
+    # Steady runs first: every other scenario's degradation divides by it.
+    ordered = [STEADY, *sorted(name for name in scenarios if name != STEADY)]
+    for name in ordered:
+        stack = scenarios[name]
+        if stack:
+            dataset = apply_packs(context.dataset, stack, seed=scenario_seed)
+            test_set = FeatureBuilder(dataset, context.scale.features).build_test(
+                context.train_set.scalers
+            )
+        else:
+            test_set = context.test_set
+        _log.event(
+            "scenarios.scenario",
+            scenario=name,
+            packs=len(stack),
+            items=test_set.n_items,
+        )
+        for model in model_order:
+            if model in MODEL_SPECS:
+                predictions = context.trained(model).trainer.predict(test_set)
+            else:
+                predictions = _baseline_predictions(context, model, test_set)
+            if not stack:
+                steady_mae[model] = evaluate(
+                    predictions, test_set.gaps.astype(np.float64)
+                ).mae
+            results.append(
+                _result_entry(
+                    model, name, predictions, test_set, steady_mae.get(model)
+                )
+            )
+    report = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "scale": context.scale.name,
+        "seed": scenario_seed,
+        "models": model_order,
+        "scenarios": {
+            name: [pack.describe() for pack in stack]
+            for name, stack in sorted(scenarios.items())
+        },
+        "results": results,
+    }
+    return report, runner_report
+
+
+def save_report(report: Dict[str, object], path: str | os.PathLike) -> None:
+    """Write the report atomically (tmp + rename)."""
+    path = os.fspath(path)
+    tmp = f"{path}.tmp-{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """The human-readable summary table of a matrix report."""
+    rows = []
+    for entry in report["results"]:
+        worst = entry["worst_slice"]
+        rows.append(
+            [
+                entry["model"],
+                entry["scenario"],
+                entry["mae"],
+                entry["rmse"],
+                entry["worst_case_mae"],
+                f"{worst['kind']} {worst['key']}",
+                f"{entry['degradation']:.2f}x",
+            ]
+        )
+    return format_table(
+        ["model", "scenario", "MAE", "RMSE", "worst MAE", "worst slice", "vs steady"],
+        rows,
+        title=f"Robustness matrix ({report['scale']}, seed {report['seed']})",
+        float_format="{:.3f}",
+    )

@@ -1,0 +1,502 @@
+"""Composable scenario packs: deterministic stress transforms of a city.
+
+The simulator (:mod:`repro.city`) produces one steady regime; DeepSD's
+robustness story lives in what happens *off* that regime — storms, stadium
+surges, driver shortages.  A *pack* is a pure function
+``CityDataset -> CityDataset`` parameterised by a config and a seed:
+
+- **pure**: the input dataset is never mutated; transformed copies feed a
+  fresh :class:`~repro.city.dataset.CityDataset`, whose ``__post_init__``
+  re-derives the cumulative-gap index, so labels stay consistent;
+- **deterministic**: any randomness comes from
+  ``np.random.default_rng([seed, blake2(pack name)])`` — a stream derived
+  from the *pack identity*, not from its position in the stack, so packs
+  touching disjoint channels commute bitwise;
+- **channel-scoped**: each pack declares the channels it reads and writes
+  (``demand`` = per-minute valid/invalid order counts, ``weather`` =
+  type/temperature/pm2.5 series, ``traffic`` = congestion level counts)
+  and touches nothing else.
+
+Known limitation (by design, for now): packs transform the count/series
+channels that drive the supply-demand vectors, the environment windows and
+the gap labels; the raw ``orders``/``sessions`` event streams (which feed
+the last-call and waiting-time vectors) pass through unchanged.  The
+matrix runner therefore measures robustness of the demand/environment
+pathway — the one the paper's environment blocks model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..city.calendar import MINUTES_PER_DAY
+from ..city.dataset import CityDataset
+from ..city.grid import Archetype
+from ..city.traffic import TrafficSeries
+from ..city.weather import WEATHER_TYPES, WeatherSeries
+from ..exceptions import ConfigError
+
+__all__ = [
+    "CHANNELS",
+    "ScenarioPack",
+    "HolidayPack",
+    "ConcertPack",
+    "StormPack",
+    "SupplyShockPack",
+    "AirportPack",
+    "ArchetypeMixPack",
+    "PACK_TYPES",
+    "build_pack",
+    "parse_pack_stack",
+    "apply_packs",
+    "pack_rng",
+]
+
+#: The transformable data channels a pack may declare.
+CHANNELS = frozenset({"demand", "weather", "traffic"})
+
+_STORM_TYPE = WEATHER_TYPES.index("storm")
+
+
+def pack_rng(seed: int, pack_name: str) -> np.random.Generator:
+    """The pack's private random stream.
+
+    Keyed on ``(seed, pack name)`` only — never on stack position — so
+    reordering a stack cannot change what any single pack draws.
+    """
+    digest = hashlib.blake2b(
+        pack_name.encode("utf-8"), digest_size=8
+    ).digest()
+    return np.random.default_rng(
+        [int(seed), int.from_bytes(digest, "big")]
+    )
+
+
+def _scale_counts(counts: np.ndarray, factor: np.ndarray) -> np.ndarray:
+    """Deterministically scale integer count arrays (round-half-even)."""
+    scaled = np.rint(counts.astype(np.float64) * factor)
+    return np.maximum(scaled, 0.0).astype(np.int32)
+
+
+def _minute_profile(center: float, width: float) -> np.ndarray:
+    """A (1440,) Gaussian bump peaking at 1 around ``center`` minutes."""
+    minutes = np.arange(MINUTES_PER_DAY, dtype=np.float64)
+    return np.exp(-0.5 * ((minutes - center) / width) ** 2)
+
+
+@dataclass(frozen=True)
+class ScenarioPack:
+    """Base class: a named, channel-scoped, pure city transform."""
+
+    #: Overridden by subclasses.
+    name: str = field(default="", init=False)
+    channels: FrozenSet[str] = field(default=frozenset(), init=False)
+
+    def apply(self, dataset: CityDataset, seed: int) -> CityDataset:
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-ready parameter dump for reports and manifests."""
+        params = {
+            key: (list(value) if isinstance(value, tuple) else value)
+            for key, value in vars(self).items()
+            if key not in ("name", "channels")
+        }
+        return {"pack": self.name, "channels": sorted(self.channels), **params}
+
+    # -- shared helpers ------------------------------------------------
+
+    @staticmethod
+    def _days(dataset: CityDataset, days: Optional[Sequence[int]]) -> np.ndarray:
+        if days is None:
+            return np.arange(dataset.n_days)
+        selected = np.asarray(sorted(set(int(d) for d in days)), dtype=np.int64)
+        if selected.size and (
+            selected[0] < 0 or selected[-1] >= dataset.n_days
+        ):
+            raise ConfigError(
+                f"pack day selection {selected.tolist()} outside "
+                f"[0, {dataset.n_days})"
+            )
+        return selected
+
+    def _default_days(
+        self, dataset: CityDataset, seed: int, *, fraction: int
+    ) -> np.ndarray:
+        """Configured days, or a seeded draw of ``n_days // fraction`` days.
+
+        The draw always includes the final simulated day, which every
+        feature split reserves for testing — so a default-configured pack
+        is guaranteed to perturb the evaluation window, not just the
+        history the test items look back on.
+        """
+        if self.days is not None:
+            return self._days(dataset, self.days)
+        rng = pack_rng(seed, self.name)
+        picks = rng.choice(
+            dataset.n_days, size=max(1, dataset.n_days // fraction), replace=False
+        )
+        return np.unique(np.concatenate([picks, [dataset.n_days - 1]]))
+
+    @staticmethod
+    def _archetype_areas(
+        dataset: CityDataset, archetypes: Sequence[Archetype]
+    ) -> np.ndarray:
+        wanted = set(archetypes)
+        ids = [a.area_id for a in dataset.grid.areas if a.archetype in wanted]
+        # Fall back to every area so tiny grids without the archetype
+        # still exercise the pack instead of silently no-opping.
+        if not ids:
+            ids = list(range(dataset.n_areas))
+        return np.asarray(ids, dtype=np.int64)
+
+    @staticmethod
+    def _with_demand(
+        dataset: CityDataset, valid: np.ndarray, invalid: np.ndarray
+    ) -> CityDataset:
+        return CityDataset(
+            grid=dataset.grid,
+            calendar=dataset.calendar,
+            orders=dataset.orders,
+            sessions=dataset.sessions,
+            weather=dataset.weather,
+            traffic=dataset.traffic,
+            valid_counts=valid,
+            invalid_counts=invalid,
+        )
+
+
+@dataclass(frozen=True)
+class HolidayPack(ScenarioPack):
+    """Holiday calendar: commute peaks flatten, leisure demand swells.
+
+    On each holiday the morning/evening rush is damped and a broad
+    midday-to-evening leisure bump is added, scaled by ``demand_scale``.
+    """
+
+    name = "holiday"
+    channels = frozenset({"demand"})
+
+    days: Optional[Tuple[int, ...]] = None
+    demand_scale: float = 1.35
+    rush_damping: float = 0.55
+
+    def apply(self, dataset: CityDataset, seed: int) -> CityDataset:
+        days = self._days(dataset, self.days)
+        if self.days is None:
+            # Default: every simulated Sunday plus one drawn mid-week
+            # holiday, so the pack perturbs both weekend and weekday rows;
+            # the final (always-test) day is included so the evaluation
+            # window itself shifts.
+            week_ids = (days + dataset.calendar.start_weekday) % 7
+            sundays = days[week_ids == 6]
+            rng = pack_rng(seed, self.name)
+            extra = days[int(rng.integers(0, len(days)))]
+            days = np.unique(
+                np.concatenate([sundays, [extra, dataset.n_days - 1]])
+            )
+        rush = _minute_profile(8 * 60, 75) + _minute_profile(18 * 60, 90)
+        leisure = _minute_profile(14 * 60, 240)
+        factor = (
+            1.0
+            - (1.0 - self.rush_damping) * rush
+            + (self.demand_scale - 1.0) * leisure
+        )
+        valid = dataset.valid_counts.copy()
+        invalid = dataset.invalid_counts.copy()
+        valid[:, days, :] = _scale_counts(valid[:, days, :], factor)
+        invalid[:, days, :] = _scale_counts(invalid[:, days, :], factor)
+        return self._with_demand(dataset, valid, invalid)
+
+
+@dataclass(frozen=True)
+class ConcertPack(ScenarioPack):
+    """Stadium/concert pulse: a sharp evening surge in event areas.
+
+    Demand in entertainment and transport-hub areas ramps up around
+    ``start`` and spikes hardest right when the event lets out (the
+    classic stadium-exodus gap surge).
+    """
+
+    name = "concert"
+    channels = frozenset({"demand"})
+
+    days: Optional[Tuple[int, ...]] = None
+    start: int = 19 * 60
+    duration: int = 180
+    intensity: float = 2.5
+
+    def apply(self, dataset: CityDataset, seed: int) -> CityDataset:
+        days = self._default_days(dataset, seed, fraction=3)
+        areas = self._archetype_areas(
+            dataset, (Archetype.ENTERTAINMENT, Archetype.TRANSPORT_HUB)
+        )
+        arrivals = _minute_profile(self.start, 45)
+        exodus = _minute_profile(self.start + self.duration, 30)
+        factor = 1.0 + (self.intensity - 1.0) * (0.6 * arrivals + 1.4 * exodus)
+        valid = dataset.valid_counts.copy()
+        invalid = dataset.invalid_counts.copy()
+        sel = np.ix_(areas, days, np.arange(MINUTES_PER_DAY))
+        valid[sel] = _scale_counts(valid[sel], factor)
+        invalid[sel] = _scale_counts(invalid[sel], factor)
+        return self._with_demand(dataset, valid, invalid)
+
+
+@dataclass(frozen=True)
+class StormPack(ScenarioPack):
+    """A storm front sweeping the grid west→east.
+
+    Weather flips to the ``storm`` type (temperature drop, PM2.5 washout)
+    over ``[start, start + duration)``; traffic congests column by column
+    with a per-column lag, so the front visibly *moves* across the city.
+    Touches only the weather and traffic channels — demand counts are left
+    to the model to reconcile, which is exactly the stress the
+    environment blocks are supposed to absorb.
+    """
+
+    name = "storm"
+    channels = frozenset({"weather", "traffic"})
+
+    days: Optional[Tuple[int, ...]] = None
+    start: int = 15 * 60
+    duration: int = 240
+    sweep_minutes: int = 30
+    congestion: float = 0.6
+
+    def apply(self, dataset: CityDataset, seed: int) -> CityDataset:
+        days = self._default_days(dataset, seed, fraction=4)
+        stop = min(self.start + self.duration, MINUTES_PER_DAY)
+
+        types = dataset.weather.types.copy()
+        temperature = dataset.weather.temperature.copy()
+        pm25 = dataset.weather.pm25.copy()
+        types[days, self.start:stop] = _STORM_TYPE
+        temperature[days, self.start:stop] -= np.float32(4.0)
+        pm25[days, self.start:stop] *= np.float32(0.5)
+
+        level_counts = dataset.traffic.level_counts.copy()
+        cols = np.array([a.col for a in dataset.grid.areas], dtype=np.int64)
+        for area_id, col in enumerate(cols):
+            lag = int(col) * self.sweep_minutes
+            a_start = min(self.start + lag, MINUTES_PER_DAY)
+            a_stop = min(stop + lag, MINUTES_PER_DAY)
+            if a_start >= a_stop:
+                continue
+            window = level_counts[area_id][:, a_start:a_stop, :][days]
+            # Push a fraction of free-flowing segments (levels 3, 2) down
+            # into the most congested level (0); row sums — the area's
+            # segment count — are preserved exactly.
+            moved3 = np.rint(window[..., 3] * self.congestion).astype(
+                level_counts.dtype
+            )
+            moved2 = np.rint(window[..., 2] * (self.congestion * 0.5)).astype(
+                level_counts.dtype
+            )
+            window[..., 3] -= moved3
+            window[..., 2] -= moved2
+            window[..., 0] += moved3 + moved2
+            slab = level_counts[area_id][:, a_start:a_stop, :]
+            slab[days] = window
+        return CityDataset(
+            grid=dataset.grid,
+            calendar=dataset.calendar,
+            orders=dataset.orders,
+            sessions=dataset.sessions,
+            weather=WeatherSeries(
+                types=types, temperature=temperature, pm25=pm25
+            ),
+            traffic=TrafficSeries(level_counts=level_counts),
+            valid_counts=dataset.valid_counts,
+            invalid_counts=dataset.invalid_counts,
+        )
+
+
+@dataclass(frozen=True)
+class SupplyShockPack(ScenarioPack):
+    """Driver-supply shock: a fraction of answered orders go unanswered.
+
+    Over the outage window, ``outage`` of each minute's valid orders are
+    reclassified invalid — total demand is conserved while the gap
+    explodes, exactly what a platform sees when drivers drop offline.
+    """
+
+    name = "supply_shock"
+    channels = frozenset({"demand"})
+
+    days: Optional[Tuple[int, ...]] = None
+    start: int = 17 * 60
+    duration: int = 180
+    outage: float = 0.4
+
+    def apply(self, dataset: CityDataset, seed: int) -> CityDataset:
+        if not 0.0 <= self.outage <= 1.0:
+            raise ConfigError(f"outage must be in [0, 1], got {self.outage}")
+        days = self._default_days(dataset, seed, fraction=4)
+        stop = min(self.start + self.duration, MINUTES_PER_DAY)
+        valid = dataset.valid_counts.copy()
+        invalid = dataset.invalid_counts.copy()
+        window = valid[:, days, self.start:stop]
+        moved = np.rint(window.astype(np.float64) * self.outage).astype(np.int32)
+        valid[:, days, self.start:stop] = window - moved
+        invalid[:, days, self.start:stop] += moved
+        return self._with_demand(dataset, valid, invalid)
+
+
+@dataclass(frozen=True)
+class AirportPack(ScenarioPack):
+    """Airport-style asymmetric flows at transport hubs.
+
+    Hubs see an early-morning departure wave and a late-evening arrival
+    wave (red-eye landings), while the midday trough deepens — the
+    opposite shape of the commuter areas the model mostly trains on.
+    """
+
+    name = "airport"
+    channels = frozenset({"demand"})
+
+    days: Optional[Tuple[int, ...]] = None
+    morning_scale: float = 2.0
+    evening_scale: float = 1.6
+    midday_damping: float = 0.7
+
+    def apply(self, dataset: CityDataset, seed: int) -> CityDataset:
+        days = self._days(dataset, self.days)
+        areas = self._archetype_areas(dataset, (Archetype.TRANSPORT_HUB,))
+        factor = (
+            1.0
+            + (self.morning_scale - 1.0) * _minute_profile(5 * 60 + 30, 70)
+            + (self.evening_scale - 1.0) * _minute_profile(22 * 60, 80)
+            - (1.0 - self.midday_damping) * _minute_profile(13 * 60, 120)
+        )
+        valid = dataset.valid_counts.copy()
+        invalid = dataset.invalid_counts.copy()
+        sel = np.ix_(areas, days, np.arange(MINUTES_PER_DAY))
+        valid[sel] = _scale_counts(valid[sel], factor)
+        invalid[sel] = _scale_counts(invalid[sel], factor)
+        return self._with_demand(dataset, valid, invalid)
+
+
+@dataclass(frozen=True)
+class ArchetypeMixPack(ScenarioPack):
+    """Multi-city archetype mix: reweight demand volume per archetype.
+
+    Approximates transferring the model to a city with a different
+    land-use composition (e.g. heavier suburban share) by scaling each
+    archetype's demand volume — the per-area temporal shapes survive, the
+    volume mix does not.
+    """
+
+    name = "archetype_mix"
+    channels = frozenset({"demand"})
+
+    residential: float = 0.8
+    business: float = 1.3
+    entertainment: float = 1.2
+    transport_hub: float = 1.0
+    suburban: float = 1.5
+    mixed: float = 1.0
+
+    def apply(self, dataset: CityDataset, seed: int) -> CityDataset:
+        weights = {
+            Archetype.RESIDENTIAL: self.residential,
+            Archetype.BUSINESS: self.business,
+            Archetype.ENTERTAINMENT: self.entertainment,
+            Archetype.TRANSPORT_HUB: self.transport_hub,
+            Archetype.SUBURBAN: self.suburban,
+            Archetype.MIXED: self.mixed,
+        }
+        factors = np.array(
+            [weights[a.archetype] for a in dataset.grid.areas], dtype=np.float64
+        ).reshape(-1, 1, 1)
+        valid = _scale_counts(dataset.valid_counts, factors)
+        invalid = _scale_counts(dataset.invalid_counts, factors)
+        return self._with_demand(dataset, valid, invalid)
+
+
+PACK_TYPES: Dict[str, type] = {
+    cls.name: cls
+    for cls in (
+        HolidayPack,
+        ConcertPack,
+        StormPack,
+        SupplyShockPack,
+        AirportPack,
+        ArchetypeMixPack,
+    )
+}
+
+
+def build_pack(name: str, params: Optional[Dict[str, object]] = None) -> ScenarioPack:
+    """Instantiate a registered pack from a config dict.
+
+    ``days`` accepts lists (JSON) and is normalised to a tuple so packs
+    stay hashable/frozen.
+    """
+    if name not in PACK_TYPES:
+        raise ConfigError(
+            f"unknown scenario pack {name!r}; known: {sorted(PACK_TYPES)}"
+        )
+    params = dict(params or {})
+    if isinstance(params.get("days"), list):
+        params["days"] = tuple(int(d) for d in params["days"])
+    try:
+        return PACK_TYPES[name](**params)
+    except TypeError as exc:
+        raise ConfigError(f"bad parameters for pack {name!r}: {exc}") from None
+
+
+def parse_pack_stack(spec: str) -> List[ScenarioPack]:
+    """Parse a CLI pack-stack spec into pack instances.
+
+    Grammar: ``name[:key=value[:key=value…]]`` joined by ``+`` — e.g.
+    ``"storm:duration=120+supply_shock:outage=0.5"``.  Values parse as
+    JSON scalars where possible (so ``days=[1,3]`` works) and fall back
+    to strings.
+    """
+    import json
+
+    packs: List[ScenarioPack] = []
+    for chunk in spec.split("+"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = chunk.split(":")
+        params: Dict[str, object] = {}
+        for part in parts[1:]:
+            if "=" not in part:
+                raise ConfigError(
+                    f"bad pack parameter {part!r} in {chunk!r}; expected key=value"
+                )
+            key, raw = part.split("=", 1)
+            try:
+                params[key] = json.loads(raw)
+            except ValueError:
+                params[key] = raw
+        packs.append(build_pack(parts[0], params))
+    if not packs:
+        raise ConfigError(f"empty pack stack spec {spec!r}")
+    return packs
+
+
+def apply_packs(
+    dataset: CityDataset, packs: Sequence[ScenarioPack], seed: int = 0
+) -> CityDataset:
+    """Apply a stack of packs left to right, purely and deterministically.
+
+    Each pack draws from its own identity-keyed stream (:func:`pack_rng`),
+    so a stack's output depends only on ``(dataset, set of packs, order
+    among packs sharing a channel, seed)`` — packs over disjoint channels
+    commute bitwise.
+    """
+    for pack in packs:
+        unknown = pack.channels - CHANNELS
+        if unknown:
+            raise ConfigError(
+                f"pack {pack.name!r} declares unknown channels {sorted(unknown)}"
+            )
+        dataset = pack.apply(dataset, seed)
+    return dataset

@@ -183,23 +183,30 @@ class ServiceApp:
             return json_response(200, {"status": "shutting down"}, shutdown=True)
         return json_response(404, {"error": f"unknown path {path}"})
 
-    def _predict(self, body: dict) -> Tuple[int, dict]:
-        result = self.service.predict(
-            int(body["area"]), int(body["day"]), int(body["timeslot"])
-        )
-        return 200, {
+    @staticmethod
+    def _result_payload(result) -> dict:
+        """One result as a wire dict; interval keys only when the
+        checkpoint carries a quantile head, so point-only responses are
+        byte-for-byte what they were before quantile serving existed."""
+        payload = {
             "gap": result.gap,
             "version": result.version,
             "cached": result.cached,
         }
+        if result.intervals is not None:
+            payload.update(result.intervals)
+        return payload
+
+    def _predict(self, body: dict) -> Tuple[int, dict]:
+        result = self.service.predict(
+            int(body["area"]), int(body["day"]), int(body["timeslot"])
+        )
+        return 200, self._result_payload(result)
 
     def _predict_batch(self, body: dict) -> Tuple[int, dict]:
         results = self.service.predict_batch(parse_batch_items(body))
         return 200, {
-            "results": [
-                {"gap": r.gap, "version": r.version, "cached": r.cached}
-                for r in results
-            ],
+            "results": [self._result_payload(r) for r in results],
             "count": len(results),
         }
 

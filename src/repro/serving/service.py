@@ -90,27 +90,38 @@ class ServingConfig:
 
 @dataclass(frozen=True)
 class PredictionResult:
-    """One answered query."""
+    """One answered query.
+
+    ``intervals`` is present when the serving checkpoint carries a trained
+    quantile head (``{"p10": …, "p50": …, "p90": …}``, keys ascending by
+    level); point-only checkpoints leave it ``None`` and the HTTP layer
+    omits the fields entirely.
+    """
 
     gap: float
     version: str
     cached: bool
+    intervals: Optional[Dict[str, float]] = None
 
 
 class _Engine:
-    """Immutable (trainer, predictor, version) snapshot.
+    """Immutable (trainer, predictor, version, quantile head) snapshot.
 
     The service swaps whole engines atomically; request threads read
     ``service._engine`` once and use that snapshot throughout, so a
     response always comes from exactly one checkpoint version.
     """
 
-    __slots__ = ("trainer", "predictor", "version")
+    __slots__ = ("trainer", "predictor", "version", "quantiles")
 
     def __init__(self, trainer: Trainer, predictor: GapPredictor, version: str):
         self.trainer = trainer
         self.predictor = predictor
         self.version = version
+        # The checkpoint's P10/P50/P90 residual head (or None).  Snapshot
+        # alongside the weights so gaps and intervals always come from the
+        # same checkpoint version, even mid-hot-swap.
+        self.quantiles = getattr(trainer, "quantile_head", None)
 
 
 class _BatchGroup:
@@ -324,12 +335,17 @@ class PredictionService:
                     self._registry.counter("repro.serving.cache.hits")
                     span.set(cached=True)
                     return PredictionResult(
-                        gap=value, version=engine.version, cached=True
+                        gap=value,
+                        version=engine.version,
+                        cached=True,
+                        intervals=self._intervals(engine, value, query.timeslot),
                     )
                 self._registry.counter("repro.serving.cache.misses")
                 span.set(cached=False)
-                gap, version = self._batcher.submit(query).result()
-        return PredictionResult(gap=gap, version=version, cached=False)
+                gap, version, intervals = self._batcher.submit(query).result()
+        return PredictionResult(
+            gap=gap, version=version, cached=False, intervals=intervals
+        )
 
     def predict_many(
         self, queries: Sequence[Tuple[int, int, int]]
@@ -353,7 +369,17 @@ class PredictionService:
                 if value is not _MISS:
                     self._registry.counter("repro.serving.cache.hits")
                     pending.append(
-                        (None, PredictionResult(value, engine.version, cached=True))
+                        (
+                            None,
+                            PredictionResult(
+                                value,
+                                engine.version,
+                                cached=True,
+                                intervals=self._intervals(
+                                    engine, value, query.timeslot
+                                ),
+                            ),
+                        )
                     )
                 else:
                     self._registry.counter("repro.serving.cache.misses")
@@ -363,8 +389,12 @@ class PredictionService:
                 if ready is not None:
                     results.append(ready)
                 else:
-                    gap, version = future.result()
-                    results.append(PredictionResult(gap, version, cached=False))
+                    gap, version, intervals = future.result()
+                    results.append(
+                        PredictionResult(
+                            gap, version, cached=False, intervals=intervals
+                        )
+                    )
             return results
 
     def predict_batch(
@@ -417,7 +447,12 @@ class PredictionService:
                     if value is not _MISS:
                         self._registry.counter("repro.serving.cache.hits")
                         results[index] = PredictionResult(
-                            gap=value, version=engine.version, cached=True
+                            gap=value,
+                            version=engine.version,
+                            cached=True,
+                            intervals=self._intervals(
+                                engine, value, query.timeslot
+                            ),
                         )
                     else:
                         self._registry.counter("repro.serving.cache.misses")
@@ -426,9 +461,9 @@ class PredictionService:
             if miss_indices:
                 group = _BatchGroup([queries[i] for i in miss_indices])
                 answers = self._batcher.submit(group).result()
-                for index, (gap, version) in zip(miss_indices, answers):
+                for index, (gap, version, intervals) in zip(miss_indices, answers):
                     results[index] = PredictionResult(
-                        gap=gap, version=version, cached=False
+                        gap=gap, version=version, cached=False, intervals=intervals
                     )
             # Resolve within-batch duplicates: an int placeholder points
             # at the first occurrence, whose result is now materialized.
@@ -436,9 +471,27 @@ class PredictionService:
                 if isinstance(result, int):
                     source = results[result]
                     results[index] = PredictionResult(
-                        gap=source.gap, version=source.version, cached=True
+                        gap=source.gap,
+                        version=source.version,
+                        cached=True,
+                        intervals=source.intervals,
                     )
         return results
+
+    @staticmethod
+    def _intervals(
+        engine: _Engine, gap: float, timeslot: int
+    ) -> Optional[Dict[str, float]]:
+        """P10/P50/P90 for a gap, from the engine's quantile head (or None).
+
+        Computed at result-assembly time from the (cached or freshly
+        forwarded) point gap — the cache keeps bare floats, so a hit
+        derives intervals bitwise-identical to the cold compute: the key
+        pins the engine version, hence the exact same offset table.
+        """
+        if engine.quantiles is None:
+            return None
+        return engine.quantiles.intervals(gap, timeslot)
 
     def _cache_key(self, version: str, query: GapQuery):
         return (
@@ -505,7 +558,12 @@ class PredictionService:
             for key, index in unique.items():
                 self.cache.put(key, float(gaps[index]))
         self._registry.counter("repro.serving.predictions", len(unique_queries))
-        answers = [(float(gaps[unique[key]]), engine.version) for key in keys]
+        answers = []
+        for key, query in zip(keys, queries):
+            gap = float(gaps[unique[key]])
+            answers.append(
+                (gap, engine.version, self._intervals(engine, gap, query.timeslot))
+            )
         results: List[object] = []
         for item, (start, count) in zip(items, extents):
             if isinstance(item, _BatchGroup):
@@ -680,6 +738,7 @@ class PredictionService:
         """Service-level state for the ``/stats`` endpoint and tests."""
         return {
             "version": self._engine.version,
+            "quantiles": self._engine.quantiles is not None,
             "swap_count": self._swap_count,
             "cache": self.cache.stats(),
             "max_batch": self.serving_config.max_batch,

@@ -1,0 +1,138 @@
+"""Quantile head unit tests: calibration, monotonicity, serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import DEFAULT_LEVELS, QuantileHead, fit_quantile_head
+from repro.exceptions import ConfigError
+from repro.nn.losses import get as get_loss
+
+
+def test_constructor_validation():
+    with pytest.raises(ConfigError, match="levels"):
+        QuantileHead(levels=(0.5, 0.1))
+    with pytest.raises(ConfigError, match="levels"):
+        QuantileHead(levels=(0.0, 0.5))
+    with pytest.raises(ConfigError, match="bucket_minutes"):
+        QuantileHead(bucket_minutes=7)
+    head = QuantileHead()
+    assert head.levels == DEFAULT_LEVELS
+    assert head.offsets.data.shape == (24, 3)
+
+
+def test_bucket_ids_clip_and_divide():
+    head = QuantileHead(bucket_minutes=60)
+    np.testing.assert_array_equal(
+        head.bucket_ids(np.array([0, 59, 60, 1439, 2000])),
+        [0, 0, 1, 23, 23],
+    )
+
+
+def test_intervals_are_monotone_for_any_gap():
+    head = QuantileHead()
+    head.offsets.data[...] = np.random.default_rng(0).normal(size=(24, 3))
+    head.sort_levels()
+    for gap in (-5.0, 0.0, 3.7, 1e6):
+        for slot in (0, 360, 720, 1439):
+            band = head.intervals(gap, slot)
+            assert band["p10"] <= band["p50"] <= band["p90"]
+            assert band["p50"] == pytest.approx(
+                gap + head.offsets.data[slot // 60, 1]
+            )
+
+
+def test_config_round_trip_is_bitwise():
+    head = QuantileHead(levels=(0.25, 0.75), bucket_minutes=120)
+    head.offsets.data[...] = np.random.default_rng(1).normal(size=(12, 2))
+    config = json.loads(json.dumps(head.to_config()))
+    restored = QuantileHead.from_config(config)
+    assert restored.levels == head.levels
+    assert restored.bucket_minutes == head.bucket_minutes
+    assert restored.offsets.data.tobytes() == head.offsets.data.tobytes()
+
+
+def test_from_config_rejects_shape_mismatch():
+    head = QuantileHead()
+    config = head.to_config()
+    config["offsets"] = [[0.0, 0.0, 0.0]]
+    with pytest.raises(ConfigError, match="shape"):
+        QuantileHead.from_config(config)
+
+
+def test_pinball_loss_name_parsing():
+    loss = get_loss("pinball@0.9")
+    # Pinball at q=0.9 charges under-prediction 9x over-prediction.
+    import numpy as _np
+
+    from repro.nn import Tensor
+
+    under = loss(Tensor(_np.zeros((1, 1))), _np.ones((1, 1))).item()
+    over = loss(Tensor(_np.ones((1, 1))), _np.zeros((1, 1))).item()
+    assert under == pytest.approx(0.9)
+    assert over == pytest.approx(0.1)
+    with pytest.raises(ValueError):
+        get_loss("pinball@nope")
+
+
+class _ConstantTrainer:
+    """Predicts zero: residuals equal the raw targets."""
+
+    quantile_head = None
+
+    def predict(self, example_set):
+        return np.zeros(example_set.n_items, dtype=np.float64)
+
+
+def _example_set_with(gaps, time_ids):
+    """A minimal ExampleSet: only gaps/time_ids matter to the head."""
+    from repro.features.builder import ExampleSet
+
+    n = len(gaps)
+    vec = np.zeros((n, 4), dtype=np.float64)
+    return ExampleSet(
+        area_ids=np.zeros(n, dtype=np.int64),
+        time_ids=np.asarray(time_ids, dtype=np.int64),
+        week_ids=np.zeros(n, dtype=np.int64),
+        day_ids=np.zeros(n, dtype=np.int64),
+        sd_now=vec, sd_hist=vec, sd_hist_next=vec,
+        lc_now=vec, lc_hist=vec, lc_hist_next=vec,
+        wt_now=vec, wt_hist=vec, wt_hist_next=vec,
+        weather_types=np.zeros((n, 4), dtype=np.int64),
+        temperature=vec, pm25=vec, traffic=vec,
+        gaps=np.asarray(gaps, dtype=np.float64),
+        window=4,
+        n_areas=1,
+    )
+
+
+def test_fit_learns_bucket_quantiles():
+    """On a synthetic residual distribution the fitted offsets approach
+    the empirical quantiles of each bucket."""
+    rng = np.random.default_rng(42)
+    gaps = rng.uniform(0.0, 10.0, size=4000)
+    time_ids = np.full(4000, 300, dtype=np.int64)  # one bucket (05:00)
+    trainer = _ConstantTrainer()
+    head = fit_quantile_head(
+        trainer, _example_set_with(gaps, time_ids), epochs=600,
+        learning_rate=0.2,
+    )
+    assert trainer.quantile_head is head
+    row = head.offsets.data[300 // 60]
+    # Uniform(0, 10): P10=1, P50=5, P90=9 (loose tolerance: finite steps).
+    assert row[0] == pytest.approx(1.0, abs=0.6)
+    assert row[1] == pytest.approx(5.0, abs=0.6)
+    assert row[2] == pytest.approx(9.0, abs=0.6)
+    # Untouched buckets keep zero offsets → intervals collapse to the gap.
+    band = head.intervals(2.0, 0)
+    assert band == {"p10": 2.0, "p50": 2.0, "p90": 2.0}
+
+
+def test_fit_is_deterministic():
+    gaps = np.random.default_rng(3).normal(size=500)
+    time_ids = np.tile(np.array([100, 700, 1300]), 500)[:500]
+    example_set = _example_set_with(gaps, time_ids)
+    first = fit_quantile_head(_ConstantTrainer(), example_set, epochs=50)
+    second = fit_quantile_head(_ConstantTrainer(), example_set, epochs=50)
+    assert first.offsets.data.tobytes() == second.offsets.data.tobytes()

@@ -1,0 +1,32 @@
+"""Shared fixtures for scenario-pack tests: one tiny simulated city."""
+
+import os
+
+import pytest
+
+from repro.city import simulate_city
+from repro.config import tiny_scale
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_cache(tmp_path_factory):
+    """Point the experiment artifact cache at a session-temporary dir so
+    scenario tests never touch (or depend on) the real benchmark cache."""
+    cache = tmp_path_factory.mktemp("scenario_cache")
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache)
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return tiny_scale()
+
+
+@pytest.fixture(scope="session")
+def dataset(scale):
+    return simulate_city(scale.simulation)

@@ -1,0 +1,68 @@
+"""Golden regression: the small-scale robustness report is pinned.
+
+``golden_matrix.json`` was produced by::
+
+    run_matrix(scale_name="tiny", models="average,lasso",
+               packs="storm,supply_shock", workers=1)
+
+and committed.  The comparison walks the structures field by field —
+exact for strings/ints/shapes, tolerant only on floats — so any drift in
+the simulator, the packs, the featurizer, the baselines or the report
+assembly shows up as a named path, not a blob diff.  Regenerate the file
+with the snippet above (after deliberately changing behavior) and review
+the diff like any other golden.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import run_matrix
+
+pytestmark = pytest.mark.scenarios
+
+GOLDEN = Path(__file__).parent / "golden_matrix.json"
+
+#: Relative float tolerance: generous enough for BLAS/libm variation
+#: across platforms, tight enough that any real behavior change trips it.
+REL_TOL = 1e-6
+ABS_TOL = 1e-9
+
+
+def _compare(expected, actual, path="$"):
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: expected object"
+        assert sorted(expected) == sorted(actual), (
+            f"{path}: keys differ: {sorted(expected)} vs {sorted(actual)}"
+        )
+        for key in expected:
+            _compare(expected[key], actual[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert isinstance(actual, list), f"{path}: expected list"
+        assert len(expected) == len(actual), (
+            f"{path}: length {len(expected)} vs {len(actual)}"
+        )
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            _compare(e, a, f"{path}[{i}]")
+    elif isinstance(expected, float) and not isinstance(expected, bool):
+        assert isinstance(actual, (int, float)), f"{path}: expected number"
+        assert math.isclose(
+            expected, float(actual), rel_tol=REL_TOL, abs_tol=ABS_TOL
+        ), f"{path}: {expected} != {actual}"
+    else:
+        assert expected == actual, f"{path}: {expected!r} != {actual!r}"
+
+
+def test_matrix_report_matches_golden():
+    expected = json.loads(GOLDEN.read_text())
+    actual, _ = run_matrix(
+        scale_name="tiny",
+        models="average,lasso",
+        packs="storm,supply_shock",
+        workers=1,
+    )
+    # JSON round-trip the fresh report so both sides saw the same
+    # serialization (tuples→lists, non-string keys, float formatting).
+    _compare(expected, json.loads(json.dumps(actual)))

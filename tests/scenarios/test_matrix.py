@@ -1,0 +1,132 @@
+"""Matrix runner tests: spec parsing, report shape, worker invariance."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.scenarios import (
+    DEFAULT_SCENARIOS,
+    REPORT_SCHEMA_VERSION,
+    STEADY,
+    render_report,
+    resolve_scenarios,
+    run_matrix,
+    save_report,
+    split_model_keys,
+)
+
+pytestmark = pytest.mark.scenarios
+
+
+# ----------------------------------------------------------------------
+# Spec parsing
+# ----------------------------------------------------------------------
+
+
+def test_resolve_scenarios_all_includes_steady_and_defaults():
+    scenarios = resolve_scenarios("all")
+    assert set(scenarios) == {STEADY, *DEFAULT_SCENARIOS}
+    assert scenarios[STEADY] == []
+    assert [p.name for p in scenarios["storm_rush"]] == ["storm", "supply_shock"]
+
+
+def test_resolve_scenarios_inline_stack():
+    scenarios = resolve_scenarios("storm:duration=60,holiday")
+    assert scenarios["storm:duration=60"][0].duration == 60
+    assert STEADY in scenarios
+
+
+def test_resolve_scenarios_rejects_junk():
+    with pytest.raises(ConfigError):
+        resolve_scenarios("")
+    with pytest.raises(ConfigError):
+        resolve_scenarios("tsunami")
+
+
+def test_split_model_keys():
+    nn, baselines = split_model_keys("basic,average")
+    assert nn == ["basic"] and baselines == ["average"]
+    nn, baselines = split_model_keys("all")
+    assert nn == ["basic", "advanced"] and "average" in baselines
+    with pytest.raises(ConfigError, match="unknown models"):
+        split_model_keys("basic,quantum")
+    with pytest.raises(ConfigError, match="empty"):
+        split_model_keys(" , ")
+
+
+# ----------------------------------------------------------------------
+# A small real matrix (baselines only: fast, no NN training)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def small_matrix():
+    return run_matrix(
+        scale_name="tiny",
+        models="average,lasso",
+        packs="storm,supply_shock",
+        workers=1,
+    )
+
+
+def test_report_shape(small_matrix):
+    report, _ = small_matrix
+    assert report["schema_version"] == REPORT_SCHEMA_VERSION
+    assert report["models"] == ["average", "lasso"]
+    assert set(report["scenarios"]) == {STEADY, "storm", "supply_shock"}
+    # models × scenarios entries, steady rows first.
+    assert len(report["results"]) == 6
+    steady_rows = [r for r in report["results"] if r["scenario"] == STEADY]
+    assert report["results"][:2] == steady_rows
+    for row in report["results"]:
+        # Hour slices partition the items, so the worst slice MAE bounds
+        # the overall (item-weighted average) MAE from above.
+        assert row["worst_case_mae"] >= row["mae"]
+        assert row["worst_slice"]["mae"] == row["worst_case_mae"]
+        assert row["n_items"] > 0
+        assert len(row["slices"]) > 0
+    for row in steady_rows:
+        assert row["degradation"] == 1.0
+
+
+def test_degradation_is_relative_to_steady(small_matrix):
+    report, _ = small_matrix
+    steady = {
+        r["model"]: r["mae"]
+        for r in report["results"]
+        if r["scenario"] == STEADY
+    }
+    for row in report["results"]:
+        assert row["degradation"] == pytest.approx(
+            row["mae"] / steady[row["model"]]
+        )
+
+
+def test_report_is_json_stable_and_renders(small_matrix, tmp_path):
+    report, _ = small_matrix
+    path = tmp_path / "report.json"
+    save_report(report, path)
+    loaded = json.loads(path.read_text())
+    # Full float round-trip: the saved report is bit-exact.
+    assert json.dumps(loaded, sort_keys=True) == json.dumps(
+        report, sort_keys=True
+    )
+    table = render_report(report)
+    assert "Robustness matrix" in table
+    assert "supply_shock" in table
+
+
+def test_matrix_is_invariant_to_worker_count(small_matrix):
+    """Re-running with a different worker count reproduces the report
+    byte for byte (per-task seeds + the shared artifact cache)."""
+    report, _ = small_matrix
+    again, _ = run_matrix(
+        scale_name="tiny",
+        models="average,lasso",
+        packs="storm,supply_shock",
+        workers=2,
+    )
+    assert json.dumps(again, sort_keys=True) == json.dumps(
+        report, sort_keys=True
+    )

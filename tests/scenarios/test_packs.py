@@ -1,0 +1,182 @@
+"""Unit tests for the scenario packs: purity, scoping, semantics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.scenarios import (
+    PACK_TYPES,
+    StormPack,
+    SupplyShockPack,
+    apply_packs,
+    build_pack,
+    parse_pack_stack,
+)
+
+pytestmark = pytest.mark.scenarios
+
+
+def _snapshot(dataset):
+    return {
+        "valid": dataset.valid_counts.copy(),
+        "invalid": dataset.invalid_counts.copy(),
+        "types": dataset.weather.types.copy(),
+        "temperature": dataset.weather.temperature.copy(),
+        "pm25": dataset.weather.pm25.copy(),
+        "traffic": dataset.traffic.level_counts.copy(),
+    }
+
+
+def _arrays(dataset):
+    return {
+        "valid": dataset.valid_counts,
+        "invalid": dataset.invalid_counts,
+        "types": dataset.weather.types,
+        "temperature": dataset.weather.temperature,
+        "pm25": dataset.weather.pm25,
+        "traffic": dataset.traffic.level_counts,
+    }
+
+
+#: Channel -> the snapshot arrays it owns.
+_CHANNEL_ARRAYS = {
+    "demand": ("valid", "invalid"),
+    "weather": ("types", "temperature", "pm25"),
+    "traffic": ("traffic",),
+}
+
+
+@pytest.mark.parametrize("name", sorted(PACK_TYPES))
+def test_pack_is_pure_and_changes_something(name, dataset):
+    before = _snapshot(dataset)
+    pack = build_pack(name)
+    out = apply_packs(dataset, [pack], seed=3)
+    # Purity: the input dataset is untouched.
+    for key, array in _arrays(dataset).items():
+        np.testing.assert_array_equal(array, before[key])
+    # The pack is not a no-op.
+    changed = any(
+        not np.array_equal(_arrays(out)[key], before[key]) for key in before
+    )
+    assert changed, f"pack {name} changed nothing"
+
+
+@pytest.mark.parametrize("name", sorted(PACK_TYPES))
+def test_pack_touches_only_declared_channels(name, dataset):
+    before = _snapshot(dataset)
+    pack = build_pack(name)
+    out = apply_packs(dataset, [pack], seed=3)
+    for channel, keys in _CHANNEL_ARRAYS.items():
+        if channel in pack.channels:
+            continue
+        for key in keys:
+            np.testing.assert_array_equal(
+                _arrays(out)[key], before[key],
+                err_msg=f"pack {name} wrote undeclared channel {channel}",
+            )
+
+
+def test_storm_preserves_traffic_segment_totals(dataset):
+    out = StormPack().apply(dataset, seed=3)
+    np.testing.assert_array_equal(
+        out.traffic.level_counts.sum(axis=-1),
+        dataset.traffic.level_counts.sum(axis=-1),
+    )
+    assert (out.traffic.level_counts >= 0).all()
+    # Congestion strictly increases somewhere.
+    assert (
+        out.traffic.level_counts[..., 0].sum()
+        > dataset.traffic.level_counts[..., 0].sum()
+    )
+
+
+def test_supply_shock_conserves_demand_and_explodes_gap(dataset):
+    out = SupplyShockPack().apply(dataset, seed=3)
+    np.testing.assert_array_equal(
+        out.valid_counts + out.invalid_counts,
+        dataset.valid_counts + dataset.invalid_counts,
+    )
+    assert out.invalid_counts.sum() > dataset.invalid_counts.sum()
+    assert (out.valid_counts >= 0).all()
+
+
+def _day_slice(key: str, array: np.ndarray, day: int) -> np.ndarray:
+    # Weather series are (days, 1440); demand/traffic are (areas, days, ...).
+    if key in ("types", "temperature", "pm25"):
+        return array[day]
+    return array[:, day]
+
+
+@pytest.mark.parametrize("name", sorted(PACK_TYPES))
+def test_default_packs_perturb_the_test_split(name, dataset):
+    """Every default-configured pack must touch the final (test) day."""
+    last = dataset.n_days - 1
+    out = apply_packs(dataset, [build_pack(name)], seed=3)
+    changed = any(
+        not np.array_equal(
+            _day_slice(key, _arrays(out)[key], last),
+            _day_slice(key, _arrays(dataset)[key], last),
+        )
+        for key in _arrays(dataset)
+    )
+    assert changed, f"pack {name} left the final test day untouched"
+
+
+def test_gap_labels_track_transformed_counts(dataset):
+    out = SupplyShockPack(days=(dataset.n_days - 1,), outage=1.0).apply(
+        dataset, seed=0
+    )
+    day, start = dataset.n_days - 1, 17 * 60
+    # With a total outage, the transformed city's invalid counts over the
+    # window equal the original total demand there.
+    window = (slice(None), day, slice(start, start + 150))
+    np.testing.assert_array_equal(out.valid_counts[window], 0)
+    np.testing.assert_array_equal(
+        out.invalid_counts[window],
+        dataset.valid_counts[window] + dataset.invalid_counts[window],
+    )
+    # And the rebuilt cumulative-gap index agrees with the raw counts.
+    np.testing.assert_array_equal(
+        out._invalid_cumsum[:, day, -1], out.invalid_counts[:, day].sum(axis=-1)
+    )
+
+
+def test_build_pack_rejects_unknowns():
+    with pytest.raises(ConfigError, match="unknown scenario pack"):
+        build_pack("tsunami")
+    with pytest.raises(ConfigError, match="bad parameters"):
+        build_pack("storm", {"wind": 9000})
+
+
+def test_supply_shock_outage_validation(dataset):
+    with pytest.raises(ConfigError, match="outage"):
+        SupplyShockPack(outage=1.5).apply(dataset, seed=0)
+
+
+def test_day_selection_validation(dataset):
+    with pytest.raises(ConfigError, match="outside"):
+        SupplyShockPack(days=(dataset.n_days,)).apply(dataset, seed=0)
+
+
+def test_parse_pack_stack_grammar():
+    packs = parse_pack_stack("storm:duration=120+supply_shock:outage=0.5")
+    assert [p.name for p in packs] == ["storm", "supply_shock"]
+    assert packs[0].duration == 120
+    assert packs[1].outage == 0.5
+    (holiday,) = parse_pack_stack("holiday:days=[1,3]")
+    assert holiday.days == (1, 3)
+    with pytest.raises(ConfigError, match="key=value"):
+        parse_pack_stack("storm:duration")
+    with pytest.raises(ConfigError, match="empty pack stack"):
+        parse_pack_stack("++")
+
+
+def test_describe_is_json_ready():
+    import json
+
+    pack = build_pack("holiday", {"days": [1, 2]})
+    described = pack.describe()
+    assert described["pack"] == "holiday"
+    assert described["channels"] == ["demand"]
+    assert described["days"] == [1, 2]
+    json.dumps(described)  # must not raise

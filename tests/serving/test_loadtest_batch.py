@@ -46,6 +46,30 @@ def test_observes_flush_the_run():
     assert sum(n for _, _, n in wire) == len(ops)
 
 
+def test_reloads_flush_the_run_too():
+    # Any non-predict op is a fold boundary: a /reload mid-stream must
+    # split the batch exactly like an /observe, or the swap would land
+    # before requests that were generated ahead of it.
+    reload_op = ("/reload", {"checkpoint": "/tmp/ckpts"})
+    ops = [_predict(0), _predict(1), reload_op, _predict(2)]
+    wire = group_batches(ops, 8)
+    assert [path for path, _, _ in wire] == [
+        "/predict_batch", "/reload", "/predict",
+    ]
+    assert wire[0][1]["items"] == [ops[0][1], ops[1][1]]
+    assert wire[1][1] == reload_op[1]
+
+
+def test_flush_at_exact_batch_boundary_emits_no_empty_batch():
+    # A run that fills up exactly at `batch` flushes immediately; the
+    # following observe must not emit a second, empty batch.
+    ops = [_predict(0), _predict(1), _observe(2)]
+    wire = group_batches(ops, 2)
+    assert [(path, n) for path, _, n in wire] == [
+        ("/predict_batch", 2), ("/observe", 1),
+    ]
+
+
 def test_result_items_and_rates():
     result = LoadTestResult(
         requests=10, errors=0, seconds=2.0, concurrency=4,
